@@ -1,0 +1,48 @@
+"""E4 — Figure 3: distribution of filtered accessibility texts by discard reason.
+
+Regenerates, per country, the share of accessibility texts discarded by each
+Appendix H rule, and checks the orderings the paper highlights: single-word
+labels dominate (worst in Thailand, mild in Bangladesh), too-short labels are
+a small but non-negligible slice, and URLs/file paths appear mostly in Hong
+Kong, South Korea and Russia.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import filter_breakdown_by_country
+from repro.core.filtering import DiscardCategory
+
+#: Single-word shares reported in the paper (percent of accessibility texts).
+PAPER_SINGLE_WORD = {"th": 33.0, "ru": 22.2, "gr": 18.03, "in": 17.1, "eg": 10.5, "bd": 6.9}
+
+
+def test_fig3_filter_reason_distribution(benchmark, dataset, reporter) -> None:
+    breakdown = benchmark(filter_breakdown_by_country, dataset)
+
+    lines = [f"{'country':<8}{'single word':>14}{'too short':>12}{'generic':>10}"
+             f"{'placeholder':>13}{'url/path':>10}{'total filtered':>16}"]
+    for country in sorted(breakdown):
+        categories = breakdown[country]
+        single = categories.get(DiscardCategory.SINGLE_WORD, 0.0)
+        paper_single = PAPER_SINGLE_WORD.get(country)
+        paper_note = f" (paper {paper_single:.1f})" if paper_single is not None else ""
+        lines.append(
+            f"{country:<8}{single:>9.1f}%{paper_note:<12}"
+            f"{categories.get(DiscardCategory.TOO_SHORT, 0.0):>7.1f}%"
+            f"{categories.get(DiscardCategory.GENERIC_ACTION, 0.0):>9.1f}%"
+            f"{categories.get(DiscardCategory.PLACEHOLDER, 0.0):>12.1f}%"
+            f"{categories.get(DiscardCategory.URL_OR_PATH, 0.0):>9.1f}%"
+            f"{sum(categories.values()):>15.1f}%"
+        )
+    reporter("Figure 3 — filtered accessibility texts by discard reason", lines)
+
+    single_word = {country: categories.get(DiscardCategory.SINGLE_WORD, 0.0)
+                   for country, categories in breakdown.items()}
+    # Shape: Thailand worst, Bangladesh among the mildest, Russia above Bangladesh.
+    assert max(single_word, key=single_word.get) == "th"
+    assert single_word["th"] > 15.0
+    assert single_word["bd"] < single_word["th"]
+    assert single_word["ru"] > single_word["bd"]
+    # Every country discards a non-trivial share of its accessibility text.
+    for country, categories in breakdown.items():
+        assert sum(categories.values()) > 5.0, country

@@ -1,0 +1,53 @@
+"""E5 — Figure 4: language distribution of informative accessibility texts.
+
+Regenerates the native / English / mixed proportions of informative
+accessibility texts per country and checks the paper's qualitative findings:
+Bangladesh relies on English the most (79% in the paper), Egypt/Thailand/
+Greece lean strongly toward English, mixed-language hints are frequent in
+Greece, Thailand and Hong Kong, and Japan/Israel use their native language
+the most.
+"""
+
+from __future__ import annotations
+
+from repro.core.language_mix import classify_texts
+
+PAPER_ENGLISH_SHARE_BD = 0.79
+PAPER_MIXED_HOTSPOTS = ("gr", "th", "hk")
+
+
+def _country_mix(dataset, country: str) -> dict[str, float]:
+    texts: list[str] = []
+    language = None
+    for record in dataset.for_country(country):
+        texts.extend(record.informative_texts())
+        language = record.language_code
+    assert language is not None and texts
+    return classify_texts(texts, language).proportions()
+
+
+def test_fig4_language_distribution(benchmark, dataset, reporter) -> None:
+    mixes = benchmark(lambda: {country: _country_mix(dataset, country)
+                               for country in dataset.countries()})
+
+    lines = [f"{'country':<8}{'native':>9}{'english':>10}{'mixed':>8}"]
+    for country, mix in sorted(mixes.items()):
+        lines.append(f"{country:<8}{mix['native'] * 100:>8.1f}%{mix['english'] * 100:>9.1f}%"
+                     f"{mix['mixed'] * 100:>7.1f}%")
+    lines.append(f"paper anchors: bd english 79%, mixed >=30% in gr/th/hk, "
+                 f">=20% in cn/ru/jp/in")
+    reporter("Figure 4 — language distribution of informative accessibility texts", lines)
+
+    english = {country: mix["english"] for country, mix in mixes.items()}
+    mixed = {country: mix["mixed"] for country, mix in mixes.items()}
+    native = {country: mix["native"] for country, mix in mixes.items()}
+
+    # Bangladesh relies on English the most.
+    assert max(english, key=english.get) == "bd"
+    assert english["bd"] > 0.6
+    # Mixed-language hotspots.
+    for country in PAPER_MIXED_HOTSPOTS:
+        assert mixed[country] > 0.2, country
+    # Japan and Israel use the native language far more than Bangladesh.
+    assert native["jp"] > native["bd"]
+    assert native["il"] > native["bd"]

@@ -1,0 +1,55 @@
+"""E6 / E15 — Figure 5: CDFs of native-language usage in visible vs
+accessibility text, and the Section 3 headline mismatch numbers.
+
+For every country the harness regenerates both CDFs and the fraction of sites
+whose accessibility text is less than 10% native.  Shape checks follow the
+paper: the accessibility CDF sits far above the visible CDF at low native
+shares (most sites have native visible content but little native
+accessibility text), the mismatch exceeds 40% in Bangladesh and India(*),
+exceeds a quarter in Thailand/China/Hong Kong, and stays low in Japan and
+Israel.
+
+(*) the benchmark dataset covers all twelve countries at 25 sites each, so
+per-country fractions carry sampling noise of a few percentage points.
+"""
+
+from __future__ import annotations
+
+from repro.core.mismatch import country_cdfs, low_native_accessibility_fraction
+
+PAPER_HIGH_MISMATCH = ("bd", "in")
+PAPER_MODERATE_MISMATCH = ("th", "cn", "hk")
+PAPER_LOW_MISMATCH = ("jp", "il")
+
+
+def test_fig5_visible_vs_accessibility_cdfs(benchmark, dataset, reporter) -> None:
+    fractions = benchmark(lambda: {
+        country: low_native_accessibility_fraction(dataset, country)
+        for country in dataset.countries()
+    })
+
+    grid = (0, 10, 25, 50, 75, 90, 100)
+    lines = [f"{'country':<8}{'P(a11y<10% native)':>20}   CDF of a11y native share at "
+             f"{grid}"]
+    for country in sorted(fractions):
+        cdfs = country_cdfs(dataset, country)
+        accessibility_series = [f"{value:.2f}" for _, value in cdfs.accessibility.tabulate(grid)]
+        lines.append(f"{country:<8}{fractions[country] * 100:>19.1f}%   {accessibility_series}")
+    lines.append("paper anchors: >40% for bd/in, >25% for th/cn/hk, <10% for jp/il")
+    reporter("Figure 5 — native share CDFs and low-native-accessibility fractions", lines)
+
+    for country in PAPER_HIGH_MISMATCH:
+        assert fractions[country] > 0.3, country
+    for country in PAPER_MODERATE_MISMATCH:
+        assert fractions[country] > 0.15, country
+    for country in PAPER_LOW_MISMATCH:
+        assert fractions[country] < 0.25, country
+    # The high-mismatch countries must exceed the low-mismatch ones.
+    assert min(fractions[c] for c in PAPER_HIGH_MISMATCH) > \
+        max(fractions[c] for c in PAPER_LOW_MISMATCH)
+
+    # CDF shape: at a 10% native share the accessibility CDF dominates the
+    # visible CDF everywhere (visible content is native by construction).
+    for country in dataset.countries():
+        cdfs = country_cdfs(dataset, country)
+        assert cdfs.accessibility.evaluate(10.0) >= cdfs.visible.evaluate(10.0)

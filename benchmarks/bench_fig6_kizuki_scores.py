@@ -1,0 +1,55 @@
+"""E7 — Figure 6: accessibility scores before and after Kizuki.
+
+The paper evaluates Kizuki on sites from Bangladesh and Thailand that pass
+the original Lighthouse image-alt audit: without language awareness, 43% of
+those sites score above 90 and 5.6% score a perfect 100; with Kizuki's
+language-aware check the figures drop to 15.8% and 1.8%.  This harness
+re-scores the benchmark dataset's Bangladeshi and Thai sites and checks that
+the distribution shifts the same way.
+"""
+
+from __future__ import annotations
+
+from repro.core.kizuki import rescore_dataset
+from repro.stats.histogram import histogram
+
+PAPER_OLD_ABOVE_90 = 0.43
+PAPER_NEW_ABOVE_90 = 0.158
+PAPER_OLD_PERFECT = 0.056
+PAPER_NEW_PERFECT = 0.018
+
+SCORE_BINS = (30, 40, 50, 60, 70, 80, 90, 100.0001)
+
+
+def test_fig6_kizuki_score_shift(benchmark, dataset, reporter) -> None:
+    summary = benchmark(rescore_dataset, dataset, ("bd", "th"))
+
+    assert summary.sites > 0, "some bd/th sites must pass the original image-alt audit"
+
+    old_hist = histogram(summary.old_scores, SCORE_BINS)
+    new_hist = histogram(summary.new_scores, SCORE_BINS)
+    lines = [
+        f"sites re-scored (pass original image-alt audit): {summary.sites}",
+        f"{'metric':<22}{'original':>12}{'kizuki':>10}{'paper orig':>12}{'paper kizuki':>14}",
+        (f"{'score > 90':<22}{summary.fraction_above(90, new=False) * 100:>11.1f}%"
+         f"{summary.fraction_above(90, new=True) * 100:>9.1f}%"
+         f"{PAPER_OLD_ABOVE_90 * 100:>11.1f}%{PAPER_NEW_ABOVE_90 * 100:>13.1f}%"),
+        (f"{'score = 100':<22}{summary.fraction_perfect(new=False) * 100:>11.1f}%"
+         f"{summary.fraction_perfect(new=True) * 100:>9.1f}%"
+         f"{PAPER_OLD_PERFECT * 100:>11.1f}%{PAPER_NEW_PERFECT * 100:>13.1f}%"),
+        f"score histogram bins {SCORE_BINS[:-1]} + [90,100]:",
+        f"  original: {old_hist.counts}",
+        f"  kizuki:   {new_hist.counts}",
+    ]
+    reporter("Figure 6 — accessibility score distribution before/after Kizuki (bd+th)", lines)
+
+    old_above_90 = summary.fraction_above(90, new=False)
+    new_above_90 = summary.fraction_above(90, new=True)
+    # Shape: a substantial share of sites scores "good" before Kizuki, and the
+    # language-aware check cuts that share down sharply (the paper sees
+    # 43% -> 15.8%); perfect scores all but disappear.
+    assert old_above_90 > 0.2
+    assert new_above_90 < old_above_90 * 0.75
+    assert summary.fraction_perfect(new=True) <= summary.fraction_perfect(new=False)
+    # Mean score must drop.
+    assert sum(summary.new_scores) < sum(summary.old_scores)

@@ -1,0 +1,41 @@
+"""E8 — Figure 7 / Appendix C: distribution of website rankings per country.
+
+The paper observes that most countries' LangCrUX sites concentrate within the
+top 50,000 CrUX ranks while India's distribution stretches toward the one
+million range.  This harness regenerates the per-country rank-bucket
+histogram from the synthetic CrUX table.
+"""
+
+from __future__ import annotations
+
+from repro.webgen.crux import RANK_BUCKETS
+
+
+def test_fig7_rank_bucket_distribution(benchmark, pipeline_result, reporter) -> None:
+    crux = pipeline_result.crux_table
+    histograms = benchmark(lambda: {country: crux.bucket_histogram(country)
+                                    for country in crux.countries()})
+
+    header = f"{'country':<8}" + "".join(f"{f'<={bucket // 1000}k':>9}" for bucket in RANK_BUCKETS)
+    lines = [header]
+    for country in sorted(histograms):
+        histogram = histograms[country]
+        lines.append(f"{country:<8}" + "".join(f"{histogram.get(bucket, 0):>9}"
+                                               for bucket in RANK_BUCKETS))
+    lines.append("paper anchor: most countries concentrate below rank 50k; "
+                 "India extends toward 1M")
+    reporter("Figure 7 — website rank distribution per country", lines)
+
+    def share_within(country: str, bound: int) -> float:
+        histogram = histograms[country]
+        total = sum(histogram.values())
+        within = sum(count for bucket, count in histogram.items() if bucket <= bound)
+        return within / total if total else 0.0
+
+    # Most countries sit mostly below 50k.
+    non_india = [country for country in histograms if country != "in"]
+    assert sum(share_within(country, 50_000) for country in non_india) / len(non_india) > 0.6
+    # India reaches much deeper ranks than the others.
+    assert share_within("in", 50_000) < min(share_within(c, 50_000) for c in ("jp", "il", "th"))
+    india_hist = histograms["in"]
+    assert sum(count for bucket, count in india_hist.items() if bucket >= 500_000) > 0

@@ -1,0 +1,47 @@
+"""E9 — Figure 8 / Appendix F: per-country scatter of visible vs accessibility
+native-language share.
+
+Each point is one website: x = share of visible text in the native language,
+y = share of accessibility text in the native language.  The paper highlights
+the dense bottom-right cluster (native visible content, little native
+accessibility text) for countries like Thailand, and the top-right cluster
+(consistent sites) for countries like Japan and Israel.
+"""
+
+from __future__ import annotations
+
+from repro.core.mismatch import country_scatter
+
+
+def test_fig8_country_scatter(benchmark, dataset, reporter) -> None:
+    scatters = benchmark(lambda: {country: country_scatter(dataset, country)
+                                  for country in dataset.countries()})
+
+    lines = [f"{'country':<8}{'sites':>7}{'bottom-right %':>16}{'top-right %':>13}"
+             "   (x>=50 and y<25 / x>=50 and y>=50)"]
+    clusters: dict[str, tuple[float, float]] = {}
+    for country in sorted(scatters):
+        points = scatters[country]
+        total = len(points)
+        bottom_right = sum(1 for p in points
+                           if p.visible_native_pct >= 50 and p.accessibility_native_pct < 25)
+        top_right = sum(1 for p in points
+                        if p.visible_native_pct >= 50 and p.accessibility_native_pct >= 50)
+        clusters[country] = (bottom_right / total, top_right / total)
+        lines.append(f"{country:<8}{total:>7}{bottom_right / total * 100:>15.1f}%"
+                     f"{top_right / total * 100:>12.1f}%")
+    lines.append("paper anchor: bottom-right cluster dense for th/bd/in, "
+                 "top-right cluster dense for jp/il")
+    reporter("Figure 8 — visible vs accessibility native share, per-site scatter", lines)
+
+    # Every point has native-majority visible content (the inclusion criterion).
+    for country, points in scatters.items():
+        assert all(point.visible_native_pct >= 50.0 for point in points), country
+
+    # Cluster shape: mismatch-heavy countries have a larger bottom-right
+    # cluster than Japan/Israel; Japan/Israel have the larger top-right one.
+    for country in ("bd", "th", "in"):
+        assert clusters[country][0] > clusters["jp"][0], country
+        assert clusters[country][0] > clusters["il"][0], country
+    assert clusters["jp"][1] > clusters["bd"][1]
+    assert clusters["il"][1] > clusters["bd"][1]

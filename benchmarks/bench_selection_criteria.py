@@ -1,0 +1,43 @@
+"""E14 — Section 2 selection numbers.
+
+Re-runs the language/country selection procedure in two modes:
+
+* the published selection (nominal qualifying-site counts), checking the
+  twelve selected pairs and the aggregate speaker statistics the paper quotes
+  (3.19 billion speakers, ~39.5% of the global population);
+* the synthetic-web selection, where the qualifying-site counts come from the
+  pipeline's own selection outcomes with a scaled-down threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.selection import SelectionCriteria, paper_selection_report, select_pairs
+from repro.langid.languages import LANGCRUX_PAIRS
+
+
+def test_selection_criteria(benchmark, pipeline_result, reporter) -> None:
+    report = benchmark(paper_selection_report)
+
+    selected = {pair.country_code for pair in report.selected_pairs}
+    speakers = report.total_speakers_millions()
+    share = report.global_population_share()
+
+    counts = pipeline_result.qualifying_site_counts()
+    scaled = select_pairs(counts, SelectionCriteria(min_qualifying_websites=20))
+    scaled_selected = {pair.country_code for pair in scaled.selected_pairs}
+
+    lines = [
+        f"published criteria: {len(selected)} pairs selected "
+        f"(paper: 12) -> {sorted(selected)}",
+        f"total speakers: {speakers / 1000:.2f} billion (paper: >3.19 billion)",
+        f"global population share: {share * 100:.1f}% (paper: ~39.5%)",
+        f"synthetic web, scaled threshold (>=20 qualifying sites): "
+        f"{len(scaled_selected)} of 12 pairs qualify",
+    ]
+    reporter("Section 2 — language/country selection", lines)
+
+    assert selected == {pair.country_code for pair in LANGCRUX_PAIRS}
+    assert speakers >= 3100
+    assert 0.36 <= share <= 0.43
+    # Every configured country fills its quota on the synthetic web.
+    assert scaled_selected == {pair.country_code for pair in LANGCRUX_PAIRS}

@@ -1,0 +1,34 @@
+"""E1 — Table 1: the twelve language-sensitive accessibility elements.
+
+The paper derives twelve elements from the Lighthouse/Axe rule set for which
+natural language is integral.  This harness checks that the library's element
+registry and audit-rule registry regenerate exactly that list.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules import ALL_RULES, rule_ids
+from repro.core.elements import ELEMENT_IDS, LANGUAGE_SENSITIVE_ELEMENTS
+
+PAPER_TABLE1 = {
+    "button-name", "document-title", "image-alt", "frame-title", "summary-name",
+    "label", "input-image-alt", "select-name", "link-name", "input-button-name",
+    "svg-img-alt", "object-alt",
+}
+
+
+def test_table1_language_sensitive_elements(benchmark, reporter) -> None:
+    registry = benchmark(lambda: {spec.element_id for spec in LANGUAGE_SENSITIVE_ELEMENTS})
+
+    assert registry == PAPER_TABLE1
+    assert set(ELEMENT_IDS) == PAPER_TABLE1
+    assert set(rule_ids()) == PAPER_TABLE1
+    assert len(ALL_RULES) == 12
+
+    reporter("Table 1 — web elements requiring natural language", [
+        f"{'element':<20} {'HTML element':<28} audit rule implemented",
+        *[f"{spec.element_id:<20} {spec.html_element:<28} yes"
+          for spec in LANGUAGE_SENSITIVE_ELEMENTS],
+        "paper: 12 elements; reproduced: "
+        f"{len(LANGUAGE_SENSITIVE_ELEMENTS)} elements (exact match)",
+    ])

@@ -1,0 +1,57 @@
+"""E2 — Table 2: accessibility element statistics.
+
+Regenerates, for every element, the mean missing / empty percentages and the
+mean text length / word count, and compares them against the values the paper
+reports.  The absolute numbers come from a synthetic web, so the check is on
+the *shape*: which elements are the most neglected, which have the highest
+empty rates, and the relative ordering of text richness.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import element_statistics
+
+#: Mean values reported in Table 2 of the paper (missing %, empty %, text
+#: length, word count).  ``document-title`` is not part of Table 2.
+PAPER_TABLE2_MEANS = {
+    "button-name": (61.92, 0.36, 21.35, 3.83),
+    "frame-title": (75.81, 0.21, 17.45, 2.54),
+    "image-alt": (17.12, 25.39, 22.97, 3.67),
+    "input-button-name": (93.90, 0.19, 14.26, 2.83),
+    "input-image-alt": (35.07, 4.85, 5.66, 1.41),
+    "label": (98.55, 0.02, 9.28, 1.67),
+    "link-name": (95.96, 0.04, 26.64, 4.67),
+    "object-alt": (94.19, 0.26, 14.26, 2.49),
+    "select-name": (89.84, 0.05, 12.94, 2.30),
+    "summary-name": (90.47, 0.17, 5.69, 1.18),
+    "svg-img-alt": (96.66, 0.15, 11.98, 1.88),
+}
+
+
+def test_table2_element_statistics(benchmark, dataset, reporter) -> None:
+    rows = benchmark(element_statistics, dataset)
+
+    lines = [f"{'element':<20}{'missing% (paper)':>20}{'empty% (paper)':>20}"
+             f"{'words (paper)':>18}"]
+    for element_id, paper in PAPER_TABLE2_MEANS.items():
+        row = rows[element_id]
+        lines.append(
+            f"{element_id:<20}"
+            f"{row.missing_pct.mean:>8.1f} ({paper[0]:>6.1f}) "
+            f"{row.empty_pct.mean:>8.1f} ({paper[1]:>6.1f}) "
+            f"{row.word_count.mean:>7.2f} ({paper[3]:>5.2f})"
+        )
+    reporter("Table 2 — accessibility element statistics (means)", lines)
+
+    measured_missing = {eid: rows[eid].missing_pct.mean for eid in PAPER_TABLE2_MEANS}
+    # Shape checks: most-neglected elements stay above 80% missing, image-alt
+    # stays the least-missing element, and it has the highest empty rate.
+    for element_id in ("label", "link-name", "svg-img-alt", "input-button-name", "object-alt"):
+        assert measured_missing[element_id] > 80.0, element_id
+    assert min(measured_missing, key=measured_missing.get) == "image-alt"
+    empty_means = {eid: rows[eid].empty_pct.mean for eid in PAPER_TABLE2_MEANS}
+    assert max(empty_means, key=empty_means.get) == "image-alt"
+    # Link names are the wordiest element, as in the paper.
+    word_means = {eid: rows[eid].word_count.mean for eid in PAPER_TABLE2_MEANS
+                  if rows[eid].word_count.count > 0}
+    assert word_means["link-name"] >= max(word_means[e] for e in ("summary-name", "label"))

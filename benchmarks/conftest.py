@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every benchmark regenerates one of the paper's tables or figures over a
+LangCrUX dataset built from the synthetic web.  The dataset is built once per
+benchmark session (all twelve countries) and shared across harnesses.
+
+Each harness both *benchmarks* the analysis it exercises (via the
+``benchmark`` fixture) and *prints* the regenerated rows/series next to the
+values the paper reports, via the ``reporter`` fixture.  The printed output
+is also appended to ``benchmarks/results/benchmark_report.txt`` so that the
+regenerated numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable
+
+import pytest
+
+from repro.core.dataset import LangCrUXDataset
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig, PipelineResult
+
+#: Per-country quota used for the benchmark dataset.  Large enough for the
+#: per-country distributions to be meaningful, small enough to build in a few
+#: seconds.
+SITES_PER_COUNTRY = 25
+
+#: Seed of the benchmark web; fixed so reported numbers are reproducible.
+BENCHMARK_SEED = 2025
+
+RESULTS_PATH = Path(__file__).parent / "results" / "benchmark_report.txt"
+
+
+@pytest.fixture(scope="session")
+def pipeline_result() -> PipelineResult:
+    """A full pipeline run over all twelve countries."""
+    config = PipelineConfig(
+        sites_per_country=SITES_PER_COUNTRY,
+        seed=BENCHMARK_SEED,
+        transport_failure_rate=0.02,
+    )
+    return LangCrUXPipeline(config).run()
+
+
+@pytest.fixture(scope="session")
+def dataset(pipeline_result: PipelineResult) -> LangCrUXDataset:
+    return pipeline_result.dataset
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_report_file() -> None:
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text("", encoding="utf-8")
+
+
+@pytest.fixture()
+def reporter() -> Callable[[str, Iterable[str]], None]:
+    """Print a titled block of result lines and persist it to the report file."""
+
+    def _report(title: str, lines: Iterable[str]) -> None:
+        block = [f"", f"=== {title} ===", *lines]
+        text = "\n".join(block)
+        print(text)
+        with RESULTS_PATH.open("a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    return _report

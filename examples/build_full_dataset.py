@@ -1,0 +1,82 @@
+"""Build a LangCrUX dataset for all twelve countries and write it to disk.
+
+This mirrors the paper's dataset-construction workflow end to end: generate
+the synthetic web, rank it CrUX-style, pick a VPN exit per country, crawl and
+validate candidates until each country's quota is filled, extract
+accessibility data, audit every homepage, and persist the result as JSON
+Lines that the analysis and Kizuki tooling (and the ``langcrux`` CLI) can
+consume later without re-crawling.
+
+Run with::
+
+    python examples/build_full_dataset.py [sites_per_country]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.core.analysis import element_statistics
+from repro.core.mismatch import mismatch_examples, mismatch_summary
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+
+OUTPUT = Path("langcrux_dataset.jsonl")
+
+
+def main() -> None:
+    sites_per_country = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+
+    config = PipelineConfig(sites_per_country=sites_per_country, seed=7)
+    pipeline = LangCrUXPipeline(config)
+
+    started = time.perf_counter()
+    print(f"Building LangCrUX for {len(config.countries)} countries, "
+          f"{sites_per_country} sites each...")
+    result = pipeline.run()
+    elapsed = time.perf_counter() - started
+
+    dataset = result.dataset
+    count = dataset.save_jsonl(OUTPUT)
+    print(f"  {count} site records written to {OUTPUT} in {elapsed:.1f}s\n")
+
+    print("Vantage points used (the paper selects the VPN provider per country):")
+    for country, vantage in result.vantages.items():
+        print(f"  {country}: {vantage.provider} exit"
+              f" ({'in-country' if vantage.is_localized else 'cloud'})")
+    print()
+
+    print("Per-country selection outcomes:")
+    for country, outcome in result.selection_outcomes.items():
+        print(f"  {country}: {len(outcome.selected)} selected, "
+              f"{outcome.rejected_below_threshold} below the 50% language threshold, "
+              f"{outcome.rejected_fetch_failure} unreachable")
+    print()
+
+    print("Most neglected accessibility elements (mean missing %):")
+    rows = element_statistics(dataset)
+    worst = sorted(rows.values(), key=lambda row: row.missing_pct.mean, reverse=True)[:5]
+    for row in worst:
+        print(f"  {row.element_id:<20} {row.missing_pct.mean:5.1f}% missing")
+    print()
+
+    print("Mismatch summary (share of sites with <10% native accessibility text):")
+    for country, fraction in sorted(mismatch_summary(dataset).items()):
+        print(f"  {country}: {fraction * 100:5.1f}%")
+    print()
+
+    examples = mismatch_examples(dataset, limit=3)
+    if examples:
+        print("Example mismatching sites (native visible content, English alt text):")
+        for example in examples:
+            print(f"  {example.domain} [{example.country_code}] — visible native "
+                  f"{example.visible_native_pct:.0f}%, accessibility native "
+                  f"{example.accessibility_native_pct:.0f}%")
+            for alt in example.sample_alt_texts[:2]:
+                print(f"      alt: {alt[:70]}")
+    print(f"\nNext steps: langcrux analyze {OUTPUT} | langcrux kizuki {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The reproduction environment has no network access and an older setuptools
+without PEP 660 support, so the project keeps a classic ``setup.py`` to allow
+offline ``pip install -e .`` via the legacy editable-install path.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

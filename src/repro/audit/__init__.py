@@ -1,0 +1,38 @@
+"""Lighthouse/Axe-core style accessibility auditing.
+
+The paper's measurements and its Kizuki extension are defined relative to the
+Lighthouse accessibility audits (which internally rely on the Axe-core
+engine).  This subpackage implements the twelve language-sensitive audits
+from Table 1 of the paper, an engine to run them over parsed documents, and
+Lighthouse-style weighted scoring:
+
+* :mod:`repro.audit.rules` — one module per audit rule.  Pass/fail behaviour
+  under the *missing element*, *empty value* and *incorrect language*
+  conditions reproduces the observed Lighthouse behaviour of Appendix D
+  (Table 3).
+* :mod:`repro.audit.engine` — the :class:`AuditEngine` running a rule set
+  over a :class:`~repro.html.dom.Document`.
+* :mod:`repro.audit.scoring` — weighted aggregation into a 0–100 score.
+* :mod:`repro.audit.report` — report dataclasses and serialization.
+
+Kizuki (:mod:`repro.core.kizuki`) plugs into this engine by replacing the
+``image-alt`` rule with a language-aware variant, exactly as the paper
+extends Lighthouse.
+"""
+
+from repro.audit.engine import AuditEngine
+from repro.audit.report import AuditReport, RuleResult, ElementOutcome
+from repro.audit.rules import ALL_RULES, get_rule, rule_ids
+from repro.audit.scoring import lighthouse_score, DEFAULT_WEIGHTS
+
+__all__ = [
+    "AuditEngine",
+    "AuditReport",
+    "RuleResult",
+    "ElementOutcome",
+    "ALL_RULES",
+    "get_rule",
+    "rule_ids",
+    "lighthouse_score",
+    "DEFAULT_WEIGHTS",
+]

@@ -1,0 +1,65 @@
+"""Registry of the twelve language-sensitive audit rules (Table 1)."""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule
+from repro.audit.rules.button_name import ButtonNameRule
+from repro.audit.rules.document_title import DocumentTitleRule
+from repro.audit.rules.frame_title import FrameTitleRule
+from repro.audit.rules.image_alt import ImageAltRule
+from repro.audit.rules.input_button_name import InputButtonNameRule
+from repro.audit.rules.input_image_alt import InputImageAltRule
+from repro.audit.rules.label import LabelRule
+from repro.audit.rules.link_name import LinkNameRule
+from repro.audit.rules.object_alt import ObjectAltRule
+from repro.audit.rules.select_name import SelectNameRule
+from repro.audit.rules.summary_name import SummaryNameRule
+from repro.audit.rules.svg_img_alt import SvgImgAltRule
+
+#: One instance of every rule, in the order of Table 1 of the paper.
+ALL_RULES: tuple[AuditRule, ...] = (
+    ButtonNameRule(),
+    DocumentTitleRule(),
+    ImageAltRule(),
+    FrameTitleRule(),
+    SummaryNameRule(),
+    LabelRule(),
+    InputImageAltRule(),
+    SelectNameRule(),
+    LinkNameRule(),
+    InputButtonNameRule(),
+    SvgImgAltRule(),
+    ObjectAltRule(),
+)
+
+_RULES_BY_ID: dict[str, AuditRule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Identifiers of all registered rules, in Table 1 order."""
+    return tuple(rule.rule_id for rule in ALL_RULES)
+
+
+def get_rule(rule_id: str) -> AuditRule:
+    """Look up a rule by id; raises ``KeyError`` for unknown ids."""
+    return _RULES_BY_ID[rule_id]
+
+
+__all__ = [
+    "AuditRule",
+    "ALL_RULES",
+    "rule_ids",
+    "get_rule",
+    "ButtonNameRule",
+    "DocumentTitleRule",
+    "FrameTitleRule",
+    "ImageAltRule",
+    "InputButtonNameRule",
+    "InputImageAltRule",
+    "LabelRule",
+    "LinkNameRule",
+    "ObjectAltRule",
+    "SelectNameRule",
+    "SummaryNameRule",
+    "SvgImgAltRule",
+]

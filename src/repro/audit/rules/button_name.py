@@ -1,0 +1,29 @@
+"""``button-name``: buttons must have an accessible name.
+
+Lighthouse behaviour reproduced from Appendix D (Table 3): a button with no
+name at all fails; a present-but-empty value passes; language is ignored.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_name_text
+from repro.html.dom import Document, Element
+
+
+class ButtonNameRule(AuditRule):
+    """Buttons (``<button>`` and ``role=button``) need an accessible name."""
+
+    rule_id = "button-name"
+    description = "Buttons have an accessible name"
+    fails_on_missing = True
+    fails_on_empty = False
+
+    def select_targets(self, document: Document) -> list[Element]:
+        targets = document.find_all("button")
+        for element in document.iter_elements():
+            if element.tag != "button" and element.role == "button" and element.tag != "input":
+                targets.append(element)
+        return targets
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_name_text(element, document)

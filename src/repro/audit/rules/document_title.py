@@ -1,0 +1,28 @@
+"""``document-title``: the document has a ``<title>``.
+
+Lighthouse behaviour reproduced from Appendix D (Table 3): a missing
+``<title>`` element passes the audit, an empty one fails, and a title in a
+different language than the page content passes.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule
+from repro.html.dom import Document, Element
+
+
+class DocumentTitleRule(AuditRule):
+    """The document declares a non-empty title."""
+
+    rule_id = "document-title"
+    description = "Document has a <title> element"
+    fails_on_missing = False
+    fails_on_empty = True
+
+    def select_targets(self, document: Document) -> list[Element]:
+        # The audit is document-level; the root element stands in as the
+        # single target so that reports have a consistent shape.
+        return [document.root]
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return document.title

@@ -1,0 +1,21 @@
+"""``frame-title``: frames and iframes have a title."""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_name_text
+from repro.html.dom import Document, Element
+
+
+class FrameTitleRule(AuditRule):
+    """``<frame>`` and ``<iframe>`` elements need a title."""
+
+    rule_id = "frame-title"
+    description = "Frames and iframes have a title"
+    fails_on_missing = True
+    fails_on_empty = True
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all("iframe") + document.find_all("frame")
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_name_text(element, document)

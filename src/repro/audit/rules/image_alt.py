@@ -1,0 +1,31 @@
+"""``image-alt``: images have alternative text.
+
+This is the rule Kizuki extends.  The base behaviour reproduced from
+Appendix D (Table 3): a missing ``alt`` attribute fails; ``alt=""`` passes
+(it marks the image as decorative, which the paper notes is enough to satisfy
+Lighthouse even when it conveys nothing); the language of the text is never
+considered.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_only_text
+from repro.html.dom import Document, Element
+
+
+class ImageAltRule(AuditRule):
+    """``<img>`` elements need an ``alt`` attribute (or ARIA name)."""
+
+    rule_id = "image-alt"
+    description = "Image elements have alternative text"
+    fails_on_missing = True
+    fails_on_empty = False
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all("img")
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        if (element.get("role") or "").strip().lower() in ("presentation", "none"):
+            # Explicitly decorative images are treated like alt="".
+            return element.get("alt") or ""
+        return explicit_only_text(element, document)

@@ -1,0 +1,30 @@
+"""``input-button-name``: input buttons have a discernible name.
+
+Appendix D behaviour: a missing value passes (browsers supply a default
+label for submit/reset buttons), an explicitly empty value fails.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_name_text
+from repro.html.dom import Document, Element
+
+_BUTTON_TYPES = frozenset({"button", "submit", "reset"})
+
+
+class InputButtonNameRule(AuditRule):
+    """``<input type=button|submit|reset>`` elements need a name."""
+
+    rule_id = "input-button-name"
+    description = "Input buttons have a discernible name"
+    fails_on_missing = False
+    fails_on_empty = True
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all(
+            "input",
+            predicate=lambda el: (el.get("type") or "").lower() in _BUTTON_TYPES,
+        )
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_name_text(element, document)

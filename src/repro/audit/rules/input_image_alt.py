@@ -1,0 +1,24 @@
+"""``input-image-alt``: image inputs have alternative text."""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_only_text
+from repro.html.dom import Document, Element
+
+
+class InputImageAltRule(AuditRule):
+    """``<input type=image>`` elements need ``alt`` text."""
+
+    rule_id = "input-image-alt"
+    description = "<input type=image> elements have alt text"
+    fails_on_missing = True
+    fails_on_empty = True
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all(
+            "input",
+            predicate=lambda el: (el.get("type") or "").lower() == "image",
+        )
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_only_text(element, document)

@@ -1,0 +1,34 @@
+"""``label``: form fields have associated labels.
+
+Appendix D behaviour: both the missing and the empty condition pass, i.e.
+the observed Lighthouse run never flags the isolated test page for this rule;
+the audit is nevertheless implemented fully so that extraction and Kizuki can
+reason about label text.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_only_text
+from repro.html.dom import Document, Element
+
+#: Input types that do not take a visible label.
+_UNLABELLED_TYPES = frozenset({"hidden", "button", "submit", "reset", "image"})
+
+
+class LabelRule(AuditRule):
+    """Text inputs and textareas need an associated ``<label>``."""
+
+    rule_id = "label"
+    description = "Form elements have associated labels"
+    fails_on_missing = False
+    fails_on_empty = False
+
+    def select_targets(self, document: Document) -> list[Element]:
+        inputs = document.find_all(
+            "input",
+            predicate=lambda el: (el.get("type") or "text").lower() not in _UNLABELLED_TYPES,
+        )
+        return inputs + document.find_all("textarea")
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_only_text(element, document)

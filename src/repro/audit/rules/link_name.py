@@ -1,0 +1,21 @@
+"""``link-name``: links have a discernible name."""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_name_text
+from repro.html.dom import Document, Element
+
+
+class LinkNameRule(AuditRule):
+    """``<a href>`` elements need a discernible name."""
+
+    rule_id = "link-name"
+    description = "Links have a discernible name"
+    fails_on_missing = True
+    fails_on_empty = True
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all("a", predicate=lambda el: el.has_attr("href"))
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_name_text(element, document)

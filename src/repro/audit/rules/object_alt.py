@@ -1,0 +1,28 @@
+"""``object-alt``: ``<object>`` elements have alternative text."""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule
+from repro.html.accessibility import NameSource, accessible_name
+from repro.html.dom import Document, Element
+
+
+class ObjectAltRule(AuditRule):
+    """``<object>`` elements need alternative text (ARIA name or fallback content)."""
+
+    rule_id = "object-alt"
+    description = "<object> elements have alternative text"
+    fails_on_missing = True
+    fails_on_empty = True
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all("object")
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        result = accessible_name(element, document)
+        if result.source is NameSource.NONE:
+            # Distinguish "no fallback content at all" (missing) from
+            # "fallback content present but blank" (empty).
+            raw = element.text_content()
+            return "" if raw and not raw.strip() else None
+        return result.name

@@ -1,0 +1,21 @@
+"""``select-name``: ``<select>`` elements have an accessible name."""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_only_text
+from repro.html.dom import Document, Element
+
+
+class SelectNameRule(AuditRule):
+    """``<select>`` elements need an accessible name (label or ARIA)."""
+
+    rule_id = "select-name"
+    description = "Select elements have an accessible name"
+    fails_on_missing = True
+    fails_on_empty = True
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all("select")
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_only_text(element, document)

@@ -1,0 +1,25 @@
+"""``summary-name``: ``<summary>`` elements have a discernible name.
+
+Appendix D behaviour: the observed Lighthouse run passes the isolated test
+page under every condition, so neither missing nor empty names fail here.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_name_text
+from repro.html.dom import Document, Element
+
+
+class SummaryNameRule(AuditRule):
+    """``<summary>`` elements should have a discernible name."""
+
+    rule_id = "summary-name"
+    description = "Summary elements have a discernible name"
+    fails_on_missing = False
+    fails_on_empty = False
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all("summary")
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_name_text(element, document)

@@ -1,0 +1,26 @@
+"""``svg-img-alt``: ``<svg>`` images have alternative text.
+
+Appendix D behaviour: the observed Lighthouse run passes the isolated test
+page under every condition; the rule still computes names so extraction and
+Kizuki can inspect them.
+"""
+
+from __future__ import annotations
+
+from repro.audit.rules.base import AuditRule, explicit_only_text
+from repro.html.dom import Document, Element
+
+
+class SvgImgAltRule(AuditRule):
+    """``<svg>`` elements used as images should have alternative text."""
+
+    rule_id = "svg-img-alt"
+    description = "SVG images have alternative text"
+    fails_on_missing = False
+    fails_on_empty = False
+
+    def select_targets(self, document: Document) -> list[Element]:
+        return document.find_all("svg")
+
+    def target_text(self, element: Element, document: Document) -> str | None:
+        return explicit_only_text(element, document)

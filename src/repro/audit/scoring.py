@@ -1,0 +1,89 @@
+"""Lighthouse-style accessibility scoring.
+
+Lighthouse computes its accessibility category score as a weighted average of
+audit scores, rescaled to 0–100, counting only audits that are applicable to
+the page.  The real Lighthouse accessibility category spreads its weight over
+roughly forty audits; this engine implements only the twelve
+language-sensitive ones, so the weights below are chosen to keep the same
+*relative* importance (image, button and link naming weigh the most) while
+letting the rarely-annotated minor elements (frames, objects, selects)
+contribute roughly what they would contribute inside the full audit set.  The
+exact values matter less than their ordering because the paper's Figure 6
+compares *distributions* of the same metric before and after Kizuki rather
+than absolute scores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.audit.report import AuditReport
+
+#: Audit weights (Lighthouse-style).
+DEFAULT_WEIGHTS: dict[str, float] = {
+    "button-name": 10.0,
+    "document-title": 7.0,
+    "image-alt": 10.0,
+    "frame-title": 3.0,
+    "summary-name": 2.0,
+    "label": 7.0,
+    "input-image-alt": 3.0,
+    "select-name": 3.0,
+    "link-name": 7.0,
+    "input-button-name": 3.0,
+    "svg-img-alt": 2.0,
+    "object-alt": 3.0,
+}
+
+
+def lighthouse_score(report: AuditReport, *, weights: Mapping[str, float] | None = None,
+                     proportional: bool = False) -> float:
+    """Aggregate an audit report into a 0–100 accessibility score.
+
+    Args:
+        report: The audit report to score.
+        weights: Per-audit weights; unknown audits get weight 1.0.
+        proportional: When false (the Lighthouse default), every applicable
+            audit contributes its binary outcome (pass = 1, fail = 0).  When
+            true, audits contribute the fraction of passing elements, which
+            is the scoring mode Kizuki's re-scoring uses so that a single
+            mismatching image does not zero out an otherwise consistent page.
+
+    Returns:
+        The weighted score in [0, 100].  A report with no applicable audits
+        scores 100 (nothing to fail).
+    """
+    weights = weights if weights is not None else DEFAULT_WEIGHTS
+    total_weight = 0.0
+    achieved = 0.0
+    for result in report.applicable_results():
+        weight = weights.get(result.rule_id, 1.0)
+        total_weight += weight
+        value = result.score if proportional else (1.0 if result.passed else 0.0)
+        achieved += weight * value
+    if total_weight == 0:
+        return 100.0
+    return 100.0 * achieved / total_weight
+
+
+def score_distribution(reports: Iterable[AuditReport], *, proportional: bool = False,
+                       weights: Mapping[str, float] | None = None) -> list[float]:
+    """Scores of many reports (helper for Figure 6 style histograms)."""
+    return [lighthouse_score(report, weights=weights, proportional=proportional)
+            for report in reports]
+
+
+def fraction_above(scores: Iterable[float], threshold: float) -> float:
+    """Fraction of scores strictly above ``threshold`` (e.g. the 'good' bar at 90)."""
+    scores = list(scores)
+    if not scores:
+        return 0.0
+    return sum(1 for score in scores if score > threshold) / len(scores)
+
+
+def fraction_perfect(scores: Iterable[float]) -> float:
+    """Fraction of scores equal to 100 (within floating-point tolerance)."""
+    scores = list(scores)
+    if not scores:
+        return 0.0
+    return sum(1 for score in scores if score >= 100.0 - 1e-9) / len(scores)

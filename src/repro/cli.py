@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows:
+
+``langcrux build``
+    Run the full pipeline over the synthetic web and write the dataset as
+    JSON Lines.
+
+``langcrux analyze``
+    Print the Table 2 element statistics and the per-country filtering and
+    language-mix breakdowns for an existing dataset file.
+
+``langcrux mismatch``
+    Print the per-country mismatch summary (Figure 5 headline numbers) and a
+    few concrete Table 5 style examples.
+
+``langcrux kizuki``
+    Re-score sites with the language-aware image-alt audit and print the
+    before/after distribution summary (Figure 6).
+
+``langcrux report``
+    Render the full set of figures (text charts) and Tables 1–2 for a dataset
+    into a report file.
+
+``langcrux export``
+    Export per-country and per-site summaries as JSON — the data layer of the
+    paper's interactive dataset explorer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.analysis import (
+    element_statistics,
+    filter_breakdown_by_country,
+    uninformative_rate_by_country,
+)
+from repro.core.dataset import LangCrUXDataset
+from repro.core.kizuki import rescore_dataset
+from repro.core.language_mix import classify_texts
+from repro.core.mismatch import mismatch_examples, mismatch_summary
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+from repro.langid.languages import langcrux_country_codes
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="langcrux",
+        description="LangCrUX + Kizuki reproduction pipeline",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build", help="build a dataset over the synthetic web")
+    build.add_argument("--output", type=Path, default=Path("langcrux.jsonl"),
+                       help="output JSONL path (default: langcrux.jsonl)")
+    build.add_argument("--sites-per-country", type=int, default=30,
+                       help="selection quota per country (default: 30)")
+    build.add_argument("--countries", nargs="*", default=None,
+                       help="country codes to include (default: all twelve)")
+    build.add_argument("--seed", type=int, default=7, help="synthetic web seed")
+    build.add_argument("--no-vpn", action="store_true",
+                       help="crawl from a cloud vantage instead of country VPN exits")
+
+    analyze = subparsers.add_parser("analyze", help="print Table 2 style statistics")
+    analyze.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
+
+    mismatch = subparsers.add_parser("mismatch", help="print the mismatch summary and examples")
+    mismatch.add_argument("dataset", type=Path)
+    mismatch.add_argument("--examples", type=int, default=5, help="number of examples to print")
+
+    kizuki = subparsers.add_parser("kizuki", help="re-score with the language-aware audit")
+    kizuki.add_argument("dataset", type=Path)
+    kizuki.add_argument("--countries", nargs="*", default=["bd", "th"],
+                        help="countries to re-score (default: bd th)")
+
+    report = subparsers.add_parser("report", help="render tables and figures to a text report")
+    report.add_argument("dataset", type=Path)
+    report.add_argument("--output", type=Path, default=Path("langcrux_report.txt"),
+                        help="report path (default: langcrux_report.txt)")
+
+    export = subparsers.add_parser("export", help="export explorer JSON summaries")
+    export.add_argument("dataset", type=Path)
+    export.add_argument("--output", type=Path, default=Path("langcrux_summary.json"),
+                        help="JSON path (default: langcrux_summary.json)")
+    export.add_argument("--no-sites", action="store_true",
+                        help="omit per-site rows, keep country aggregates only")
+
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    countries = tuple(args.countries) if args.countries else langcrux_country_codes()
+    config = PipelineConfig(
+        countries=countries,
+        sites_per_country=args.sites_per_country,
+        seed=args.seed,
+        use_vpn=not args.no_vpn,
+    )
+    result = LangCrUXPipeline(config).run()
+    count = result.dataset.save_jsonl(args.output)
+    print(f"wrote {count} site records to {args.output}")
+    for country, outcome in sorted(result.selection_outcomes.items()):
+        print(f"  {country}: selected {len(outcome.selected)}/{outcome.quota}"
+              f" (replaced {outcome.replacement_count}, examined {outcome.candidates_examined})")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = LangCrUXDataset.load_jsonl(args.dataset)
+    print(f"dataset: {len(dataset)} sites across {len(dataset.countries())} countries")
+    print()
+    print(f"{'element':<20}{'missing%':>10}{'empty%':>10}{'len':>8}{'words':>8}")
+    for element_id, row in element_statistics(dataset).items():
+        print(f"{element_id:<20}{row.missing_pct.mean:>10.2f}{row.empty_pct.mean:>10.2f}"
+              f"{row.text_length.mean:>8.1f}{row.word_count.mean:>8.2f}")
+    print()
+    print("uninformative accessibility text share per country:")
+    for country, rate in sorted(uninformative_rate_by_country(dataset).items()):
+        print(f"  {country}: {rate * 100:.1f}%")
+    print()
+    print("language mix of informative accessibility texts per country:")
+    for country in dataset.countries():
+        texts: list[str] = []
+        language = None
+        for record in dataset.for_country(country):
+            texts.extend(record.informative_texts())
+            language = record.language_code
+        if not texts or language is None:
+            continue
+        mix = classify_texts(texts, language).proportions()
+        print(f"  {country}: native {mix['native'] * 100:.1f}%  english {mix['english'] * 100:.1f}%"
+              f"  mixed {mix['mixed'] * 100:.1f}%")
+    return 0
+
+
+def _cmd_mismatch(args: argparse.Namespace) -> int:
+    dataset = LangCrUXDataset.load_jsonl(args.dataset)
+    print("fraction of sites with <10% native accessibility text:")
+    for country, fraction in sorted(mismatch_summary(dataset).items()):
+        print(f"  {country}: {fraction * 100:.1f}%")
+    examples = mismatch_examples(dataset, limit=args.examples)
+    if examples:
+        print()
+        print("examples (native visible content, English accessibility text):")
+        for example in examples:
+            print(f"  {example.domain} [{example.country_code}] visible native"
+                  f" {example.visible_native_pct:.0f}%, accessibility native"
+                  f" {example.accessibility_native_pct:.0f}%")
+            for text in example.sample_alt_texts:
+                preview = text if len(text) <= 80 else text[:77] + "..."
+                print(f"    alt: {preview}")
+    return 0
+
+
+def _cmd_kizuki(args: argparse.Namespace) -> int:
+    dataset = LangCrUXDataset.load_jsonl(args.dataset)
+    summary = rescore_dataset(dataset, tuple(args.countries))
+    if summary.sites == 0:
+        print("no eligible sites (all fail the original image-alt audit)")
+        return 1
+    print(f"re-scored {summary.sites} sites from {', '.join(args.countries)}")
+    print(f"  score > 90:  {summary.fraction_above(90, new=False) * 100:5.1f}%  ->"
+          f"  {summary.fraction_above(90, new=True) * 100:5.1f}%")
+    print(f"  score = 100: {summary.fraction_perfect(new=False) * 100:5.1f}%  ->"
+          f"  {summary.fraction_perfect(new=True) * 100:5.1f}%")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report.figures import render_all_figures
+    from repro.report.tables import render_table1, render_table2
+
+    dataset = LangCrUXDataset.load_jsonl(args.dataset)
+    sections = [render_table1(), render_table2(dataset), render_all_figures(dataset)]
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text("\n\n\n".join(sections), encoding="utf-8")
+    print(f"wrote report for {len(dataset)} sites to {args.output}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.report.export import write_dataset_summary
+
+    dataset = LangCrUXDataset.load_jsonl(args.dataset)
+    path = write_dataset_summary(dataset, args.output, include_sites=not args.no_sites)
+    print(f"exported {len(dataset)} sites to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "analyze": _cmd_analyze,
+        "mismatch": _cmd_mismatch,
+        "kizuki": _cmd_kizuki,
+        "report": _cmd_report,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution convenience
+    sys.exit(main())

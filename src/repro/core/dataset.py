@@ -1,0 +1,240 @@
+"""The LangCrUX dataset model.
+
+A :class:`LangCrUXDataset` is a collection of :class:`SiteRecord` objects,
+one per website, carrying everything the paper's analyses consume:
+
+* identification (domain, country, language, CrUX rank);
+* the language composition of the visible text;
+* per accessibility element: how many instances exist, how many lack
+  metadata, how many carry empty metadata, and the non-empty texts
+  themselves;
+* the base (language-unaware) audit results used by the Kizuki re-scoring.
+
+Records serialize to JSON Lines so a dataset built once (the expensive crawl
+step) can be re-analysed many times, mirroring how the paper releases
+LangCrUX as a standalone artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.elements import ELEMENT_IDS
+from repro.core.extraction import PageExtraction
+from repro.core.filtering import classify_text
+from repro.core.language_mix import classify_texts, pooled_native_share, LanguageMixSummary
+from repro.langid.detector import ScriptDetector
+
+
+@dataclass
+class ElementObservation:
+    """Aggregate of one accessibility element over one site.
+
+    Attributes:
+        element_id: The element (Table 1 identifier).
+        total: Number of element instances seen on the site's crawled pages.
+        missing: Instances with no explicit accessibility metadata.
+        empty: Instances whose metadata is present but blank.
+        texts: The non-empty accessibility texts, in document order.
+    """
+
+    element_id: str
+    total: int = 0
+    missing: int = 0
+    empty: int = 0
+    texts: list[str] = field(default_factory=list)
+
+    @property
+    def with_text(self) -> int:
+        return len(self.texts)
+
+    @property
+    def missing_pct(self) -> float:
+        """Missing instances as a percentage of all instances (Table 2)."""
+        return 100.0 * self.missing / self.total if self.total else 0.0
+
+    @property
+    def empty_pct(self) -> float:
+        """Empty instances as a percentage of all instances (Table 2)."""
+        return 100.0 * self.empty / self.total if self.total else 0.0
+
+
+@dataclass
+class SiteRecord:
+    """One website of the LangCrUX dataset."""
+
+    domain: str
+    country_code: str
+    language_code: str
+    rank: int
+    visible_text_chars: int = 0
+    visible_native_share: float = 0.0
+    visible_english_share: float = 0.0
+    declared_lang: str | None = None
+    served_variant: str | None = None
+    elements: dict[str, ElementObservation] = field(default_factory=dict)
+    audit: dict[str, dict] = field(default_factory=dict)
+
+    # -- accessors -------------------------------------------------------------
+
+    def element(self, element_id: str) -> ElementObservation:
+        """Observation for ``element_id`` (an empty one when never seen)."""
+        return self.elements.get(element_id, ElementObservation(element_id=element_id))
+
+    def accessibility_texts(self, element_id: str | None = None) -> list[str]:
+        """All non-empty accessibility texts, optionally for one element."""
+        if element_id is not None:
+            return list(self.element(element_id).texts)
+        texts: list[str] = []
+        for eid in ELEMENT_IDS:
+            texts.extend(self.element(eid).texts)
+        return texts
+
+    def informative_texts(self, element_id: str | None = None) -> list[str]:
+        """Accessibility texts surviving the Appendix H filter."""
+        return [text for text in self.accessibility_texts(element_id)
+                if classify_text(text).informative]
+
+    def accessibility_language_mix(self, *, informative_only: bool = True) -> LanguageMixSummary:
+        """Per-text native/English/mixed counts (Figure 4)."""
+        texts = self.informative_texts() if informative_only else self.accessibility_texts()
+        return classify_texts(texts, self.language_code)
+
+    def accessibility_native_share(self, *, informative_only: bool = False) -> float:
+        """Character-level native share of the pooled accessibility text.
+
+        This is the y-axis of Figures 5 and 8: how much of the site's
+        accessibility text is written in the native language.
+        """
+        texts = self.informative_texts() if informative_only else self.accessibility_texts()
+        return pooled_native_share(texts, self.language_code)
+
+    def audit_passed(self, rule_id: str) -> bool:
+        """Whether the base audit passed ``rule_id`` (not-applicable = pass)."""
+        result = self.audit.get(rule_id)
+        if not result or not result.get("applicable", False):
+            return True
+        return bool(result.get("passed", False))
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def from_extraction(cls, extraction: PageExtraction, *, domain: str, country_code: str,
+                        language_code: str, rank: int, served_variant: str | None = None,
+                        audit: dict[str, dict] | None = None) -> "SiteRecord":
+        """Build a record from a (merged) page extraction."""
+        detector = ScriptDetector(language_code)
+        share = detector.share(extraction.visible_text)
+        record = cls(
+            domain=domain,
+            country_code=country_code,
+            language_code=language_code,
+            rank=rank,
+            visible_text_chars=share.textual_chars,
+            visible_native_share=share.native,
+            visible_english_share=share.english,
+            declared_lang=extraction.declared_lang,
+            served_variant=served_variant,
+            audit=audit or {},
+        )
+        for element_id, observations in extraction.by_element().items():
+            aggregate = ElementObservation(element_id=element_id)
+            for observation in observations:
+                aggregate.total += 1
+                if observation.is_missing:
+                    aggregate.missing += 1
+                elif observation.is_empty:
+                    aggregate.empty += 1
+                else:
+                    aggregate.texts.append(observation.text or "")
+            if aggregate.total:
+                record.elements[element_id] = aggregate
+        return record
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["elements"] = {eid: asdict(obs) for eid, obs in self.elements.items()}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SiteRecord":
+        elements = {
+            eid: ElementObservation(**observation)
+            for eid, observation in payload.get("elements", {}).items()
+        }
+        fields = {key: value for key, value in payload.items() if key != "elements"}
+        return cls(elements=elements, **fields)
+
+
+class LangCrUXDataset:
+    """A collection of :class:`SiteRecord` with query and persistence helpers."""
+
+    def __init__(self, records: Iterable[SiteRecord] = ()) -> None:
+        self._records: list[SiteRecord] = list(records)
+
+    # -- collection basics -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SiteRecord]:
+        return iter(self._records)
+
+    def add(self, record: SiteRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[SiteRecord]) -> None:
+        self._records.extend(records)
+
+    @property
+    def records(self) -> Sequence[SiteRecord]:
+        return tuple(self._records)
+
+    # -- queries ------------------------------------------------------------------
+
+    def countries(self) -> tuple[str, ...]:
+        return tuple(sorted({record.country_code for record in self._records}))
+
+    def for_country(self, country_code: str) -> "LangCrUXDataset":
+        return LangCrUXDataset(record for record in self._records
+                               if record.country_code == country_code)
+
+    def filter(self, predicate: Callable[[SiteRecord], bool]) -> "LangCrUXDataset":
+        return LangCrUXDataset(record for record in self._records if predicate(record))
+
+    def sites_per_country(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self._records:
+            counts[record.country_code] = counts.get(record.country_code, 0) + 1
+        return counts
+
+    def get(self, domain: str) -> SiteRecord | None:
+        return next((record for record in self._records if record.domain == domain), None)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> int:
+        """Write the dataset as JSON Lines; returns the number of records."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.to_dict(), ensure_ascii=False))
+                handle.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "LangCrUXDataset":
+        """Load a dataset previously written by :meth:`save_jsonl`."""
+        dataset = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    dataset.add(SiteRecord.from_dict(json.loads(line)))
+        return dataset

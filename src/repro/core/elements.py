@@ -1,0 +1,89 @@
+"""The language-sensitive accessibility elements (Table 1).
+
+The paper derives, from the Lighthouse/Axe-core rule set, the twelve
+accessibility checks for which natural language is integral: the element's
+accessibility depends on human-readable text that a screen-reader user would
+rely on.  This module is the canonical registry of those elements, shared by
+the extraction pipeline, the audit engine wiring and the report generators.
+
+``video-caption`` is intentionally absent: the paper excludes it because
+captions usually live outside the HTML (VTT/SRT files or scripts) and cannot
+be evaluated reliably by a static crawler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ElementSpec:
+    """One language-sensitive accessibility element.
+
+    Attributes:
+        element_id: Identifier matching the Lighthouse audit id and the audit
+            rule id of :mod:`repro.audit.rules`.
+        html_element: The HTML element the check targets.
+        attribute: The primary metadata attribute carrying the text
+            (informational; extraction follows the full accessible-name
+            precedence rules).
+        description: Why natural language matters for the element.
+    """
+
+    element_id: str
+    html_element: str
+    attribute: str
+    description: str
+
+
+#: Table 1 of the paper, in reading order (left-to-right, top-to-bottom).
+LANGUAGE_SENSITIVE_ELEMENTS: tuple[ElementSpec, ...] = (
+    ElementSpec("button-name", "<button>", "aria-label / text",
+                "Screen readers announce buttons by their accessible name."),
+    ElementSpec("document-title", "<title>", "text",
+                "The page title is the first thing announced on navigation."),
+    ElementSpec("image-alt", "<img>", "alt",
+                "Alternative text is the only rendering of an image for blind users."),
+    ElementSpec("frame-title", "<iframe>/<frame>", "title",
+                "Frame titles describe embedded content regions."),
+    ElementSpec("summary-name", "<summary>", "aria-label / text",
+                "Disclosure summaries must describe what they expand."),
+    ElementSpec("label", "<label>", "text / for",
+                "Form fields are announced through their associated labels."),
+    ElementSpec("input-image-alt", "<input type=image>", "alt",
+                "Image buttons need text alternatives like any image."),
+    ElementSpec("select-name", "<select>", "label / aria-label",
+                "Selects are announced by their accessible name."),
+    ElementSpec("link-name", "<a>", "aria-label / text",
+                "Links are navigated by name in screen-reader link lists."),
+    ElementSpec("input-button-name", "<input type=button|submit|reset>", "value",
+                "Input buttons are announced by their value or label."),
+    ElementSpec("svg-img-alt", "<svg>", "title / aria-label",
+                "Inline SVG used as imagery needs a text alternative."),
+    ElementSpec("object-alt", "<object>", "fallback content",
+                "Embedded objects need fallback text alternatives."),
+)
+
+#: Element ids in Table 1 order.
+ELEMENT_IDS: tuple[str, ...] = tuple(spec.element_id for spec in LANGUAGE_SENSITIVE_ELEMENTS)
+
+_SPEC_BY_ID: dict[str, ElementSpec] = {spec.element_id: spec for spec in LANGUAGE_SENSITIVE_ELEMENTS}
+
+#: Elements considered but excluded from the study, with the reason.
+EXCLUDED_CHECKS: dict[str, str] = {
+    "video-caption": (
+        "Captions typically live in separate VTT/SRT files or are loaded "
+        "dynamically; verifying their accuracy requires playback and manual "
+        "inspection, which is outside the scope of automated large-scale analysis."
+    ),
+}
+
+
+def get_element_spec(element_id: str) -> ElementSpec:
+    """Spec for ``element_id``; raises ``KeyError`` for unknown ids."""
+    return _SPEC_BY_ID[element_id]
+
+
+def is_language_sensitive(element_id: str) -> bool:
+    """Whether ``element_id`` is one of the twelve studied elements."""
+    return element_id in _SPEC_BY_ID

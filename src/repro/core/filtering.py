@@ -1,0 +1,248 @@
+"""Filtering uninformative accessibility text (Appendix H).
+
+The presence of an ``alt`` or ``aria-label`` attribute does not guarantee
+usefulness: labels such as ``button``, ``file1`` or a raw file path satisfy
+automated checks while conveying nothing to a screen-reader user.  The paper
+therefore classifies every accessibility text into eleven discard categories
+(or keeps it as *useful*), and Figures 3 and 9 report the distribution of
+discarded text by country and by HTML element.
+
+This module implements that rule pipeline.  Rules are evaluated in a fixed
+order (first match wins); the order puts the most specific patterns first so
+that, e.g., a URL is reported as *URL or File Path* rather than as a
+*Single Word*.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.langid.scripts import Script, is_emoji_only, script_histogram, textual_length
+
+
+class DiscardCategory(str, enum.Enum):
+    """The eleven discard categories of Appendix H."""
+
+    EMOJI = "emoji"
+    TOO_SHORT = "too_short"
+    FILE_NAME = "file_name"
+    URL_OR_PATH = "url_or_path"
+    GENERIC_ACTION = "generic_action"
+    PLACEHOLDER = "placeholder"
+    DEV_LABEL = "dev_label"
+    LABEL_NUMBER_PATTERN = "label_number_pattern"
+    SINGLE_WORD = "single_word"
+    MIXED_ALNUM = "mixed_alnum"
+    ORDINAL_PHRASE = "ordinal_phrase"
+
+    @property
+    def display_name(self) -> str:
+        """The legend label used by the paper's Figures 3 and 9."""
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES: dict[DiscardCategory, str] = {
+    DiscardCategory.EMOJI: "Emoji",
+    DiscardCategory.TOO_SHORT: "Too Short",
+    DiscardCategory.FILE_NAME: "File Name",
+    DiscardCategory.URL_OR_PATH: "URL or File Path",
+    DiscardCategory.GENERIC_ACTION: "Generic Action",
+    DiscardCategory.PLACEHOLDER: "Placeholder",
+    DiscardCategory.DEV_LABEL: "Dev Label",
+    DiscardCategory.LABEL_NUMBER_PATTERN: "Label Number Pattern",
+    DiscardCategory.SINGLE_WORD: "Single Word",
+    DiscardCategory.MIXED_ALNUM: "Mixed Alnum",
+    DiscardCategory.ORDINAL_PHRASE: "Ordinal Phrase",
+}
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of filtering one accessibility text."""
+
+    text: str
+    category: DiscardCategory | None
+
+    @property
+    def informative(self) -> bool:
+        """Whether the text survives filtering and is considered useful."""
+        return self.category is None
+
+
+#: Generic UI actions in English and in the studied languages (Appendix H:
+#: "Common UI actions (e.g. 'close', 'search') in multiple languages are
+#: filtered if used alone without context").
+GENERIC_ACTIONS: frozenset[str] = frozenset({
+    # English
+    "search", "close", "send", "submit", "open", "play", "pause", "stop", "menu",
+    "open menu", "close menu", "toggle navigation", "login", "log in", "logout",
+    "sign in", "sign up", "register", "next", "previous", "back", "download",
+    "upload", "share", "print", "ok", "cancel", "more", "read more", "click here",
+    # Hindi
+    "खोजें", "बंद करें", "भेजें",
+    # Bangla
+    "অনুসন্ধান", "বন্ধ করুন", "পাঠান",
+    # Arabic
+    "بحث", "إغلاق", "إرسال",
+    # Russian
+    "поиск", "закрыть", "отправить",
+    # Japanese
+    "検索", "閉じる", "送信",
+    # Mandarin / Cantonese
+    "搜索", "关闭", "提交", "搜尋", "關閉",
+    # Korean (the paper's own example is 닫기, "close")
+    "검색", "닫기", "보내기",
+    # Thai
+    "ค้นหา", "ปิด", "ส่ง",
+    # Greek
+    "αναζήτηση", "κλείσιμο", "αποστολή",
+    # Hebrew
+    "חיפוש", "סגירה", "שליחה",
+})
+
+#: Generic placeholders for images/components in English and the studied
+#: languages (Appendix H: "image", "icon", "button" and their translations).
+PLACEHOLDERS: frozenset[str] = frozenset({
+    # English
+    "image", "icon", "button", "photo", "picture", "logo", "banner", "thumbnail",
+    "img", "graphic", "avatar", "placeholder",
+    # Hindi
+    "चित्र", "बटन", "छवि",
+    # Bangla
+    "ছবি", "বোতাম", "আইকন",
+    # Arabic
+    "صورة", "زر", "أيقونة",
+    # Russian
+    "изображение", "кнопка", "значок",
+    # Japanese
+    "画像", "ボタン", "アイコン",
+    # Mandarin / Cantonese (the paper's example: 图像)
+    "图像", "按钮", "图标", "圖像", "按鈕", "圖示",
+    # Korean
+    "이미지", "버튼", "아이콘",
+    # Thai
+    "รูปภาพ", "ปุ่ม", "ไอคอน",
+    # Greek
+    "εικόνα", "κουμπί", "εικονίδιο",
+    # Hebrew
+    "תמונה", "כפתור", "סמל",
+})
+
+#: Asset-file extensions treated as file names.
+_FILE_EXTENSIONS = (
+    ".jpg", ".jpeg", ".png", ".gif", ".svg", ".webp", ".bmp", ".ico", ".tiff",
+    ".pdf", ".mp4", ".mp3", ".avif",
+)
+
+#: Label words participating in "label + number" patterns.
+_LABEL_NUMBER_WORDS = (
+    "image", "img", "button", "slide", "figure", "fig", "photo", "banner",
+    "item", "icon", "picture", "pic", "logo", "step",
+)
+
+_URL_RE = re.compile(r"^(https?://|www\.|/[\w.-]+(/|\.\w))", re.IGNORECASE)
+_SCHEME_RE = re.compile(r"\w+://")
+_DEV_LABEL_RE = re.compile(r"^[A-Za-z][A-Za-z0-9]*([_-][A-Za-z0-9]+)+$")
+_MIXED_ALNUM_RE = re.compile(r"^[A-Za-z]+\d+[A-Za-z0-9]*$")
+_ORDINAL_RE = re.compile(r"^\s*([A-Za-z]+\s+)?\d+\s*(of|/)\s*\d+\s*$", re.IGNORECASE)
+_LABEL_NUMBER_RE = re.compile(
+    r"^\s*(" + "|".join(_LABEL_NUMBER_WORDS) + r")[\s_-]+\d+\s*$", re.IGNORECASE)
+
+#: Scripts written without inter-word spaces: a single whitespace token in one
+#: of these scripts can be a full sentence, so the single-word rule uses a
+#: character-length criterion for them instead.
+_NON_SPACING_SCRIPTS = {
+    Script.HAN, Script.HIRAGANA, Script.KATAKANA, Script.THAI, Script.LAO,
+    Script.KHMER, Script.MYANMAR,
+}
+
+#: "CJK" scripts for the too-short threshold (1 character instead of 3).
+_CJK_SHORT_SCRIPTS = {Script.HAN, Script.HIRAGANA, Script.KATAKANA, Script.HANGUL}
+
+
+def _dominant_is(text: str, scripts: set[Script]) -> bool:
+    counts = script_histogram(text, textual_only=True)
+    if not counts:
+        return False
+    total = sum(counts.values())
+    return sum(counts.get(script, 0) for script in scripts) / total > 0.5
+
+
+def _is_too_short(text: str) -> bool:
+    length = textual_length(text)
+    if length == 0:
+        # Pure punctuation/symbols (e.g. ">" or "..") convey nothing.
+        return True
+    limit = 1 if _dominant_is(text, _CJK_SHORT_SCRIPTS) else 2
+    return length <= limit
+
+
+def _is_single_word(text: str) -> bool:
+    stripped = text.strip()
+    if not stripped or any(char.isspace() for char in stripped):
+        return False
+    if _dominant_is(stripped, _NON_SPACING_SCRIPTS):
+        # Without spaces a "word" cannot be token-counted; treat only very
+        # short runs as single words.
+        return textual_length(stripped) <= 4
+    return True
+
+
+def classify_text(text: str) -> FilterResult:
+    """Classify one accessibility text.
+
+    Returns a :class:`FilterResult` whose ``category`` is ``None`` for
+    informative (retained) text.  Empty or whitespace-only input is reported
+    as too short; callers normally exclude empty values beforehand because
+    the paper tracks them separately (Table 2).
+    """
+    stripped = text.strip()
+    if not stripped:
+        return FilterResult(text, DiscardCategory.TOO_SHORT)
+
+    lowered = stripped.lower()
+
+    if is_emoji_only(stripped):
+        return FilterResult(text, DiscardCategory.EMOJI)
+    if _URL_RE.match(stripped) or _SCHEME_RE.search(stripped):
+        return FilterResult(text, DiscardCategory.URL_OR_PATH)
+    if lowered.endswith(_FILE_EXTENSIONS) and " " not in stripped:
+        return FilterResult(text, DiscardCategory.FILE_NAME)
+    if _ORDINAL_RE.match(stripped):
+        return FilterResult(text, DiscardCategory.ORDINAL_PHRASE)
+    if _LABEL_NUMBER_RE.match(stripped):
+        return FilterResult(text, DiscardCategory.LABEL_NUMBER_PATTERN)
+    if _MIXED_ALNUM_RE.match(stripped):
+        return FilterResult(text, DiscardCategory.MIXED_ALNUM)
+    if _DEV_LABEL_RE.match(stripped):
+        return FilterResult(text, DiscardCategory.DEV_LABEL)
+    if lowered in GENERIC_ACTIONS:
+        return FilterResult(text, DiscardCategory.GENERIC_ACTION)
+    if lowered in PLACEHOLDERS:
+        return FilterResult(text, DiscardCategory.PLACEHOLDER)
+    if _is_too_short(stripped):
+        return FilterResult(text, DiscardCategory.TOO_SHORT)
+    if _is_single_word(stripped):
+        return FilterResult(text, DiscardCategory.SINGLE_WORD)
+    return FilterResult(text, None)
+
+
+def is_informative(text: str) -> bool:
+    """Shortcut: whether ``text`` survives the filtering pipeline."""
+    return classify_text(text).informative
+
+
+def filter_texts(texts: list[str]) -> tuple[list[str], dict[DiscardCategory, int]]:
+    """Split ``texts`` into retained texts and per-category discard counts."""
+    retained: list[str] = []
+    discarded: dict[DiscardCategory, int] = {}
+    for text in texts:
+        result = classify_text(text)
+        if result.informative:
+            retained.append(text)
+        else:
+            assert result.category is not None
+            discarded[result.category] = discarded.get(result.category, 0) + 1
+    return retained, discarded

@@ -1,0 +1,104 @@
+"""Language-mix measurements.
+
+Two measurements recur throughout the paper:
+
+* the *share* of text written in the native language (character-level, via
+  script detection) — used for the visible text of a page (Figure 2, the 50%
+  inclusion criterion, the x-axis of Figures 5/8) and for the pooled
+  accessibility text of a site (the y-axis of Figures 5/8);
+* the *classification* of individual accessibility texts into native /
+  English / mixed (Figure 4).
+
+Both are built on :mod:`repro.langid`; this module provides the aggregation
+helpers that turn per-text primitives into per-site and per-country numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.langid.classify import TextLanguageClass, classify_text_language
+from repro.langid.detector import LanguageShare, ScriptDetector
+from repro.langid.languages import Language, get_language
+
+
+@dataclass(frozen=True)
+class LanguageMixSummary:
+    """Counts of per-text language classes plus derived proportions."""
+
+    native: int = 0
+    english: int = 0
+    mixed: int = 0
+    other: int = 0
+    empty: int = 0
+
+    @property
+    def classified(self) -> int:
+        """Texts that received a native/english/mixed classification."""
+        return self.native + self.english + self.mixed
+
+    @property
+    def total(self) -> int:
+        return self.classified + self.other + self.empty
+
+    def proportions(self) -> dict[str, float]:
+        """Proportions of native/english/mixed among classified texts (Figure 4)."""
+        classified = self.classified
+        if classified == 0:
+            return {"native": 0.0, "english": 0.0, "mixed": 0.0}
+        return {
+            "native": self.native / classified,
+            "english": self.english / classified,
+            "mixed": self.mixed / classified,
+        }
+
+    @classmethod
+    def from_counter(cls, counter: Counter[TextLanguageClass]) -> "LanguageMixSummary":
+        return cls(
+            native=counter.get(TextLanguageClass.NATIVE, 0),
+            english=counter.get(TextLanguageClass.ENGLISH, 0),
+            mixed=counter.get(TextLanguageClass.MIXED, 0),
+            other=counter.get(TextLanguageClass.OTHER, 0),
+            empty=counter.get(TextLanguageClass.EMPTY, 0),
+        )
+
+
+def classify_texts(texts: Iterable[str], language: Language | str) -> LanguageMixSummary:
+    """Classify each text and aggregate the counts."""
+    counter: Counter[TextLanguageClass] = Counter()
+    for text in texts:
+        counter[classify_text_language(text, language)] += 1
+    return LanguageMixSummary.from_counter(counter)
+
+
+def native_share_of_text(text: str, language: Language | str) -> LanguageShare:
+    """Character-level language share of a single (possibly long) text."""
+    return ScriptDetector(language).share(text)
+
+
+def pooled_native_share(texts: Iterable[str], language: Language | str) -> float:
+    """Native share of the concatenation of ``texts``.
+
+    Pooling at the character level weights longer texts more, which matches
+    how the visible-text share is computed and therefore keeps the two axes
+    of Figures 5/8 comparable.  Returns 0.0 when no textual characters exist.
+    """
+    language = get_language(language) if isinstance(language, str) else language
+    combined = " ".join(text for text in texts if text)
+    share = ScriptDetector(language).share(combined)
+    return share.native
+
+
+def visible_language_profile(visible_text: str, language: Language | str) -> dict[str, float]:
+    """Native/English/other percentages of visible text (Figure 2 axes).
+
+    Values are percentages (0–100) to match the paper's figures.
+    """
+    share = ScriptDetector(language).share(visible_text)
+    return {
+        "native_pct": share.native * 100.0,
+        "english_pct": share.english * 100.0,
+        "other_pct": share.other * 100.0,
+    }

@@ -1,0 +1,174 @@
+"""Visible-vs-accessibility language mismatch analysis.
+
+Section 4 of the paper compares the language of what sighted users *see*
+(visible text) with the language of what screen-reader users *hear*
+(accessibility metadata).  This module computes:
+
+* the per-site (visible native %, accessibility native %) points behind the
+  country scatter plots of Figure 8 and the Figure 2 visible-text views;
+* the per-country CDFs of Figure 5;
+* the headline metric of Section 3/4: the fraction of sites whose
+  accessibility text is less than 10% native despite predominantly native
+  visible content (over 40% in Bangladesh and India, above a quarter in
+  Thailand/China/Hong Kong, under 10% in Japan and Israel);
+* concrete mismatch examples in the style of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import LangCrUXDataset, SiteRecord
+from repro.core.filtering import classify_text
+from repro.langid.classify import TextLanguageClass, classify_text_language
+from repro.stats.cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class SiteLanguagePoint:
+    """One point of the Figure 8 scatter plots."""
+
+    domain: str
+    country_code: str
+    visible_native_pct: float
+    accessibility_native_pct: float
+    accessibility_texts: int
+
+
+def site_language_point(record: SiteRecord, *, informative_only: bool = False) -> SiteLanguagePoint:
+    """The (visible, accessibility) native-share point for one site."""
+    return SiteLanguagePoint(
+        domain=record.domain,
+        country_code=record.country_code,
+        visible_native_pct=record.visible_native_share * 100.0,
+        accessibility_native_pct=record.accessibility_native_share(
+            informative_only=informative_only) * 100.0,
+        accessibility_texts=len(record.accessibility_texts()),
+    )
+
+
+def country_scatter(dataset: LangCrUXDataset, country_code: str,
+                    *, informative_only: bool = False) -> list[SiteLanguagePoint]:
+    """All scatter points of one country (Figure 8)."""
+    return [site_language_point(record, informative_only=informative_only)
+            for record in dataset.for_country(country_code)]
+
+
+@dataclass(frozen=True)
+class CountryCDFs:
+    """The two CDFs of one Figure 5 panel."""
+
+    country_code: str
+    visible: EmpiricalCDF
+    accessibility: EmpiricalCDF
+
+    def tabulate(self, grid: tuple[float, ...] = (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+                 ) -> dict[str, list[tuple[float, float]]]:
+        return {
+            "visible": self.visible.tabulate(grid),
+            "accessibility": self.accessibility.tabulate(grid),
+        }
+
+
+def country_cdfs(dataset: LangCrUXDataset, country_code: str,
+                 *, informative_only: bool = False) -> CountryCDFs:
+    """Native-share CDFs for visible and accessibility text (Figure 5)."""
+    points = country_scatter(dataset, country_code, informative_only=informative_only)
+    return CountryCDFs(
+        country_code=country_code,
+        visible=EmpiricalCDF(point.visible_native_pct for point in points),
+        accessibility=EmpiricalCDF(point.accessibility_native_pct for point in points),
+    )
+
+
+def low_native_accessibility_fraction(dataset: LangCrUXDataset, country_code: str,
+                                      *, threshold_pct: float = 10.0,
+                                      informative_only: bool = False) -> float:
+    """Fraction of a country's sites with accessibility text below ``threshold_pct`` native.
+
+    This is the paper's headline mismatch metric ("over 40% of websites have
+    less than 10% of their accessibility text in the native language" for
+    India and Bangladesh).
+    """
+    points = country_scatter(dataset, country_code, informative_only=informative_only)
+    if not points:
+        return 0.0
+    low = sum(1 for point in points if point.accessibility_native_pct < threshold_pct)
+    return low / len(points)
+
+
+def no_native_accessibility_fraction(dataset: LangCrUXDataset, country_code: str) -> float:
+    """Fraction of sites with *no* native-language accessibility text at all.
+
+    Section 1 reports that nearly 40% of websites in Bangladesh and India
+    "lack any accessibility text in the native language".
+    """
+    records = list(dataset.for_country(country_code))
+    if not records:
+        return 0.0
+    lacking = 0
+    for record in records:
+        texts = record.accessibility_texts()
+        has_native = any(
+            classify_text_language(text, record.language_code)
+            in (TextLanguageClass.NATIVE, TextLanguageClass.MIXED)
+            for text in texts
+        )
+        if not has_native:
+            lacking += 1
+    return lacking / len(records)
+
+
+@dataclass(frozen=True)
+class MismatchExample:
+    """A Table 5 style example: native visible content, English accessibility text."""
+
+    domain: str
+    country_code: str
+    visible_native_pct: float
+    accessibility_native_pct: float
+    sample_alt_texts: tuple[str, ...]
+
+
+def mismatch_examples(dataset: LangCrUXDataset, *, min_visible_native_pct: float = 90.0,
+                      max_accessibility_native_pct: float = 10.0,
+                      samples_per_site: int = 3, limit: int = 10) -> list[MismatchExample]:
+    """Concrete examples of the mismatch (Table 5 / Appendix I).
+
+    A site qualifies when its visible content is overwhelmingly native while
+    its accessibility text contains almost none of the native language; the
+    sampled alt texts must be informative (post-filtering) so that the
+    examples show genuine English descriptions rather than placeholders.
+    """
+    examples: list[MismatchExample] = []
+    for record in dataset:
+        point = site_language_point(record)
+        if point.visible_native_pct < min_visible_native_pct:
+            continue
+        if point.accessibility_native_pct > max_accessibility_native_pct:
+            continue
+        informative_alts = [text for text in record.element("image-alt").texts
+                            if classify_text(text).informative]
+        english_alts = [text for text in informative_alts
+                        if classify_text_language(text, record.language_code)
+                        is TextLanguageClass.ENGLISH]
+        if not english_alts:
+            continue
+        examples.append(MismatchExample(
+            domain=record.domain,
+            country_code=record.country_code,
+            visible_native_pct=point.visible_native_pct,
+            accessibility_native_pct=point.accessibility_native_pct,
+            sample_alt_texts=tuple(english_alts[:samples_per_site]),
+        ))
+        if len(examples) >= limit:
+            break
+    return examples
+
+
+def mismatch_summary(dataset: LangCrUXDataset, *, threshold_pct: float = 10.0) -> dict[str, float]:
+    """Per-country low-native-accessibility fractions, for quick reporting."""
+    return {
+        country: low_native_accessibility_fraction(dataset, country, threshold_pct=threshold_pct)
+        for country in dataset.countries()
+    }

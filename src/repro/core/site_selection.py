@@ -1,0 +1,107 @@
+"""Website selection with language validation and replacement (Section 2).
+
+For each language–country pair the paper takes the top CrUX-ranked origins,
+validates via the Unicode-script heuristic that at least 50% of the visible
+text is in the target language, and replaces origins that fail validation
+(or that cannot be crawled, e.g. VPN-blocking sites) with the next-ranked
+candidate, extending into lower ranks until the quota is filled or the
+ranking is exhausted.
+
+This module implements that loop on top of the crawler; it is the step that
+turns a ranking into the set of origins whose crawl records feed the dataset
+builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crawler.crawler import LangCruxCrawler
+from repro.crawler.records import CrawlRecord
+from repro.html.parser import parse_html
+from repro.html.visibility import extract_visible_text
+from repro.langid.detector import ScriptDetector
+from repro.webgen.crux import CruxEntry
+
+
+@dataclass(frozen=True)
+class SelectedSite:
+    """One origin that passed selection."""
+
+    entry: CruxEntry
+    record: CrawlRecord
+    visible_native_share: float
+
+
+@dataclass
+class SelectionOutcome:
+    """Result of selecting sites for one country."""
+
+    country_code: str
+    quota: int
+    selected: list[SelectedSite] = field(default_factory=list)
+    rejected_below_threshold: int = 0
+    rejected_fetch_failure: int = 0
+    candidates_examined: int = 0
+
+    @property
+    def filled(self) -> bool:
+        return len(self.selected) >= self.quota
+
+    @property
+    def replacement_count(self) -> int:
+        """How many candidates had to be replaced to fill the quota."""
+        return self.rejected_below_threshold + self.rejected_fetch_failure
+
+
+class SiteSelector:
+    """Selects qualifying origins for one country using a crawler.
+
+    Args:
+        crawler: A crawler bound to the country's vantage point.
+        language_code: The country's target language.
+        threshold: Minimum visible-text native share (0.5 in the paper).
+    """
+
+    def __init__(self, crawler: LangCruxCrawler, language_code: str, *,
+                 threshold: float = 0.5) -> None:
+        self.crawler = crawler
+        self.language_code = language_code
+        self.threshold = threshold
+        self._detector = ScriptDetector(language_code)
+
+    def _native_share(self, record: CrawlRecord) -> float:
+        """Pooled native share of the visible text of the record's pages."""
+        texts = []
+        for page in record.pages:
+            if page.ok and page.html:
+                texts.append(extract_visible_text(parse_html(page.html, url=page.final_url)))
+        if not texts:
+            return 0.0
+        return self._detector.share(" ".join(texts)).native
+
+    def select(self, candidates: Iterable[CruxEntry], quota: int) -> SelectionOutcome:
+        """Walk ``candidates`` in rank order until ``quota`` sites qualify.
+
+        Candidates that fail to fetch (VPN-blocked, persistent errors) or
+        fall below the language threshold are skipped and replaced by the
+        next candidate, exactly the paper's replacement rule.
+        """
+        outcome = SelectionOutcome(country_code="", quota=quota)
+        for entry in candidates:
+            if outcome.filled:
+                break
+            outcome.country_code = outcome.country_code or entry.country_code
+            outcome.candidates_examined += 1
+            record = self.crawler.crawl_origin(entry, self.language_code)
+            if not record.succeeded:
+                outcome.rejected_fetch_failure += 1
+                continue
+            share = self._native_share(record)
+            if share < self.threshold:
+                outcome.rejected_below_threshold += 1
+                continue
+            outcome.selected.append(SelectedSite(entry=entry, record=record,
+                                                 visible_native_share=share))
+        return outcome

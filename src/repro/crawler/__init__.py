@@ -1,0 +1,49 @@
+"""Crawling substrate.
+
+The paper crawls 120,000 sites with Puppeteer, routing traffic through
+country-specific VPN exits.  This subpackage implements the crawling side of
+that methodology against the synthetic web:
+
+* :mod:`repro.crawler.http` — URL handling, requests, responses and headers.
+* :mod:`repro.crawler.vpn` — VPN providers, vantage points and per-country
+  exit selection (the ProtonVPN / Hotspot Shield combination of the paper).
+* :mod:`repro.crawler.robots` — robots.txt parsing and politeness decisions.
+* :mod:`repro.crawler.frontier` — a deduplicating URL frontier with per-host
+  politeness delays.
+* :mod:`repro.crawler.fetcher` — the transport abstraction plus the
+  simulated transport over :class:`repro.webgen.server.SyntheticWeb`,
+  retries and redirect handling.
+* :mod:`repro.crawler.session` — a crawl session bound to a country vantage.
+* :mod:`repro.crawler.records` — crawl records (page snapshots) and JSONL IO.
+* :mod:`repro.crawler.crawler` — the LangCrUX crawler tying it all together.
+"""
+
+from repro.crawler.http import URL, Request, Response, Headers
+from repro.crawler.vpn import VantagePoint, VPNProvider, VPNManager, DEFAULT_PROVIDERS
+from repro.crawler.fetcher import Fetcher, FetchError, SimulatedTransport, Transport
+from repro.crawler.frontier import Frontier, FrontierEntry
+from repro.crawler.records import PageSnapshot, CrawlRecord, write_records_jsonl, read_records_jsonl
+from repro.crawler.crawler import LangCruxCrawler, CrawlerConfig
+
+__all__ = [
+    "URL",
+    "Request",
+    "Response",
+    "Headers",
+    "VantagePoint",
+    "VPNProvider",
+    "VPNManager",
+    "DEFAULT_PROVIDERS",
+    "Fetcher",
+    "FetchError",
+    "SimulatedTransport",
+    "Transport",
+    "Frontier",
+    "FrontierEntry",
+    "PageSnapshot",
+    "CrawlRecord",
+    "write_records_jsonl",
+    "read_records_jsonl",
+    "LangCruxCrawler",
+    "CrawlerConfig",
+]

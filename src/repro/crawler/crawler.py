@@ -1,0 +1,139 @@
+"""The LangCrUX crawler.
+
+Ties the crawling substrate together: given CrUX entries for a country and a
+crawl session bound to that country's VPN exit, the crawler visits each
+origin, fetches its homepage (and optionally a bounded number of same-origin
+subpages discovered from links), and emits one
+:class:`~repro.crawler.records.CrawlRecord` per origin.
+
+The crawler deliberately does *not* interpret page content beyond link
+discovery: language validation, accessibility extraction and all analyses
+happen downstream on the records, so a crawl can be stored once and
+re-analysed many times (the same separation the paper's pipeline uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.crawler.fetcher import FetchError
+from repro.crawler.frontier import Frontier, FrontierEntry
+from repro.crawler.http import URL
+from repro.crawler.records import CrawlRecord, PageSnapshot
+from repro.crawler.session import CrawlSession
+from repro.html.parser import parse_html
+from repro.webgen.crux import CruxEntry
+
+
+@dataclass
+class CrawlerConfig:
+    """Crawl policy.
+
+    Attributes:
+        max_pages_per_site: Upper bound on pages fetched per origin
+            (homepage included).
+        follow_links: Whether to discover and fetch same-origin subpages.
+        politeness_delay_s: Per-host delay fed to the frontier.
+        respect_robots: Whether to consult robots.txt (on by default).
+    """
+
+    max_pages_per_site: int = 1
+    follow_links: bool = False
+    politeness_delay_s: float = 1.0
+    respect_robots: bool = True
+
+
+class LangCruxCrawler:
+    """Crawls the origins of one country through one session."""
+
+    def __init__(self, session: CrawlSession, config: CrawlerConfig | None = None,
+                 *, progress: Callable[[CrawlRecord], None] | None = None) -> None:
+        self.session = session
+        self.config = config or CrawlerConfig()
+        self.session.respect_robots = self.config.respect_robots
+        self._progress = progress
+
+    # -- single origin ---------------------------------------------------------
+
+    def _snapshot(self, url: URL) -> PageSnapshot:
+        try:
+            response = self.session.fetch(url)
+        except FetchError as error:
+            return PageSnapshot(url=str(url), final_url=str(url), status=error.status or 0,
+                                error=str(error))
+        return PageSnapshot(
+            url=str(url),
+            final_url=str(response.url),
+            status=response.status,
+            html=response.body if response.ok and response.is_html else "",
+            served_variant=response.served_variant,
+            elapsed_ms=response.elapsed_ms,
+            error=None if response.ok else f"HTTP {response.status}",
+        )
+
+    def _discover_links(self, snapshot: PageSnapshot, origin: URL) -> list[URL]:
+        """Same-origin links found on a fetched page, in document order."""
+        if not snapshot.html:
+            return []
+        document = parse_html(snapshot.html, url=snapshot.final_url)
+        links: list[URL] = []
+        seen: set[str] = set()
+        for anchor in document.find_all("a"):
+            href = anchor.get("href")
+            if not href:
+                continue
+            try:
+                target = URL.join(origin, href)
+            except ValueError:
+                continue
+            if target.host != origin.host:
+                continue
+            key = str(target)
+            if key in seen:
+                continue
+            seen.add(key)
+            links.append(target)
+        return links
+
+    def crawl_origin(self, entry: CruxEntry, language_code: str) -> CrawlRecord:
+        """Crawl one origin and return its record."""
+        origin = URL.parse(f"https://{entry.origin}/")
+        record = CrawlRecord(
+            domain=entry.origin,
+            country_code=entry.country_code,
+            language_code=language_code,
+            rank=entry.rank,
+            vantage_country=self.session.vantage.country_code or "",
+            via_vpn=self.session.vantage.via_vpn,
+        )
+
+        frontier = Frontier(default_delay=self.config.politeness_delay_s, clock=self.session.clock)
+        frontier.add(FrontierEntry(url=origin, priority=entry.rank,
+                                   country_code=entry.country_code, depth=0))
+
+        while len(record.pages) < self.config.max_pages_per_site:
+            frontier_entry = frontier.pop()
+            if frontier_entry is None:
+                break
+            if not self.session.allowed(frontier_entry.url):
+                continue
+            snapshot = self._snapshot(frontier_entry.url)
+            record.pages.append(snapshot)
+            if not self.config.follow_links or not snapshot.ok:
+                continue
+            for link in self._discover_links(snapshot, origin):
+                frontier.add(FrontierEntry(url=link, priority=entry.rank,
+                                           country_code=entry.country_code,
+                                           depth=frontier_entry.depth + 1))
+        return record
+
+    # -- many origins ------------------------------------------------------------
+
+    def crawl(self, entries: Iterable[CruxEntry], language_code: str) -> Iterator[CrawlRecord]:
+        """Crawl ``entries`` in order, yielding one record per origin."""
+        for entry in entries:
+            record = self.crawl_origin(entry, language_code)
+            if self._progress is not None:
+                self._progress(record)
+            yield record

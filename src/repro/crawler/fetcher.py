@@ -1,0 +1,151 @@
+"""Fetching pages through a transport.
+
+The :class:`Fetcher` owns the behaviours a polite, robust crawler needs on
+top of a raw transport: redirect following (with a hop limit), retrying
+transient failures with exponential backoff, and consistent error reporting
+via :class:`FetchError`.  The transport itself is a tiny protocol —
+``send(Request) -> Response`` — with two implementations:
+
+* :class:`SimulatedTransport` over :class:`repro.webgen.server.SyntheticWeb`,
+  used throughout the reproduction (it also injects configurable transient
+  failures so the retry path is genuinely exercised);
+* anything else a downstream user plugs in (a real HTTP client would slot in
+  here without changes elsewhere).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.crawler.http import Headers, Request, Response, RETRYABLE_STATUS_CODES, URL
+from repro.webgen.server import SyntheticWeb
+
+
+class FetchError(Exception):
+    """Raised when a URL cannot be fetched after retries/redirects."""
+
+    def __init__(self, message: str, *, url: URL | None = None, status: int | None = None) -> None:
+        super().__init__(message)
+        self.url = url
+        self.status = status
+
+
+class Transport(Protocol):
+    """Minimal transport interface the fetcher depends on."""
+
+    def send(self, request: Request) -> Response:  # pragma: no cover - protocol
+        ...
+
+
+class SimulatedTransport:
+    """Transport over the synthetic web.
+
+    Args:
+        web: The synthetic web to dispatch requests to.
+        failure_rate: Probability that a request fails transiently with a 503
+            before reaching the origin, exercising the fetcher's retry logic.
+        latency_ms: Base simulated latency recorded on responses.
+        rng: Random source for failure injection (seed for determinism).
+    """
+
+    def __init__(self, web: SyntheticWeb, *, failure_rate: float = 0.0,
+                 latency_ms: float = 120.0, rng: random.Random | None = None) -> None:
+        self.web = web
+        self.failure_rate = failure_rate
+        self.latency_ms = latency_ms
+        self._rng = rng or random.Random(0)
+        self.requests_sent = 0
+
+    def send(self, request: Request) -> Response:
+        self.requests_sent += 1
+        elapsed = self.latency_ms * self._rng.uniform(0.5, 2.0)
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            return Response(url=request.url, status=503, headers=Headers({"retry-after": "1"}),
+                            body="transient upstream error", elapsed_ms=elapsed)
+        origin_response = self.web.request(
+            request.url.host,
+            request.url.path,
+            client_country=request.client_country,
+            via_vpn=request.via_vpn,
+        )
+        return Response(
+            url=request.url,
+            status=origin_response.status,
+            headers=Headers(dict(origin_response.headers)),
+            body=origin_response.body,
+            elapsed_ms=elapsed,
+            served_variant=origin_response.served_variant,
+        )
+
+
+@dataclass
+class FetcherConfig:
+    """Retry/redirect policy of the fetcher."""
+
+    max_redirects: int = 5
+    max_retries: int = 3
+    backoff_base_s: float = 0.0  # kept at zero in simulation; real transports would sleep
+    user_agent: str = "LangCruxBot/1.0 (+https://example.org/langcrux)"
+
+
+class Fetcher:
+    """Fetches URLs through a transport with retries and redirect handling."""
+
+    def __init__(self, transport: Transport, config: FetcherConfig | None = None) -> None:
+        self.transport = transport
+        self.config = config or FetcherConfig()
+        self.stats = {"requests": 0, "retries": 0, "redirects": 0, "failures": 0}
+
+    def _send_once(self, request: Request) -> Response:
+        self.stats["requests"] += 1
+        headers = Headers(request.headers.as_dict())
+        headers["user-agent"] = self.config.user_agent
+        return self.transport.send(Request(url=request.url, method=request.method,
+                                           headers=headers,
+                                           client_country=request.client_country,
+                                           via_vpn=request.via_vpn))
+
+    def _send_with_retries(self, request: Request) -> Response:
+        response = self._send_once(request)
+        attempts = 0
+        while response.status in RETRYABLE_STATUS_CODES and attempts < self.config.max_retries:
+            attempts += 1
+            self.stats["retries"] += 1
+            response = self._send_once(request)
+        return response
+
+    def fetch(self, url: URL | str, *, client_country: str | None = None,
+              via_vpn: bool = False) -> Response:
+        """Fetch ``url``, following redirects and retrying transient errors.
+
+        Returns the final response, which may still be an error response
+        (e.g. 403 from a VPN-blocking origin or 404); the caller decides how
+        to treat non-retryable failures.
+
+        Raises:
+            FetchError: When a redirect loop/chain exceeds the hop limit or a
+                redirect has no usable target.
+        """
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        request = Request(url=parsed, client_country=client_country, via_vpn=via_vpn)
+        response = self._send_with_retries(request)
+        hops = 0
+        while response.is_redirect:
+            hops += 1
+            if hops > self.config.max_redirects:
+                self.stats["failures"] += 1
+                raise FetchError(f"too many redirects fetching {parsed}", url=parsed,
+                                 status=response.status)
+            target = response.redirect_target()
+            if target is None:
+                self.stats["failures"] += 1
+                raise FetchError(f"redirect without usable location from {response.url}",
+                                 url=response.url, status=response.status)
+            self.stats["redirects"] += 1
+            request = request.with_url(target)
+            response = self._send_with_retries(request)
+        if not response.ok:
+            self.stats["failures"] += 1
+        return response

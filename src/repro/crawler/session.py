@@ -1,0 +1,85 @@
+"""Crawl sessions bound to a vantage point.
+
+A :class:`CrawlSession` packages a fetcher together with the vantage point
+(VPN exit) it crawls from, plus robots handling and a virtual clock.  The
+LangCrUX crawler creates one session per country, mirroring the paper's
+per-country VPN configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crawler.fetcher import Fetcher, FetchError
+from repro.crawler.http import Response, URL
+from repro.crawler.robots import RobotsPolicy, parse_robots_txt
+from repro.crawler.vpn import VantagePoint
+
+
+class VirtualClock:
+    """A simulated clock advanced by recorded latencies instead of sleeping."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+
+@dataclass
+class CrawlSession:
+    """A fetcher bound to a vantage point, with robots caching.
+
+    Attributes:
+        fetcher: The underlying fetcher.
+        vantage: The VPN exit (or cloud vantage) this session crawls from.
+        clock: The session's virtual clock, advanced by response latencies.
+        respect_robots: Whether to consult robots.txt before page fetches.
+    """
+
+    fetcher: Fetcher
+    vantage: VantagePoint
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    respect_robots: bool = True
+    _robots_cache: dict[str, RobotsPolicy] = field(default_factory=dict)
+
+    def _robots_for(self, url: URL) -> RobotsPolicy:
+        if url.host in self._robots_cache:
+            return self._robots_cache[url.host]
+        robots_url = url.with_path("/robots.txt")
+        policy = RobotsPolicy.allow_all()
+        try:
+            response = self.fetcher.fetch(robots_url,
+                                          client_country=self.vantage.country_code,
+                                          via_vpn=self.vantage.via_vpn)
+            if response.ok and response.body:
+                policy = parse_robots_txt(response.body)
+        except FetchError:
+            policy = RobotsPolicy.allow_all()
+        self._robots_cache[url.host] = policy
+        return policy
+
+    def allowed(self, url: URL | str) -> bool:
+        """Whether robots rules allow fetching ``url`` from this session."""
+        if not self.respect_robots:
+            return True
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        policy = self._robots_for(parsed)
+        return policy.can_fetch(self.fetcher.config.user_agent, parsed.path)
+
+    def fetch(self, url: URL | str) -> Response:
+        """Fetch ``url`` from this session's vantage, advancing the clock."""
+        response = self.fetcher.fetch(url,
+                                      client_country=self.vantage.country_code,
+                                      via_vpn=self.vantage.via_vpn)
+        self.clock.advance(response.elapsed_ms / 1000.0)
+        return response

@@ -1,0 +1,37 @@
+"""HTML and DOM substrate.
+
+The paper crawls pages with Puppeteer and reads two things from the rendered
+DOM: the *visible text* of the page and the *accessibility metadata* attached
+to elements (``alt``, ``aria-label``, ``<label>``, titles...).  This
+subpackage provides a static equivalent:
+
+* :mod:`repro.html.dom` — a lightweight DOM: :class:`Element`, :class:`TextNode`
+  and :class:`Document` with traversal and query helpers.
+* :mod:`repro.html.parser` — an error-tolerant HTML parser built on the
+  standard library's ``html.parser`` that produces that DOM.
+* :mod:`repro.html.visibility` — visible-text extraction honouring
+  ``<script>``/``<style>``, ``hidden``, ``aria-hidden`` and inline
+  ``display:none`` / ``visibility:hidden`` styles.
+* :mod:`repro.html.accessibility` — accessible-name computation following the
+  precedence rules screen readers use (``aria-labelledby``, ``aria-label``,
+  native markup such as ``alt`` or ``<label>``, then visible text).
+* :mod:`repro.html.selectors` — a small CSS-like selector engine used by the
+  audit rules.
+"""
+
+from repro.html.dom import Document, Element, Node, TextNode
+from repro.html.parser import parse_html
+from repro.html.visibility import extract_visible_text, is_visible
+from repro.html.accessibility import accessible_name, AccessibleNameResult
+
+__all__ = [
+    "Document",
+    "Element",
+    "Node",
+    "TextNode",
+    "parse_html",
+    "extract_visible_text",
+    "is_visible",
+    "accessible_name",
+    "AccessibleNameResult",
+]

@@ -1,0 +1,296 @@
+"""A lightweight DOM for crawled pages.
+
+The model intentionally covers only what the measurement pipeline needs:
+elements with attributes, text nodes, parent/child links, traversal, and a
+handful of query helpers.  It does not attempt CSS cascade, layout or
+JavaScript execution — the visible-text rules in
+:mod:`repro.html.visibility` approximate the rendering decisions that matter
+for this study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+
+#: Elements that never contribute rendered text.
+NON_RENDERED_TAGS = frozenset({
+    "script", "style", "template", "noscript", "head", "meta", "link", "title",
+})
+
+#: Void (self-closing) HTML elements, needed by the parser and serializer.
+VOID_TAGS = frozenset({
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link",
+    "meta", "param", "source", "track", "wbr",
+})
+
+
+class Node:
+    """Base class for DOM nodes."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: "Element | None" = None
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield ancestors from the immediate parent up to the root."""
+        current = self.parent
+        while current is not None:
+            yield current
+            current = current.parent
+
+
+class TextNode(Node):
+    """A run of character data."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.text if len(self.text) <= 30 else self.text[:27] + "..."
+        return f"TextNode({preview!r})"
+
+
+class Element(Node):
+    """An HTML element with attributes and children."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str, attributes: Mapping[str, str] | None = None) -> None:
+        super().__init__()
+        self.tag = tag.lower()
+        self.attributes: dict[str, str] = {k.lower(): v for k, v in (attributes or {}).items()}
+        self.children: list[Node] = []
+
+    # -- tree construction -------------------------------------------------
+
+    def append(self, node: Node) -> Node:
+        """Append ``node`` as the last child and return it."""
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def append_text(self, text: str) -> TextNode:
+        """Append a text node (convenience for generators and tests)."""
+        text_node = TextNode(text)
+        return self.append(text_node)  # type: ignore[return-value]
+
+    # -- attributes --------------------------------------------------------
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Attribute value by (case-insensitive) name."""
+        return self.attributes.get(name.lower(), default)
+
+    def has_attr(self, name: str) -> bool:
+        return name.lower() in self.attributes
+
+    def set(self, name: str, value: str) -> None:
+        self.attributes[name.lower()] = value
+
+    @property
+    def id(self) -> str | None:
+        return self.get("id")
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        return tuple(self.get("class", "").split())
+
+    @property
+    def role(self) -> str | None:
+        """Explicit ARIA role, lowercased, or ``None``."""
+        role = self.get("role")
+        return role.strip().lower() if role else None
+
+    # -- traversal ---------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over this element and descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Depth-first pre-order iteration over all nodes, including text."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter_nodes()
+            else:
+                yield child
+
+    def find_all(self, tag: str | None = None, *,
+                 predicate: Callable[["Element"], bool] | None = None) -> list["Element"]:
+        """All descendant elements (excluding self) matching tag/predicate."""
+        results = []
+        for element in self.iter():
+            if element is self:
+                continue
+            if tag is not None and element.tag != tag.lower():
+                continue
+            if predicate is not None and not predicate(element):
+                continue
+            results.append(element)
+        return results
+
+    def find(self, tag: str | None = None, *,
+             predicate: Callable[["Element"], bool] | None = None) -> "Element | None":
+        """First matching descendant, or ``None``."""
+        matches = self.find_all(tag, predicate=predicate)
+        return matches[0] if matches else None
+
+    def child_elements(self) -> list["Element"]:
+        return [child for child in self.children if isinstance(child, Element)]
+
+    # -- text --------------------------------------------------------------
+
+    def text_content(self) -> str:
+        """Concatenated character data of all descendant text nodes.
+
+        Unlike visible-text extraction this includes text inside hidden
+        elements; it corresponds to the DOM ``textContent`` property.
+        """
+        parts: list[str] = []
+        self._collect_text(parts)
+        return "".join(parts)
+
+    def _collect_text(self, parts: list[str]) -> None:
+        for child in self.children:
+            if isinstance(child, TextNode):
+                parts.append(child.text)
+            elif isinstance(child, Element):
+                child._collect_text(parts)
+
+    def own_text(self) -> str:
+        """Character data of direct text-node children only."""
+        return "".join(child.text for child in self.children if isinstance(child, TextNode))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_html(self) -> str:
+        """Serialize the subtree back to HTML (used by the page generator)."""
+        attrs = "".join(
+            f' {name}' if value == "" and name in _BOOLEAN_ATTRS else f' {name}="{_escape(value)}"'
+            for name, value in self.attributes.items()
+        )
+        if self.tag in VOID_TAGS:
+            return f"<{self.tag}{attrs}>"
+        inner = "".join(
+            child.to_html() if isinstance(child, Element) else _escape_text(child.text)
+            for child in self.children
+        )
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ident = f"#{self.id}" if self.id else ""
+        return f"<Element {self.tag}{ident} children={len(self.children)}>"
+
+
+_BOOLEAN_ATTRS = frozenset({"hidden", "disabled", "checked", "required", "multiple", "selected"})
+
+
+def _escape(value: str) -> str:
+    return value.replace("&", "&amp;").replace('"', "&quot;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+@dataclass
+class Document:
+    """A parsed HTML document.
+
+    Attributes:
+        root: The root ``<html>`` element (synthesised if the source lacked
+            one).
+        url: The URL the document was fetched from, when known.
+    """
+
+    root: Element
+    url: str | None = None
+    _id_index: dict[str, Element] | None = field(default=None, repr=False, compare=False)
+
+    # -- document-level accessors -------------------------------------------
+
+    @property
+    def html_lang(self) -> str | None:
+        """The declared document language (the ``lang`` attribute on ``<html>``)."""
+        lang = self.root.get("lang")
+        return lang.strip() if lang else None
+
+    @property
+    def head(self) -> Element | None:
+        return next((el for el in self.root.child_elements() if el.tag == "head"), None)
+
+    @property
+    def body(self) -> Element | None:
+        return next((el for el in self.root.child_elements() if el.tag == "body"), None)
+
+    @property
+    def title(self) -> str | None:
+        """Text of the ``<title>`` element, stripped, or ``None`` when absent."""
+        head = self.head
+        scope = head if head is not None else self.root
+        title = scope.find("title")
+        if title is None:
+            title = self.root.find("title")
+        if title is None:
+            return None
+        return title.text_content().strip()
+
+    # -- queries -------------------------------------------------------------
+
+    def iter_elements(self) -> Iterator[Element]:
+        yield from self.root.iter()
+
+    def find_all(self, tag: str | None = None, *,
+                 predicate: Callable[[Element], bool] | None = None) -> list[Element]:
+        results = self.root.find_all(tag, predicate=predicate)
+        # Include the root itself when it matches; find_all excludes self.
+        if tag is not None and self.root.tag == tag.lower():
+            if predicate is None or predicate(self.root):
+                results.insert(0, self.root)
+        return results
+
+    def get_element_by_id(self, element_id: str) -> Element | None:
+        """Look up an element by its ``id`` attribute (index built lazily)."""
+        if self._id_index is None:
+            self._id_index = {}
+            for element in self.root.iter():
+                identifier = element.id
+                if identifier and identifier not in self._id_index:
+                    self._id_index[identifier] = element
+        return self._id_index.get(element_id)
+
+    def invalidate_indexes(self) -> None:
+        """Drop cached indexes after a mutation (generators mutate documents)."""
+        self._id_index = None
+
+    def to_html(self) -> str:
+        """Serialize the whole document, including a doctype."""
+        return "<!DOCTYPE html>" + self.root.to_html()
+
+
+def new_document(lang: str | None = None, title: str | None = None,
+                 url: str | None = None) -> Document:
+    """Create an empty document with ``<head>`` and ``<body>`` scaffolding.
+
+    Used by the synthetic page generator and by tests that build isolated
+    single-element pages (the Appendix D experiment).
+    """
+    root = Element("html", {"lang": lang} if lang else None)
+    head = Element("head")
+    body = Element("body")
+    root.append(head)
+    root.append(body)
+    if title is not None:
+        title_el = Element("title")
+        title_el.append_text(title)
+        head.append(title_el)
+    return Document(root=root, url=url)

@@ -1,0 +1,162 @@
+"""Error-tolerant HTML parsing into the :mod:`repro.html.dom` model.
+
+Built on the standard library's ``html.parser.HTMLParser``.  Real-world pages
+are messy — unclosed tags, stray end tags, implicit ``<html>``/``<body>`` —
+so the builder follows a small subset of the HTML5 tree-construction rules:
+
+* missing ``<html>``, ``<head>`` and ``<body>`` elements are synthesised;
+* an end tag closes the nearest matching open element, implicitly closing
+  anything opened after it;
+* an end tag with no matching open element is ignored;
+* ``<p>`` and ``<li>`` elements are implicitly closed by a new sibling of the
+  same kind, the most common source of mis-nesting on the pages this study
+  crawls;
+* void elements (``<img>``, ``<br>``, ...) never stay on the open stack.
+
+This is not a full HTML5 parser, but it is deterministic, dependency-free and
+robust enough for both the synthetic corpus and hand-written fixtures.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+from repro.html.dom import Document, Element, TextNode, VOID_TAGS
+
+
+#: Tags that implicitly close a previous unclosed sibling of the same tag.
+_SELF_CLOSING_SIBLINGS = frozenset({"p", "li", "option", "tr", "td", "th", "dt", "dd"})
+
+#: Raw-text elements whose content must not be interpreted as markup.
+_RAW_TEXT_TAGS = frozenset({"script", "style"})
+
+
+class _TreeBuilder(HTMLParser):
+    """Internal ``HTMLParser`` subclass that builds an Element tree."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = Element("html")
+        self._stack: list[Element] = [self.root]
+        self._saw_explicit_html = False
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def _current(self) -> Element:
+        return self._stack[-1]
+
+    def _open(self, element: Element) -> None:
+        self._current.append(element)
+        if element.tag not in VOID_TAGS:
+            self._stack.append(element)
+
+    def _close_until(self, tag: str) -> bool:
+        """Close open elements up to and including ``tag``.
+
+        Returns ``False`` (and closes nothing) when ``tag`` is not open.
+        """
+        for index in range(len(self._stack) - 1, 0, -1):
+            if self._stack[index].tag == tag:
+                del self._stack[index:]
+                return True
+        return False
+
+    # -- HTMLParser callbacks ------------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        tag = tag.lower()
+        attributes = {name: (value if value is not None else "") for name, value in attrs}
+
+        if tag == "html":
+            # Merge attributes (notably ``lang``) onto the synthesised root
+            # instead of nesting a second <html> element.
+            self._saw_explicit_html = True
+            for name, value in attributes.items():
+                self.root.set(name, value)
+            return
+
+        if tag in _SELF_CLOSING_SIBLINGS and self._current.tag == tag:
+            self._stack.pop()
+
+        self._open(Element(tag, attributes))
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        tag = tag.lower()
+        if tag == "html":
+            return
+        attributes = {name: (value if value is not None else "") for name, value in attrs}
+        element = Element(tag, attributes)
+        self._current.append(element)
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag == "html":
+            return
+        if tag in VOID_TAGS:
+            return
+        self._close_until(tag)
+
+    def handle_data(self, data: str) -> None:
+        if not data:
+            return
+        # Inside <script>/<style>, keep the text attached (so that the
+        # visibility rules can skip it) but never interpret it as markup;
+        # HTMLParser already handles CDATA content modes for these tags.
+        self._current.append(TextNode(data))
+
+    def handle_comment(self, data: str) -> None:
+        # Comments carry no accessibility signal; drop them.
+        return
+
+    def handle_decl(self, decl: str) -> None:
+        return
+
+
+def _ensure_head_and_body(root: Element) -> None:
+    """Normalise the tree so that ``<head>`` and ``<body>`` exist and wrap content.
+
+    Content parsed directly under ``<html>`` is moved into ``<body>`` unless
+    it is head-only metadata (``<title>``, ``<meta>``, ``<link>``, ...), which
+    goes into ``<head>``.
+    """
+    head_only = {"title", "meta", "link", "base", "style"}
+    head = next((el for el in root.child_elements() if el.tag == "head"), None)
+    body = next((el for el in root.child_elements() if el.tag == "body"), None)
+
+    if head is None:
+        head = Element("head")
+        head.parent = root
+    if body is None:
+        body = Element("body")
+        body.parent = root
+
+    reassigned: list = []
+    for child in root.children:
+        if child is head or child is body:
+            continue
+        if isinstance(child, Element) and child.tag in head_only:
+            head.append(child)
+        else:
+            body.append(child)
+        reassigned.append(child)
+
+    root.children = [head, body]
+
+
+def parse_html(markup: str, url: str | None = None) -> Document:
+    """Parse ``markup`` into a :class:`~repro.html.dom.Document`.
+
+    Args:
+        markup: The HTML source.  Malformed input never raises; the parser
+            recovers using the rules described in the module docstring.
+        url: Optional source URL recorded on the document.
+
+    Returns:
+        The parsed document with guaranteed ``<head>`` and ``<body>``.
+    """
+    builder = _TreeBuilder()
+    builder.feed(markup)
+    builder.close()
+    _ensure_head_and_body(builder.root)
+    return Document(root=builder.root, url=url)

@@ -1,0 +1,154 @@
+"""A small CSS-like selector engine.
+
+The audit rules and the extraction pipeline select elements by tag, id,
+class, attribute presence/value and simple combinations thereof.  A full CSS
+selector implementation is unnecessary; this engine supports the grammar the
+library actually uses:
+
+* ``tag`` — element type, e.g. ``img``;
+* ``#id`` — id match;
+* ``.class`` — class match;
+* ``[attr]`` / ``[attr=value]`` — attribute presence / exact value;
+* compound simple selectors, e.g. ``input[type=image]``;
+* comma-separated selector lists, e.g. ``button, [role=button]``;
+* descendant combinator with a single space, e.g. ``form input``.
+
+Anything else raises :class:`SelectorError` at parse time so that typos in
+rule definitions fail loudly rather than silently matching nothing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.html.dom import Document, Element
+
+
+class SelectorError(ValueError):
+    """Raised for selector syntax this engine does not support."""
+
+
+_SIMPLE_PART_RE = re.compile(
+    r"""
+    (?P<tag>[a-zA-Z][\w-]*)            |
+    \#(?P<id>[\w-]+)                   |
+    \.(?P<cls>[\w-]+)                  |
+    \[(?P<attr>[\w-]+)(=(?P<quote>["']?)(?P<value>[^\]"']*)(?P=quote))?\]
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class SimpleSelector:
+    """A compound simple selector: tag + id + classes + attribute tests."""
+
+    tag: str | None = None
+    element_id: str | None = None
+    classes: tuple[str, ...] = ()
+    attributes: tuple[tuple[str, str | None], ...] = ()
+
+    def matches(self, element: Element) -> bool:
+        if self.tag is not None and element.tag != self.tag:
+            return False
+        if self.element_id is not None and element.id != self.element_id:
+            return False
+        if self.classes and not set(self.classes).issubset(element.classes):
+            return False
+        for name, expected in self.attributes:
+            if not element.has_attr(name):
+                return False
+            if expected is not None and (element.get(name) or "") != expected:
+                return False
+        return True
+
+
+@dataclass
+class CompoundSelector:
+    """A descendant chain of simple selectors (``form input`` has two parts)."""
+
+    parts: tuple[SimpleSelector, ...] = field(default_factory=tuple)
+
+    def matches(self, element: Element) -> bool:
+        if not self.parts:
+            return False
+        if not self.parts[-1].matches(element):
+            return False
+        # Walk ancestors for the remaining parts, right to left.
+        remaining = list(self.parts[:-1])
+        current = element.parent
+        while remaining and current is not None:
+            if remaining[-1].matches(current):
+                remaining.pop()
+            current = current.parent
+        return not remaining
+
+
+def _parse_simple(token: str) -> SimpleSelector:
+    position = 0
+    tag: str | None = None
+    element_id: str | None = None
+    classes: list[str] = []
+    attributes: list[tuple[str, str | None]] = []
+    while position < len(token):
+        match = _SIMPLE_PART_RE.match(token, position)
+        if match is None:
+            raise SelectorError(f"unsupported selector syntax at {token[position:]!r}")
+        if match.group("tag"):
+            if tag is not None:
+                raise SelectorError(f"two element types in selector {token!r}")
+            tag = match.group("tag").lower()
+        elif match.group("id"):
+            element_id = match.group("id")
+        elif match.group("cls"):
+            classes.append(match.group("cls"))
+        elif match.group("attr"):
+            value = match.group("value")
+            attributes.append((match.group("attr").lower(), value if value is not None else None))
+        position = match.end()
+    return SimpleSelector(
+        tag=tag,
+        element_id=element_id,
+        classes=tuple(classes),
+        attributes=tuple(attributes),
+    )
+
+
+def parse_selector(selector: str) -> list[CompoundSelector]:
+    """Parse a selector list into compound selectors.
+
+    Raises:
+        SelectorError: On empty input or unsupported syntax.
+    """
+    selector = selector.strip()
+    if not selector:
+        raise SelectorError("empty selector")
+    compounds: list[CompoundSelector] = []
+    for alternative in selector.split(","):
+        alternative = alternative.strip()
+        if not alternative:
+            raise SelectorError(f"empty alternative in selector list {selector!r}")
+        parts = tuple(_parse_simple(token) for token in alternative.split())
+        compounds.append(CompoundSelector(parts=parts))
+    return compounds
+
+
+def matches(element: Element, selector: str) -> bool:
+    """Whether ``element`` matches ``selector`` (any alternative)."""
+    return any(compound.matches(element) for compound in parse_selector(selector))
+
+
+def select(root: Document | Element, selector: str) -> list[Element]:
+    """All elements under ``root`` (inclusive) matching ``selector``.
+
+    Results are returned in document order without duplicates, even when an
+    element matches several alternatives of a selector list.
+    """
+    compounds = parse_selector(selector)
+    scope = root.root if isinstance(root, Document) else root
+    results: list[Element] = []
+    for element in scope.iter():
+        if any(compound.matches(element) for compound in compounds):
+            results.append(element)
+    return results

@@ -1,0 +1,119 @@
+"""Visible-text extraction.
+
+The paper's 50% inclusion criterion and the visible-vs-accessibility mismatch
+analysis both operate on the *visible* text of a page: what a sighted user
+sees rendered.  Since this reproduction does not run a browser, visibility is
+approximated with static rules that cover the cases that actually occur in
+the synthetic corpus and the overwhelming majority of real pages:
+
+* content of non-rendered elements (``<script>``, ``<style>``, ``<head>``,
+  ``<template>``, ``<noscript>``) is invisible;
+* elements carrying the ``hidden`` attribute or ``aria-hidden="true"`` are
+  invisible, along with their subtree;
+* inline styles containing ``display:none`` or ``visibility:hidden`` hide the
+  subtree;
+* ``<input type=hidden>`` is invisible;
+* attribute values (``alt``, ``aria-label``, ``title`` ...) are *not* visible
+  text — they are accessibility metadata and are handled separately by
+  :mod:`repro.core.extraction`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.html.dom import Document, Element, Node, NON_RENDERED_TAGS, TextNode
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_DISPLAY_NONE_RE = re.compile(r"display\s*:\s*none", re.IGNORECASE)
+_VISIBILITY_HIDDEN_RE = re.compile(r"visibility\s*:\s*hidden", re.IGNORECASE)
+
+#: Elements rendered as blocks: their text does not run together with the
+#: text of adjacent elements, so extraction inserts a separator around them.
+_BLOCK_TAGS = frozenset({
+    "p", "div", "section", "article", "aside", "header", "footer", "main",
+    "nav", "h1", "h2", "h3", "h4", "h5", "h6", "ul", "ol", "li", "table",
+    "tr", "td", "th", "form", "fieldset", "figure", "figcaption", "details",
+    "summary", "blockquote", "pre", "br", "hr", "option", "select", "button",
+    "label",
+})
+
+
+def _style_hides(element: Element) -> bool:
+    style = element.get("style")
+    if not style:
+        return False
+    return bool(_DISPLAY_NONE_RE.search(style) or _VISIBILITY_HIDDEN_RE.search(style))
+
+
+def _element_hidden(element: Element) -> bool:
+    """Whether this element (ignoring ancestors) hides its subtree."""
+    if element.tag in NON_RENDERED_TAGS:
+        return True
+    if element.has_attr("hidden"):
+        return True
+    if (element.get("aria-hidden") or "").strip().lower() == "true":
+        return True
+    if element.tag == "input" and (element.get("type") or "").lower() == "hidden":
+        return True
+    return _style_hides(element)
+
+
+def is_visible(node: Node) -> bool:
+    """Whether ``node`` (an element or text node) is rendered.
+
+    A node is visible when neither it nor any of its ancestors hides its
+    subtree.  The document root is always considered visible.
+    """
+    element = node if isinstance(node, Element) else node.parent
+    while element is not None:
+        if _element_hidden(element):
+            return False
+        element = element.parent
+    return True
+
+
+def _collect_visible_text(element: Element, parts: list[str]) -> None:
+    if _element_hidden(element):
+        return
+    for child in element.children:
+        if isinstance(child, TextNode):
+            parts.append(child.text)
+        elif isinstance(child, Element):
+            is_block = child.tag in _BLOCK_TAGS
+            if is_block:
+                parts.append(" ")
+            _collect_visible_text(child, parts)
+            if is_block:
+                parts.append(" ")
+
+
+def extract_visible_text(document: Document | Element, *, normalize: bool = True) -> str:
+    """Extract the visible text of a document or subtree.
+
+    Args:
+        document: A :class:`Document` or an :class:`Element` subtree root.
+        normalize: When true (default), runs of whitespace collapse to single
+            spaces and the result is stripped, mirroring how rendered text is
+            perceived.
+
+    Returns:
+        The visible text.  Empty string when nothing is visible.
+    """
+    root = document.root if isinstance(document, Document) else document
+    parts: list[str] = []
+    _collect_visible_text(root, parts)
+    text = "".join(parts)
+    if normalize:
+        text = _WHITESPACE_RE.sub(" ", text).strip()
+    return text
+
+
+def visible_text_of(element: Element, *, normalize: bool = True) -> str:
+    """Visible text of a single element's subtree (alias used by audit rules)."""
+    return extract_visible_text(element, normalize=normalize)
+
+
+def visible_text_length(document: Document | Element) -> int:
+    """Length in characters of the (normalised) visible text."""
+    return len(extract_visible_text(document))

@@ -1,0 +1,43 @@
+"""Language identification substrate.
+
+The paper validates language presence with "a Unicode-based heuristic that
+matches visible text content against script-specific character ranges"
+(Section 2, *Website Selection*).  This subpackage implements that heuristic
+from scratch:
+
+* :mod:`repro.langid.scripts` — Unicode script ranges and per-character
+  script classification.
+* :mod:`repro.langid.languages` — the registry of candidate languages (the
+  pool of 26 plus the final 12 language–country pairs), their scripts and
+  speaker populations.
+* :mod:`repro.langid.detector` — script-proportion detection over a text,
+  with the language-specific refinements the paper mentions (e.g. separating
+  Urdu from Arabic via additional characters).
+* :mod:`repro.langid.ngram` — a character n-gram classifier used to
+  disambiguate Latin-script text (English vs. romanised content).
+* :mod:`repro.langid.classify` — the native / English / mixed classification
+  used for accessibility texts (Figure 4).
+"""
+
+from repro.langid.scripts import Script, script_of, script_histogram
+from repro.langid.languages import Language, LANGUAGES, LANGCRUX_PAIRS, LanguageCountryPair
+from repro.langid.detector import ScriptDetector, LanguageShare, detect_language_mix
+from repro.langid.ngram import NGramModel, NGramClassifier
+from repro.langid.classify import TextLanguageClass, classify_text_language
+
+__all__ = [
+    "Script",
+    "script_of",
+    "script_histogram",
+    "Language",
+    "LANGUAGES",
+    "LANGCRUX_PAIRS",
+    "LanguageCountryPair",
+    "ScriptDetector",
+    "LanguageShare",
+    "detect_language_mix",
+    "NGramModel",
+    "NGramClassifier",
+    "TextLanguageClass",
+    "classify_text_language",
+]

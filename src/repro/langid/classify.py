@@ -1,0 +1,111 @@
+"""Native / English / mixed classification of accessibility texts.
+
+Figure 4 of the paper reports, per country, the proportion of informative
+accessibility texts written in the native language, in English, or in a mix
+of both.  This module implements that three-way classification for short
+strings such as ``alt`` attributes, ``aria-label`` values and form labels.
+
+The classification is deliberately simple and mirrors the paper's character
+based methodology: a text is *native* when essentially all of its textual
+characters are in the target language's script, *english* when essentially
+all are Latin, and *mixed* when both contribute a non-trivial share.  Texts
+whose characters belong predominantly to a third script are reported as
+*other*, and texts with no textual characters at all as *empty*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.langid.detector import LanguageShare, ScriptDetector
+from repro.langid.languages import Language
+
+
+class TextLanguageClass(str, enum.Enum):
+    """Outcome of the native/English/mixed classification."""
+
+    NATIVE = "native"
+    ENGLISH = "english"
+    MIXED = "mixed"
+    OTHER = "other"
+    EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """Tunable thresholds of the classifier.
+
+    Attributes:
+        dominance: Minimum share for a single language to claim the text
+            outright (default 0.9, i.e. "essentially all").
+        mix_floor: Minimum share each of native and English must reach for
+            the text to count as mixed (default 0.1); below this the minority
+            script is treated as incidental (e.g. a single Latin brand name
+            inside an otherwise native label).
+    """
+
+    dominance: float = 0.90
+    mix_floor: float = 0.10
+
+
+DEFAULT_THRESHOLDS = ClassificationThresholds()
+
+
+def classify_share(share: LanguageShare,
+                   thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS) -> TextLanguageClass:
+    """Classify a precomputed :class:`LanguageShare`."""
+    if share.is_empty:
+        return TextLanguageClass.EMPTY
+    if share.native >= thresholds.dominance:
+        return TextLanguageClass.NATIVE
+    if share.english >= thresholds.dominance:
+        return TextLanguageClass.ENGLISH
+    if share.other > max(share.native, share.english):
+        return TextLanguageClass.OTHER
+    if share.native >= thresholds.mix_floor and share.english >= thresholds.mix_floor:
+        return TextLanguageClass.MIXED
+    # Neither language dominates and the minority share is incidental:
+    # attribute the text to whichever of native/English is larger.
+    if share.native >= share.english:
+        return TextLanguageClass.NATIVE
+    return TextLanguageClass.ENGLISH
+
+
+def classify_text_language(text: str, language: Language | str,
+                           thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS
+                           ) -> TextLanguageClass:
+    """Classify ``text`` as native / english / mixed for the target ``language``.
+
+    This is the per-string primitive behind Figure 4 (language distribution
+    of informative accessibility texts) and behind the Kizuki audit check.
+    """
+    share = ScriptDetector(language).share(text)
+    return classify_share(share, thresholds)
+
+
+def is_language_consistent(accessibility_text: str, page_language: Language | str,
+                           page_native_share: float,
+                           thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS) -> bool:
+    """Decide whether an accessibility text matches the page's visible language.
+
+    Kizuki's rule: when the page's visible content is predominantly in the
+    native language (``page_native_share`` at or above 50%), accessibility
+    text should contain the native language too — either fully native or
+    mixed.  For pages whose visible content is not predominantly native, any
+    non-empty text is considered consistent (the base Lighthouse behaviour).
+
+    Args:
+        accessibility_text: The candidate ``alt``/label text.
+        page_language: The country's target language.
+        page_native_share: Fraction of the page's visible text in the native
+            language.
+        thresholds: Classification thresholds.
+
+    Returns:
+        ``True`` when the text is consistent with the visible language.
+    """
+    if page_native_share < 0.5:
+        return bool(accessibility_text.strip())
+    outcome = classify_text_language(accessibility_text, page_language, thresholds)
+    return outcome in (TextLanguageClass.NATIVE, TextLanguageClass.MIXED)

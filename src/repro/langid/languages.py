@@ -1,0 +1,197 @@
+"""Language and country registry.
+
+The paper starts from "a pool of 26 widely spoken non-Latin-script languages"
+and narrows it to twelve language–country pairs using two inclusion criteria:
+
+1. at least 10,000 websites with 50% or more visible textual content in the
+   target language, and
+2. inclusion in the CrUX dataset with sufficient traffic.
+
+This module records the candidate pool, the final pairs (with the speaker
+populations the paper cites) and the script mapping used by the detector.
+The registry is consumed by :mod:`repro.core.selection`, which re-runs the
+selection procedure over the synthetic web, and by the report generators that
+label countries with their ISO-3166 alpha-2 code (``bd``, ``cn``, ...), the
+identifiers the paper uses on its figure axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.langid.scripts import Script
+
+
+@dataclass(frozen=True)
+class Language:
+    """A natural language considered by the study.
+
+    Attributes:
+        code: BCP-47-ish lowercase identifier (``hi``, ``bn``, ``ar`` ...).
+        name: English display name.
+        scripts: Scripts in which the language is commonly written.  The
+            first entry is the primary script used for detection.
+        speakers_millions: Approximate global speaker population in millions,
+            as cited by the paper (Section 2) or, for pool-only languages,
+            by its reference [6].
+        specific_chars: Characters that discriminate this language from other
+            languages sharing the same primary script (the paper's
+            Urdu-vs-Arabic refinement).
+    """
+
+    code: str
+    name: str
+    scripts: tuple[Script, ...]
+    speakers_millions: float
+    specific_chars: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def primary_script(self) -> Script:
+        return self.scripts[0]
+
+    def is_cjk(self) -> bool:
+        """True when the language is written in a space-less CJK script."""
+        return self.primary_script.is_cjk()
+
+
+@dataclass(frozen=True)
+class LanguageCountryPair:
+    """A (language, country) pair as used throughout the paper's figures.
+
+    Attributes:
+        country_code: ISO-3166 alpha-2 lowercase country code; this is the
+            identifier the paper uses on figure axes (``bd``, ``cn``, ``dz``,
+            ``eg``, ``gr``, ``hk``, ``il``, ``in``, ``jp``, ``kr``, ``ru``,
+            ``th``).
+        country_name: English country name.
+        language: The target :class:`Language`.
+        in_langcrux: Whether the pair survives the paper's inclusion criteria
+            and is part of the final 12-pair LangCrUX dataset.
+    """
+
+    country_code: str
+    country_name: str
+    language: Language
+    in_langcrux: bool = True
+
+
+def _lang(code: str, name: str, scripts: tuple[Script, ...], speakers: float,
+          specific: str = "") -> Language:
+    return Language(
+        code=code,
+        name=name,
+        scripts=scripts,
+        speakers_millions=speakers,
+        specific_chars=frozenset(specific),
+    )
+
+
+# The candidate pool.  Speaker counts for the twelve selected languages are
+# the numbers quoted in Section 2 of the paper; the remaining pool members use
+# commonly cited totals (they only matter for ordering in the selection step).
+MANDARIN = _lang("zh", "Mandarin Chinese", (Script.HAN, Script.BOPOMOFO), 1200.0)
+HINDI = _lang("hi", "Hindi", (Script.DEVANAGARI,), 609.0)
+MSA = _lang("ar", "Modern Standard Arabic", (Script.ARABIC,), 335.0)
+BANGLA = _lang("bn", "Bangla", (Script.BENGALI,), 284.0)
+RUSSIAN = _lang("ru", "Russian", (Script.CYRILLIC,), 253.0)
+JAPANESE = _lang("ja", "Japanese", (Script.HIRAGANA, Script.KATAKANA, Script.HAN), 126.0)
+EGYPTIAN_ARABIC = _lang("arz", "Egyptian Arabic", (Script.ARABIC,), 119.0)
+CANTONESE = _lang("yue", "Cantonese", (Script.HAN,), 85.5)
+KOREAN = _lang("ko", "Korean", (Script.HANGUL,), 82.0)
+THAI = _lang("th", "Thai", (Script.THAI,), 71.0)
+GREEK = _lang("el", "Greek", (Script.GREEK,), 13.5)
+HEBREW = _lang("he", "Hebrew", (Script.HEBREW,), 9.0)
+
+URDU = _lang("ur", "Urdu", (Script.ARABIC,), 232.0, "ٹڈڑںھہۂۃےۓ")
+TAMIL = _lang("ta", "Tamil", (Script.TAMIL,), 87.0)
+TELUGU = _lang("te", "Telugu", (Script.TELUGU,), 96.0)
+MARATHI = _lang("mr", "Marathi", (Script.DEVANAGARI,), 99.0)
+AMHARIC = _lang("am", "Amharic", (Script.ETHIOPIC,), 60.0)
+BURMESE = _lang("my", "Burmese", (Script.MYANMAR,), 43.0)
+SINHALA = _lang("si", "Sinhala", (Script.SINHALA,), 17.0)
+GEORGIAN = _lang("ka", "Georgian", (Script.GEORGIAN,), 3.7)
+PUNJABI = _lang("pa", "Punjabi", (Script.GURMUKHI,), 113.0)
+GUJARATI = _lang("gu", "Gujarati", (Script.GUJARATI,), 62.0)
+KANNADA = _lang("kn", "Kannada", (Script.KANNADA,), 59.0)
+MALAYALAM = _lang("ml", "Malayalam", (Script.MALAYALAM,), 37.0)
+PERSIAN = _lang("fa", "Persian", (Script.ARABIC,), 79.0, "پچژگ")
+VIETNAMESE_LATIN = _lang("vi", "Vietnamese", (Script.LATIN,), 86.0)
+ENGLISH = _lang("en", "English", (Script.LATIN,), 1500.0)
+
+#: The candidate pool of non-Latin-script languages (the paper's "pool of 26",
+#: here the members that matter for the selection procedure plus the later
+#: additions Hebrew, Sinhala, Greek and Burmese).
+LANGUAGE_POOL: tuple[Language, ...] = (
+    MANDARIN, HINDI, MSA, BANGLA, RUSSIAN, JAPANESE, EGYPTIAN_ARABIC,
+    CANTONESE, KOREAN, THAI, GREEK, HEBREW, URDU, TAMIL, TELUGU, MARATHI,
+    AMHARIC, BURMESE, SINHALA, GEORGIAN, PUNJABI, GUJARATI, KANNADA,
+    MALAYALAM, PERSIAN,
+)
+
+#: All languages known to the library, including English which is needed for
+#: the native/English/mixed classification.
+LANGUAGES: dict[str, Language] = {lang.code: lang for lang in LANGUAGE_POOL + (ENGLISH, VIETNAMESE_LATIN)}
+
+
+#: The twelve language–country pairs forming LangCrUX (Section 2).
+LANGCRUX_PAIRS: tuple[LanguageCountryPair, ...] = (
+    LanguageCountryPair("cn", "China", MANDARIN),
+    LanguageCountryPair("in", "India", HINDI),
+    LanguageCountryPair("dz", "Algeria", MSA),
+    LanguageCountryPair("bd", "Bangladesh", BANGLA),
+    LanguageCountryPair("ru", "Russia", RUSSIAN),
+    LanguageCountryPair("jp", "Japan", JAPANESE),
+    LanguageCountryPair("eg", "Egypt", EGYPTIAN_ARABIC),
+    LanguageCountryPair("hk", "Hong Kong", CANTONESE),
+    LanguageCountryPair("kr", "South Korea", KOREAN),
+    LanguageCountryPair("th", "Thailand", THAI),
+    LanguageCountryPair("gr", "Greece", GREEK),
+    LanguageCountryPair("il", "Israel", HEBREW),
+)
+
+#: Candidate pairs that were considered but excluded because they fall short
+#: of the 10,000-website threshold (Section 2 mentions Tamil, Telugu, Sinhala
+#: and Georgian explicitly).
+EXCLUDED_PAIRS: tuple[LanguageCountryPair, ...] = (
+    LanguageCountryPair("in-ta", "India (Tamil)", TAMIL, in_langcrux=False),
+    LanguageCountryPair("in-te", "India (Telugu)", TELUGU, in_langcrux=False),
+    LanguageCountryPair("lk", "Sri Lanka", SINHALA, in_langcrux=False),
+    LanguageCountryPair("ge", "Georgia", GEORGIAN, in_langcrux=False),
+    LanguageCountryPair("pk", "Pakistan", URDU, in_langcrux=False),
+    LanguageCountryPair("et", "Ethiopia", AMHARIC, in_langcrux=False),
+    LanguageCountryPair("mm", "Myanmar", BURMESE, in_langcrux=False),
+)
+
+_PAIR_INDEX: dict[str, LanguageCountryPair] = {
+    pair.country_code: pair for pair in LANGCRUX_PAIRS + EXCLUDED_PAIRS
+}
+
+
+def get_language(code: str) -> Language:
+    """Look up a language by its code, raising ``KeyError`` when unknown."""
+    return LANGUAGES[code]
+
+
+def get_pair(country_code: str) -> LanguageCountryPair:
+    """Look up a language–country pair by its country code."""
+    return _PAIR_INDEX[country_code]
+
+
+def langcrux_country_codes() -> tuple[str, ...]:
+    """Country codes of the final 12 LangCrUX pairs, in paper order."""
+    return tuple(pair.country_code for pair in LANGCRUX_PAIRS)
+
+
+def total_speakers_millions(pairs: Iterable[LanguageCountryPair] = LANGCRUX_PAIRS) -> float:
+    """Total speaker population of the selected languages, in millions.
+
+    The paper reports roughly 3.19 billion speakers representing about 39.5%
+    of the global population for the 12 selected languages.
+    """
+    return sum(pair.language.speakers_millions for pair in pairs)
+
+
+def languages_for_script(script: Script) -> tuple[Language, ...]:
+    """All registered languages whose primary script is ``script``."""
+    return tuple(lang for lang in LANGUAGES.values() if lang.primary_script is script)

@@ -1,0 +1,172 @@
+"""Character n-gram language models.
+
+Script ranges cannot distinguish languages that share the Latin alphabet
+(English vs. romanised Hindi vs. French boilerplate), nor can they separate
+Japanese from Chinese when a snippet happens to contain only Han characters.
+For those cases the library provides a small character n-gram classifier in
+the style of Cavnar & Trenkle's rank-order profiles, trained on the built-in
+lexicons of :mod:`repro.webgen.lexicon`.
+
+The classifier is deliberately compact: the paper relies primarily on script
+detection, and the n-gram model is only consulted for Latin-script
+disambiguation and for the ablation benchmark comparing detection approaches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+def extract_ngrams(text: str, n_values: tuple[int, ...] = (1, 2, 3)) -> Counter[str]:
+    """Extract padded character n-grams from ``text``.
+
+    The text is lowercased and tokenised on whitespace; each token is padded
+    with underscores so that word-initial and word-final n-grams are distinct
+    from word-internal ones, which substantially improves short-string
+    classification.
+    """
+    grams: Counter[str] = Counter()
+    for token in text.lower().split():
+        padded = f"_{token}_"
+        for n in n_values:
+            if len(padded) < n:
+                continue
+            for i in range(len(padded) - n + 1):
+                grams[padded[i:i + n]] += 1
+    return grams
+
+
+@dataclass
+class NGramModel:
+    """A per-language n-gram frequency model with add-one smoothing.
+
+    Attributes:
+        language_code: Code of the language this model represents.
+        counts: Raw n-gram counts accumulated from training text.
+        total: Total number of n-grams observed (kept in sync with counts).
+    """
+
+    language_code: str
+    counts: Counter[str] = field(default_factory=Counter)
+    total: int = 0
+    n_values: tuple[int, ...] = (1, 2, 3)
+
+    def update(self, text: str) -> None:
+        """Accumulate the n-grams of ``text`` into the model."""
+        grams = extract_ngrams(text, self.n_values)
+        self.counts.update(grams)
+        self.total += sum(grams.values())
+
+    def log_probability(self, gram: str) -> float:
+        """Smoothed log-probability of a single n-gram under this model."""
+        vocabulary = max(len(self.counts), 1)
+        return math.log((self.counts.get(gram, 0) + 1) / (self.total + vocabulary))
+
+    def score(self, text: str) -> float:
+        """Average per-gram log-likelihood of ``text`` under this model.
+
+        Averaging (rather than summing) makes scores comparable across texts
+        of different lengths, which matters because accessibility strings are
+        often very short.
+        """
+        grams = extract_ngrams(text, self.n_values)
+        if not grams:
+            return float("-inf")
+        total = sum(grams.values())
+        log_likelihood = sum(count * self.log_probability(gram) for gram, count in grams.items())
+        return log_likelihood / total
+
+
+class NGramClassifier:
+    """Maximum-likelihood classifier over a set of :class:`NGramModel`.
+
+    Typical use::
+
+        classifier = NGramClassifier.train({
+            "en": ["the quick brown fox", ...],
+            "vi": ["xin chào thế giới", ...],
+        })
+        classifier.classify("hello world")   # -> "en"
+    """
+
+    def __init__(self, models: Mapping[str, NGramModel]) -> None:
+        if not models:
+            raise ValueError("NGramClassifier requires at least one model")
+        self._models = dict(models)
+
+    @classmethod
+    def train(cls, corpus: Mapping[str, Iterable[str]],
+              n_values: tuple[int, ...] = (1, 2, 3)) -> "NGramClassifier":
+        """Train one model per language from an in-memory corpus."""
+        models: dict[str, NGramModel] = {}
+        for code, texts in corpus.items():
+            model = NGramModel(language_code=code, n_values=n_values)
+            for text in texts:
+                model.update(text)
+            models[code] = model
+        return cls(models)
+
+    @property
+    def languages(self) -> tuple[str, ...]:
+        return tuple(sorted(self._models))
+
+    def scores(self, text: str) -> dict[str, float]:
+        """Per-language average log-likelihood of ``text``."""
+        return {code: model.score(text) for code, model in self._models.items()}
+
+    def classify(self, text: str) -> str | None:
+        """Return the best-scoring language code, or ``None`` for empty input.
+
+        Ties break lexicographically by language code for determinism.
+        """
+        if not text.strip():
+            return None
+        scored = self.scores(text)
+        best = max(sorted(scored), key=lambda code: scored[code])
+        if scored[best] == float("-inf"):
+            return None
+        return best
+
+    def confidence(self, text: str) -> tuple[str | None, float]:
+        """Return ``(language, margin)`` where margin is the log-likelihood gap.
+
+        The margin is the difference between the best and the second-best
+        score; 0.0 when fewer than two models are available or the input is
+        empty.  Callers can threshold on the margin to avoid committing to a
+        language for highly ambiguous strings.
+        """
+        best = self.classify(text)
+        if best is None:
+            return None, 0.0
+        scored = self.scores(text)
+        others = [score for code, score in scored.items() if code != best and score != float("-inf")]
+        if not others:
+            return best, 0.0
+        return best, scored[best] - max(others)
+
+
+# A tiny built-in English seed corpus.  The web generator's English lexicon is
+# richer, but a standalone seed keeps this module import-safe and usable
+# without the webgen subpackage (e.g. in the filtering rules, which only need
+# to recognise common English UI words).
+ENGLISH_SEED_TEXTS: tuple[str, ...] = (
+    "the quick brown fox jumps over the lazy dog",
+    "home about contact news sports business entertainment technology",
+    "sign in register subscribe search menu close next previous read more",
+    "privacy policy terms of service copyright all rights reserved",
+    "breaking news weather forecast today latest updates photo gallery video",
+    "add to cart checkout payment shipping delivery order track returns",
+    "login logout password username email address phone number submit cancel",
+    "download upload share like comment follow unfollow profile settings help",
+)
+
+
+def default_english_model() -> NGramModel:
+    """An English n-gram model trained on the built-in seed corpus."""
+    model = NGramModel(language_code="en")
+    for text in ENGLISH_SEED_TEXTS:
+        model.update(text)
+    return model

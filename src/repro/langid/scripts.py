@@ -1,0 +1,330 @@
+"""Unicode script classification.
+
+The paper's primary language-detection mechanism is a "Unicode-based heuristic
+that matches visible text content against script-specific character ranges
+(e.g., Devanagari for Hindi, Hangul for Korean, and Cyrillic for Russian)".
+This module implements that heuristic: it assigns a :class:`Script` to every
+character and provides aggregate script histograms over strings.
+
+The ranges below cover the scripts of the paper's candidate-language pool
+(26 languages) plus Latin and a handful of auxiliary scripts so that noisy
+real-world text (emoji, symbols, digits) is classified consistently rather
+than being silently dropped.
+
+Only the code-point ranges relevant to script identity are listed; the goal is
+not full Unicode property coverage but a faithful re-implementation of the
+paper's detection heuristic.
+"""
+
+from __future__ import annotations
+
+import enum
+import unicodedata
+from bisect import bisect_right
+from collections import Counter
+from typing import Iterable, Mapping
+
+
+class Script(str, enum.Enum):
+    """Writing systems recognised by the detector.
+
+    The string values are stable identifiers used in serialized datasets and
+    reports, so they must not be renamed once a dataset has been written.
+    """
+
+    LATIN = "latin"
+    CYRILLIC = "cyrillic"
+    GREEK = "greek"
+    ARABIC = "arabic"
+    HEBREW = "hebrew"
+    DEVANAGARI = "devanagari"
+    BENGALI = "bengali"
+    GURMUKHI = "gurmukhi"
+    GUJARATI = "gujarati"
+    ORIYA = "oriya"
+    TAMIL = "tamil"
+    TELUGU = "telugu"
+    KANNADA = "kannada"
+    MALAYALAM = "malayalam"
+    SINHALA = "sinhala"
+    THAI = "thai"
+    LAO = "lao"
+    MYANMAR = "myanmar"
+    KHMER = "khmer"
+    GEORGIAN = "georgian"
+    ARMENIAN = "armenian"
+    ETHIOPIC = "ethiopic"
+    HAN = "han"
+    HIRAGANA = "hiragana"
+    KATAKANA = "katakana"
+    HANGUL = "hangul"
+    BOPOMOFO = "bopomofo"
+    DIGIT = "digit"
+    PUNCTUATION = "punctuation"
+    SYMBOL = "symbol"
+    EMOJI = "emoji"
+    WHITESPACE = "whitespace"
+    OTHER = "other"
+
+    def is_textual(self) -> bool:
+        """Return ``True`` when the script carries linguistic content.
+
+        Digits, punctuation, symbols, emoji and whitespace are "common"
+        characters: they appear in text of any language and therefore do not
+        count toward the share of any particular language.
+        """
+        return self not in _NON_TEXTUAL
+
+    def is_cjk(self) -> bool:
+        """Return ``True`` for scripts written without inter-word spaces.
+
+        The paper's filtering rules (Appendix H) use a different
+        "too short" threshold for CJK scripts (1 character instead of 3),
+        which is why the distinction matters beyond detection.
+        """
+        return self in _CJK_SCRIPTS
+
+
+_NON_TEXTUAL = {
+    Script.DIGIT,
+    Script.PUNCTUATION,
+    Script.SYMBOL,
+    Script.EMOJI,
+    Script.WHITESPACE,
+    Script.OTHER,
+}
+
+_CJK_SCRIPTS = {Script.HAN, Script.HIRAGANA, Script.KATAKANA, Script.HANGUL, Script.BOPOMOFO}
+
+
+# Each entry is (start, end_inclusive, Script).  Ranges are kept sorted by
+# start so that lookup can binary-search.  Emoji ranges are listed before the
+# generic symbol fall-through so they win.
+_RANGES: list[tuple[int, int, Script]] = [
+    # Basic Latin letters.
+    (0x0041, 0x005A, Script.LATIN),
+    (0x0061, 0x007A, Script.LATIN),
+    # Latin-1 supplement letters and Latin extended blocks.
+    (0x00C0, 0x024F, Script.LATIN),
+    (0x1E00, 0x1EFF, Script.LATIN),
+    (0x2C60, 0x2C7F, Script.LATIN),
+    (0xA720, 0xA7FF, Script.LATIN),
+    # Greek and Coptic, Greek extended.
+    (0x0370, 0x03FF, Script.GREEK),
+    (0x1F00, 0x1FFF, Script.GREEK),
+    # Cyrillic and supplements.
+    (0x0400, 0x04FF, Script.CYRILLIC),
+    (0x0500, 0x052F, Script.CYRILLIC),
+    (0x2DE0, 0x2DFF, Script.CYRILLIC),
+    (0xA640, 0xA69F, Script.CYRILLIC),
+    # Armenian.
+    (0x0530, 0x058F, Script.ARMENIAN),
+    # Hebrew.
+    (0x0590, 0x05FF, Script.HEBREW),
+    (0xFB1D, 0xFB4F, Script.HEBREW),
+    # Arabic (plus presentation forms and supplement).
+    (0x0600, 0x06FF, Script.ARABIC),
+    (0x0750, 0x077F, Script.ARABIC),
+    (0x08A0, 0x08FF, Script.ARABIC),
+    (0xFB50, 0xFDFF, Script.ARABIC),
+    (0xFE70, 0xFEFF, Script.ARABIC),
+    # Indic scripts.
+    (0x0900, 0x097F, Script.DEVANAGARI),
+    (0x0980, 0x09FF, Script.BENGALI),
+    (0x0A00, 0x0A7F, Script.GURMUKHI),
+    (0x0A80, 0x0AFF, Script.GUJARATI),
+    (0x0B00, 0x0B7F, Script.ORIYA),
+    (0x0B80, 0x0BFF, Script.TAMIL),
+    (0x0C00, 0x0C7F, Script.TELUGU),
+    (0x0C80, 0x0CFF, Script.KANNADA),
+    (0x0D00, 0x0D7F, Script.MALAYALAM),
+    (0x0D80, 0x0DFF, Script.SINHALA),
+    # Devanagari extended.
+    (0xA8E0, 0xA8FF, Script.DEVANAGARI),
+    # South-east Asian scripts.
+    (0x0E00, 0x0E7F, Script.THAI),
+    (0x0E80, 0x0EFF, Script.LAO),
+    (0x1000, 0x109F, Script.MYANMAR),
+    (0xAA60, 0xAA7F, Script.MYANMAR),
+    (0x1780, 0x17FF, Script.KHMER),
+    # Georgian.
+    (0x10A0, 0x10FF, Script.GEORGIAN),
+    (0x2D00, 0x2D2F, Script.GEORGIAN),
+    # Ethiopic (Amharic).
+    (0x1200, 0x137F, Script.ETHIOPIC),
+    (0x1380, 0x139F, Script.ETHIOPIC),
+    (0x2D80, 0x2DDF, Script.ETHIOPIC),
+    # Hangul.
+    (0x1100, 0x11FF, Script.HANGUL),
+    (0x3130, 0x318F, Script.HANGUL),
+    (0xA960, 0xA97F, Script.HANGUL),
+    (0xAC00, 0xD7A3, Script.HANGUL),
+    (0xD7B0, 0xD7FF, Script.HANGUL),
+    # Japanese kana.
+    (0x3040, 0x309F, Script.HIRAGANA),
+    (0x30A0, 0x30FF, Script.KATAKANA),
+    (0x31F0, 0x31FF, Script.KATAKANA),
+    (0xFF66, 0xFF9D, Script.KATAKANA),
+    # Bopomofo.
+    (0x3100, 0x312F, Script.BOPOMOFO),
+    # Han (CJK ideographs) — unified, extension A, compatibility.
+    (0x3400, 0x4DBF, Script.HAN),
+    (0x4E00, 0x9FFF, Script.HAN),
+    (0xF900, 0xFAFF, Script.HAN),
+    (0x20000, 0x2A6DF, Script.HAN),
+    (0x2A700, 0x2EBEF, Script.HAN),
+    # Emoji and pictographs.
+    (0x1F300, 0x1F5FF, Script.EMOJI),
+    (0x1F600, 0x1F64F, Script.EMOJI),
+    (0x1F680, 0x1F6FF, Script.EMOJI),
+    (0x1F900, 0x1F9FF, Script.EMOJI),
+    (0x1FA70, 0x1FAFF, Script.EMOJI),
+    (0x2600, 0x26FF, Script.EMOJI),
+    (0x2700, 0x27BF, Script.EMOJI),
+    (0xFE0F, 0xFE0F, Script.EMOJI),
+    (0x1F1E6, 0x1F1FF, Script.EMOJI),
+]
+
+_RANGES.sort(key=lambda entry: entry[0])
+_STARTS = [entry[0] for entry in _RANGES]
+
+# Characters that are shared across Arabic-script languages but that, when
+# present, indicate a specific language.  The paper notes: "For overlapping
+# scripts, such as Arabic and Urdu, we include additional language-specific
+# characters to improve precision."
+URDU_SPECIFIC_CHARS = frozenset("ٹڈڑںھہۂۃےۓڻ")
+PERSIAN_SPECIFIC_CHARS = frozenset("پچژگ")
+# Characters specific to the Arabic language presentation of Modern Standard
+# Arabic text (i.e. frequently used in MSA but absent from Urdu orthography).
+ARABIC_TATWEEL = "ـ"
+
+
+def script_of(char: str) -> Script:
+    """Classify a single character into a :class:`Script`.
+
+    ``char`` must be a one-character string.  Characters outside every known
+    range fall back to Unicode categories: decimal digits map to
+    :attr:`Script.DIGIT`, whitespace to :attr:`Script.WHITESPACE`,
+    punctuation/symbol categories to their respective scripts and anything
+    else to :attr:`Script.OTHER`.
+    """
+    if len(char) != 1:
+        raise ValueError(f"script_of expects a single character, got {char!r}")
+    codepoint = ord(char)
+    index = bisect_right(_STARTS, codepoint) - 1
+    if index >= 0:
+        start, end, script = _RANGES[index]
+        if start <= codepoint <= end:
+            return script
+    if char.isspace():
+        return Script.WHITESPACE
+    category = unicodedata.category(char)
+    if category == "Nd":
+        return Script.DIGIT
+    if category.startswith("P"):
+        return Script.PUNCTUATION
+    if category.startswith("S"):
+        return Script.SYMBOL
+    if category.startswith("N"):
+        return Script.DIGIT
+    return Script.OTHER
+
+
+def script_histogram(text: str, *, textual_only: bool = False) -> Counter[Script]:
+    """Count characters of ``text`` per script.
+
+    When ``textual_only`` is true, common characters (digits, punctuation,
+    symbols, emoji, whitespace) are excluded, which is the denominator used
+    for the paper's "50% or more visible textual content in the target
+    language" inclusion criterion.
+    """
+    counts: Counter[Script] = Counter()
+    for char in text:
+        script = script_of(char)
+        if textual_only and not script.is_textual():
+            continue
+        counts[script] += 1
+    return counts
+
+
+def textual_length(text: str) -> int:
+    """Number of characters in ``text`` that belong to a textual script."""
+    return sum(1 for char in text if script_of(char).is_textual())
+
+
+def script_shares(text: str) -> dict[Script, float]:
+    """Return the proportion of textual characters per script.
+
+    The proportions sum to 1.0 over textual characters; an empty or fully
+    non-textual string yields an empty mapping.
+    """
+    counts = script_histogram(text, textual_only=True)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {script: count / total for script, count in counts.items()}
+
+
+def dominant_script(text: str) -> Script | None:
+    """Return the textual script with the largest share, or ``None``.
+
+    Ties are broken deterministically by script identifier so that detection
+    results are reproducible across runs.
+    """
+    shares = script_shares(text)
+    if not shares:
+        return None
+    return max(sorted(shares, key=lambda s: s.value), key=lambda s: shares[s])
+
+
+def contains_script(text: str, script: Script) -> bool:
+    """Return ``True`` when at least one character of ``text`` uses ``script``."""
+    return any(script_of(char) is script for char in text)
+
+
+def is_emoji_only(text: str) -> bool:
+    """Return ``True`` when the non-whitespace content of ``text`` is only emoji.
+
+    Used by the filtering pipeline's *Emoji* discard rule (Appendix H): emoji
+    are discarded because screen readers often fail to interpret them.
+    Variation selectors and zero-width joiners are tolerated because they are
+    part of emoji sequences.
+    """
+    stripped = [char for char in text if not char.isspace()]
+    if not stripped:
+        return False
+    tolerated = {"‍", "︎", "️"}
+    sawemoji = False
+    for index, char in enumerate(stripped):
+        if char in tolerated:
+            continue
+        script = script_of(char)
+        if script is Script.EMOJI:
+            sawemoji = True
+            continue
+        # Symbols rendered with an emoji variation selector (e.g. "▶️") are
+        # emoji presentations of base symbols.
+        next_char = stripped[index + 1] if index + 1 < len(stripped) else ""
+        if script is Script.SYMBOL and next_char == "️":
+            sawemoji = True
+            continue
+        return False
+    return sawemoji
+
+
+def share_of_scripts(text: str, scripts: Iterable[Script]) -> float:
+    """Fraction of textual characters of ``text`` drawn from ``scripts``."""
+    wanted = set(scripts)
+    counts = script_histogram(text, textual_only=True)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return sum(count for script, count in counts.items() if script in wanted) / total
+
+
+def merge_histograms(histograms: Iterable[Mapping[Script, int]]) -> Counter[Script]:
+    """Sum several script histograms into one, e.g. across pages of a site."""
+    merged: Counter[Script] = Counter()
+    for histogram in histograms:
+        merged.update(histogram)
+    return merged

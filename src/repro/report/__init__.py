@@ -1,0 +1,29 @@
+"""Reporting and export.
+
+The paper ships an interactive website for exploring LangCrUX and renders a
+dozen figures from the dataset.  This subpackage provides the equivalent
+offline tooling:
+
+* :mod:`repro.report.text_charts` — dependency-free text renderings of the
+  chart types the paper uses (bar charts, grouped/stacked bars, CDF plots,
+  histograms);
+* :mod:`repro.report.tables` — text/markdown renderings of Tables 1 and 2;
+* :mod:`repro.report.figures` — one renderer per figure, producing the same
+  series the paper plots from a :class:`~repro.core.dataset.LangCrUXDataset`;
+* :mod:`repro.report.export` — JSON export of per-country and per-site
+  summaries (the data behind the paper's interactive explorer).
+
+Everything renders to plain strings so reports can be printed, written to a
+file, or embedded in CI logs.
+"""
+
+from repro.report.figures import render_all_figures
+from repro.report.tables import render_table1, render_table2
+from repro.report.export import export_dataset_summary
+
+__all__ = [
+    "render_all_figures",
+    "render_table1",
+    "render_table2",
+    "export_dataset_summary",
+]

@@ -1,0 +1,100 @@
+"""JSON export of dataset summaries.
+
+The paper accompanies LangCrUX with an interactive website where users can
+"explore the dataset in greater detail, including language distribution
+across individual websites, with sampling and filtering options".  This
+module produces the data layer for such an explorer: a JSON document with
+per-country aggregates and per-site rows (language shares, element coverage,
+audit outcome), ready to be served to a front end or loaded into a notebook.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.analysis import element_statistics, uninformative_rate_by_country
+from repro.core.dataset import LangCrUXDataset, SiteRecord
+from repro.core.elements import ELEMENT_IDS
+from repro.core.language_mix import classify_texts
+from repro.core.mismatch import low_native_accessibility_fraction
+from repro.langid.languages import get_pair
+
+
+def site_summary(record: SiteRecord) -> dict[str, Any]:
+    """Per-site explorer row: language shares and element coverage."""
+    mix = record.accessibility_language_mix()
+    return {
+        "domain": record.domain,
+        "country": record.country_code,
+        "language": record.language_code,
+        "rank": record.rank,
+        "visible_native_pct": round(record.visible_native_share * 100, 2),
+        "accessibility_native_pct": round(record.accessibility_native_share() * 100, 2),
+        "declared_lang": record.declared_lang,
+        "accessibility_texts": len(record.accessibility_texts()),
+        "informative_texts": len(record.informative_texts()),
+        "language_mix": mix.proportions(),
+        "elements": {
+            element_id: {
+                "total": record.element(element_id).total,
+                "missing": record.element(element_id).missing,
+                "empty": record.element(element_id).empty,
+            }
+            for element_id in ELEMENT_IDS if record.element(element_id).total
+        },
+        "audit_failures": sorted(rule_id for rule_id in record.audit
+                                 if not record.audit_passed(rule_id)),
+    }
+
+
+def country_summary(dataset: LangCrUXDataset, country_code: str) -> dict[str, Any]:
+    """Per-country aggregates matching the paper's figures."""
+    subset = dataset.for_country(country_code)
+    texts: list[str] = []
+    language = None
+    for record in subset:
+        texts.extend(record.informative_texts())
+        language = record.language_code
+    mix = classify_texts(texts, language).proportions() if language and texts else \
+        {"native": 0.0, "english": 0.0, "mixed": 0.0}
+    pair = get_pair(country_code)
+    return {
+        "country": country_code,
+        "country_name": pair.country_name,
+        "language": pair.language.code,
+        "language_name": pair.language.name,
+        "sites": len(subset),
+        "informative_text_language_mix": mix,
+        "uninformative_text_rate": uninformative_rate_by_country(dataset).get(country_code, 0.0),
+        "low_native_accessibility_fraction":
+            low_native_accessibility_fraction(dataset, country_code),
+    }
+
+
+def export_dataset_summary(dataset: LangCrUXDataset, *, include_sites: bool = True
+                           ) -> dict[str, Any]:
+    """Build the full explorer document as a plain dictionary."""
+    rows = element_statistics(dataset)
+    payload: dict[str, Any] = {
+        "schema_version": 1,
+        "site_count": len(dataset),
+        "countries": [country_summary(dataset, country) for country in dataset.countries()],
+        "element_statistics": {
+            element_id: row.as_dict() for element_id, row in rows.items() if row.sites
+        },
+    }
+    if include_sites:
+        payload["sites"] = [site_summary(record) for record in dataset]
+    return payload
+
+
+def write_dataset_summary(dataset: LangCrUXDataset, path: str | Path, *,
+                          include_sites: bool = True) -> Path:
+    """Write the explorer document to ``path`` as UTF-8 JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = export_dataset_summary(dataset, include_sites=include_sites)
+    path.write_text(json.dumps(payload, ensure_ascii=False, indent=2), encoding="utf-8")
+    return path

@@ -1,0 +1,146 @@
+"""Text renderings of the paper's figures from a LangCrUX dataset.
+
+Each ``render_figure*`` function computes the same series the corresponding
+paper figure plots and renders it with :mod:`repro.report.text_charts`;
+:func:`render_all_figures` stitches everything into one report document.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import (
+    filter_breakdown_by_country,
+    filter_breakdown_by_element,
+    visible_text_script_summary,
+)
+from repro.core.dataset import LangCrUXDataset
+from repro.core.kizuki import KizukiConfig, rescore_dataset
+from repro.core.language_mix import classify_texts
+from repro.core.mismatch import country_cdfs, low_native_accessibility_fraction
+from repro.report.text_charts import bar_chart, cdf_chart, grouped_bar_chart, histogram_chart
+from repro.stats.histogram import histogram
+from repro.webgen.crux import CruxTable, RANK_BUCKETS
+
+CDF_GRID = (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+SCORE_BINS = (0, 30, 40, 50, 60, 70, 80, 90, 100.0001)
+
+
+def render_figure2(dataset: LangCrUXDataset) -> str:
+    """Figure 2: native-language share of visible text per country."""
+    summary = visible_text_script_summary(dataset)
+    values = {country: stats.mean for country, stats in sorted(summary.items())}
+    return bar_chart(values, title="Figure 2 — mean native share of visible text (%)",
+                     unit="%")
+
+
+def render_figure3(dataset: LangCrUXDataset) -> str:
+    """Figure 3: filtered accessibility texts by discard reason, per country."""
+    breakdown = filter_breakdown_by_country(dataset)
+    groups = {
+        country: {category.display_name: share for category, share in sorted(
+            categories.items(), key=lambda item: item[1], reverse=True)}
+        for country, categories in sorted(breakdown.items())
+    }
+    return grouped_bar_chart(groups, unit="%",
+                             title="Figure 3 — filtered accessibility texts by discard reason (%)")
+
+
+def render_figure4(dataset: LangCrUXDataset) -> str:
+    """Figure 4: native/English/mixed share of informative accessibility texts."""
+    groups: dict[str, dict[str, float]] = {}
+    for country in dataset.countries():
+        texts: list[str] = []
+        language = None
+        for record in dataset.for_country(country):
+            texts.extend(record.informative_texts())
+            language = record.language_code
+        if not texts or language is None:
+            continue
+        proportions = classify_texts(texts, language).proportions()
+        groups[country] = {key: value * 100 for key, value in proportions.items()}
+    return grouped_bar_chart(groups, unit="%",
+                             title="Figure 4 — language of informative accessibility texts (%)")
+
+
+def render_figure5(dataset: LangCrUXDataset) -> str:
+    """Figure 5: CDFs of native share in visible vs accessibility text."""
+    sections = ["Figure 5 — CDFs of native-language usage (visible vs accessibility)"]
+    for country in dataset.countries():
+        cdfs = country_cdfs(dataset, country)
+        low = low_native_accessibility_fraction(dataset, country)
+        sections.append(cdf_chart(
+            {"visible": cdfs.visible, "accessibility": cdfs.accessibility}, CDF_GRID,
+            title=f"[{country}] sites with <10% native accessibility text: {low * 100:.1f}%"))
+    return "\n\n".join(sections)
+
+
+def render_figure6(dataset: LangCrUXDataset, countries: tuple[str, ...] = ("bd", "th"),
+                   config: KizukiConfig | None = None) -> str:
+    """Figure 6: accessibility score distributions before/after Kizuki."""
+    summary = rescore_dataset(dataset, countries, config=config)
+    if summary.sites == 0:
+        return "Figure 6 — no sites eligible for re-scoring"
+    old_hist = histogram(summary.old_scores, SCORE_BINS)
+    new_hist = histogram(summary.new_scores, SCORE_BINS)
+    parts = [
+        f"Figure 6 — accessibility scores before/after Kizuki ({', '.join(countries)}; "
+        f"{summary.sites} sites)",
+        histogram_chart(old_hist, title="original (language-unaware) scores"),
+        histogram_chart(new_hist, title="Kizuki (language-aware) scores"),
+        (f"score > 90: {summary.fraction_above(90, new=False) * 100:.1f}% -> "
+         f"{summary.fraction_above(90, new=True) * 100:.1f}%   |   score = 100: "
+         f"{summary.fraction_perfect(new=False) * 100:.1f}% -> "
+         f"{summary.fraction_perfect(new=True) * 100:.1f}%"),
+    ]
+    return "\n\n".join(parts)
+
+
+def render_figure7(crux_table: CruxTable) -> str:
+    """Figure 7: rank-bucket distribution per country."""
+    lines = ["Figure 7 — website rank distribution per country",
+             f"{'country':<8}" + "".join(f"{f'<={bucket // 1000}k':>9}" for bucket in RANK_BUCKETS)]
+    for country in crux_table.countries():
+        buckets = crux_table.bucket_histogram(country)
+        lines.append(f"{country:<8}" + "".join(f"{buckets.get(bucket, 0):>9}"
+                                               for bucket in RANK_BUCKETS))
+    return "\n".join(lines)
+
+
+def render_figure8(dataset: LangCrUXDataset) -> str:
+    """Figure 8: per-country summary of the visible vs accessibility scatter."""
+    values: dict[str, float] = {}
+    for country in dataset.countries():
+        values[country] = low_native_accessibility_fraction(dataset, country) * 100
+    return bar_chart(values, unit="%", sort=True,
+                     title="Figure 8 — sites with <10% native accessibility text "
+                           "despite native visible content (%)")
+
+
+def render_figure9(dataset: LangCrUXDataset) -> str:
+    """Figure 9: uninformative accessibility text by HTML element."""
+    breakdown = filter_breakdown_by_element(dataset)
+    groups = {
+        element_id: {category.display_name: share for category, share in sorted(
+            categories.items(), key=lambda item: item[1], reverse=True)}
+        for element_id, categories in breakdown.items() if categories
+    }
+    return grouped_bar_chart(groups, unit="%",
+                             title="Figure 9 — uninformative accessibility text by element (%)")
+
+
+def render_all_figures(dataset: LangCrUXDataset, *, crux_table: CruxTable | None = None,
+                       kizuki_countries: tuple[str, ...] = ("bd", "th")) -> str:
+    """Render every figure that can be derived from ``dataset`` into one report."""
+    sections = [
+        render_figure2(dataset),
+        render_figure3(dataset),
+        render_figure4(dataset),
+        render_figure5(dataset),
+    ]
+    available = tuple(country for country in kizuki_countries if country in dataset.countries())
+    if available:
+        sections.append(render_figure6(dataset, available))
+    if crux_table is not None:
+        sections.append(render_figure7(crux_table))
+    sections.append(render_figure8(dataset))
+    sections.append(render_figure9(dataset))
+    return "\n\n\n".join(sections) + "\n"

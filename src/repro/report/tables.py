@@ -1,0 +1,45 @@
+"""Text renderings of the paper's tables."""
+
+from __future__ import annotations
+
+from repro.core.analysis import element_statistics
+from repro.core.dataset import LangCrUXDataset
+from repro.core.elements import LANGUAGE_SENSITIVE_ELEMENTS
+
+
+def render_table1() -> str:
+    """Table 1: the twelve language-sensitive accessibility elements."""
+    lines = [
+        "Table 1 — Web elements requiring natural language",
+        f"{'element':<20}{'HTML element':<34}description",
+    ]
+    for spec in LANGUAGE_SENSITIVE_ELEMENTS:
+        lines.append(f"{spec.element_id:<20}{spec.html_element:<34}{spec.description}")
+    return "\n".join(lines)
+
+
+def render_table2(dataset: LangCrUXDataset) -> str:
+    """Table 2: per-element statistics, in the paper's column layout.
+
+    For each element the row shows median / standard deviation / mean of the
+    per-site missing and empty percentages, followed by median / std / mean of
+    text length (characters) and word count over individual texts.
+    """
+    rows = element_statistics(dataset)
+    header = (f"{'element':<20}"
+              f"{'missing med/std/mean':>26}"
+              f"{'empty med/std/mean':>24}"
+              f"{'length med/std/mean':>26}"
+              f"{'words med/std/mean':>24}")
+    lines = ["Table 2 — Accessibility element statistics", header]
+    for element_id, row in rows.items():
+        if row.sites == 0:
+            continue
+        lines.append(
+            f"{element_id:<20}"
+            f"{row.missing_pct.median:>9.2f}/{row.missing_pct.std_dev:>6.2f}/{row.missing_pct.mean:>7.2f}"
+            f"{row.empty_pct.median:>9.2f}/{row.empty_pct.std_dev:>5.2f}/{row.empty_pct.mean:>6.2f}"
+            f"{row.text_length.median:>10.0f}/{row.text_length.std_dev:>7.1f}/{row.text_length.mean:>6.1f}"
+            f"{row.word_count.median:>9.1f}/{row.word_count.std_dev:>5.1f}/{row.word_count.mean:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Plain-text chart rendering.
+
+The renderers are intentionally simple: fixed-width labels, a scaled run of
+``#`` characters, and explicit numeric values, so that a report remains
+meaningful when pasted into an issue, a log or a terminal.  They cover the
+chart types the paper's figures use: horizontal bars (Figures 3/4/9), grouped
+bars, CDF curves sampled on a grid (Figure 5), and histograms (Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import Histogram
+
+DEFAULT_WIDTH = 40
+
+
+def _bar(value: float, maximum: float, width: int = DEFAULT_WIDTH) -> str:
+    if maximum <= 0:
+        return ""
+    length = int(round(width * value / maximum))
+    return "#" * max(length, 1 if value > 0 else 0)
+
+
+def bar_chart(values: Mapping[str, float], *, title: str = "", unit: str = "",
+              width: int = DEFAULT_WIDTH, sort: bool = False) -> str:
+    """Render a horizontal bar chart from a label → value mapping."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    items = sorted(values.items(), key=lambda item: item[1], reverse=True) if sort \
+        else list(values.items())
+    maximum = max(value for _, value in items)
+    label_width = max(len(str(label)) for label, _ in items)
+    for label, value in items:
+        lines.append(f"{str(label):<{label_width}}  {value:8.2f}{unit} "
+                     f"{_bar(value, maximum, width)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]], *, title: str = "",
+                      unit: str = "", width: int = DEFAULT_WIDTH) -> str:
+    """Render grouped bars: one block per group, one bar per series member.
+
+    Used for the per-country category breakdowns (Figures 3 and 4), where
+    each country is a group and each category a series member.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not groups:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    maximum = max((value for series in groups.values() for value in series.values()), default=0.0)
+    series_labels = sorted({label for series in groups.values() for label in series})
+    label_width = max((len(label) for label in series_labels), default=1)
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for label in series_labels:
+            value = series.get(label, 0.0)
+            lines.append(f"  {label:<{label_width}}  {value:7.2f}{unit} "
+                         f"{_bar(value, maximum, width)}")
+    return "\n".join(lines)
+
+
+def cdf_chart(cdfs: Mapping[str, EmpiricalCDF], grid: Sequence[float], *, title: str = "",
+              value_format: str = "{:.2f}") -> str:
+    """Tabulate one or more CDFs over a shared grid (Figure 5 style)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'x':>8} " + " ".join(f"{name:>14}" for name in cdfs)
+    lines.append(header)
+    for x in grid:
+        row = f"{x:>8g} "
+        for cdf in cdfs.values():
+            row += f"{value_format.format(cdf.evaluate(float(x))):>15}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def histogram_chart(histogram: Histogram, *, title: str = "",
+                    width: int = DEFAULT_WIDTH) -> str:
+    """Render a histogram as labelled bars (Figure 6 style)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    maximum = max(histogram.counts, default=0)
+    for label, count in zip(histogram.bin_labels(), histogram.counts):
+        lines.append(f"{label:<14}{count:>6}  {_bar(count, maximum, width)}")
+    lines.append(f"{'total':<14}{histogram.total:>6}")
+    return "\n".join(lines)
+
+
+def comparison_table(rows: Mapping[str, tuple[float, float]], *, title: str = "",
+                     left: str = "measured", right: str = "paper") -> str:
+    """Two-column numeric comparison, used to put measured values next to the
+    paper's reported ones in generated reports."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(label) for label in rows), default=5)
+    lines.append(f"{'':<{label_width}}  {left:>12} {right:>12}")
+    for label, (measured, paper) in rows.items():
+        lines.append(f"{label:<{label_width}}  {measured:>12.2f} {paper:>12.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Statistics helpers shared by the analyses and benchmark harnesses."""
+
+from repro.stats.summary import SummaryStats, summarize
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import Histogram, bucket_counts
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "EmpiricalCDF",
+    "Histogram",
+    "bucket_counts",
+]

@@ -1,0 +1,62 @@
+"""Empirical cumulative distribution functions.
+
+Figure 5 of the paper plots, per country, the CDFs of native-language usage
+in visible and accessibility text.  :class:`EmpiricalCDF` provides the two
+operations those plots (and the mismatch analysis) need: evaluating
+``F(x) = P(X <= x)`` and extracting quantiles, plus a fixed-grid tabulation
+used by the benchmark harnesses to print comparable series.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+
+class EmpiricalCDF:
+    """The empirical CDF of a one-dimensional sample."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values: list[float] = sorted(float(value) for value in values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def evaluate(self, x: float) -> float:
+        """``P(X <= x)``; 0.0 for an empty sample."""
+        if not self._values:
+            return 0.0
+        return bisect_right(self._values, x) / len(self._values)
+
+    def __call__(self, x: float) -> float:
+        return self.evaluate(x)
+
+    def quantile(self, q: float) -> float:
+        """The smallest value ``v`` with ``F(v) >= q``.
+
+        Raises:
+            ValueError: When ``q`` is outside (0, 1] or the sample is empty.
+        """
+        if not self._values:
+            raise ValueError("cannot compute a quantile of an empty sample")
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile level must be in (0, 1], got {q}")
+        index = max(0, min(len(self._values) - 1, int(q * len(self._values) + 0.999999) - 1))
+        return self._values[index]
+
+    def tabulate(self, grid: Iterable[float]) -> list[tuple[float, float]]:
+        """``(x, F(x))`` pairs over ``grid`` (used to print Figure 5 series)."""
+        return [(float(x), self.evaluate(float(x))) for x in grid]
+
+    def fraction_below(self, x: float) -> float:
+        """``P(X < x)`` — the metric behind "less than 10% native accessibility text"."""
+        if not self._values:
+            return 0.0
+        # Strict inequality: subtract ties at x.
+        upper = bisect_right(self._values, x)
+        ties = upper - bisect_right(self._values, x - 1e-12)
+        return (upper - ties) / len(self._values)

@@ -1,0 +1,86 @@
+"""Summary statistics (median / standard deviation / mean / extremes).
+
+Table 2 of the paper reports, for every accessibility element, the median,
+standard deviation and mean of several per-website quantities.  This module
+provides exactly that summary, implemented without external dependencies so
+the core library stays dependency-free (NumPy is only used by benchmarks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Median, standard deviation, mean and extremes of a sample.
+
+    The standard deviation is the population standard deviation (``ddof=0``),
+    which is the appropriate choice when the sample *is* the studied
+    population (all websites of a country list).
+    """
+
+    count: int
+    median: float
+    std_dev: float
+    mean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "SummaryStats":
+        return cls(count=0, median=0.0, std_dev=0.0, mean=0.0, minimum=0.0, maximum=0.0)
+
+    def as_row(self) -> dict[str, float]:
+        """The (median, std, mean) triple used by the Table 2 harness."""
+        return {"median": self.median, "std": self.std_dev, "mean": self.mean}
+
+
+def _median(sorted_values: Sequence[float]) -> float:
+    count = len(sorted_values)
+    middle = count // 2
+    if count % 2 == 1:
+        return float(sorted_values[middle])
+    return (sorted_values[middle - 1] + sorted_values[middle]) / 2.0
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` over ``values`` (empty input allowed)."""
+    data = sorted(float(value) for value in values)
+    if not data:
+        return SummaryStats.empty()
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((value - mean) ** 2 for value in data) / count
+    return SummaryStats(
+        count=count,
+        median=_median(data),
+        std_dev=math.sqrt(variance),
+        mean=mean,
+        minimum=data[0],
+        maximum=data[-1],
+    )
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) using linear interpolation.
+
+    Raises:
+        ValueError: When ``q`` is outside [0, 100] or ``values`` is empty.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = sorted(float(value) for value in values)
+    if not data:
+        raise ValueError("cannot compute a percentile of an empty sample")
+    if len(data) == 1:
+        return data[0]
+    position = (q / 100.0) * (len(data) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return data[lower]
+    fraction = position - lower
+    return data[lower] * (1 - fraction) + data[upper] * fraction

@@ -1,0 +1,42 @@
+"""Synthetic multilingual web substrate.
+
+The paper measures the live web: 120,000 CrUX-ranked websites crawled through
+country-specific VPNs.  Neither the live web nor CrUX is reachable from the
+reproduction environment, so this subpackage builds a deterministic synthetic
+equivalent that exercises the identical downstream code paths:
+
+* :mod:`repro.webgen.lexicon` — word and phrase lexicons in the native
+  scripts of the twelve studied languages plus English.
+* :mod:`repro.webgen.profiles` — per-country statistical profiles (visible
+  language mix, accessibility-attribute presence, text quality, mismatch
+  propensity) calibrated to the aggregates reported in the paper, so the
+  *shape* of every figure is reproducible.
+* :mod:`repro.webgen.pagegen` — generates a single HTML page (a DOM
+  document and its serialized markup) following a site's behaviour profile.
+* :mod:`repro.webgen.sitegen` — generates whole websites with localized and
+  global (English-leaning) variants.
+* :mod:`repro.webgen.crux` — a synthetic CrUX-style popularity ranking.
+* :mod:`repro.webgen.server` — geo-aware origin servers that return the
+  localized variant to in-country clients and the global variant otherwise,
+  with optional VPN-detection blocking.
+
+Everything is seeded; the same seed always produces the same web.
+"""
+
+from repro.webgen.profiles import CountryProfile, COUNTRY_PROFILES, get_profile
+from repro.webgen.sitegen import SyntheticSite, SiteGenerator
+from repro.webgen.crux import CruxTable, CruxEntry, build_crux_table
+from repro.webgen.server import SyntheticWeb, OriginServer
+
+__all__ = [
+    "CountryProfile",
+    "COUNTRY_PROFILES",
+    "get_profile",
+    "SyntheticSite",
+    "SiteGenerator",
+    "CruxTable",
+    "CruxEntry",
+    "build_crux_table",
+    "SyntheticWeb",
+    "OriginServer",
+]

@@ -1,0 +1,119 @@
+"""A synthetic CrUX-style popularity ranking.
+
+The paper ranks websites with the Chrome User Experience Report (CrUX), which
+assigns each origin to a coarse popularity bucket (top 1k, 5k, 10k, 50k ...).
+This module provides the same interface over the synthetic web: a
+:class:`CruxTable` lists origins per country ordered by rank, exposes the
+rank-bucket histogram of Appendix C (Figure 7), and supports the "take the
+next-ranked candidate" replacement pattern used during website selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.webgen.sitegen import SyntheticSite
+
+
+#: CrUX-style rank buckets, matching the y-axis of Figure 7.
+RANK_BUCKETS: tuple[int, ...] = (1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000)
+
+
+def rank_bucket(rank: int) -> int:
+    """Smallest CrUX bucket that contains ``rank``.
+
+    Ranks beyond the largest bucket are reported in a final catch-all bucket
+    equal to ``RANK_BUCKETS[-1] * 10`` so that nothing is silently dropped.
+    """
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    for bucket in RANK_BUCKETS:
+        if rank <= bucket:
+            return bucket
+    return RANK_BUCKETS[-1] * 10
+
+
+@dataclass(frozen=True)
+class CruxEntry:
+    """One origin in the ranking table."""
+
+    origin: str
+    rank: int
+    country_code: str
+
+    @property
+    def bucket(self) -> int:
+        return rank_bucket(self.rank)
+
+
+@dataclass
+class CruxTable:
+    """Per-country popularity ranking over the synthetic web.
+
+    Entries for each country are kept sorted by ascending rank; iteration
+    over a country therefore yields the best-ranked origins first, which is
+    exactly the order the selection procedure consumes.
+    """
+
+    entries_by_country: dict[str, list[CruxEntry]] = field(default_factory=dict)
+
+    def add(self, entry: CruxEntry) -> None:
+        bucket = self.entries_by_country.setdefault(entry.country_code, [])
+        bucket.append(entry)
+        bucket.sort(key=lambda item: item.rank)
+
+    def countries(self) -> tuple[str, ...]:
+        return tuple(sorted(self.entries_by_country))
+
+    def entries(self, country_code: str) -> Sequence[CruxEntry]:
+        """Ranked entries of a country (best rank first)."""
+        return tuple(self.entries_by_country.get(country_code, ()))
+
+    def iter_ranked(self, country_code: str) -> Iterator[CruxEntry]:
+        yield from self.entries(country_code)
+
+    def top(self, country_code: str, count: int) -> Sequence[CruxEntry]:
+        """The ``count`` best-ranked origins of a country."""
+        return self.entries(country_code)[:count]
+
+    def size(self, country_code: str | None = None) -> int:
+        if country_code is not None:
+            return len(self.entries_by_country.get(country_code, ()))
+        return sum(len(entries) for entries in self.entries_by_country.values())
+
+    def bucket_histogram(self, country_code: str) -> dict[int, int]:
+        """Number of origins per rank bucket (Figure 7 / Appendix C)."""
+        histogram: dict[int, int] = {bucket: 0 for bucket in RANK_BUCKETS}
+        for entry in self.entries(country_code):
+            histogram.setdefault(entry.bucket, 0)
+            histogram[entry.bucket] += 1
+        return histogram
+
+    def lookup(self, origin: str) -> CruxEntry | None:
+        """Find an origin anywhere in the table, or ``None``."""
+        for entries in self.entries_by_country.values():
+            for entry in entries:
+                if entry.origin == origin:
+                    return entry
+        return None
+
+
+def build_crux_table(sites: Iterable[SyntheticSite]) -> CruxTable:
+    """Build the ranking table from generated sites.
+
+    Ranks within a country are de-duplicated by nudging collisions to the
+    next free value, preserving the sampled distribution's shape while
+    keeping the ordering strict (CrUX itself never assigns the same rank to
+    two origins of one list).
+    """
+    table = CruxTable()
+    used_ranks: dict[str, set[int]] = {}
+    for site in sites:
+        taken = used_ranks.setdefault(site.country_code, set())
+        rank = site.rank
+        while rank in taken:
+            rank += 1
+        taken.add(rank)
+        table.add(CruxEntry(origin=site.domain, rank=rank, country_code=site.country_code))
+    return table

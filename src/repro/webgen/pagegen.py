@@ -1,0 +1,383 @@
+"""Synthetic HTML page generation.
+
+Given a per-site behaviour specification (language mix of visible content,
+language mix of accessibility text, uninformative-text propensity), this
+module builds a DOM :class:`~repro.html.dom.Document` and its serialized
+HTML.  The generated pages contain all twelve language-sensitive element
+types studied by the paper so that every audit rule and every extraction path
+is exercised.
+
+The generator is intentionally noisy in the same ways real pages are noisy:
+some images get ``alt=""``, some buttons rely on their visible text only,
+some alt texts are file names or developer labels, a small number of alt
+texts are absurdly long (the Table 4 outliers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.html.dom import Document, Element, new_document
+from repro.webgen import lexicon as lex
+from repro.webgen.lexicon import ENGLISH, Lexicon, get_lexicon, mixed_phrase
+from repro.webgen.profiles import ELEMENT_PROFILES, ElementProfile
+
+
+@dataclass
+class PageSpec:
+    """Behaviour specification for generating one page.
+
+    Attributes:
+        language_code: The country's target language.
+        visible_native_share: Target fraction of visible text in the native
+            language; the rest is English.
+        a11y_language_weights: Weights for the language of informative
+            accessibility text: keys ``native``, ``english``, ``mixed``.
+        uninformative_rate: Probability that a present, non-empty
+            accessibility text is uninformative.
+        discard_mix: Relative weights of uninformative categories.
+        declare_lang: Whether the ``<html>`` element declares a ``lang``
+            attribute, and which value (None = no attribute).
+        extreme_alt_rate: Probability that an image alt text is an extreme
+            outlier (> 1000 characters), reproducing Appendix E.
+        element_density: Multiplier on per-page element counts (1.0 = profile
+            defaults); lets site generators create small and large pages.
+        fallback_text_rate: Probability that interactive elements (buttons,
+            links, summaries) carry visible inner text.  Screen readers fall
+            back to that text, which the paper identifies as the reason
+            developers omit explicit metadata; the rate is site-level because
+            templated sites are consistent about it.
+    """
+
+    language_code: str
+    visible_native_share: float
+    a11y_language_weights: Mapping[str, float]
+    uninformative_rate: float
+    discard_mix: Mapping[str, float]
+    declare_lang: str | None = None
+    extreme_alt_rate: float = 0.004
+    element_density: float = 1.0
+    fallback_text_rate: float = 0.9
+    element_profiles: Mapping[str, ElementProfile] = field(default_factory=lambda: ELEMENT_PROFILES)
+
+
+#: Elements whose informative short texts are legitimately UI terms
+#: ("Login", "Send", "Submit") rather than descriptive phrases.
+_INTERACTIVE_ELEMENTS = frozenset({
+    "button-name", "input-button-name", "link-name", "summary-name",
+    "select-name", "label",
+})
+
+#: Element-level modulation of the uninformative-category mix (Appendix G,
+#: Figure 9): buttons and input buttons lean toward generic actions, labels
+#: and selects toward single words, summaries toward both.
+_ELEMENT_CATEGORY_BIAS: dict[str, dict[str, float]] = {
+    "button-name": {"generic_action": 3.0, "single_word": 1.5},
+    "input-button-name": {"generic_action": 3.0, "single_word": 1.5},
+    "label": {"single_word": 2.5},
+    "select-name": {"single_word": 2.0},
+    "summary-name": {"generic_action": 4.0, "single_word": 4.0},
+    "image-alt": {"file_name": 2.0, "url_or_path": 1.5, "placeholder": 1.5},
+    "svg-img-alt": {"placeholder": 2.0, "dev_label": 2.0},
+    "link-name": {"url_or_path": 2.0},
+}
+
+
+class PageGenerator:
+    """Generates synthetic pages for one :class:`PageSpec`."""
+
+    def __init__(self, spec: PageSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.native = get_lexicon(spec.language_code)
+        self.english = ENGLISH
+
+    # -- text helpers --------------------------------------------------------
+
+    def _visible_lexicon(self) -> Lexicon:
+        """Pick the lexicon for the next piece of visible text."""
+        if self.rng.random() < self.spec.visible_native_share:
+            return self.native
+        return self.english
+
+    def _native_text_preference(self) -> float:
+        """Probability that a native word is used for generated junk labels.
+
+        Sites that write their accessibility text in English also tend to use
+        English placeholders and generic actions, so the preference follows
+        the site's accessibility-language mix.
+        """
+        weights = self.spec.a11y_language_weights
+        return min(0.6, weights.get("native", 0.0) + weights.get("mixed", 0.0))
+
+    def _informative_text(self, element_id: str, words: int) -> str:
+        """An informative accessibility text in the language drawn from the
+        site's accessibility-language distribution."""
+        weights = self.spec.a11y_language_weights
+        choice = self._weighted_choice(
+            ("native", "english", "mixed"),
+            (weights.get("native", 0.0), weights.get("english", 0.0), weights.get("mixed", 0.0)),
+        )
+        if choice == "mixed":
+            return mixed_phrase(self.rng, self.native, self.english)
+        lexicon = self.native if choice == "native" else self.english
+        words = max(1, words)
+        if element_id in _INTERACTIVE_ELEMENTS and words <= 2 and lexicon.space_separated:
+            return lexicon.ui_term(self.rng)
+        if self.rng.random() < 0.4:
+            return lexicon.phrase(self.rng)
+        return lexicon.sentence(self.rng, min_words=max(1, words - 1), max_words=words + 2)
+
+    def _uninformative_text(self, element_id: str) -> tuple[str, str]:
+        """An uninformative accessibility text and its discard category."""
+        weights = dict(self.spec.discard_mix)
+        for category, factor in _ELEMENT_CATEGORY_BIAS.get(element_id, {}).items():
+            if category in weights:
+                weights[category] = weights[category] * factor
+        categories = tuple(weights)
+        category = self._weighted_choice(categories, tuple(weights[c] for c in categories))
+        return self._text_for_category(category), category
+
+    def _text_for_category(self, category: str) -> str:
+        rng = self.rng
+        native_preference = self._native_text_preference()
+        if category == "single_word":
+            # A lone generic word.  For languages written without inter-word
+            # spaces a "single word" is modelled with an English word, since
+            # short native runs are handled by the too-short category.
+            if rng.random() < native_preference and self.native.space_separated:
+                return rng.choice(self.native.words)
+            return rng.choice(self.english.words)
+        if category == "too_short":
+            return rng.choice(lex.TOO_SHORT_LABELS)
+        if category == "generic_action":
+            use_native = rng.random() < native_preference and self.native.generic_actions
+            source = self.native if use_native else self.english
+            return rng.choice(source.generic_actions)
+        if category == "placeholder":
+            use_native = rng.random() < native_preference and self.native.placeholders
+            source = self.native if use_native else self.english
+            return rng.choice(source.placeholders)
+        if category == "dev_label":
+            return rng.choice(lex.DEV_LABELS)
+        if category == "file_name":
+            return rng.choice(lex.FILE_NAME_LABELS)
+        if category == "url_or_path":
+            return rng.choice(lex.URL_PATH_LABELS)
+        if category == "label_number_pattern":
+            return rng.choice(lex.LABEL_NUMBER_LABELS)
+        if category == "ordinal_phrase":
+            return rng.choice(lex.ORDINAL_PHRASE_LABELS)
+        if category == "mixed_alnum":
+            return rng.choice(lex.MIXED_ALNUM_LABELS)
+        if category == "emoji":
+            return rng.choice(lex.EMOJI_LABELS)
+        raise ValueError(f"unknown discard category {category!r}")
+
+    def _weighted_choice(self, options: tuple[str, ...], weights: tuple[float, ...]) -> str:
+        total = sum(weights)
+        if total <= 0:
+            return options[0]
+        return self.rng.choices(options, weights=weights, k=1)[0]
+
+    def _accessibility_text(self, profile: ElementProfile) -> tuple[str | None, str | None]:
+        """Draw the accessibility text for one element instance.
+
+        Returns ``(text, discard_category)`` where ``text`` is ``None`` when
+        the attribute should be missing, ``""`` when present-but-empty, and a
+        string otherwise.  ``discard_category`` is set only for uninformative
+        texts.
+        """
+        roll = self.rng.random()
+        if roll < profile.missing_rate:
+            return None, None
+        if roll < profile.missing_rate + profile.empty_rate:
+            return "", None
+        if profile.element_id == "image-alt" and self.rng.random() < self.spec.extreme_alt_rate:
+            # Appendix E: very long alt text, e.g. a whole article pasted in.
+            return self._extreme_alt_text(), None
+        if self.rng.random() < self.spec.uninformative_rate:
+            return self._uninformative_text(profile.element_id)
+        words = max(1, round(self.rng.gauss(profile.mean_words, profile.std_words)))
+        return self._informative_text(profile.element_id, words), None
+
+    def _extreme_alt_text(self) -> str:
+        paragraphs = [self.native.paragraph(self.rng, 4, 8) for _ in range(3)]
+        paragraphs.append(self.english.paragraph(self.rng, 4, 8))
+        text = " ".join(paragraphs)
+        while len(text) < 1200:
+            text += " " + self.native.paragraph(self.rng, 4, 8)
+        return text
+
+    # -- element builders ------------------------------------------------------
+
+    def _count_for(self, profile: ElementProfile) -> int:
+        low = profile.min_per_page
+        high = max(low, round(profile.max_per_page * self.spec.element_density))
+        return self.rng.randint(low, high)
+
+    def _add_images(self, body: Element, profile: ElementProfile) -> None:
+        for index in range(self._count_for(profile)):
+            text, _ = self._accessibility_text(profile)
+            attrs = {"src": f"/media/img_{index}.jpg"}
+            if text is not None:
+                attrs["alt"] = text
+            body.append(Element("img", attrs))
+
+    def _add_buttons(self, body: Element, profile: ElementProfile) -> None:
+        for _ in range(self._count_for(profile)):
+            text, _ = self._accessibility_text(profile)
+            button = Element("button", {"type": "button"})
+            if text is not None:
+                button.set("aria-label", text)
+            if profile.visible_text_fallback and self.rng.random() < self.spec.fallback_text_rate:
+                button.append_text(self._visible_lexicon().ui_term(self.rng))
+            body.append(button)
+
+    def _add_links(self, body: Element, profile: ElementProfile) -> None:
+        nav = Element("nav")
+        body.append(nav)
+        for index in range(self._count_for(profile)):
+            text, _ = self._accessibility_text(profile)
+            link = Element("a", {"href": f"/page/{index}"})
+            if text is not None:
+                link.set("aria-label", text)
+            if profile.visible_text_fallback and self.rng.random() < self.spec.fallback_text_rate:
+                link.append_text(self._visible_lexicon().ui_term(self.rng))
+            nav.append(link)
+
+    def _add_frames(self, body: Element, profile: ElementProfile) -> None:
+        for index in range(self._count_for(profile)):
+            text, _ = self._accessibility_text(profile)
+            attrs = {"src": f"https://embed.example.com/widget/{index}"}
+            if text is not None:
+                attrs["title"] = text
+            body.append(Element("iframe", attrs))
+
+    def _add_form(self, body: Element) -> None:
+        """Build a form exercising label, select-name, input buttons and input images."""
+        form = Element("form", {"action": "/submit", "method": "post"})
+        body.append(form)
+
+        label_profile = self.spec.element_profiles["label"]
+        for index in range(self._count_for(label_profile)):
+            field_id = f"field_{index}"
+            text, _ = self._accessibility_text(label_profile)
+            if text is not None:
+                label = Element("label", {"for": field_id})
+                label.append_text(text)
+                form.append(label)
+            form.append(Element("input", {"type": "text", "id": field_id, "name": field_id}))
+
+        select_profile = self.spec.element_profiles["select-name"]
+        for index in range(self._count_for(select_profile)):
+            text, _ = self._accessibility_text(select_profile)
+            select = Element("select", {"name": f"choice_{index}"})
+            if text is not None:
+                select.set("aria-label", text)
+            for option_index in range(self.rng.randint(2, 5)):
+                option = Element("option", {"value": str(option_index)})
+                option.append_text(self._visible_lexicon().word(self.rng))
+                select.append(option)
+            form.append(select)
+
+        input_button_profile = self.spec.element_profiles["input-button-name"]
+        for _ in range(self._count_for(input_button_profile)):
+            text, _ = self._accessibility_text(input_button_profile)
+            attrs = {"type": "submit"}
+            if text is not None:
+                attrs["value"] = text
+            form.append(Element("input", attrs))
+
+        input_image_profile = self.spec.element_profiles["input-image-alt"]
+        for index in range(self._count_for(input_image_profile)):
+            text, _ = self._accessibility_text(input_image_profile)
+            attrs = {"type": "image", "src": f"/media/button_{index}.png"}
+            if text is not None:
+                attrs["alt"] = text
+            form.append(Element("input", attrs))
+
+    def _add_objects(self, body: Element, profile: ElementProfile) -> None:
+        for index in range(self._count_for(profile)):
+            text, _ = self._accessibility_text(profile)
+            obj = Element("object", {"data": f"/media/doc_{index}.pdf", "type": "application/pdf"})
+            if text is not None and text:
+                obj.append_text(text)
+            elif text == "":
+                obj.append_text("")
+            body.append(obj)
+
+    def _add_summaries(self, body: Element, profile: ElementProfile) -> None:
+        for _ in range(self._count_for(profile)):
+            details = Element("details")
+            summary = Element("summary")
+            text, _ = self._accessibility_text(profile)
+            if text is not None:
+                summary.set("aria-label", text)
+            if profile.visible_text_fallback and self.rng.random() < self.spec.fallback_text_rate:
+                summary.append_text(self._visible_lexicon().ui_term(self.rng))
+            details.append(summary)
+            paragraph = Element("p")
+            paragraph.append_text(self._visible_lexicon().sentence(self.rng))
+            details.append(paragraph)
+            body.append(details)
+
+    def _add_svgs(self, body: Element, profile: ElementProfile) -> None:
+        for _ in range(self._count_for(profile)):
+            text, _ = self._accessibility_text(profile)
+            svg = Element("svg", {"role": "img", "viewbox": "0 0 24 24"})
+            if text is not None:
+                svg.set("aria-label", text)
+            svg.append(Element("path", {"d": "M0 0h24v24H0z"}))
+            body.append(svg)
+
+    def _add_visible_content(self, body: Element) -> None:
+        """Headings and paragraphs carrying the page's visible language mix."""
+        heading = Element("h1")
+        heading.append_text(self._visible_lexicon().phrase(self.rng))
+        body.append(heading)
+        for _ in range(self.rng.randint(4, 10)):
+            section = Element("section")
+            subheading = Element("h2")
+            subheading.append_text(self._visible_lexicon().phrase(self.rng))
+            section.append(subheading)
+            for _ in range(self.rng.randint(1, 3)):
+                paragraph = Element("p")
+                paragraph.append_text(self._visible_lexicon().paragraph(self.rng))
+                section.append(paragraph)
+            body.append(section)
+
+    # -- entry point -----------------------------------------------------------
+
+    def generate_document(self, url: str | None = None) -> Document:
+        """Generate a full page as a :class:`Document`."""
+        title_profile = self.spec.element_profiles["document-title"]
+        title_text, _ = self._accessibility_text(title_profile)
+        document = new_document(lang=self.spec.declare_lang, url=url)
+        if title_text:
+            title_el = Element("title")
+            title_el.append_text(title_text)
+            head = document.head
+            assert head is not None
+            head.append(title_el)
+        body = document.body
+        assert body is not None
+
+        self._add_visible_content(body)
+        self._add_images(body, self.spec.element_profiles["image-alt"])
+        self._add_buttons(body, self.spec.element_profiles["button-name"])
+        self._add_links(body, self.spec.element_profiles["link-name"])
+        self._add_frames(body, self.spec.element_profiles["frame-title"])
+        self._add_form(body)
+        self._add_objects(body, self.spec.element_profiles["object-alt"])
+        self._add_summaries(body, self.spec.element_profiles["summary-name"])
+        self._add_svgs(body, self.spec.element_profiles["svg-img-alt"])
+
+        document.invalidate_indexes()
+        return document
+
+    def generate_html(self, url: str | None = None) -> str:
+        """Generate a page and serialize it to HTML."""
+        return self.generate_document(url=url).to_html()

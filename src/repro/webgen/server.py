@@ -1,0 +1,161 @@
+"""Geo-aware origin servers for the synthetic web.
+
+Each :class:`OriginServer` wraps one :class:`~repro.webgen.sitegen.SyntheticSite`
+and answers requests the way the corresponding real-world behaviours would:
+
+* in-country clients receive the *localized* variant;
+* out-of-country clients receive the *global* (English-leaning) variant when
+  the site localizes by IP, otherwise the localized variant;
+* sites that detect VPN/proxy traffic answer ``403`` to flagged clients,
+  which forces the selection procedure to replace them (Section 2,
+  Limitations);
+* unknown paths answer ``404``; the root path may redirect to ``/home`` on a
+  small fraction of sites so that the crawler's redirect handling is
+  exercised.
+
+:class:`SyntheticWeb` is the DNS-plus-transport of this world: it maps host
+names to origin servers and dispatches requests.  The crawler never sees
+these classes directly — it talks to a transport adapter in
+:mod:`repro.crawler.fetcher` — so swapping in a real HTTP client would not
+change any measurement code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.webgen.sitegen import GLOBAL, LOCALIZED, SyntheticSite, stable_seed
+
+
+@dataclass(frozen=True)
+class OriginRequest:
+    """A request as seen by an origin server."""
+
+    path: str
+    client_country: str | None = None
+    via_vpn: bool = False
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OriginResponse:
+    """A response produced by an origin server."""
+
+    status: int
+    body: str = ""
+    headers: Mapping[str, str] = field(default_factory=dict)
+    served_variant: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 307, 308)
+
+    @property
+    def location(self) -> str | None:
+        return self.headers.get("location")
+
+
+class OriginServer:
+    """Serves one synthetic site."""
+
+    def __init__(self, site: SyntheticSite) -> None:
+        self.site = site
+        # A deterministic per-site decision: a small fraction of sites
+        # redirect "/" to "/home" to exercise redirect handling.
+        self._redirects_root = stable_seed(site.seed, "redirect") % 100 < 5
+
+    @property
+    def domain(self) -> str:
+        return self.site.domain
+
+    def _variant_for(self, request: OriginRequest) -> str:
+        if not self.site.localizes_by_ip:
+            return LOCALIZED
+        if request.client_country == self.site.country_code:
+            return LOCALIZED
+        return GLOBAL
+
+    def handle(self, request: OriginRequest) -> OriginResponse:
+        """Answer ``request``.
+
+        VPN-blocking takes precedence over everything else, mirroring how
+        bot-protection frontends intercept requests before the application.
+        """
+        if self.site.blocks_vpn and request.via_vpn:
+            return OriginResponse(status=403, body="Access denied", served_variant=None,
+                                  headers={"content-type": "text/plain"})
+
+        path = request.path or "/"
+        if path == "/robots.txt":
+            if self.site.robots_txt is None:
+                return OriginResponse(status=404, body="Not found",
+                                      headers={"content-type": "text/plain"})
+            return OriginResponse(status=200, body=self.site.robots_txt,
+                                  headers={"content-type": "text/plain"})
+        if self._redirects_root and path == "/":
+            return OriginResponse(
+                status=302,
+                headers={"location": f"https://{self.domain}/home", "content-type": "text/html"},
+            )
+        if self._redirects_root and path == "/home":
+            path = "/"
+
+        if path not in self.site.page_paths:
+            return OriginResponse(status=404, body="Not found",
+                                  headers={"content-type": "text/plain"})
+
+        variant = self._variant_for(request)
+        body = self.site.page_html(path, variant)
+        return OriginResponse(
+            status=200,
+            body=body,
+            headers={"content-type": "text/html; charset=utf-8"},
+            served_variant=variant,
+        )
+
+
+class SyntheticWeb:
+    """The collection of all origin servers, addressable by host name."""
+
+    def __init__(self, sites: Iterable[SyntheticSite] = ()) -> None:
+        self._servers: dict[str, OriginServer] = {}
+        for site in sites:
+            self.add_site(site)
+
+    def add_site(self, site: SyntheticSite) -> OriginServer:
+        if site.domain in self._servers:
+            raise ValueError(f"duplicate domain {site.domain!r} in synthetic web")
+        server = OriginServer(site)
+        self._servers[site.domain] = server
+        return server
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def domains(self) -> tuple[str, ...]:
+        return tuple(sorted(self._servers))
+
+    def site(self, domain: str) -> SyntheticSite:
+        return self._servers[domain].site
+
+    def request(self, domain: str, path: str = "/", *, client_country: str | None = None,
+                via_vpn: bool = False) -> OriginResponse:
+        """Dispatch a request to the origin for ``domain``.
+
+        Unknown hosts answer with a synthetic DNS-failure style 502 so that
+        callers exercise their error handling rather than crashing.
+        """
+        server = self._servers.get(domain)
+        if server is None:
+            return OriginResponse(status=502, body="Unknown host",
+                                  headers={"content-type": "text/plain"})
+        return server.handle(OriginRequest(path=path, client_country=client_country,
+                                           via_vpn=via_vpn))

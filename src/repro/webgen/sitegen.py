@@ -1,0 +1,317 @@
+"""Synthetic website generation.
+
+A :class:`SyntheticSite` models one origin of the synthetic web: a domain
+with a CrUX-style popularity rank, a behaviour profile sampled from its
+country's :class:`~repro.webgen.profiles.CountryProfile`, and one or more
+pages in up to two variants:
+
+``localized``
+    The version served to clients whose vantage point is inside the country
+    (what the paper crawls through country VPNs).
+``global``
+    An English-leaning version served to out-of-country clients, when the
+    site localizes by IP at all.  The existence of this variant is what makes
+    VPN-based crawling matter (Section 2, *Data Collection*), and the
+    vantage-point ablation benchmark quantifies it.
+
+Page HTML is generated lazily and deterministically: the content of a page
+depends only on the site's seed, the page path and the variant, so repeated
+crawls observe identical content regardless of request order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.webgen.pagegen import PageGenerator, PageSpec
+from repro.webgen.profiles import CountryProfile, ELEMENT_PROFILES, ElementProfile, get_profile
+
+
+def sample_site_rate(mean: float, rng: random.Random, *, concentration: float = 0.5) -> float:
+    """Draw a per-site rate whose population mean is ``mean``.
+
+    Table 2 of the paper shows strongly bimodal per-site statistics (e.g.
+    ``image-alt`` missing: median 1.89% but mean 17.12% with a 28.9% standard
+    deviation): most sites are consistently good or consistently bad rather
+    than uniformly mediocre.  A low-concentration Beta distribution with the
+    target mean reproduces that U-shape, so per-site rates cluster near 0 and
+    1 while the across-site average stays calibrated to the paper's mean.
+    """
+    mean = min(max(mean, 1e-4), 1 - 1e-4)
+    alpha = mean * concentration
+    beta = (1.0 - mean) * concentration
+    return rng.betavariate(alpha, beta)
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a deterministic 32-bit seed from arbitrary parts.
+
+    Python's builtin ``hash`` is randomized per process for strings, so the
+    generator derives its per-site and per-page seeds from a SHA-256 digest
+    instead; the same inputs always yield the same synthetic web.
+    """
+    digest = hashlib.sha256("\x1f".join(str(part) for part in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+#: Fraction of candidate sites whose visible content falls below the paper's
+#: 50% native-language threshold; these exercise the replacement step of the
+#: website-selection procedure.
+BELOW_THRESHOLD_RATE = 0.12
+
+#: Variant identifiers.
+LOCALIZED = "localized"
+GLOBAL = "global"
+
+
+@dataclass
+class SyntheticSite:
+    """One synthetic website.
+
+    Attributes:
+        domain: Fully qualified domain name, unique across the synthetic web.
+        country_code: The country whose CrUX list ranks this site.
+        language_code: The country's target language.
+        rank: Global CrUX-style popularity rank (1 = most popular).
+        visible_native_share: Fraction of visible text in the native language
+            for the localized variant.
+        a11y_language_weights: Site-level language mix of informative
+            accessibility text (keys ``native`` / ``english`` / ``mixed``).
+        uninformative_rate: Site-level probability of uninformative text.
+        declare_lang: Value of the ``<html lang>`` attribute on the localized
+            variant (often ``en`` or missing even on native-language pages —
+            part of the metadata-neglect phenomenon).
+        localizes_by_ip: Whether out-of-country clients receive the global
+            (English-leaning) variant.
+        blocks_vpn: Whether the site detects and refuses VPN/proxy traffic,
+            triggering replacement during dataset construction.
+        page_paths: Paths of the site's pages ("/" is always present).
+        seed: Deterministic per-site seed used for lazy page generation.
+        element_rates: Per-site (missing, empty) rates per element type; the
+            across-site means follow Table 2 while individual sites are
+            either consistently annotated or consistently not (see
+            :func:`sample_site_rate`).
+        fallback_text_rate: Probability that the site's interactive elements
+            carry visible inner text for screen readers to fall back to.
+        robots_txt: Content of the site's ``/robots.txt`` (``None`` when the
+            site serves none, which is the common case); lets the crawler's
+            robots handling and crawl-delay politeness be exercised end to
+            end.
+    """
+
+    domain: str
+    country_code: str
+    language_code: str
+    rank: int
+    visible_native_share: float
+    a11y_language_weights: dict[str, float]
+    uninformative_rate: float
+    declare_lang: str | None
+    localizes_by_ip: bool
+    blocks_vpn: bool
+    page_paths: tuple[str, ...]
+    seed: int
+    element_rates: dict[str, tuple[float, float]] = field(default_factory=dict)
+    fallback_text_rate: float = 0.9
+    robots_txt: str | None = None
+    _page_cache: dict[tuple[str, str], str] = field(default_factory=dict, repr=False)
+
+    @property
+    def url(self) -> str:
+        return f"https://{self.domain}/"
+
+    def meets_language_threshold(self) -> bool:
+        """Whether the site was generated to satisfy the 50% criterion.
+
+        The pipeline re-measures this from the crawled HTML; the flag exists
+        for tests that validate the generator itself.
+        """
+        return self.visible_native_share >= 0.5
+
+    # -- page generation -----------------------------------------------------
+
+    def _site_element_profiles(self) -> dict[str, ElementProfile]:
+        """Element profiles with this site's own missing/empty rates."""
+        profiles: dict[str, ElementProfile] = {}
+        for element_id, profile in ELEMENT_PROFILES.items():
+            rates = self.element_rates.get(element_id)
+            if rates is None:
+                profiles[element_id] = profile
+            else:
+                missing, empty = rates
+                profiles[element_id] = replace(profile, missing_rate=missing, empty_rate=empty)
+        return profiles
+
+    def _spec_for_variant(self, variant: str, profile: CountryProfile) -> PageSpec:
+        element_profiles = self._site_element_profiles()
+        if variant == GLOBAL:
+            return PageSpec(
+                language_code=self.language_code,
+                visible_native_share=min(0.15, self.visible_native_share),
+                a11y_language_weights={"native": 0.02, "english": 0.93, "mixed": 0.05},
+                uninformative_rate=self.uninformative_rate,
+                discard_mix=dict(profile.discard_mix),
+                declare_lang="en",
+                fallback_text_rate=self.fallback_text_rate,
+                element_profiles=element_profiles,
+            )
+        return PageSpec(
+            language_code=self.language_code,
+            visible_native_share=self.visible_native_share,
+            a11y_language_weights=dict(self.a11y_language_weights),
+            uninformative_rate=self.uninformative_rate,
+            discard_mix=dict(profile.discard_mix),
+            declare_lang=self.declare_lang,
+            fallback_text_rate=self.fallback_text_rate,
+            element_profiles=element_profiles,
+        )
+
+    def page_html(self, path: str = "/", variant: str = LOCALIZED) -> str:
+        """HTML of the page at ``path`` for the given ``variant``.
+
+        Raises:
+            KeyError: When ``path`` is not one of the site's pages.
+            ValueError: For an unknown variant.
+        """
+        if path not in self.page_paths:
+            raise KeyError(f"{self.domain} has no page {path!r}")
+        if variant not in (LOCALIZED, GLOBAL):
+            raise ValueError(f"unknown variant {variant!r}")
+        cache_key = (path, variant)
+        if cache_key not in self._page_cache:
+            profile = get_profile(self.country_code)
+            spec = self._spec_for_variant(variant, profile)
+            page_seed = stable_seed(self.seed, path, variant)
+            generator = PageGenerator(spec, random.Random(page_seed))
+            url = f"https://{self.domain}{path}"
+            self._page_cache[cache_key] = generator.generate_html(url=url)
+        return self._page_cache[cache_key]
+
+
+class SiteGenerator:
+    """Generates the sites of one country according to its profile."""
+
+    def __init__(self, profile: CountryProfile, *, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._rng = random.Random(stable_seed(seed, profile.country_code))
+
+    # -- sampling helpers ------------------------------------------------------
+
+    def _sample_rank(self) -> int:
+        rank = 10 ** self._rng.gauss(self.profile.rank_log10_mean, self.profile.rank_log10_std)
+        return max(1, min(int(rank), 2_000_000))
+
+    def _sample_visible_share(self, below_threshold: bool) -> float:
+        if below_threshold:
+            return self._rng.uniform(0.05, 0.45)
+        share = self._rng.gauss(self.profile.visible_native_mean, self.profile.visible_native_std)
+        return max(0.5, min(share, 0.99))
+
+    def _sample_a11y_weights(self, low_native_site: bool) -> dict[str, float]:
+        if low_native_site:
+            return {"native": 0.02, "english": 0.90, "mixed": 0.08}
+        profile = self.profile
+        low_rate = profile.low_native_a11y_site_rate
+        # Remove the low-native sites' contribution from the country-level
+        # aggregate so that the mixture of both site kinds lands near the
+        # Figure 4 targets.
+        remaining = max(1.0 - low_rate, 1e-6)
+        native = max((profile.a11y_native_rate - low_rate * 0.02) / remaining, 0.02)
+        english = max((profile.a11y_english_rate - low_rate * 0.90) / remaining, 0.02)
+        mixed = max((profile.a11y_mixed_rate - low_rate * 0.08) / remaining, 0.02)
+        # Per-site jitter so that sites differ from one another.
+        native *= self._rng.uniform(0.6, 1.4)
+        english *= self._rng.uniform(0.6, 1.4)
+        mixed *= self._rng.uniform(0.6, 1.4)
+        total = native + english + mixed
+        return {"native": native / total, "english": english / total, "mixed": mixed / total}
+
+    def _sample_declared_lang(self) -> str | None:
+        # Declared language metadata is itself frequently wrong or missing on
+        # multilingual pages: many sites declare "en" or nothing at all.
+        roll = self._rng.random()
+        if roll < 0.35:
+            return None
+        if roll < 0.65:
+            return "en"
+        return self.profile.language_code
+
+    def _sample_robots_txt(self) -> str | None:
+        """Most sites serve no robots.txt; some publish standard rules."""
+        roll = self._rng.random()
+        if roll < 0.75:
+            return None
+        if roll < 0.95:
+            return ("User-agent: *\n"
+                    "Disallow: /admin/\n"
+                    "Disallow: /private/\n"
+                    f"Crawl-delay: {self._rng.choice([1, 2, 5])}\n")
+        # A small minority disallow everything for unknown agents; the
+        # selection procedure treats them like unreachable sites and replaces
+        # them with the next candidate.
+        return "User-agent: *\nDisallow: /\n"
+
+    def _domain(self, index: int) -> str:
+        tld_by_country = {
+            "bd": "com.bd", "cn": "com.cn", "dz": "dz", "eg": "com.eg", "gr": "gr",
+            "hk": "com.hk", "il": "co.il", "in": "co.in", "jp": "co.jp", "kr": "co.kr",
+            "ru": "ru", "th": "co.th",
+        }
+        tld = tld_by_country.get(self.profile.country_code, "com")
+        roll = self._rng.random()
+        if roll < 0.7:
+            return f"site{index:05d}.{self.profile.country_code}.{tld}"
+        if roll < 0.9:
+            return f"news{index:05d}.{tld}"
+        return f"portal{index:05d}.gov.{tld}"
+
+    # -- public API --------------------------------------------------------------
+
+    def generate_site(self, index: int) -> SyntheticSite:
+        """Generate the ``index``-th candidate site of this country."""
+        rng = self._rng
+        below_threshold = rng.random() < BELOW_THRESHOLD_RATE
+        low_native_site = (not below_threshold) and rng.random() < self.profile.low_native_a11y_site_rate
+        page_count = rng.randint(1, 3)
+        page_paths = ("/",) + tuple(f"/page/{i}" for i in range(1, page_count))
+        element_rates = {
+            element_id: (
+                sample_site_rate(element_profile.missing_rate, rng),
+                sample_site_rate(element_profile.empty_rate, rng),
+            )
+            for element_id, element_profile in ELEMENT_PROFILES.items()
+        }
+        return SyntheticSite(
+            domain=self._domain(index),
+            country_code=self.profile.country_code,
+            language_code=self.profile.language_code,
+            rank=self._sample_rank(),
+            visible_native_share=self._sample_visible_share(below_threshold),
+            a11y_language_weights=self._sample_a11y_weights(low_native_site),
+            uninformative_rate=max(0.02, min(rng.gauss(self.profile.uninformative_rate, 0.08), 0.9)),
+            declare_lang=self._sample_declared_lang(),
+            localizes_by_ip=rng.random() < self.profile.global_variant_rate,
+            blocks_vpn=rng.random() < self.profile.vpn_block_rate,
+            page_paths=page_paths,
+            seed=stable_seed(self.seed, self.profile.country_code, index),
+            element_rates=element_rates,
+            # Most sites are template-driven and consistently give interactive
+            # elements visible text (the screen-reader fallback); a minority
+            # use icon-only controls throughout.
+            fallback_text_rate=1.0 if rng.random() < 0.88 else rng.uniform(0.5, 0.9),
+            robots_txt=self._sample_robots_txt(),
+        )
+
+    def generate_sites(self, count: int) -> list[SyntheticSite]:
+        """Generate ``count`` candidate sites, ordered by ascending rank."""
+        sites = [self.generate_site(index) for index in range(count)]
+        sites.sort(key=lambda site: site.rank)
+        return sites
+
+
+def generate_country_sites(country_code: str, count: int, *, seed: int = 0) -> list[SyntheticSite]:
+    """Convenience wrapper: candidate sites for one country."""
+    return SiteGenerator(get_profile(country_code), seed=seed).generate_sites(count)

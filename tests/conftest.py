@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+The expensive artifact — a small LangCrUX dataset built end-to-end over the
+synthetic web — is session-scoped so that the many analysis tests reuse one
+build instead of re-crawling per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import LangCrUXDataset
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig, PipelineResult
+from repro.html.dom import Document
+from repro.html.parser import parse_html
+from repro.webgen.sitegen import SiteGenerator, SyntheticSite
+from repro.webgen.profiles import get_profile
+
+
+SAMPLE_HTML = """
+<!DOCTYPE html>
+<html lang="bn">
+  <head><title>দৈনিক সংবাদ</title></head>
+  <body>
+    <h1>আজকের প্রধান খবর</h1>
+    <p>শিক্ষার্থীদের জন্য নতুন বৃত্তির ঘোষণা করা হয়েছে।</p>
+    <img src="/a.jpg" alt="Students attending the annual ceremony">
+    <img src="/b.jpg" alt="">
+    <img src="/c.jpg">
+    <button aria-label="Search">🔍</button>
+    <button>অনুসন্ধান</button>
+    <a href="/news">আরও পড়ুন</a>
+    <a href="/about"></a>
+    <iframe src="https://embed.example.com/x" title="Weather widget"></iframe>
+    <form>
+      <label for="q">নাম</label>
+      <input type="text" id="q" name="q">
+      <input type="text" name="unlabelled">
+      <select name="city" aria-label="City"></select>
+      <input type="submit" value="জমা দিন">
+      <input type="image" src="/go.png" alt="go">
+    </form>
+    <details><summary>বিস্তারিত</summary><p>তথ্য</p></details>
+    <svg role="img" aria-label="Company logo"><path d="M0 0"/></svg>
+    <object data="/doc.pdf">Annual report</object>
+    <div style="display:none">hidden text that must not count</div>
+    <script>var x = "script text";</script>
+  </body>
+</html>
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_document() -> Document:
+    """A hand-written multilingual page exercising every studied element."""
+    return parse_html(SAMPLE_HTML, url="https://example.com.bd/")
+
+
+@pytest.fixture(scope="session")
+def pipeline_result() -> PipelineResult:
+    """A small but complete pipeline run over four representative countries."""
+    config = PipelineConfig(
+        countries=("bd", "th", "jp", "il"),
+        sites_per_country=12,
+        seed=11,
+        transport_failure_rate=0.05,
+    )
+    return LangCrUXPipeline(config).run()
+
+
+@pytest.fixture(scope="session")
+def small_dataset(pipeline_result: PipelineResult) -> LangCrUXDataset:
+    return pipeline_result.dataset
+
+
+@pytest.fixture(scope="session")
+def bd_sites() -> list[SyntheticSite]:
+    """A deterministic batch of Bangladeshi candidate sites."""
+    return SiteGenerator(get_profile("bd"), seed=5).generate_sites(20)

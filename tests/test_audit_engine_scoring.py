@@ -1,0 +1,139 @@
+"""Tests for the audit engine and Lighthouse-style scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.engine import AuditEngine
+from repro.audit.report import AuditReport, RuleResult, summarize_pass_rates
+from repro.audit.rules import get_rule
+from repro.audit.rules.image_alt import ImageAltRule
+from repro.audit.scoring import (
+    DEFAULT_WEIGHTS,
+    fraction_above,
+    fraction_perfect,
+    lighthouse_score,
+    score_distribution,
+)
+from repro.html.parser import parse_html
+
+
+GOOD_PAGE = """
+<html><head><title>ข่าววันนี้</title></head><body>
+  <p>ข่าวล่าสุดประจำวัน</p>
+  <img src="/a.jpg" alt="ภาพตลาดกลางเมือง">
+  <a href="/x">อ่านต่อ</a>
+  <button>ค้นหา</button>
+</body></html>
+"""
+
+BAD_PAGE = """
+<html><head><title>ข่าววันนี้</title></head><body>
+  <p>ข่าวล่าสุดประจำวัน</p>
+  <img src="/a.jpg">
+  <a href="/x"></a>
+  <button></button>
+  <iframe src="/w"></iframe>
+</body></html>
+"""
+
+
+class TestAuditEngine:
+    def test_default_engine_runs_all_rules(self) -> None:
+        report = AuditEngine().audit_html(GOOD_PAGE, url="https://x.example/")
+        assert set(report.results) == set(DEFAULT_WEIGHTS)
+        assert report.url == "https://x.example/"
+
+    def test_good_page_has_no_failing_rules(self) -> None:
+        report = AuditEngine().audit_html(GOOD_PAGE)
+        assert report.failing_rules() == ()
+
+    def test_bad_page_fails_expected_rules(self) -> None:
+        report = AuditEngine().audit_html(BAD_PAGE)
+        assert set(report.failing_rules()) == {"image-alt", "link-name", "button-name", "frame-title"}
+
+    def test_duplicate_rule_ids_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            AuditEngine([ImageAltRule(), ImageAltRule()])
+
+    def test_empty_rule_set_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            AuditEngine([])
+
+    def test_with_rule_replaced(self) -> None:
+        replacement = ImageAltRule()
+        engine = AuditEngine().with_rule_replaced(replacement)
+        assert any(rule is replacement for rule in engine.rules)
+        assert len(engine.rules) == len(AuditEngine().rules)
+
+    def test_with_rule_replaced_unknown_id(self) -> None:
+        class WeirdRule(ImageAltRule):
+            rule_id = "not-a-known-rule"
+
+        with pytest.raises(KeyError):
+            AuditEngine().with_rule_replaced(WeirdRule())
+
+    def test_audit_many(self) -> None:
+        documents = [parse_html(GOOD_PAGE), parse_html(BAD_PAGE)]
+        reports = AuditEngine().audit_many(documents)
+        assert len(reports) == 2
+
+
+class TestReportHelpers:
+    def test_passed_treats_not_applicable_as_pass(self) -> None:
+        report = AuditEngine().audit_html("<body><p>text only</p></body>")
+        assert report.passed("image-alt")
+        assert report.passed("unknown-rule")
+
+    def test_to_dict_summarises(self) -> None:
+        payload = AuditEngine().audit_html(BAD_PAGE).to_dict()
+        assert payload["results"]["image-alt"]["failing_elements"] == 1
+        assert payload["results"]["image-alt"]["passed"] is False
+
+    def test_summarize_pass_rates(self) -> None:
+        reports = [AuditEngine().audit_html(GOOD_PAGE), AuditEngine().audit_html(BAD_PAGE)]
+        rates = summarize_pass_rates(reports)
+        assert rates["image-alt"] == pytest.approx(0.5)
+        assert rates["document-title"] == pytest.approx(1.0)
+
+
+class TestScoring:
+    def test_perfect_page_scores_100(self) -> None:
+        assert lighthouse_score(AuditEngine().audit_html(GOOD_PAGE)) == pytest.approx(100.0)
+
+    def test_failures_lower_the_score(self) -> None:
+        score = lighthouse_score(AuditEngine().audit_html(BAD_PAGE))
+        assert 0.0 < score < 100.0
+
+    def test_proportional_scoring_is_no_lower_than_binary(self) -> None:
+        report = AuditEngine().audit_html(BAD_PAGE)
+        assert lighthouse_score(report, proportional=True) >= lighthouse_score(report)
+
+    def test_empty_report_scores_100(self) -> None:
+        assert lighthouse_score(AuditReport(url=None)) == 100.0
+
+    def test_custom_weights(self) -> None:
+        report = AuditEngine().audit_html(BAD_PAGE)
+        only_title = {rule_id: 0.0 for rule_id in DEFAULT_WEIGHTS}
+        only_title["document-title"] = 1.0
+        assert lighthouse_score(report, weights=only_title) == pytest.approx(100.0)
+
+    def test_weights_cover_all_rules(self) -> None:
+        assert set(DEFAULT_WEIGHTS) == {rule.rule_id for rule in AuditEngine().rules}
+
+    def test_distribution_helpers(self) -> None:
+        reports = [AuditEngine().audit_html(GOOD_PAGE), AuditEngine().audit_html(BAD_PAGE)]
+        scores = score_distribution(reports)
+        assert len(scores) == 2
+        assert fraction_above(scores, 90) == pytest.approx(0.5)
+        assert fraction_perfect(scores) == pytest.approx(0.5)
+        assert fraction_above([], 90) == 0.0
+        assert fraction_perfect([]) == 0.0
+
+
+class TestRuleResultScore:
+    def test_score_is_fraction_of_passing_elements(self) -> None:
+        markup = "<img src='a'><img src='b' alt='x'><img src='c' alt='y'>"
+        result = get_rule("image-alt").evaluate(parse_html(markup))
+        assert isinstance(result, RuleResult)
+        assert result.score == pytest.approx(2 / 3)

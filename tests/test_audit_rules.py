@@ -1,0 +1,100 @@
+"""Tests for the individual audit rules (repro.audit.rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.rules import ALL_RULES, get_rule, rule_ids
+from repro.core.elements import ELEMENT_IDS
+from repro.html.parser import parse_html
+
+
+class TestRegistry:
+    def test_twelve_rules_registered(self) -> None:
+        assert len(ALL_RULES) == 12
+
+    def test_rule_ids_match_table1(self) -> None:
+        assert set(rule_ids()) == set(ELEMENT_IDS)
+
+    def test_get_rule(self) -> None:
+        assert get_rule("image-alt").rule_id == "image-alt"
+        with pytest.raises(KeyError):
+            get_rule("nonexistent-rule")
+
+    def test_rules_have_descriptions(self) -> None:
+        for rule in ALL_RULES:
+            assert rule.description
+
+
+def _evaluate(rule_id: str, markup: str):
+    return get_rule(rule_id).evaluate(parse_html(markup))
+
+
+class TestTargetSelection:
+    def test_button_name_targets_buttons_and_roles(self) -> None:
+        result = _evaluate("button-name", "<button>x</button><div role='button'>y</div>")
+        assert result.total_elements == 2
+
+    def test_image_alt_targets_images(self) -> None:
+        result = _evaluate("image-alt", "<img src='a'><img src='b'><p>text</p>")
+        assert result.total_elements == 2
+
+    def test_link_name_requires_href(self) -> None:
+        result = _evaluate("link-name", "<a href='/x'>x</a><a name='anchor'>y</a>")
+        assert result.total_elements == 1
+
+    def test_input_rules_split_by_type(self) -> None:
+        markup = ("<input type='submit' value='go'>"
+                  "<input type='image' src='x' alt='a'>"
+                  "<input type='text'>")
+        assert _evaluate("input-button-name", markup).total_elements == 1
+        assert _evaluate("input-image-alt", markup).total_elements == 1
+        assert _evaluate("label", markup).total_elements == 1
+
+    def test_not_applicable_when_absent(self) -> None:
+        result = _evaluate("object-alt", "<p>no objects here</p>")
+        assert not result.applicable
+        assert result.passed
+        assert result.score == 1.0
+
+
+class TestOutcomeDetails:
+    def test_failing_elements_counted(self) -> None:
+        result = _evaluate("image-alt", "<img src='a'><img src='b' alt='described photo'>")
+        assert result.total_elements == 2
+        assert result.failing_elements == 1
+        assert result.score == pytest.approx(0.5)
+        assert not result.passed
+
+    def test_reasons_reported(self) -> None:
+        result = _evaluate("image-alt", "<img src='a'><img src='b' alt=''>"
+                           "<img src='c' alt='fine'>")
+        reasons = sorted(outcome.reason for outcome in result.outcomes)
+        assert reasons == ["empty", "missing", "ok"]
+
+    def test_aria_label_provides_name(self) -> None:
+        result = _evaluate("button-name", "<button aria-label='search'></button>")
+        assert result.passed
+
+    def test_visible_text_provides_name_for_links(self) -> None:
+        result = _evaluate("link-name", "<a href='/x'>read the article</a>")
+        assert result.passed
+
+    def test_empty_link_fails(self) -> None:
+        result = _evaluate("link-name", "<a href='/x'></a>")
+        assert not result.passed
+
+    def test_select_name_from_label(self) -> None:
+        markup = "<label for='s'>City</label><select id='s'></select>"
+        assert _evaluate("select-name", markup).passed
+
+    def test_object_alt_fallback_content(self) -> None:
+        assert _evaluate("object-alt", "<object data='x.pdf'>annual report</object>").passed
+        assert not _evaluate("object-alt", "<object data='x.pdf'></object>").passed
+
+    def test_document_title_empty_fails(self) -> None:
+        assert not _evaluate("document-title", "<head><title></title></head><body></body>").passed
+        assert _evaluate("document-title", "<head><title>News</title></head><body></body>").passed
+
+    def test_decorative_image_passes(self) -> None:
+        assert _evaluate("image-alt", "<img src='a' role='presentation'>").passed

@@ -1,0 +1,130 @@
+"""Appendix D reproduction: rule behaviour on isolated single-element pages.
+
+The paper builds isolated test pages, each containing a single target
+element, and reports whether the Lighthouse audit passes under three
+conditions: the accessibility text missing entirely, present but empty, and
+present but in a different language than the page (Table 3).  These tests
+assert that the audit engine reproduces exactly that observed behaviour —
+including the counter-intuitive cells (e.g. ``document-title`` passing when
+the title is missing) — because Kizuki's motivation rests on the "incorrect
+language always passes" column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.rules import get_rule
+from repro.html.parser import parse_html
+
+# Isolated test pages per rule and condition.  The page's visible content is
+# Thai; the "incorrect language" condition uses an English accessibility text.
+_PAGES: dict[str, dict[str, str]] = {
+    "button-name": {
+        "missing": "<body><button></button></body>",
+        "empty": "<body><button aria-label=''></button></body>",
+        "incorrect_language": "<body><p>ข่าววันนี้</p><button aria-label='search'></button></body>",
+    },
+    "document-title": {
+        "missing": "<html><head></head><body><p>ข่าว</p></body></html>",
+        "empty": "<html><head><title></title></head><body><p>ข่าว</p></body></html>",
+        "incorrect_language": "<html><head><title>Daily news</title></head>"
+                              "<body><p>ข่าว</p></body></html>",
+    },
+    "frame-title": {
+        "missing": "<body><iframe src='/w'></iframe></body>",
+        "empty": "<body><iframe src='/w' title=''></iframe></body>",
+        "incorrect_language": "<body><p>ข่าว</p><iframe src='/w' title='Weather widget'></iframe></body>",
+    },
+    "image-alt": {
+        "missing": "<body><img src='/a.jpg'></body>",
+        "empty": "<body><img src='/a.jpg' alt=''></body>",
+        "incorrect_language": "<body><p>ข่าว</p><img src='/a.jpg' alt='A photo of the market'></body>",
+    },
+    "input-button-name": {
+        "missing": "<body><input type='submit'></body>",
+        "empty": "<body><input type='submit' value=''></body>",
+        "incorrect_language": "<body><p>ข่าว</p><input type='submit' value='Send'></body>",
+    },
+    "input-image-alt": {
+        "missing": "<body><input type='image' src='/go.png'></body>",
+        "empty": "<body><input type='image' src='/go.png' alt=''></body>",
+        "incorrect_language": "<body><p>ข่าว</p><input type='image' src='/go.png' alt='go'></body>",
+    },
+    "label": {
+        "missing": "<body><input type='text'></body>",
+        "empty": "<body><label for='f'></label><input id='f' type='text'></body>",
+        "incorrect_language": "<body><p>ข่าว</p><label for='f'>Name</label>"
+                              "<input id='f' type='text'></body>",
+    },
+    "link-name": {
+        "missing": "<body><a href='/x'></a></body>",
+        "empty": "<body><a href='/x' aria-label=''></a></body>",
+        "incorrect_language": "<body><p>ข่าว</p><a href='/x'>read more</a></body>",
+    },
+    "object-alt": {
+        "missing": "<body><object data='/d.pdf'></object></body>",
+        "empty": "<body><object data='/d.pdf' aria-label=''></object></body>",
+        "incorrect_language": "<body><p>ข่าว</p><object data='/d.pdf'>annual report</object></body>",
+    },
+    "select-name": {
+        "missing": "<body><select></select></body>",
+        "empty": "<body><select aria-label=''></select></body>",
+        "incorrect_language": "<body><p>ข่าว</p><select aria-label='City'></select></body>",
+    },
+    "summary-name": {
+        "missing": "<body><details><summary></summary></details></body>",
+        "empty": "<body><details><summary aria-label=''></summary></details></body>",
+        "incorrect_language": "<body><p>ข่าว</p><details><summary>Details</summary></details></body>",
+    },
+    "svg-img-alt": {
+        "missing": "<body><svg role='img'><path d='M0 0'/></svg></body>",
+        "empty": "<body><svg role='img' aria-label=''><path d='M0 0'/></svg></body>",
+        "incorrect_language": "<body><p>ข่าว</p><svg role='img' aria-label='Company logo'>"
+                              "<path d='M0 0'/></svg></body>",
+    },
+}
+
+# Table 3 of the paper: True = the Lighthouse audit passes.
+_EXPECTED: dict[str, tuple[bool, bool, bool]] = {
+    # rule: (missing, empty, incorrect_language)
+    "button-name": (False, True, True),
+    "document-title": (True, False, True),
+    "frame-title": (False, False, True),
+    "image-alt": (False, True, True),
+    "input-button-name": (True, False, True),
+    "input-image-alt": (False, False, True),
+    "label": (True, True, True),
+    "link-name": (False, False, True),
+    "object-alt": (False, False, True),
+    "select-name": (False, False, True),
+    "summary-name": (True, True, True),
+    "svg-img-alt": (True, True, True),
+}
+
+
+def _passes(rule_id: str, condition: str) -> bool:
+    document = parse_html(_PAGES[rule_id][condition])
+    result = get_rule(rule_id).evaluate(document)
+    if not result.applicable:
+        return True
+    return result.passed
+
+
+@pytest.mark.parametrize("rule_id", sorted(_EXPECTED))
+class TestTable3:
+    def test_missing_element_condition(self, rule_id: str) -> None:
+        assert _passes(rule_id, "missing") is _EXPECTED[rule_id][0]
+
+    def test_empty_value_condition(self, rule_id: str) -> None:
+        assert _passes(rule_id, "empty") is _EXPECTED[rule_id][1]
+
+    def test_incorrect_language_condition(self, rule_id: str) -> None:
+        # The base (language-unaware) audits always pass this condition —
+        # the limitation Kizuki addresses.
+        assert _passes(rule_id, "incorrect_language") is _EXPECTED[rule_id][2]
+
+
+def test_every_table1_element_covered() -> None:
+    from repro.core.elements import ELEMENT_IDS
+    assert set(_EXPECTED) == set(ELEMENT_IDS)

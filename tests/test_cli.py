@@ -1,0 +1,104 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.dataset import LangCrUXDataset
+
+
+@pytest.fixture(scope="module")
+def built_dataset_path(tmp_path_factory) -> Path:
+    """Build a tiny dataset through the CLI once and reuse it."""
+    path = tmp_path_factory.mktemp("cli") / "langcrux.jsonl"
+    exit_code = main([
+        "build", "--output", str(path), "--sites-per-country", "5",
+        "--countries", "bd", "th", "--seed", "17",
+    ])
+    assert exit_code == 0
+    return path
+
+
+class TestBuild:
+    def test_build_writes_dataset(self, built_dataset_path: Path) -> None:
+        assert built_dataset_path.exists()
+        dataset = LangCrUXDataset.load_jsonl(built_dataset_path)
+        assert len(dataset) == 10
+        assert set(dataset.countries()) == {"bd", "th"}
+
+    def test_build_reports_progress(self, tmp_path: Path, capsys) -> None:
+        path = tmp_path / "out.jsonl"
+        main(["build", "--output", str(path), "--sites-per-country", "2",
+              "--countries", "il", "--seed", "4"])
+        captured = capsys.readouterr().out
+        assert "wrote 2 site records" in captured
+        assert "il: selected 2/2" in captured
+
+
+class TestAnalyze:
+    def test_analyze_prints_table(self, built_dataset_path: Path, capsys) -> None:
+        assert main(["analyze", str(built_dataset_path)]) == 0
+        output = capsys.readouterr().out
+        assert "image-alt" in output
+        assert "uninformative accessibility text share" in output
+        assert "language mix of informative accessibility texts" in output
+
+
+class TestMismatch:
+    def test_mismatch_summary_printed(self, built_dataset_path: Path, capsys) -> None:
+        assert main(["mismatch", str(built_dataset_path)]) == 0
+        output = capsys.readouterr().out
+        assert "<10% native accessibility text" in output
+        assert "bd:" in output and "th:" in output
+
+
+class TestKizuki:
+    def test_kizuki_rescoring_printed(self, built_dataset_path: Path, capsys) -> None:
+        exit_code = main(["kizuki", str(built_dataset_path), "--countries", "bd", "th"])
+        output = capsys.readouterr().out
+        if exit_code == 0:
+            assert "re-scored" in output
+            assert "score > 90" in output
+        else:
+            assert "no eligible sites" in output
+
+
+class TestReport:
+    def test_report_written(self, built_dataset_path: Path, tmp_path: Path, capsys) -> None:
+        output = tmp_path / "report.txt"
+        assert main(["report", str(built_dataset_path), "--output", str(output)]) == 0
+        content = output.read_text(encoding="utf-8")
+        assert "Table 1" in content and "Table 2" in content
+        assert "Figure 5" in content
+        assert "wrote report" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_written(self, built_dataset_path: Path, tmp_path: Path) -> None:
+        import json
+        output = tmp_path / "summary.json"
+        assert main(["export", str(built_dataset_path), "--output", str(output)]) == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["site_count"] == 10
+        assert payload["sites"]
+
+    def test_export_without_sites(self, built_dataset_path: Path, tmp_path: Path) -> None:
+        import json
+        output = tmp_path / "summary.json"
+        assert main(["export", str(built_dataset_path), "--output", str(output),
+                     "--no-sites"]) == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert "sites" not in payload
+
+
+class TestParser:
+    def test_missing_command_is_an_error(self) -> None:
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_is_an_error(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,124 @@
+"""Tests for the dataset analyses (repro.core.analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    element_statistics,
+    empty_alt_share,
+    extreme_alt_texts,
+    filter_breakdown_by_country,
+    filter_breakdown_by_element,
+    uninformative_rate_by_country,
+    visible_text_script_summary,
+    word_count,
+)
+from repro.core.dataset import ElementObservation, LangCrUXDataset, SiteRecord
+from repro.core.elements import ELEMENT_IDS
+from repro.core.filtering import DiscardCategory
+
+
+def _record(domain: str, country: str, language: str, *, image_texts: list[str],
+            missing: int = 0, empty: int = 0, link_texts: list[str] | None = None) -> SiteRecord:
+    record = SiteRecord(domain=domain, country_code=country, language_code=language, rank=100,
+                        visible_native_share=0.9, visible_text_chars=1000)
+    record.elements["image-alt"] = ElementObservation(
+        "image-alt", total=len(image_texts) + missing + empty,
+        missing=missing, empty=empty, texts=list(image_texts))
+    if link_texts is not None:
+        record.elements["link-name"] = ElementObservation(
+            "link-name", total=len(link_texts), texts=list(link_texts))
+    return record
+
+
+@pytest.fixture()
+def dataset() -> LangCrUXDataset:
+    return LangCrUXDataset([
+        _record("a.co.th", "th", "th",
+                image_texts=["Minister announcing the project", "ภาพการประชุม"],
+                missing=1, empty=1, link_texts=["read more", "อ่านต่อได้ที่นี่เลย"]),
+        _record("b.co.th", "th", "th", image_texts=["icon", "slide 3"], missing=0, empty=2),
+        _record("c.com.bd", "bd", "bn", image_texts=["ছবির বিস্তারিত বিবরণ এখানে"], missing=3),
+        _record("d.com.bd", "bd", "bn", image_texts=["word " * 300], missing=0),
+    ])
+
+
+class TestWordCount:
+    def test_space_separated(self) -> None:
+        assert word_count("three little words") == 3
+
+    def test_empty(self) -> None:
+        assert word_count("") == 0
+
+    def test_cjk_counts_as_single_token(self) -> None:
+        assert word_count("大臣が発表しました") == 1
+
+
+class TestElementStatistics:
+    def test_rows_for_all_elements(self, dataset) -> None:
+        rows = element_statistics(dataset)
+        assert set(rows) == set(ELEMENT_IDS)
+
+    def test_missing_and_empty_percentages(self, dataset) -> None:
+        row = element_statistics(dataset)["image-alt"]
+        assert row.sites == 4
+        # Per-site missing percentages: 25, 0, 75, 0 -> mean 25.
+        assert row.missing_pct.mean == pytest.approx(25.0)
+        # Per-site empty percentages: 25, 50, 0, 0 -> mean 18.75.
+        assert row.empty_pct.mean == pytest.approx(18.75)
+
+    def test_text_statistics_over_texts(self, dataset) -> None:
+        row = element_statistics(dataset)["image-alt"]
+        assert row.text_length.maximum == 1500
+        assert row.word_count.count == 6
+
+    def test_element_with_no_observations(self, dataset) -> None:
+        row = element_statistics(dataset)["object-alt"]
+        assert row.sites == 0
+        assert row.missing_pct.count == 0
+
+    def test_as_dict_shape(self, dataset) -> None:
+        payload = element_statistics(dataset)["image-alt"].as_dict()
+        assert payload["element"] == "image-alt"
+        assert set(payload["missing"]) == {"median", "std", "mean"}
+
+
+class TestFilterBreakdowns:
+    def test_by_country_percentages(self, dataset) -> None:
+        breakdown = filter_breakdown_by_country(dataset)
+        assert set(breakdown) == {"bd", "th"}
+        th = breakdown["th"]
+        # 6 Thai texts, of which: "icon" placeholder, "slide 3" label-number,
+        # "read more" generic action => 3/6 = 50% total discarded.
+        assert sum(th.values()) == pytest.approx(50.0)
+        assert th[DiscardCategory.PLACEHOLDER] == pytest.approx(100.0 / 6)
+
+    def test_by_element(self, dataset) -> None:
+        breakdown = filter_breakdown_by_element(dataset)
+        assert DiscardCategory.GENERIC_ACTION in breakdown["link-name"]
+        assert breakdown["object-alt"] == {}
+
+    def test_uninformative_rate(self, dataset) -> None:
+        rates = uninformative_rate_by_country(dataset)
+        assert rates["th"] == pytest.approx(0.5)
+        assert rates["bd"] == pytest.approx(0.0)
+
+
+class TestOutliersAndShares:
+    def test_extreme_alt_texts(self, dataset) -> None:
+        extremes = extreme_alt_texts(dataset, min_chars=1000)
+        assert len(extremes) == 1
+        assert extremes[0].domain == "d.com.bd"
+        assert extremes[0].length == 1500
+
+    def test_extreme_alt_limit(self, dataset) -> None:
+        assert extreme_alt_texts(dataset, min_chars=1, limit=2).__len__() == 2
+
+    def test_empty_alt_share(self, dataset) -> None:
+        # 3 empty alts out of 13 image instances.
+        assert empty_alt_share(dataset) == pytest.approx(3 / 13)
+
+    def test_visible_text_summary(self, dataset) -> None:
+        summary = visible_text_script_summary(dataset)
+        assert summary["th"].mean == pytest.approx(90.0)

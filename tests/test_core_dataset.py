@@ -1,0 +1,147 @@
+"""Tests for the LangCrUX dataset model (repro.core.dataset)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.dataset import ElementObservation, LangCrUXDataset, SiteRecord
+from repro.core.extraction import extract_page
+
+
+SAMPLE_MARKUP = """
+<html lang="th"><head><title>ข่าววันนี้</title></head><body>
+  <h1>ข่าวล่าสุดประจำวัน</h1>
+  <p>รัฐมนตรีประกาศโครงการพัฒนาใหม่ในจังหวัด</p>
+  <img src="/a.jpg" alt="Minister announcing the project">
+  <img src="/b.jpg" alt="ภาพการประชุมประจำปี">
+  <img src="/c.jpg" alt="">
+  <img src="/d.jpg">
+  <a href="/x" aria-label="read more">อ่านต่อ</a>
+  <button aria-label="ค้นหา"></button>
+</body></html>
+"""
+
+
+@pytest.fixture()
+def record() -> SiteRecord:
+    extraction = extract_page(SAMPLE_MARKUP, url="https://news.example.co.th/")
+    return SiteRecord.from_extraction(
+        extraction,
+        domain="news.example.co.th",
+        country_code="th",
+        language_code="th",
+        rank=1234,
+        served_variant="localized",
+        audit={"image-alt": {"applicable": True, "passed": False, "score": 0.75}},
+    )
+
+
+class TestElementObservation:
+    def test_percentages(self) -> None:
+        obs = ElementObservation("image-alt", total=4, missing=1, empty=1, texts=["a", "b"])
+        assert obs.missing_pct == pytest.approx(25.0)
+        assert obs.empty_pct == pytest.approx(25.0)
+        assert obs.with_text == 2
+
+    def test_zero_total(self) -> None:
+        obs = ElementObservation("image-alt")
+        assert obs.missing_pct == 0.0
+        assert obs.empty_pct == 0.0
+
+
+class TestSiteRecordConstruction:
+    def test_visible_language_measured(self, record: SiteRecord) -> None:
+        assert record.visible_native_share > 0.8
+        assert record.visible_text_chars > 0
+        assert record.declared_lang == "th"
+
+    def test_element_aggregation(self, record: SiteRecord) -> None:
+        images = record.element("image-alt")
+        assert images.total == 4
+        assert images.missing == 1
+        assert images.empty == 1
+        assert len(images.texts) == 2
+
+    def test_unseen_element_is_empty_observation(self, record: SiteRecord) -> None:
+        assert record.element("object-alt").total == 0
+
+    def test_accessibility_texts(self, record: SiteRecord) -> None:
+        texts = record.accessibility_texts()
+        assert "read more" in texts
+        assert "ค้นหา" in texts
+        assert record.accessibility_texts("image-alt") == [
+            "Minister announcing the project", "ภาพการประชุมประจำปี",
+        ]
+
+    def test_informative_texts_filters_generic_labels(self, record: SiteRecord) -> None:
+        informative = record.informative_texts()
+        assert "read more" not in informative          # generic action
+        assert "ค้นหา" not in informative               # generic action (Thai "search")
+        assert "Minister announcing the project" in informative
+
+    def test_language_mix_and_native_share(self, record: SiteRecord) -> None:
+        mix = record.accessibility_language_mix()
+        # Informative texts: the Thai document title, the Thai alt text and
+        # the English alt text (generic actions are filtered out).
+        assert mix.classified == 3
+        assert mix.native == 2 and mix.english == 1
+        share = record.accessibility_native_share()
+        assert 0.0 < share < 1.0
+
+    def test_audit_passed(self, record: SiteRecord) -> None:
+        assert not record.audit_passed("image-alt")
+        assert record.audit_passed("button-name")  # absent => treated as pass
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, record: SiteRecord) -> None:
+        clone = SiteRecord.from_dict(record.to_dict())
+        assert clone.domain == record.domain
+        assert clone.element("image-alt").texts == record.element("image-alt").texts
+        assert clone.audit == record.audit
+
+    def test_jsonl_round_trip(self, record: SiteRecord, tmp_path: Path) -> None:
+        dataset = LangCrUXDataset([record])
+        path = tmp_path / "data" / "langcrux.jsonl"
+        assert dataset.save_jsonl(path) == 1
+        loaded = LangCrUXDataset.load_jsonl(path)
+        assert len(loaded) == 1
+        assert loaded.records[0].domain == record.domain
+        assert loaded.records[0].visible_native_share == pytest.approx(record.visible_native_share)
+
+
+class TestDatasetQueries:
+    @pytest.fixture()
+    def dataset(self, record: SiteRecord) -> LangCrUXDataset:
+        other = SiteRecord(domain="b.example.com.bd", country_code="bd", language_code="bn",
+                           rank=99, visible_native_share=0.9)
+        return LangCrUXDataset([record, other])
+
+    def test_len_and_iter(self, dataset: LangCrUXDataset) -> None:
+        assert len(dataset) == 2
+        assert len(list(dataset)) == 2
+
+    def test_countries_sorted(self, dataset: LangCrUXDataset) -> None:
+        assert dataset.countries() == ("bd", "th")
+
+    def test_for_country(self, dataset: LangCrUXDataset) -> None:
+        assert len(dataset.for_country("th")) == 1
+        assert len(dataset.for_country("xx")) == 0
+
+    def test_filter(self, dataset: LangCrUXDataset) -> None:
+        assert len(dataset.filter(lambda r: r.rank < 1000)) == 1
+
+    def test_sites_per_country(self, dataset: LangCrUXDataset) -> None:
+        assert dataset.sites_per_country() == {"th": 1, "bd": 1}
+
+    def test_get_by_domain(self, dataset: LangCrUXDataset) -> None:
+        assert dataset.get("b.example.com.bd") is not None
+        assert dataset.get("missing.example") is None
+
+    def test_add_and_extend(self) -> None:
+        dataset = LangCrUXDataset()
+        dataset.add(SiteRecord(domain="a", country_code="bd", language_code="bn", rank=1))
+        dataset.extend([SiteRecord(domain="b", country_code="bd", language_code="bn", rank=2)])
+        assert len(dataset) == 2

@@ -1,0 +1,52 @@
+"""Tests for the Table 1 element registry (repro.core.elements)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.elements import (
+    ELEMENT_IDS,
+    EXCLUDED_CHECKS,
+    LANGUAGE_SENSITIVE_ELEMENTS,
+    get_element_spec,
+    is_language_sensitive,
+)
+
+
+class TestTable1:
+    def test_exactly_twelve_elements(self) -> None:
+        assert len(LANGUAGE_SENSITIVE_ELEMENTS) == 12
+        assert len(ELEMENT_IDS) == 12
+
+    def test_expected_identifiers(self) -> None:
+        assert set(ELEMENT_IDS) == {
+            "button-name", "document-title", "image-alt", "frame-title",
+            "summary-name", "label", "input-image-alt", "select-name",
+            "link-name", "input-button-name", "svg-img-alt", "object-alt",
+        }
+
+    def test_no_duplicate_ids(self) -> None:
+        assert len(set(ELEMENT_IDS)) == len(ELEMENT_IDS)
+
+    def test_specs_have_descriptions(self) -> None:
+        for spec in LANGUAGE_SENSITIVE_ELEMENTS:
+            assert spec.description
+            assert spec.html_element
+
+    def test_get_element_spec(self) -> None:
+        assert get_element_spec("image-alt").html_element == "<img>"
+        with pytest.raises(KeyError):
+            get_element_spec("video-caption")
+
+    def test_is_language_sensitive(self) -> None:
+        assert is_language_sensitive("label")
+        assert not is_language_sensitive("video-caption")
+
+    def test_video_caption_exclusion_documented(self) -> None:
+        # The paper explicitly excludes video-caption and explains why.
+        assert "video-caption" in EXCLUDED_CHECKS
+        assert "VTT" in EXCLUDED_CHECKS["video-caption"]
+
+    def test_registry_matches_audit_rules(self) -> None:
+        from repro.audit.rules import rule_ids
+        assert set(rule_ids()) == set(ELEMENT_IDS)

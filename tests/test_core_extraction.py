@@ -1,0 +1,117 @@
+"""Tests for accessibility-text extraction (repro.core.extraction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.elements import ELEMENT_IDS
+from repro.core.extraction import ExtractedText, extract_page, merge_extractions
+from repro.html.parser import parse_html
+
+
+class TestExtractedText:
+    def test_missing_flag(self) -> None:
+        obs = ExtractedText("image-alt", None)
+        assert obs.is_missing and not obs.is_empty and not obs.has_text
+
+    def test_empty_flag(self) -> None:
+        obs = ExtractedText("image-alt", "   ")
+        assert obs.is_empty and not obs.is_missing and not obs.has_text
+
+    def test_text_flag(self) -> None:
+        obs = ExtractedText("image-alt", "a photo")
+        assert obs.has_text and not obs.is_missing and not obs.is_empty
+
+
+class TestExtractPage:
+    @pytest.fixture(scope="class")
+    def extraction(self, sample_document):
+        return extract_page(sample_document)
+
+    def test_visible_text_extracted(self, extraction) -> None:
+        assert "আজকের প্রধান খবর" in extraction.visible_text
+        assert "hidden text" not in extraction.visible_text
+        assert "script text" not in extraction.visible_text
+
+    def test_declared_lang(self, extraction) -> None:
+        assert extraction.declared_lang == "bn"
+
+    def test_document_title_extracted(self, extraction) -> None:
+        titles = extraction.by_element()["document-title"]
+        assert len(titles) == 1
+        assert titles[0].text == "দৈনিক সংবাদ"
+
+    def test_image_alt_distinguishes_missing_empty_text(self, extraction) -> None:
+        alts = extraction.by_element()["image-alt"]
+        assert len(alts) == 3
+        states = sorted("missing" if o.is_missing else "empty" if o.is_empty else "text"
+                        for o in alts)
+        assert states == ["empty", "missing", "text"]
+
+    def test_button_extraction_is_metadata_only(self, extraction) -> None:
+        buttons = extraction.by_element()["button-name"]
+        assert len(buttons) == 2
+        # The first button has aria-label="Search"; the second only has
+        # visible text, which counts as missing *metadata*.
+        texts = [o.text for o in buttons]
+        assert "Search" in texts
+        assert None in texts
+
+    def test_link_extraction_metadata_only(self, extraction) -> None:
+        links = extraction.by_element()["link-name"]
+        assert len(links) == 2
+        assert all(o.is_missing for o in links)
+
+    def test_label_association(self, extraction) -> None:
+        labels = extraction.by_element()["label"]
+        assert len(labels) == 2
+        texts = {o.text for o in labels}
+        assert "নাম" in texts
+        assert None in texts  # the unlabelled input
+
+    def test_form_controls(self, extraction) -> None:
+        grouped = extraction.by_element()
+        assert grouped["select-name"][0].text == "City"
+        assert grouped["input-button-name"][0].text == "জমা দিন"
+        assert grouped["input-image-alt"][0].text == "go"
+
+    def test_frame_svg_object_summary(self, extraction) -> None:
+        grouped = extraction.by_element()
+        assert grouped["frame-title"][0].text == "Weather widget"
+        assert grouped["svg-img-alt"][0].text == "Company logo"
+        assert grouped["object-alt"][0].text == "Annual report"
+        # The summary has only visible text, so its metadata is missing.
+        assert grouped["summary-name"][0].is_missing
+
+    def test_all_element_ids_present_in_grouping(self, extraction) -> None:
+        assert set(extraction.by_element()) >= set(ELEMENT_IDS)
+
+    def test_texts_helper(self, extraction) -> None:
+        assert "Search" in extraction.texts()
+        assert extraction.texts("image-alt") == ["Students attending the annual ceremony"]
+
+    def test_accepts_raw_markup(self) -> None:
+        extraction = extract_page("<body><img alt='hello'></body>", url="https://x.example/")
+        assert extraction.url == "https://x.example/"
+        assert extraction.texts("image-alt") == ["hello"]
+
+
+class TestMergeExtractions:
+    def test_merge_pools_observations(self) -> None:
+        first = extract_page("<html lang='th'><body><p>หน้าแรก</p><img alt='a'></body></html>")
+        second = extract_page("<body><p>second page</p><img alt='b'><img></body>")
+        merged = merge_extractions([first, second])
+        assert merged.declared_lang == "th"
+        assert "หน้าแรก" in merged.visible_text and "second page" in merged.visible_text
+        alts = merged.by_element()["image-alt"]
+        assert len(alts) == 3
+
+    def test_merge_empty_list(self) -> None:
+        merged = merge_extractions([])
+        assert merged.visible_text == ""
+        assert merged.observations == []
+
+    def test_object_alt_whitespace_fallback_is_empty(self) -> None:
+        extraction = extract_page("<body><object data='x'>   </object></body>")
+        obs = extraction.by_element()["object-alt"][0]
+        assert obs.is_empty

@@ -1,0 +1,153 @@
+"""Tests for the uninformative-text filter (repro.core.filtering, Appendix H)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filtering import (
+    DiscardCategory,
+    FilterResult,
+    classify_text,
+    filter_texts,
+    is_informative,
+)
+
+
+class TestDiscardCategories:
+    """One test per Appendix H category, using the paper's own examples where given."""
+
+    def test_emoji(self) -> None:
+        assert classify_text("😀").category is DiscardCategory.EMOJI
+        assert classify_text("🎉 🎉").category is DiscardCategory.EMOJI
+
+    def test_too_short_non_cjk(self) -> None:
+        # Paper example: "go"
+        assert classify_text("go").category is DiscardCategory.TOO_SHORT
+        assert classify_text("no").category is DiscardCategory.TOO_SHORT
+
+    def test_too_short_cjk_single_character(self) -> None:
+        # Paper example: "图" (one CJK character)
+        assert classify_text("图").category is DiscardCategory.TOO_SHORT
+
+    def test_cjk_two_characters_not_too_short(self) -> None:
+        assert classify_text("新闻").category is not DiscardCategory.TOO_SHORT
+
+    def test_file_name(self) -> None:
+        # Paper example: "banner_img123.jpg"
+        assert classify_text("banner_img123.jpg").category is DiscardCategory.FILE_NAME
+        assert classify_text("logo.png").category is DiscardCategory.FILE_NAME
+
+    def test_url_or_path(self) -> None:
+        # Paper examples: a URL and an asset path.
+        assert classify_text("https://example.com/image.png").category \
+            is DiscardCategory.URL_OR_PATH
+        assert classify_text("/assets/img/logo.svg").category is DiscardCategory.URL_OR_PATH
+        assert classify_text("www.example.net/pictures/team.jpg").category \
+            is DiscardCategory.URL_OR_PATH
+
+    def test_generic_action_english(self) -> None:
+        assert classify_text("search").category is DiscardCategory.GENERIC_ACTION
+        assert classify_text("Close").category is DiscardCategory.GENERIC_ACTION
+
+    def test_generic_action_native(self) -> None:
+        # Paper example: Korean for "close".
+        assert classify_text("닫기").category is DiscardCategory.GENERIC_ACTION
+        assert classify_text("検索").category is DiscardCategory.GENERIC_ACTION
+
+    def test_placeholder(self) -> None:
+        # Paper examples: "icon" and Chinese for "image".
+        assert classify_text("icon").category is DiscardCategory.PLACEHOLDER
+        assert classify_text("图像").category is DiscardCategory.PLACEHOLDER
+        assert classify_text("button").category is DiscardCategory.PLACEHOLDER
+
+    def test_dev_label(self) -> None:
+        # Paper examples: "btn-submit", "nav_menu".
+        assert classify_text("btn-submit").category is DiscardCategory.DEV_LABEL
+        assert classify_text("nav_menu").category is DiscardCategory.DEV_LABEL
+        assert classify_text("navbar-toggle").category is DiscardCategory.DEV_LABEL
+
+    def test_label_number_pattern(self) -> None:
+        # Paper examples: "slide 3", "figure 5".
+        assert classify_text("slide 3").category is DiscardCategory.LABEL_NUMBER_PATTERN
+        assert classify_text("figure 5").category is DiscardCategory.LABEL_NUMBER_PATTERN
+        assert classify_text("image 1").category is DiscardCategory.LABEL_NUMBER_PATTERN
+
+    def test_single_word(self) -> None:
+        # Paper examples: "photo" is listed under single word in Appendix H;
+        # here a plain content word avoids the placeholder overlap.
+        assert classify_text("weather").category is DiscardCategory.SINGLE_WORD
+        assert classify_text("новости").category is DiscardCategory.SINGLE_WORD
+
+    def test_mixed_alnum(self) -> None:
+        # Paper examples: "img123", "icon2".
+        assert classify_text("img123").category is DiscardCategory.MIXED_ALNUM
+        assert classify_text("icon2").category is DiscardCategory.MIXED_ALNUM
+
+    def test_ordinal_phrase(self) -> None:
+        # Paper examples: "2 of 10", "1 of 3".
+        assert classify_text("2 of 10").category is DiscardCategory.ORDINAL_PHRASE
+        assert classify_text("slide 2 of 8").category is DiscardCategory.ORDINAL_PHRASE
+        assert classify_text("4 / 12").category is DiscardCategory.ORDINAL_PHRASE
+
+
+class TestInformativeTexts:
+    @pytest.mark.parametrize("text", [
+        "Students attending the annual ceremony at the school",
+        "কৃষকদের জন্য নতুন কৃষি প্রণোদনার ঘোষণা",
+        "รัฐมนตรีประกาศโครงการพัฒนาใหม่",  # Thai phrase, no spaces, must be retained
+        "大臣が新しい支援計画を発表しました",
+        "ο υπουργός ανακοίνωσε νέο αναπτυξιακό πρόγραμμα",
+        "A hand holding a smartphone displaying the banking application",
+    ])
+    def test_descriptive_text_is_retained(self, text: str) -> None:
+        assert is_informative(text), text
+
+    def test_empty_text_is_not_informative(self) -> None:
+        assert not is_informative("")
+        assert not is_informative("   ")
+
+    def test_punctuation_only_is_not_informative(self) -> None:
+        assert classify_text(">").category is DiscardCategory.TOO_SHORT
+        assert classify_text("..").category is DiscardCategory.TOO_SHORT
+
+    def test_result_dataclass(self) -> None:
+        result = classify_text("a meaningful description of the image")
+        assert isinstance(result, FilterResult)
+        assert result.informative
+        assert result.category is None
+
+
+class TestPrecedence:
+    def test_url_wins_over_single_word(self) -> None:
+        assert classify_text("https://example.com").category is DiscardCategory.URL_OR_PATH
+
+    def test_file_name_wins_over_mixed_alnum(self) -> None:
+        assert classify_text("img123.png").category is DiscardCategory.FILE_NAME
+
+    def test_ordinal_wins_over_label_number(self) -> None:
+        assert classify_text("slide 2 of 8").category is DiscardCategory.ORDINAL_PHRASE
+
+    def test_generic_action_wins_over_single_word(self) -> None:
+        assert classify_text("download").category is DiscardCategory.GENERIC_ACTION
+
+
+class TestFilterTexts:
+    def test_split_and_counts(self) -> None:
+        texts = ["search", "img123", "a detailed description of the scene", "😀", "slide 3"]
+        retained, discarded = filter_texts(texts)
+        assert retained == ["a detailed description of the scene"]
+        assert discarded[DiscardCategory.GENERIC_ACTION] == 1
+        assert discarded[DiscardCategory.MIXED_ALNUM] == 1
+        assert discarded[DiscardCategory.EMOJI] == 1
+        assert discarded[DiscardCategory.LABEL_NUMBER_PATTERN] == 1
+        assert sum(discarded.values()) == 4
+
+    def test_empty_input(self) -> None:
+        retained, discarded = filter_texts([])
+        assert retained == [] and discarded == {}
+
+    def test_display_names_match_figure_legend(self) -> None:
+        assert DiscardCategory.URL_OR_PATH.display_name == "URL or File Path"
+        assert DiscardCategory.SINGLE_WORD.display_name == "Single Word"
+        assert DiscardCategory.DEV_LABEL.display_name == "Dev Label"
+        assert len({category.display_name for category in DiscardCategory}) == len(DiscardCategory)

@@ -1,0 +1,179 @@
+"""Tests for Kizuki, the language-aware audit extension (repro.core.kizuki)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.engine import AuditEngine
+from repro.audit.scoring import lighthouse_score
+from repro.core.dataset import ElementObservation, LangCrUXDataset, SiteRecord
+from repro.core.kizuki import Kizuki, KizukiConfig, KizukiImageAltRule, rescore_dataset
+from repro.html.parser import parse_html
+
+
+THAI_PAGE_ENGLISH_ALTS = """
+<html lang="th"><head><title>ข่าววันนี้</title></head><body>
+  <h1>ข่าวล่าสุดประจำวัน</h1>
+  <p>รัฐมนตรีประกาศโครงการพัฒนาใหม่ในจังหวัดเชียงใหม่ และมีการประชุมประจำปี</p>
+  <img src="/a.jpg" alt="Minister announcing the new project">
+  <img src="/b.jpg" alt="Annual meeting in the province">
+  <a href="/x">อ่านต่อ</a>
+  <button>ค้นหา</button>
+</body></html>
+"""
+
+THAI_PAGE_THAI_ALTS = THAI_PAGE_ENGLISH_ALTS \
+    .replace("Minister announcing the new project", "รัฐมนตรีประกาศโครงการใหม่") \
+    .replace("Annual meeting in the province", "ภาพการประชุมประจำปีของจังหวัด")
+
+ENGLISH_PAGE = """
+<html lang="en"><head><title>Daily news</title></head><body>
+  <h1>Latest daily news</h1>
+  <p>The minister announced a new development project in the northern province.</p>
+  <img src="/a.jpg" alt="Minister announcing the new project">
+  <a href="/x">read more</a>
+</body></html>
+"""
+
+
+class TestKizukiImageAltRule:
+    def test_mismatching_alt_fails(self) -> None:
+        rule = KizukiImageAltRule("th")
+        result = rule.evaluate(parse_html(THAI_PAGE_ENGLISH_ALTS))
+        assert result.applicable
+        assert not result.passed
+        assert {outcome.reason for outcome in result.outcomes} == {"language-mismatch"}
+
+    def test_matching_alt_passes(self) -> None:
+        rule = KizukiImageAltRule("th")
+        result = rule.evaluate(parse_html(THAI_PAGE_THAI_ALTS))
+        assert result.passed
+
+    def test_english_page_not_penalised(self) -> None:
+        # When the visible content is not predominantly native, the base
+        # Lighthouse behaviour applies and English alt text is fine.
+        rule = KizukiImageAltRule("th")
+        assert rule.evaluate(parse_html(ENGLISH_PAGE)).passed
+
+    def test_base_semantics_preserved_for_missing_and_empty(self) -> None:
+        rule = KizukiImageAltRule("th")
+        missing = rule.evaluate(parse_html("<body><p>ข่าว</p><img src='/a.jpg'></body>"))
+        assert not missing.passed
+        empty = rule.evaluate(parse_html("<body><p>ข่าว</p><img src='/a.jpg' alt=''></body>"))
+        assert empty.passed
+
+    def test_mixed_alt_accepted_by_default(self) -> None:
+        page = THAI_PAGE_ENGLISH_ALTS.replace(
+            "Minister announcing the new project", "รัฐมนตรี announcing the project ประกาศโครงการ")
+        rule = KizukiImageAltRule("th")
+        reasons = [o.reason for o in rule.evaluate(parse_html(page)).outcomes]
+        assert "ok" in reasons
+
+    def test_mixed_alt_rejected_when_configured(self) -> None:
+        page = THAI_PAGE_THAI_ALTS
+        strict = KizukiImageAltRule("th", KizukiConfig(accept_mixed=False))
+        assert strict.evaluate(parse_html(page)).passed  # fully native still fine
+
+    def test_uninformative_text_exempt_by_default(self) -> None:
+        page = "<body><p>ข่าวล่าสุดประจำวันนี้</p><img src='/a.jpg' alt='logo.png'></body>"
+        assert KizukiImageAltRule("th").evaluate(parse_html(page)).passed
+        strict = KizukiImageAltRule("th", KizukiConfig(skip_uninformative=False))
+        assert not strict.evaluate(parse_html(page)).passed
+
+
+class TestKizukiEngine:
+    def test_engine_replaces_image_alt_rule(self) -> None:
+        kizuki = Kizuki("th")
+        assert any(isinstance(rule, KizukiImageAltRule) for rule in kizuki.engine.rules)
+        assert len(kizuki.engine.rules) == len(AuditEngine().rules)
+
+    def test_score_shift_drops_for_mismatching_page(self) -> None:
+        kizuki = Kizuki("th")
+        old, new = kizuki.score_shift(parse_html(THAI_PAGE_ENGLISH_ALTS))
+        assert old == pytest.approx(100.0)
+        assert new < old
+
+    def test_score_shift_stable_for_consistent_page(self) -> None:
+        kizuki = Kizuki("th")
+        old, new = kizuki.score_shift(parse_html(THAI_PAGE_THAI_ALTS))
+        assert old == pytest.approx(100.0)
+        assert new == pytest.approx(100.0)
+
+    def test_audit_html_reports_language_mismatch(self) -> None:
+        report = Kizuki("th").audit_html(THAI_PAGE_ENGLISH_ALTS)
+        assert "image-alt" in report.failing_rules()
+        base_report = AuditEngine().audit_html(THAI_PAGE_ENGLISH_ALTS)
+        assert "image-alt" not in base_report.failing_rules()
+        assert lighthouse_score(base_report) > lighthouse_score(report)
+
+
+def _site_record(domain: str, alt_texts: list[str], *, missing: int = 0, empty: int = 0,
+                 visible_native: float = 0.9, passed_image_alt: bool = True,
+                 country: str = "th", language: str = "th") -> SiteRecord:
+    record = SiteRecord(domain=domain, country_code=country, language_code=language, rank=5,
+                        visible_native_share=visible_native, visible_text_chars=1500)
+    record.elements["image-alt"] = ElementObservation(
+        "image-alt", total=len(alt_texts) + missing + empty, missing=missing, empty=empty,
+        texts=list(alt_texts))
+    record.audit = {
+        "image-alt": {"applicable": True, "passed": passed_image_alt,
+                      "score": 1.0 if passed_image_alt else 0.5},
+        "button-name": {"applicable": True, "passed": True, "score": 1.0},
+        "link-name": {"applicable": True, "passed": True, "score": 1.0},
+        "document-title": {"applicable": True, "passed": True, "score": 1.0},
+    }
+    return record
+
+
+class TestDatasetRescoring:
+    def test_consistent_site_keeps_its_score(self) -> None:
+        kizuki = Kizuki("th")
+        record = _site_record("good.co.th", ["ภาพการประชุมประจำปีของจังหวัด"])
+        old, new = kizuki.rescore_record(record)
+        assert old == pytest.approx(100.0)
+        assert new == pytest.approx(100.0)
+
+    def test_mismatching_site_loses_points(self) -> None:
+        kizuki = Kizuki("th")
+        record = _site_record("bad.co.th", ["Minister announcing the project",
+                                            "Annual meeting photo"])
+        old, new = kizuki.rescore_record(record)
+        assert new < old
+
+    def test_image_alt_consistency_result(self) -> None:
+        kizuki = Kizuki("th")
+        record = _site_record("half.co.th", ["ภาพการประชุม", "Annual meeting photo"], empty=2)
+        result = kizuki.image_alt_consistency(record)
+        assert result.applicable
+        assert result.score == pytest.approx(3 / 4)
+
+    def test_site_without_images_not_applicable(self) -> None:
+        kizuki = Kizuki("th")
+        record = SiteRecord(domain="noimg.co.th", country_code="th", language_code="th", rank=1)
+        assert not kizuki.image_alt_consistency(record).applicable
+
+    def test_rescore_dataset_excludes_original_failures(self) -> None:
+        dataset = LangCrUXDataset([
+            _site_record("a.co.th", ["English description of the photo"]),
+            _site_record("b.co.th", ["another English description"], passed_image_alt=False),
+        ])
+        summary = rescore_dataset(dataset, ("th",))
+        assert summary.sites == 1
+        summary_all = rescore_dataset(dataset, ("th",), exclude_original_failures=False)
+        assert summary_all.sites == 2
+
+    def test_rescore_summary_fractions(self) -> None:
+        dataset = LangCrUXDataset([
+            _site_record("a.co.th", ["คำอธิบายภาพอย่างละเอียด"]),
+            _site_record("b.co.th", ["English only description"]),
+        ])
+        summary = rescore_dataset(dataset, ("th",))
+        assert summary.fraction_perfect(new=False) == pytest.approx(1.0)
+        assert summary.fraction_perfect(new=True) == pytest.approx(0.5)
+        assert summary.fraction_above(90, new=True) <= summary.fraction_above(90, new=False)
+
+    def test_rescore_empty_dataset(self) -> None:
+        summary = rescore_dataset(LangCrUXDataset(), ("bd", "th"))
+        assert summary.sites == 0
+        assert summary.fraction_above(90, new=False) == 0.0
+        assert summary.fraction_perfect(new=True) == 0.0

@@ -1,0 +1,94 @@
+"""Tests for the Kizuki extension mechanism (language-aware variants of
+additional audits beyond image-alt)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.engine import AuditEngine
+from repro.audit.rules import get_rule
+from repro.core.kizuki import Kizuki, KizukiConfig, LanguageAwareRule
+from repro.html.parser import parse_html
+
+
+THAI_PAGE = """
+<html><head><title>ข่าววันนี้</title></head><body>
+  <p>รัฐมนตรีประกาศโครงการพัฒนาใหม่ในจังหวัดเชียงใหม่ และมีการประชุมประจำปีของหน่วยงาน</p>
+  <img src="/a.jpg" alt="ภาพการประชุมประจำปีของจังหวัด">
+  <button aria-label="Open the settings panel now"></button>
+  <a href="/x" aria-label="Read the full article about the project">อ่านต่อ</a>
+  <iframe src="/w" title="Interactive weather map widget"></iframe>
+</body></html>
+"""
+
+
+class TestLanguageAwareRule:
+    def test_wraps_base_rule_metadata(self) -> None:
+        wrapped = LanguageAwareRule(get_rule("button-name"), "th")
+        assert wrapped.rule_id == "button-name"
+        assert "language-aware" in wrapped.description
+        assert wrapped.fails_on_missing == get_rule("button-name").fails_on_missing
+
+    def test_flags_english_button_label_on_thai_page(self) -> None:
+        wrapped = LanguageAwareRule(get_rule("button-name"), "th")
+        result = wrapped.evaluate(parse_html(THAI_PAGE))
+        assert not result.passed
+        assert any(outcome.reason == "language-mismatch" for outcome in result.outcomes)
+
+    def test_base_semantics_preserved(self) -> None:
+        # A button with no name at all still fails with reason "missing".
+        wrapped = LanguageAwareRule(get_rule("button-name"), "th")
+        result = wrapped.evaluate(parse_html("<body><p>ข่าว</p><button></button></body>"))
+        assert not result.passed
+        assert result.outcomes[0].reason == "missing"
+
+    def test_native_names_pass(self) -> None:
+        page = THAI_PAGE.replace("Open the settings panel now", "เปิดแผงการตั้งค่าระบบ")
+        wrapped = LanguageAwareRule(get_rule("button-name"), "th")
+        assert wrapped.evaluate(parse_html(page)).passed
+
+    def test_english_page_is_not_penalised(self) -> None:
+        page = "<body><p>Latest daily news and reports</p><button aria-label='Open menu now'>x</button></body>"
+        wrapped = LanguageAwareRule(get_rule("button-name"), "th")
+        assert wrapped.evaluate(parse_html(page)).passed
+
+    def test_frame_title_extension(self) -> None:
+        wrapped = LanguageAwareRule(get_rule("frame-title"), "th")
+        result = wrapped.evaluate(parse_html(THAI_PAGE))
+        assert not result.passed
+
+
+class TestExtendedEngine:
+    def test_default_config_extends_image_alt_only(self) -> None:
+        kizuki = Kizuki("th")
+        report = kizuki.audit_html(THAI_PAGE)
+        # The Thai alt text passes; the English button/link labels are only
+        # checked when their rules are extended.
+        assert "image-alt" not in report.failing_rules()
+        assert "button-name" not in report.failing_rules()
+
+    def test_extended_rules_flag_more_mismatches(self) -> None:
+        config = KizukiConfig(extended_rules=("image-alt", "button-name", "link-name",
+                                              "frame-title"))
+        kizuki = Kizuki("th", config)
+        failing = kizuki.audit_html(THAI_PAGE).failing_rules()
+        assert {"button-name", "link-name", "frame-title"} <= set(failing)
+        assert "image-alt" not in failing  # the alt text is Thai
+
+    def test_extended_engine_has_all_twelve_rules(self) -> None:
+        config = KizukiConfig(extended_rules=("image-alt", "button-name"))
+        kizuki = Kizuki("th", config)
+        assert len(kizuki.engine.rules) == len(AuditEngine().rules)
+
+    def test_unknown_extended_rule_raises(self) -> None:
+        with pytest.raises(KeyError):
+            Kizuki("th", KizukiConfig(extended_rules=("not-a-rule",)))
+
+    def test_extended_scoring_drops_further(self) -> None:
+        base = Kizuki("th")
+        extended = Kizuki("th", KizukiConfig(extended_rules=(
+            "image-alt", "button-name", "link-name", "frame-title")))
+        document = parse_html(THAI_PAGE)
+        _, base_new = base.score_shift(document)
+        _, extended_new = extended.score_shift(document)
+        assert extended_new <= base_new

@@ -1,0 +1,68 @@
+"""Tests for language-mix aggregation (repro.core.language_mix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.language_mix import (
+    LanguageMixSummary,
+    classify_texts,
+    native_share_of_text,
+    pooled_native_share,
+    visible_language_profile,
+)
+
+
+class TestClassifyTexts:
+    def test_counts_by_class(self) -> None:
+        texts = [
+            "আজকের খবর এবং বিজ্ঞপ্তি",          # native
+            "latest news and notices",            # english
+            "আজকের খবর latest news",              # mixed
+            "",                                     # empty
+            "новости дня",                         # other
+        ]
+        summary = classify_texts(texts, "bn")
+        assert summary.native == 1
+        assert summary.english == 1
+        assert summary.mixed == 1
+        assert summary.empty == 1
+        assert summary.other == 1
+        assert summary.classified == 3
+        assert summary.total == 5
+
+    def test_proportions_over_classified_only(self) -> None:
+        summary = LanguageMixSummary(native=2, english=1, mixed=1, other=5, empty=5)
+        proportions = summary.proportions()
+        assert proportions["native"] == pytest.approx(0.5)
+        assert proportions["english"] == pytest.approx(0.25)
+        assert proportions["mixed"] == pytest.approx(0.25)
+
+    def test_proportions_empty_summary(self) -> None:
+        assert LanguageMixSummary().proportions() == {
+            "native": 0.0, "english": 0.0, "mixed": 0.0,
+        }
+
+
+class TestPooledShares:
+    def test_pooled_share_weights_by_length(self) -> None:
+        texts = ["ข่าว", "a much longer english description of the content"]
+        share = pooled_native_share(texts, "th")
+        assert 0.0 < share < 0.2
+
+    def test_pooled_share_all_native(self) -> None:
+        assert pooled_native_share(["ข่าววันนี้", "ประกาศ"], "th") == pytest.approx(1.0)
+
+    def test_pooled_share_empty(self) -> None:
+        assert pooled_native_share([], "th") == 0.0
+        assert pooled_native_share(["", "  "], "th") == 0.0
+
+    def test_native_share_of_text(self) -> None:
+        share = native_share_of_text("ข่าว news", "th")
+        assert share.native == pytest.approx(4 / 8)
+
+    def test_visible_language_profile_percentages(self) -> None:
+        profile = visible_language_profile("ข่าวล่าสุด breaking", "th")
+        assert profile["native_pct"] + profile["english_pct"] + profile["other_pct"] \
+            == pytest.approx(100.0)
+        assert profile["native_pct"] > 50.0

@@ -1,0 +1,112 @@
+"""Tests for the mismatch analysis (repro.core.mismatch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ElementObservation, LangCrUXDataset, SiteRecord
+from repro.core.mismatch import (
+    country_cdfs,
+    country_scatter,
+    low_native_accessibility_fraction,
+    mismatch_examples,
+    mismatch_summary,
+    no_native_accessibility_fraction,
+    site_language_point,
+)
+
+
+def _site(domain: str, visible_native: float, alt_texts: list[str],
+          country: str = "bd", language: str = "bn") -> SiteRecord:
+    record = SiteRecord(domain=domain, country_code=country, language_code=language, rank=10,
+                        visible_native_share=visible_native, visible_text_chars=2000)
+    record.elements["image-alt"] = ElementObservation(
+        "image-alt", total=len(alt_texts), texts=list(alt_texts))
+    return record
+
+
+NATIVE_ALTS = ["শিক্ষার্থীদের বার্ষিক অনুষ্ঠানের ছবি", "কৃষি প্রকল্পের বিস্তারিত বিবরণ"]
+ENGLISH_ALTS = ["Students at the annual ceremony", "Details of the farming project"]
+
+
+@pytest.fixture()
+def dataset() -> LangCrUXDataset:
+    return LangCrUXDataset([
+        _site("match.com.bd", 0.95, NATIVE_ALTS),
+        _site("mismatch1.com.bd", 0.95, ENGLISH_ALTS),
+        _site("mismatch2.com.bd", 0.92, ENGLISH_ALTS),
+        _site("empty.com.bd", 0.90, []),
+        _site("match.co.il", 0.9, ["תמונה מהטקס השנתי של בית הספר"], country="il", language="he"),
+    ])
+
+
+class TestSitePoints:
+    def test_matching_site_point(self, dataset) -> None:
+        point = site_language_point(dataset.get("match.com.bd"))
+        assert point.visible_native_pct == pytest.approx(95.0)
+        assert point.accessibility_native_pct > 90.0
+
+    def test_mismatching_site_point(self, dataset) -> None:
+        point = site_language_point(dataset.get("mismatch1.com.bd"))
+        assert point.visible_native_pct == pytest.approx(95.0)
+        assert point.accessibility_native_pct == pytest.approx(0.0)
+
+    def test_site_with_no_accessibility_text(self, dataset) -> None:
+        point = site_language_point(dataset.get("empty.com.bd"))
+        assert point.accessibility_native_pct == 0.0
+        assert point.accessibility_texts == 0
+
+    def test_country_scatter_size(self, dataset) -> None:
+        assert len(country_scatter(dataset, "bd")) == 4
+        assert len(country_scatter(dataset, "il")) == 1
+
+
+class TestCDFs:
+    def test_cdf_shapes(self, dataset) -> None:
+        cdfs = country_cdfs(dataset, "bd")
+        assert len(cdfs.visible) == 4
+        assert len(cdfs.accessibility) == 4
+        # All visible shares are >= 90, so the CDF at 80 is 0.
+        assert cdfs.visible.evaluate(80.0) == 0.0
+        assert cdfs.visible.evaluate(100.0) == 1.0
+
+    def test_accessibility_cdf_reflects_mismatch(self, dataset) -> None:
+        cdfs = country_cdfs(dataset, "bd")
+        # Three of four Bangladeshi sites have (essentially) no native
+        # accessibility text, so the CDF jumps early.
+        assert cdfs.accessibility.evaluate(10.0) == pytest.approx(0.75)
+
+    def test_tabulate_grid(self, dataset) -> None:
+        table = country_cdfs(dataset, "bd").tabulate((0, 50, 100))
+        assert [x for x, _ in table["visible"]] == [0, 50, 100]
+
+
+class TestHeadlineMetrics:
+    def test_low_native_fraction(self, dataset) -> None:
+        assert low_native_accessibility_fraction(dataset, "bd") == pytest.approx(0.75)
+        assert low_native_accessibility_fraction(dataset, "il") == 0.0
+        assert low_native_accessibility_fraction(dataset, "xx") == 0.0
+
+    def test_no_native_fraction(self, dataset) -> None:
+        assert no_native_accessibility_fraction(dataset, "bd") == pytest.approx(0.75)
+        assert no_native_accessibility_fraction(dataset, "xx") == 0.0
+
+    def test_summary_covers_countries(self, dataset) -> None:
+        summary = mismatch_summary(dataset)
+        assert set(summary) == {"bd", "il"}
+
+
+class TestExamples:
+    def test_examples_select_mismatching_sites(self, dataset) -> None:
+        examples = mismatch_examples(dataset)
+        domains = {example.domain for example in examples}
+        assert domains == {"mismatch1.com.bd", "mismatch2.com.bd"}
+        for example in examples:
+            assert example.sample_alt_texts
+            assert example.visible_native_pct >= 90.0
+
+    def test_limit_respected(self, dataset) -> None:
+        assert len(mismatch_examples(dataset, limit=1)) == 1
+
+    def test_thresholds_respected(self, dataset) -> None:
+        assert mismatch_examples(dataset, min_visible_native_pct=99.0) == []

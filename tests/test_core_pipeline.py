@@ -1,0 +1,105 @@
+"""Tests for the end-to-end pipeline (repro.core.pipeline).
+
+These use the session-scoped ``pipeline_result`` fixture (four countries,
+twelve sites each) so the expensive build happens once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import LangCrUXDataset
+from repro.core.elements import ELEMENT_IDS
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+from repro.crawler.vpn import VantagePoint
+from repro.langid.languages import langcrux_country_codes
+
+
+class TestPipelineConfig:
+    def test_defaults_cover_all_countries(self) -> None:
+        assert PipelineConfig().countries == langcrux_country_codes()
+
+    def test_vantage_selection_with_vpn(self) -> None:
+        pipeline = LangCrUXPipeline(PipelineConfig(countries=("bd",)))
+        vantage = pipeline.vantage_for("bd")
+        assert vantage.country_code == "bd"
+        assert vantage.via_vpn
+
+    def test_vantage_selection_without_vpn(self) -> None:
+        pipeline = LangCrUXPipeline(PipelineConfig(countries=("bd",), use_vpn=False))
+        assert pipeline.vantage_for("bd") == VantagePoint.cloud()
+
+
+class TestPipelineRun:
+    def test_selection_quota_filled(self, pipeline_result) -> None:
+        for country, outcome in pipeline_result.selection_outcomes.items():
+            assert outcome.filled, f"{country} quota not filled"
+            assert len(outcome.selected) == 12
+
+    def test_dataset_covers_configured_countries(self, pipeline_result) -> None:
+        dataset = pipeline_result.dataset
+        assert set(dataset.countries()) == {"bd", "th", "jp", "il"}
+        assert len(dataset) == 4 * 12
+
+    def test_every_record_meets_language_threshold(self, pipeline_result) -> None:
+        for record in pipeline_result.dataset:
+            assert record.visible_native_share >= 0.5
+
+    def test_records_carry_audit_results(self, pipeline_result) -> None:
+        for record in pipeline_result.dataset:
+            assert record.audit
+            assert set(record.audit) <= set(ELEMENT_IDS)
+
+    def test_records_have_element_observations(self, pipeline_result) -> None:
+        for record in pipeline_result.dataset:
+            assert record.element("image-alt").total > 0
+            assert record.element("link-name").total > 0
+
+    def test_served_variant_is_localized_with_vpn(self, pipeline_result) -> None:
+        variants = {record.served_variant for record in pipeline_result.dataset}
+        assert variants == {"localized"}
+
+    def test_crux_table_and_web_exposed(self, pipeline_result) -> None:
+        assert pipeline_result.crux_table.size() > 0
+        assert len(pipeline_result.web) >= pipeline_result.crux_table.size()
+
+    def test_qualifying_site_counts(self, pipeline_result) -> None:
+        counts = pipeline_result.qualifying_site_counts()
+        assert all(count == 12 for count in counts.values())
+
+    def test_dataset_round_trips_through_jsonl(self, pipeline_result, tmp_path) -> None:
+        path = tmp_path / "langcrux.jsonl"
+        pipeline_result.dataset.save_jsonl(path)
+        reloaded = LangCrUXDataset.load_jsonl(path)
+        assert len(reloaded) == len(pipeline_result.dataset)
+
+
+class TestPipelineDeterminism:
+    def test_same_seed_same_dataset(self) -> None:
+        config = PipelineConfig(countries=("il",), sites_per_country=4, seed=99,
+                                transport_failure_rate=0.0)
+        first = LangCrUXPipeline(config).run().dataset
+        second = LangCrUXPipeline(config).run().dataset
+        assert [r.domain for r in first] == [r.domain for r in second]
+        assert [r.visible_native_share for r in first] == \
+            [r.visible_native_share for r in second]
+
+    def test_different_seed_different_web(self) -> None:
+        base = PipelineConfig(countries=("il",), sites_per_country=4, seed=1)
+        other = PipelineConfig(countries=("il",), sites_per_country=4, seed=2)
+        first = LangCrUXPipeline(base).run().dataset
+        second = LangCrUXPipeline(other).run().dataset
+        assert {r.domain for r in first} != {r.domain for r in second}
+
+
+class TestVantageAblation:
+    def test_cloud_vantage_selects_fewer_sites(self) -> None:
+        vpn_config = PipelineConfig(countries=("th",), sites_per_country=10, seed=21,
+                                    candidate_multiplier=1.5)
+        cloud_config = PipelineConfig(countries=("th",), sites_per_country=10, seed=21,
+                                      candidate_multiplier=1.5, use_vpn=False)
+        vpn_result = LangCrUXPipeline(vpn_config).run()
+        cloud_result = LangCrUXPipeline(cloud_config).run()
+        vpn_selected = len(vpn_result.selection_outcomes["th"].selected)
+        cloud_selected = len(cloud_result.selection_outcomes["th"].selected)
+        assert cloud_selected < vpn_selected

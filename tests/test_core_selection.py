@@ -1,0 +1,74 @@
+"""Tests for language/country selection (repro.core.selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import (
+    SelectionCriteria,
+    paper_selection_report,
+    select_pairs,
+    WORLD_POPULATION_MILLIONS,
+)
+from repro.langid.languages import LANGCRUX_PAIRS
+
+
+class TestPaperSelection:
+    def test_twelve_pairs_selected(self) -> None:
+        report = paper_selection_report()
+        assert len(report.selected_pairs) == 12
+        assert {pair.country_code for pair in report.selected_pairs} == \
+            {pair.country_code for pair in LANGCRUX_PAIRS}
+
+    def test_named_exclusions_are_excluded(self) -> None:
+        report = paper_selection_report()
+        excluded_codes = {pair.country_code for pair in report.excluded_pairs}
+        # Tamil, Telugu, Sinhala and Georgian are explicitly below threshold
+        # in the paper's narrative.
+        assert {"in-ta", "in-te", "lk", "ge"} <= excluded_codes
+
+    def test_total_speaker_base_matches_paper(self) -> None:
+        report = paper_selection_report()
+        # "over 3.19 billion people, representing about 39.5% of the global population"
+        assert report.total_speakers_millions() == pytest.approx(3187, abs=60)
+        assert report.global_population_share() == pytest.approx(0.395, abs=0.02)
+
+    def test_reasons_recorded(self) -> None:
+        report = paper_selection_report()
+        for selection in report.selections:
+            assert selection.reason
+
+
+class TestCriteria:
+    def test_threshold_respected(self) -> None:
+        counts = {pair.country_code: 12_000 for pair in LANGCRUX_PAIRS}
+        counts["gr"] = 9_000
+        report = select_pairs(counts)
+        selected = {pair.country_code for pair in report.selected_pairs}
+        assert "gr" not in selected
+        assert "bd" in selected
+
+    def test_scaled_down_criteria(self) -> None:
+        counts = {pair.country_code: 30 for pair in LANGCRUX_PAIRS}
+        report = select_pairs(counts, SelectionCriteria(min_qualifying_websites=25))
+        assert len(report.selected_pairs) == 12
+
+    def test_crux_presence_required(self) -> None:
+        counts = {pair.country_code: 20_000 for pair in LANGCRUX_PAIRS}
+        report = select_pairs(counts, crux_presence={"ru": False})
+        assert "ru" not in {pair.country_code for pair in report.selected_pairs}
+        ru_selection = next(item for item in report.selections if item.pair.country_code == "ru")
+        assert "CrUX" in ru_selection.reason
+
+    def test_crux_presence_not_required(self) -> None:
+        counts = {pair.country_code: 20_000 for pair in LANGCRUX_PAIRS}
+        criteria = SelectionCriteria(require_crux_presence=False)
+        report = select_pairs(counts, criteria, crux_presence={"ru": False})
+        assert "ru" in {pair.country_code for pair in report.selected_pairs}
+
+    def test_missing_counts_default_to_zero(self) -> None:
+        report = select_pairs({})
+        assert report.selected_pairs == ()
+
+    def test_world_population_constant_sane(self) -> None:
+        assert 7_500 < WORLD_POPULATION_MILLIONS < 8_500

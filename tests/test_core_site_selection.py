@@ -1,0 +1,95 @@
+"""Tests for website selection with replacement (repro.core.site_selection)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.site_selection import SiteSelector
+from repro.crawler.crawler import LangCruxCrawler
+from repro.crawler.fetcher import Fetcher, SimulatedTransport
+from repro.crawler.session import CrawlSession
+from repro.crawler.vpn import VPNManager, VantagePoint
+from repro.webgen.crux import build_crux_table
+from repro.webgen.profiles import get_profile
+from repro.webgen.server import SyntheticWeb
+from repro.webgen.sitegen import SiteGenerator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sites = SiteGenerator(get_profile("gr"), seed=13).generate_sites(40)
+    web = SyntheticWeb(sites)
+    table = build_crux_table(sites)
+    return sites, web, table
+
+
+def _crawler(web, vantage=None) -> LangCruxCrawler:
+    transport = SimulatedTransport(web, rng=random.Random(0))
+    session = CrawlSession(fetcher=Fetcher(transport),
+                           vantage=vantage or VPNManager().vantage_for("gr"))
+    return LangCruxCrawler(session)
+
+
+class TestSelection:
+    def test_quota_filled_when_enough_candidates(self, setup) -> None:
+        sites, web, table = setup
+        selector = SiteSelector(_crawler(web), "el")
+        outcome = selector.select(table.iter_ranked("gr"), quota=10)
+        assert outcome.filled
+        assert len(outcome.selected) == 10
+        assert outcome.country_code == "gr"
+
+    def test_selected_sites_meet_language_threshold(self, setup) -> None:
+        sites, web, table = setup
+        selector = SiteSelector(_crawler(web), "el")
+        outcome = selector.select(table.iter_ranked("gr"), quota=10)
+        assert all(item.visible_native_share >= 0.5 for item in outcome.selected)
+
+    def test_rank_order_preserved(self, setup) -> None:
+        sites, web, table = setup
+        selector = SiteSelector(_crawler(web), "el")
+        outcome = selector.select(table.iter_ranked("gr"), quota=8)
+        ranks = [item.entry.rank for item in outcome.selected]
+        assert ranks == sorted(ranks)
+
+    def test_replacement_counts_recorded(self, setup) -> None:
+        sites, web, table = setup
+        selector = SiteSelector(_crawler(web), "el")
+        outcome = selector.select(table.iter_ranked("gr"), quota=20)
+        # With a 12% below-threshold rate and some VPN-blocking sites the
+        # selector must have examined more candidates than it selected.
+        assert outcome.candidates_examined >= len(outcome.selected)
+        assert outcome.candidates_examined == len(outcome.selected) + outcome.replacement_count
+
+    def test_quota_larger_than_candidate_pool(self, setup) -> None:
+        sites, web, table = setup
+        selector = SiteSelector(_crawler(web), "el")
+        outcome = selector.select(table.iter_ranked("gr"), quota=1000)
+        assert not outcome.filled
+        assert outcome.candidates_examined == len(sites)
+
+    def test_threshold_one_rejects_everything(self, setup) -> None:
+        sites, web, table = setup
+        selector = SiteSelector(_crawler(web), "el", threshold=1.01)
+        outcome = selector.select(table.iter_ranked("gr"), quota=5)
+        assert outcome.selected == []
+        assert outcome.rejected_below_threshold > 0
+
+    def test_wrong_language_detector_rejects_sites(self, setup) -> None:
+        sites, web, table = setup
+        # Measuring Greek sites against Thai yields ~zero native share.
+        selector = SiteSelector(_crawler(web), "th")
+        outcome = selector.select(table.iter_ranked("gr"), quota=5)
+        assert outcome.selected == []
+
+    def test_cloud_vantage_selects_fewer_native_sites(self, setup) -> None:
+        sites, web, table = setup
+        vpn_outcome = SiteSelector(_crawler(web), "el").select(table.iter_ranked("gr"), quota=30)
+        cloud_outcome = SiteSelector(_crawler(web, VantagePoint.cloud()), "el") \
+            .select(table.iter_ranked("gr"), quota=30)
+        # From a cloud vantage, geo-localizing sites serve their English
+        # variant and fail the 50% check, so fewer sites qualify (the paper's
+        # argument for VPN-based crawling).
+        assert len(cloud_outcome.selected) < len(vpn_outcome.selected)

@@ -1,0 +1,115 @@
+"""Tests for dataset validation (repro.core.validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ElementObservation, LangCrUXDataset, SiteRecord
+from repro.core.validation import ValidationIssue, validate_dataset, validate_records
+
+
+def _valid_record(domain: str = "ok.example.com.bd") -> SiteRecord:
+    record = SiteRecord(domain=domain, country_code="bd", language_code="bn", rank=10,
+                        visible_text_chars=500, visible_native_share=0.8,
+                        visible_english_share=0.2)
+    record.elements["image-alt"] = ElementObservation("image-alt", total=3, missing=1, empty=1,
+                                                      texts=["ছবির বিবরণ"])
+    record.audit = {"image-alt": {"applicable": True, "passed": False, "score": 0.67}}
+    return record
+
+
+class TestValidRecords:
+    def test_pipeline_dataset_is_valid(self, small_dataset) -> None:
+        report = validate_dataset(small_dataset)
+        assert report.ok, [str(issue) for issue in report.issues[:5]]
+        assert report.records_checked == len(small_dataset)
+
+    def test_hand_built_valid_record(self) -> None:
+        assert validate_records([_valid_record()]).ok
+
+    def test_raise_for_issues_noop_when_clean(self) -> None:
+        validate_records([_valid_record()]).raise_for_issues()
+
+
+class TestInvalidRecords:
+    def test_unknown_country(self) -> None:
+        record = _valid_record()
+        record.country_code = "xx"
+        report = validate_records([record])
+        assert not report.ok
+        assert any(issue.field == "country_code" for issue in report.issues)
+
+    def test_unknown_language(self) -> None:
+        record = _valid_record()
+        record.language_code = "xx"
+        assert any(issue.field == "language_code" for issue in validate_records([record]).issues)
+
+    def test_bad_rank_and_shares(self) -> None:
+        record = _valid_record()
+        record.rank = 0
+        record.visible_native_share = 1.7
+        issues = {issue.field for issue in validate_records([record]).issues}
+        assert "rank" in issues
+        assert "visible_native_share" in issues
+
+    def test_element_counters_must_add_up(self) -> None:
+        record = _valid_record()
+        record.elements["image-alt"] = ElementObservation("image-alt", total=10, missing=1,
+                                                          empty=1, texts=["x"])
+        report = validate_records([record])
+        assert any("do not add up" in issue.message for issue in report.issues)
+
+    def test_unknown_element_id(self) -> None:
+        record = _valid_record()
+        record.elements["video-caption"] = ElementObservation("video-caption", total=1, missing=1)
+        assert any("unknown element id" in issue.message
+                   for issue in validate_records([record]).issues)
+
+    def test_blank_text_flagged(self) -> None:
+        record = _valid_record()
+        record.elements["image-alt"] = ElementObservation("image-alt", total=1, texts=["   "])
+        assert any("blank string" in issue.message
+                   for issue in validate_records([record]).issues)
+
+    def test_bad_audit_entries(self) -> None:
+        record = _valid_record()
+        record.audit = {"not-a-rule": {"applicable": True, "passed": True, "score": 1.0},
+                        "image-alt": {"applicable": True, "passed": True, "score": 0.4}}
+        issues = validate_records([record]).issues
+        assert any("unknown audit rule" in issue.message for issue in issues)
+        assert any("partial score" in issue.message for issue in issues)
+
+    def test_duplicate_domains(self) -> None:
+        report = validate_records([_valid_record("dup.example"), _valid_record("dup.example")])
+        assert any(issue.message == "duplicate domain" for issue in report.issues)
+
+    def test_empty_domain(self) -> None:
+        record = _valid_record()
+        record.domain = ""
+        assert any(issue.field == "domain" for issue in validate_records([record]).issues)
+
+    def test_raise_for_issues(self) -> None:
+        record = _valid_record()
+        record.rank = -1
+        report = validate_records([record])
+        with pytest.raises(ValueError):
+            report.raise_for_issues()
+
+    def test_issues_for_domain(self) -> None:
+        bad = _valid_record("bad.example")
+        bad.rank = -1
+        report = validate_records([_valid_record("good.example"), bad])
+        assert report.issues_for("bad.example")
+        assert not report.issues_for("good.example")
+
+    def test_issue_string_formatting(self) -> None:
+        issue = ValidationIssue("a.example", "rank", "must be positive")
+        assert "a.example" in str(issue) and "rank" in str(issue)
+
+
+class TestValidationOnLoadedDataset:
+    def test_round_trip_stays_valid(self, small_dataset, tmp_path) -> None:
+        path = tmp_path / "ds.jsonl"
+        small_dataset.save_jsonl(path)
+        reloaded = LangCrUXDataset.load_jsonl(path)
+        assert validate_dataset(reloaded).ok

@@ -1,0 +1,108 @@
+"""Tests for the URL frontier (repro.crawler.frontier)."""
+
+from __future__ import annotations
+
+from repro.crawler.frontier import Frontier, FrontierEntry
+from repro.crawler.http import URL
+
+
+def _entry(url: str, priority: int = 0, depth: int = 0) -> FrontierEntry:
+    return FrontierEntry(url=URL.parse(url), priority=priority, depth=depth)
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeduplication:
+    def test_duplicate_urls_rejected(self) -> None:
+        frontier = Frontier()
+        assert frontier.add(_entry("https://a.example/"))
+        assert not frontier.add(_entry("https://a.example/"))
+        assert len(frontier) == 1
+        assert frontier.seen_count == 1
+
+    def test_add_url_convenience(self) -> None:
+        frontier = Frontier()
+        assert frontier.add_url("https://a.example/x", priority=5)
+        assert not frontier.add_url(URL.parse("https://a.example/x"))
+
+    def test_distinct_paths_are_distinct(self) -> None:
+        frontier = Frontier()
+        frontier.add(_entry("https://a.example/1"))
+        frontier.add(_entry("https://a.example/2"))
+        assert len(frontier) == 2
+
+
+class TestPriorityOrdering:
+    def test_lower_priority_value_dispatched_first(self) -> None:
+        frontier = Frontier(default_delay=0.0)
+        frontier.add(_entry("https://low.example/", priority=500))
+        frontier.add(_entry("https://high.example/", priority=3))
+        first = frontier.pop()
+        assert first is not None and first.url.host == "high.example"
+
+    def test_fifo_within_same_priority(self) -> None:
+        frontier = Frontier(default_delay=0.0)
+        frontier.add(_entry("https://a.example/1", priority=1))
+        frontier.add(_entry("https://b.example/2", priority=1))
+        assert frontier.pop().url.host == "a.example"
+        assert frontier.pop().url.host == "b.example"
+
+    def test_pop_empty_returns_none(self) -> None:
+        assert Frontier().pop() is None
+
+
+class TestPoliteness:
+    def test_same_host_throttled(self) -> None:
+        clock = ManualClock()
+        frontier = Frontier(default_delay=10.0, clock=clock)
+        frontier.add(_entry("https://a.example/1", priority=1))
+        frontier.add(_entry("https://a.example/2", priority=2))
+        frontier.add(_entry("https://b.example/1", priority=3))
+        first = frontier.pop()
+        assert first.url.host == "a.example"
+        # a.example is now inside its politeness window, so b.example goes next
+        # even though the second a.example entry has better priority.
+        second = frontier.pop()
+        assert second.url.host == "b.example"
+
+    def test_host_released_after_delay(self) -> None:
+        clock = ManualClock()
+        frontier = Frontier(default_delay=10.0, clock=clock)
+        frontier.add(_entry("https://a.example/1"))
+        frontier.add(_entry("https://a.example/2"))
+        frontier.pop()
+        clock.now = 20.0
+        entry = frontier.pop()
+        assert entry is not None and entry.url.path == "/2"
+
+    def test_throttled_host_still_dispatched_when_alone(self) -> None:
+        clock = ManualClock()
+        frontier = Frontier(default_delay=10.0, clock=clock)
+        frontier.add(_entry("https://a.example/1"))
+        frontier.add(_entry("https://a.example/2"))
+        assert frontier.pop() is not None
+        # No other host is eligible; the frontier hands out the entry anyway.
+        assert frontier.pop() is not None
+
+    def test_host_specific_delay_override(self) -> None:
+        clock = ManualClock()
+        frontier = Frontier(default_delay=0.0, clock=clock)
+        frontier.set_host_delay("a.example", 100.0)
+        frontier.add(_entry("https://a.example/1"))
+        frontier.add(_entry("https://a.example/2"))
+        frontier.add(_entry("https://b.example/1", priority=99))
+        frontier.pop()
+        assert frontier.pop().url.host == "b.example"
+
+    def test_drain_returns_everything(self) -> None:
+        frontier = Frontier(default_delay=0.0)
+        for index in range(5):
+            frontier.add(_entry(f"https://h{index}.example/"))
+        assert len(frontier.drain()) == 5
+        assert len(frontier) == 0

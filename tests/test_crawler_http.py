@@ -1,0 +1,107 @@
+"""Tests for the HTTP primitives (repro.crawler.http)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.http import Headers, Request, Response, RETRYABLE_STATUS_CODES, URL
+
+
+class TestHeaders:
+    def test_case_insensitive_access(self) -> None:
+        headers = Headers({"Content-Type": "text/html"})
+        assert headers["content-type"] == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+        assert "Content-type" in headers
+
+    def test_get_default(self) -> None:
+        assert Headers().get("x-missing") is None
+        assert Headers().get("x-missing", "d") == "d"
+
+    def test_iteration_and_length(self) -> None:
+        headers = Headers({"A": "1", "b": "2"})
+        assert len(headers) == 2
+        assert dict(headers) == {"a": "1", "b": "2"}
+
+    def test_equality(self) -> None:
+        assert Headers({"A": "1"}) == Headers({"a": "1"})
+
+    def test_as_dict_is_copy(self) -> None:
+        headers = Headers({"a": "1"})
+        copy = headers.as_dict()
+        copy["a"] = "changed"
+        assert headers["a"] == "1"
+
+
+class TestURL:
+    def test_parse_basic(self) -> None:
+        url = URL.parse("https://example.com.bd/news?id=1#frag")
+        assert url.scheme == "https"
+        assert url.host == "example.com.bd"
+        assert url.path == "/news"
+        assert url.query == "id=1"
+        assert str(url) == "https://example.com.bd/news?id=1"
+
+    def test_parse_defaults_path(self) -> None:
+        assert URL.parse("https://example.com").path == "/"
+
+    def test_host_lowercased(self) -> None:
+        assert URL.parse("https://EXAMPLE.com/").host == "example.com"
+
+    def test_port_preserved(self) -> None:
+        url = URL.parse("http://localhost:8080/x")
+        assert url.port == 8080
+        assert str(url) == "http://localhost:8080/x"
+
+    def test_origin(self) -> None:
+        assert URL.parse("https://a.example/x/y").origin == "https://a.example"
+
+    def test_join_relative(self) -> None:
+        base = URL.parse("https://a.example/dir/page")
+        assert str(URL.join(base, "/other")) == "https://a.example/other"
+        assert str(URL.join(base, "sub")) == "https://a.example/dir/sub"
+        assert URL.join(base, "https://b.example/").host == "b.example"
+
+    def test_with_path(self) -> None:
+        url = URL.parse("https://a.example/x")
+        assert URL.parse("https://a.example/robots.txt") == url.with_path("/robots.txt")
+
+    @pytest.mark.parametrize("bad", ["ftp://x.example/", "not a url", "//nohost", "mailto:a@b.c"])
+    def test_invalid_urls_rejected(self, bad: str) -> None:
+        with pytest.raises(ValueError):
+            URL.parse(bad)
+
+
+class TestRequestResponse:
+    def test_request_with_url_preserves_context(self) -> None:
+        request = Request(url=URL.parse("https://a.example/"), client_country="bd", via_vpn=True)
+        moved = request.with_url(URL.parse("https://a.example/home"))
+        assert moved.client_country == "bd"
+        assert moved.via_vpn is True
+        assert moved.url.path == "/home"
+
+    def test_response_ok(self) -> None:
+        response = Response(url=URL.parse("https://a.example/"), status=204)
+        assert response.ok
+        assert not Response(url=response.url, status=404).ok
+
+    def test_redirect_detection(self) -> None:
+        url = URL.parse("https://a.example/")
+        redirect = Response(url=url, status=302, headers=Headers({"location": "/home"}))
+        assert redirect.is_redirect
+        assert str(redirect.redirect_target()) == "https://a.example/home"
+        no_location = Response(url=url, status=302)
+        assert not no_location.is_redirect
+
+    def test_content_type_and_is_html(self) -> None:
+        url = URL.parse("https://a.example/")
+        html = Response(url=url, status=200,
+                        headers=Headers({"content-type": "text/html; charset=utf-8"}))
+        assert html.content_type == "text/html"
+        assert html.is_html
+        plain = Response(url=url, status=200, headers=Headers({"content-type": "text/plain"}))
+        assert not plain.is_html
+
+    def test_retryable_status_codes(self) -> None:
+        assert 503 in RETRYABLE_STATUS_CODES
+        assert 404 not in RETRYABLE_STATUS_CODES

@@ -1,0 +1,100 @@
+"""Tests for crawl metrics (repro.crawler.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.metrics import CountryCrawlStats, CrawlMetrics
+from repro.crawler.records import CrawlRecord, PageSnapshot
+
+
+def _record(domain: str, country: str, status: int, *, latency: float = 100.0,
+            extra_pages: int = 0) -> CrawlRecord:
+    pages = [PageSnapshot(url=f"https://{domain}/", final_url=f"https://{domain}/",
+                          status=status, html="<p>x</p>" if status == 200 else "",
+                          elapsed_ms=latency,
+                          error=None if status == 200 else f"HTTP {status}")]
+    for index in range(extra_pages):
+        pages.append(PageSnapshot(url=f"https://{domain}/p{index}",
+                                  final_url=f"https://{domain}/p{index}",
+                                  status=200, html="<p>x</p>", elapsed_ms=latency))
+    return CrawlRecord(domain=domain, country_code=country, language_code="bn", rank=1,
+                       pages=pages)
+
+
+@pytest.fixture()
+def metrics() -> CrawlMetrics:
+    records = [
+        _record("a.example", "bd", 200, latency=100, extra_pages=2),
+        _record("b.example", "bd", 403, latency=50),
+        _record("c.example", "bd", 503, latency=75),
+        _record("d.example", "th", 200, latency=200),
+    ]
+    return CrawlMetrics.from_records(records)
+
+
+class TestAccumulation:
+    def test_per_country_counters(self, metrics: CrawlMetrics) -> None:
+        bd = metrics.by_country["bd"]
+        assert bd.origins == 3
+        assert bd.succeeded == 1
+        assert bd.blocked == 1
+        assert bd.errored == 1
+        assert bd.pages_fetched == 5
+        assert metrics.by_country["th"].success_rate == 1.0
+
+    def test_totals(self, metrics: CrawlMetrics) -> None:
+        assert metrics.total_origins == 4
+        assert metrics.total_pages == 6
+        assert metrics.overall_success_rate == pytest.approx(0.5)
+
+    def test_status_histogram(self, metrics: CrawlMetrics) -> None:
+        assert metrics.status_counts[200] == 4
+        assert metrics.status_counts[403] == 1
+        assert metrics.status_counts[503] == 1
+
+    def test_latencies_only_from_successful_pages(self, metrics: CrawlMetrics) -> None:
+        assert len(metrics.latencies_ms) == 4
+        assert metrics.latency_summary().maximum == 200.0
+        assert metrics.latency_percentile(50) <= 200.0
+
+    def test_error_rate(self, metrics: CrawlMetrics) -> None:
+        assert metrics.error_rate() == pytest.approx(2 / 6)
+
+    def test_incremental_observe_matches_batch(self) -> None:
+        records = [_record("a.example", "bd", 200), _record("b.example", "bd", 403)]
+        incremental = CrawlMetrics()
+        for record in records:
+            incremental.observe(record)
+        assert incremental.by_country == CrawlMetrics.from_records(records).by_country
+
+
+class TestEmptyAndReporting:
+    def test_empty_metrics(self) -> None:
+        metrics = CrawlMetrics()
+        assert metrics.total_origins == 0
+        assert metrics.overall_success_rate == 0.0
+        assert metrics.error_rate() == 0.0
+        assert metrics.latency_summary().count == 0
+        assert CountryCrawlStats().success_rate == 0.0
+
+    def test_summary_lines(self, metrics: CrawlMetrics) -> None:
+        lines = metrics.summary_lines()
+        assert any(line.startswith("bd") for line in lines)
+        assert any("success rate" in line for line in lines)
+        assert any("latency" in line for line in lines)
+
+    def test_summary_lines_without_latency(self) -> None:
+        metrics = CrawlMetrics.from_records([_record("a.example", "bd", 403)])
+        assert not any("latency" in line for line in metrics.summary_lines())
+
+
+class TestEndToEnd:
+    def test_metrics_over_pipeline_selection(self, pipeline_result) -> None:
+        records = [selected.record
+                   for outcome in pipeline_result.selection_outcomes.values()
+                   for selected in outcome.selected]
+        metrics = CrawlMetrics.from_records(records)
+        assert metrics.total_origins == len(records)
+        # Selected records all succeeded by definition.
+        assert metrics.overall_success_rate == 1.0

@@ -1,0 +1,67 @@
+"""Tests for robots.txt handling (repro.crawler.robots)."""
+
+from __future__ import annotations
+
+from repro.crawler.robots import RobotsPolicy, parse_robots_txt
+
+
+SIMPLE = """
+# comments are ignored
+User-agent: *
+Disallow: /private/
+Allow: /private/press/
+Crawl-delay: 2.5
+
+User-agent: langcruxbot
+Disallow: /no-langcrux/
+"""
+
+
+class TestParsing:
+    def test_groups_parsed(self) -> None:
+        policy = parse_robots_txt(SIMPLE)
+        assert len(policy.groups) == 2
+
+    def test_crawl_delay_parsed(self) -> None:
+        policy = parse_robots_txt(SIMPLE)
+        assert policy.crawl_delay("SomeBot/1.0") == 2.5
+
+    def test_malformed_lines_ignored(self) -> None:
+        policy = parse_robots_txt("User-agent *\nDisallow /x\nnonsense line\nUser-agent: *\nDisallow: /y/")
+        assert policy.can_fetch("bot", "/x") is True
+        assert policy.can_fetch("bot", "/y/page") is False
+
+    def test_empty_content_allows_everything(self) -> None:
+        policy = parse_robots_txt("")
+        assert policy.can_fetch("bot", "/anything")
+
+    def test_invalid_crawl_delay_ignored(self) -> None:
+        policy = parse_robots_txt("User-agent: *\nCrawl-delay: soon\nDisallow: /x/")
+        assert policy.crawl_delay("bot") is None
+
+    def test_multiple_agents_per_group(self) -> None:
+        policy = parse_robots_txt("User-agent: a\nUser-agent: b\nDisallow: /z/")
+        assert not policy.can_fetch("a-bot", "/z/1")
+        assert not policy.can_fetch("b-bot", "/z/1")
+
+
+class TestMatching:
+    def test_wildcard_group_applies_to_unknown_agents(self) -> None:
+        policy = parse_robots_txt(SIMPLE)
+        assert not policy.can_fetch("RandomBot", "/private/data")
+        assert policy.can_fetch("RandomBot", "/public/")
+
+    def test_allow_overrides_disallow_with_longer_match(self) -> None:
+        policy = parse_robots_txt(SIMPLE)
+        assert policy.can_fetch("RandomBot", "/private/press/release.html")
+
+    def test_specific_agent_group_preferred(self) -> None:
+        policy = parse_robots_txt(SIMPLE)
+        assert not policy.can_fetch("LangCruxBot/1.0", "/no-langcrux/x")
+        # The specific group has no /private/ rule, so it is allowed there.
+        assert policy.can_fetch("LangCruxBot/1.0", "/private/data")
+
+    def test_allow_all_policy(self) -> None:
+        policy = RobotsPolicy.allow_all()
+        assert policy.can_fetch("any", "/path")
+        assert policy.crawl_delay("any") is None

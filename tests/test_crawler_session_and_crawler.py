@@ -1,0 +1,128 @@
+"""Tests for crawl sessions and the LangCrUX crawler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crawler.crawler import CrawlerConfig, LangCruxCrawler
+from repro.crawler.fetcher import Fetcher, SimulatedTransport
+from repro.crawler.session import CrawlSession, VirtualClock
+from repro.crawler.vpn import VantagePoint, VPNManager
+from repro.webgen.crux import CruxEntry, build_crux_table
+from repro.webgen.profiles import get_profile
+from repro.webgen.server import SyntheticWeb
+from repro.webgen.sitegen import SiteGenerator
+
+
+@pytest.fixture(scope="module")
+def sites():
+    return SiteGenerator(get_profile("kr"), seed=31).generate_sites(20)
+
+
+@pytest.fixture(scope="module")
+def web(sites):
+    return SyntheticWeb(sites)
+
+
+def _session(web, country: str | None = "kr", failure_rate: float = 0.0) -> CrawlSession:
+    transport = SimulatedTransport(web, failure_rate=failure_rate, rng=random.Random(1))
+    vantage = VPNManager().vantage_for(country) if country else VantagePoint.cloud()
+    return CrawlSession(fetcher=Fetcher(transport), vantage=vantage)
+
+
+class TestVirtualClock:
+    def test_advance(self) -> None:
+        clock = VirtualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock.now == 1.5
+
+    def test_negative_advance_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestCrawlSession:
+    def test_fetch_advances_clock(self, web, sites) -> None:
+        session = _session(web)
+        target = next(site for site in sites if not site.blocks_vpn)
+        before = session.clock.now
+        session.fetch(f"https://{target.domain}/")
+        assert session.clock.now > before
+
+    def test_robots_allowed_by_default(self, web, sites) -> None:
+        session = _session(web)
+        # The synthetic origins serve no robots.txt (404), which allows all.
+        assert session.allowed(f"https://{sites[0].domain}/")
+
+    def test_robots_cache_reused(self, web, sites) -> None:
+        session = _session(web)
+        url = f"https://{sites[0].domain}/"
+        session.allowed(url)
+        requests_after_first = session.fetcher.stats["requests"]
+        session.allowed(url)
+        assert session.fetcher.stats["requests"] == requests_after_first
+
+    def test_respect_robots_false_skips_fetch(self, web, sites) -> None:
+        session = _session(web)
+        session.respect_robots = False
+        assert session.allowed(f"https://{sites[0].domain}/")
+        assert session.fetcher.stats["requests"] == 0
+
+
+class TestLangCruxCrawler:
+    def test_crawl_origin_records_homepage(self, web, sites) -> None:
+        site = next(s for s in sites if not s.blocks_vpn)
+        crawler = LangCruxCrawler(_session(web))
+        record = crawler.crawl_origin(CruxEntry(site.domain, 123, "kr"), "ko")
+        assert record.domain == site.domain
+        assert record.rank == 123
+        assert record.vantage_country == "kr"
+        assert record.succeeded
+        assert record.pages[0].html
+
+    def test_blocked_site_yields_failed_record(self, web, sites) -> None:
+        blocked = [s for s in sites if s.blocks_vpn]
+        if not blocked:
+            pytest.skip("no VPN-blocking site in this sample")
+        crawler = LangCruxCrawler(_session(web))
+        record = crawler.crawl_origin(CruxEntry(blocked[0].domain, 5, "kr"), "ko")
+        assert not record.succeeded
+        assert record.pages[0].status == 403
+
+    def test_follow_links_fetches_subpages(self, web, sites) -> None:
+        site = next(s for s in sites if len(s.page_paths) > 1 and not s.blocks_vpn)
+        crawler = LangCruxCrawler(
+            _session(web),
+            CrawlerConfig(max_pages_per_site=3, follow_links=True, politeness_delay_s=0.0),
+        )
+        record = crawler.crawl_origin(CruxEntry(site.domain, 7, "kr"), "ko")
+        assert len(record.pages) > 1
+        hosts = {page.url.split("/")[2] for page in record.pages}
+        assert hosts == {site.domain}
+
+    def test_crawl_many_yields_one_record_per_entry(self, web, sites) -> None:
+        table = build_crux_table(sites)
+        crawler = LangCruxCrawler(_session(web))
+        seen: list[str] = []
+        records = list(crawler.crawl(table.top("kr", 5), "ko"))
+        assert len(records) == 5
+        for record in records:
+            assert record.domain not in seen
+            seen.append(record.domain)
+
+    def test_progress_callback_invoked(self, web, sites) -> None:
+        table = build_crux_table(sites)
+        progressed = []
+        crawler = LangCruxCrawler(_session(web), progress=progressed.append)
+        list(crawler.crawl(table.top("kr", 3), "ko"))
+        assert len(progressed) == 3
+
+    def test_cloud_vantage_recorded(self, web, sites) -> None:
+        site = next(s for s in sites if not s.blocks_vpn)
+        crawler = LangCruxCrawler(_session(web, country=None))
+        record = crawler.crawl_origin(CruxEntry(site.domain, 9, "kr"), "ko")
+        assert record.vantage_country == ""
+        assert not record.via_vpn

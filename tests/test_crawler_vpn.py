@@ -1,0 +1,65 @@
+"""Tests for VPN vantage management (repro.crawler.vpn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.vpn import (
+    DEFAULT_PROVIDERS,
+    VantagePoint,
+    VPNCoverageError,
+    VPNManager,
+    VPNProvider,
+)
+from repro.langid.languages import langcrux_country_codes
+
+
+class TestProviders:
+    def test_default_providers_cover_all_countries(self) -> None:
+        manager = VPNManager(DEFAULT_PROVIDERS)
+        assert manager.uncovered() == ()
+
+    def test_provider_covers(self) -> None:
+        provider = VPNProvider("p", frozenset({"bd"}))
+        assert provider.covers("bd")
+        assert not provider.covers("th")
+
+    def test_provider_selection_is_per_country(self) -> None:
+        manager = VPNManager(DEFAULT_PROVIDERS)
+        report = manager.coverage_report()
+        # China and Hong Kong are only reachable through the second provider.
+        assert report["cn"] == "hotspot-shield"
+        assert report["hk"] == "hotspot-shield"
+        assert report["bd"] == "proton"
+
+    def test_first_matching_provider_wins(self) -> None:
+        manager = VPNManager([
+            VPNProvider("first", frozenset({"jp"})),
+            VPNProvider("second", frozenset({"jp"})),
+        ])
+        assert manager.provider_for("jp").name == "first"
+
+    def test_missing_coverage_raises(self) -> None:
+        manager = VPNManager([VPNProvider("only-jp", frozenset({"jp"}))])
+        with pytest.raises(VPNCoverageError):
+            manager.provider_for("bd")
+        assert "bd" in manager.uncovered(langcrux_country_codes())
+
+    def test_empty_provider_list_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            VPNManager([])
+
+
+class TestVantagePoints:
+    def test_vantage_for_country(self) -> None:
+        vantage = VPNManager(DEFAULT_PROVIDERS).vantage_for("th")
+        assert vantage.country_code == "th"
+        assert vantage.via_vpn
+        assert vantage.is_localized
+
+    def test_cloud_vantage(self) -> None:
+        cloud = VantagePoint.cloud()
+        assert cloud.country_code is None
+        assert not cloud.via_vpn
+        assert not cloud.is_localized
+        assert cloud.provider == "cloud"

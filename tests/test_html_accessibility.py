@@ -1,0 +1,126 @@
+"""Tests for accessible-name computation (repro.html.accessibility)."""
+
+from __future__ import annotations
+
+from repro.html.accessibility import NameSource, accessible_name, has_explicit_accessibility_text
+from repro.html.parser import parse_html
+
+
+def _element(markup: str, tag: str, index: int = 0):
+    document = parse_html(markup)
+    elements = document.root.find_all(tag)
+    return elements[index], document
+
+
+class TestPrecedence:
+    def test_aria_labelledby_wins(self) -> None:
+        markup = ('<span id="lbl">Visible label</span>'
+                  '<button aria-labelledby="lbl" aria-label="secondary">text</button>')
+        button, document = _element(markup, "button")
+        result = accessible_name(button, document)
+        assert result.name == "Visible label"
+        assert result.source is NameSource.ARIA_LABELLEDBY
+        assert result.explicit
+
+    def test_aria_labelledby_multiple_ids(self) -> None:
+        markup = ('<span id="a">first</span><span id="b">second</span>'
+                  '<button aria-labelledby="a b"></button>')
+        button, document = _element(markup, "button")
+        assert accessible_name(button, document).name == "first second"
+
+    def test_aria_label_beats_native_markup(self) -> None:
+        image, document = _element('<img alt="native" aria-label="aria">', "img")
+        result = accessible_name(image, document)
+        assert result.name == "aria"
+        assert result.source is NameSource.ARIA_LABEL
+
+    def test_visible_text_fallback_for_buttons(self) -> None:
+        button, document = _element("<button>Click me</button>", "button")
+        result = accessible_name(button, document)
+        assert result.name == "Click me"
+        assert result.source is NameSource.VISIBLE_TEXT
+        assert not result.explicit
+
+    def test_title_attribute_last_resort(self) -> None:
+        div, document = _element('<div title="tooltip"></div>', "div")
+        result = accessible_name(div, document)
+        assert result.name == "tooltip"
+        assert result.source is NameSource.TITLE_ATTR
+
+    def test_no_name_at_all(self) -> None:
+        div, document = _element("<div></div>", "div")
+        result = accessible_name(div, document)
+        assert result.name == ""
+        assert result.source is NameSource.NONE
+        assert result.is_empty
+
+
+class TestNativeMarkup:
+    def test_img_alt(self) -> None:
+        image, document = _element('<img alt="a cat">', "img")
+        result = accessible_name(image, document)
+        assert result.name == "a cat"
+        assert result.source is NameSource.NATIVE_MARKUP
+
+    def test_img_empty_alt_is_explicit_and_empty(self) -> None:
+        image, document = _element('<img alt="">', "img")
+        result = accessible_name(image, document)
+        assert result.name == ""
+        assert result.source is NameSource.NATIVE_MARKUP
+        assert result.explicit
+        assert result.is_empty
+
+    def test_img_missing_alt(self) -> None:
+        image, document = _element("<img src='/x.png'>", "img")
+        assert accessible_name(image, document).source is NameSource.NONE
+
+    def test_input_image_alt(self) -> None:
+        element, document = _element('<input type="image" alt="go">', "input")
+        assert accessible_name(element, document).name == "go"
+
+    def test_input_button_value(self) -> None:
+        element, document = _element('<input type="submit" value="Send">', "input")
+        result = accessible_name(element, document)
+        assert result.name == "Send"
+        assert result.source is NameSource.NATIVE_MARKUP
+
+    def test_label_for_association(self) -> None:
+        markup = '<label for="name">Your name</label><input type="text" id="name">'
+        element, document = _element(markup, "input")
+        assert accessible_name(element, document).name == "Your name"
+
+    def test_wrapping_label(self) -> None:
+        markup = "<label>Email <input type='text'></label>"
+        element, document = _element(markup, "input")
+        assert accessible_name(element, document).name == "Email"
+
+    def test_select_label(self) -> None:
+        markup = '<label for="c">City</label><select id="c"></select>'
+        element, document = _element(markup, "select")
+        assert accessible_name(element, document).name == "City"
+
+    def test_svg_title_child(self) -> None:
+        element, document = _element("<svg><title>Logo</title><path d='M0 0'/></svg>", "svg")
+        assert accessible_name(element, document).name == "Logo"
+
+    def test_object_fallback_content(self) -> None:
+        element, document = _element("<object data='/r.pdf'>Annual report</object>", "object")
+        assert accessible_name(element, document).name == "Annual report"
+
+    def test_iframe_title(self) -> None:
+        element, document = _element('<iframe title="Map" src="/m"></iframe>', "iframe")
+        assert accessible_name(element, document).name == "Map"
+
+
+class TestExplicitHelper:
+    def test_explicit_for_alt(self) -> None:
+        image, document = _element('<img alt="x">', "img")
+        assert has_explicit_accessibility_text(image, document)
+
+    def test_not_explicit_for_visible_text(self) -> None:
+        button, document = _element("<button>Go</button>", "button")
+        assert not has_explicit_accessibility_text(button, document)
+
+    def test_works_without_document(self) -> None:
+        image, _ = _element('<img alt="x">', "img")
+        assert accessible_name(image).name == "x"

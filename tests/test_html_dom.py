@@ -1,0 +1,163 @@
+"""Tests for the DOM model (repro.html.dom)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html.dom import Document, Element, TextNode, new_document
+
+
+class TestElementBasics:
+    def test_tag_is_lowercased(self) -> None:
+        assert Element("IMG").tag == "img"
+
+    def test_attribute_names_are_lowercased(self) -> None:
+        element = Element("img", {"ALT": "photo"})
+        assert element.get("alt") == "photo"
+        assert element.get("Alt") == "photo"
+
+    def test_get_default(self) -> None:
+        assert Element("img").get("alt") is None
+        assert Element("img").get("alt", "") == ""
+
+    def test_has_attr_and_set(self) -> None:
+        element = Element("img")
+        assert not element.has_attr("alt")
+        element.set("ALT", "x")
+        assert element.has_attr("alt")
+
+    def test_id_and_classes(self) -> None:
+        element = Element("div", {"id": "main", "class": "box wide"})
+        assert element.id == "main"
+        assert element.classes == ("box", "wide")
+
+    def test_role_normalised(self) -> None:
+        assert Element("div", {"role": " Button "}).role == "button"
+        assert Element("div").role is None
+
+
+class TestTreeConstruction:
+    def test_append_sets_parent(self) -> None:
+        parent = Element("div")
+        child = Element("p")
+        parent.append(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_text(self) -> None:
+        parent = Element("p")
+        node = parent.append_text("hello")
+        assert isinstance(node, TextNode)
+        assert parent.own_text() == "hello"
+
+    def test_ancestors(self) -> None:
+        root = Element("html")
+        body = Element("body")
+        p = Element("p")
+        root.append(body)
+        body.append(p)
+        assert [el.tag for el in p.ancestors()] == ["body", "html"]
+
+
+class TestTraversalAndQueries:
+    @pytest.fixture()
+    def tree(self) -> Element:
+        root = Element("div")
+        for index in range(3):
+            section = Element("section", {"id": f"s{index}"})
+            image = Element("img", {"alt": f"image {index}"})
+            section.append(image)
+            root.append(section)
+        return root
+
+    def test_iter_is_preorder(self, tree: Element) -> None:
+        tags = [el.tag for el in tree.iter()]
+        assert tags == ["div", "section", "img", "section", "img", "section", "img"]
+
+    def test_find_all_by_tag(self, tree: Element) -> None:
+        assert len(tree.find_all("img")) == 3
+        assert tree.find_all("video") == []
+
+    def test_find_all_with_predicate(self, tree: Element) -> None:
+        matches = tree.find_all("section", predicate=lambda el: el.id == "s1")
+        assert len(matches) == 1
+
+    def test_find_returns_first(self, tree: Element) -> None:
+        found = tree.find("img")
+        assert found is not None
+        assert found.get("alt") == "image 0"
+        assert tree.find("video") is None
+
+    def test_child_elements_excludes_text(self) -> None:
+        parent = Element("p")
+        parent.append_text("text")
+        parent.append(Element("span"))
+        assert [el.tag for el in parent.child_elements()] == ["span"]
+
+
+class TestTextContent:
+    def test_text_content_concatenates_descendants(self) -> None:
+        root = Element("div")
+        root.append_text("a")
+        child = Element("span")
+        child.append_text("b")
+        root.append(child)
+        assert root.text_content() == "ab"
+
+    def test_own_text_only_direct_children(self) -> None:
+        root = Element("div")
+        root.append_text("a")
+        child = Element("span")
+        child.append_text("b")
+        root.append(child)
+        assert root.own_text() == "a"
+
+
+class TestSerialization:
+    def test_roundtrip_simple_markup(self) -> None:
+        element = Element("p", {"class": "x"})
+        element.append_text("hi & <bye>")
+        assert element.to_html() == '<p class="x">hi &amp; &lt;bye&gt;</p>'
+
+    def test_void_elements_have_no_closing_tag(self) -> None:
+        assert Element("img", {"src": "/a.png"}).to_html() == '<img src="/a.png">'
+
+    def test_boolean_attribute_serialization(self) -> None:
+        assert Element("div", {"hidden": ""}).to_html() == "<div hidden></div>"
+
+    def test_document_to_html_has_doctype(self) -> None:
+        assert new_document().to_html().startswith("<!DOCTYPE html>")
+
+
+class TestDocument:
+    def test_new_document_scaffolding(self) -> None:
+        document = new_document(lang="th", title="หน้าแรก", url="https://example.co.th/")
+        assert document.html_lang == "th"
+        assert document.title == "หน้าแรก"
+        assert document.url == "https://example.co.th/"
+        assert document.head is not None
+        assert document.body is not None
+
+    def test_title_missing(self) -> None:
+        assert new_document().title is None
+
+    def test_get_element_by_id(self) -> None:
+        document = new_document()
+        target = Element("div", {"id": "target"})
+        assert document.body is not None
+        document.body.append(target)
+        document.invalidate_indexes()
+        assert document.get_element_by_id("target") is target
+        assert document.get_element_by_id("nope") is None
+
+    def test_index_invalidation(self) -> None:
+        document = new_document()
+        assert document.get_element_by_id("later") is None
+        assert document.body is not None
+        document.body.append(Element("div", {"id": "later"}))
+        document.invalidate_indexes()
+        assert document.get_element_by_id("later") is not None
+
+    def test_find_all_includes_root_when_matching(self) -> None:
+        document = new_document()
+        assert document.find_all("html")[0] is document.root

@@ -1,0 +1,128 @@
+"""Tests for the HTML parser (repro.html.parser)."""
+
+from __future__ import annotations
+
+from repro.html.parser import parse_html
+
+
+class TestBasicParsing:
+    def test_simple_document(self) -> None:
+        document = parse_html("<html lang='th'><head><title>T</title></head>"
+                              "<body><p>hi</p></body></html>")
+        assert document.html_lang == "th"
+        assert document.title == "T"
+        assert document.body is not None
+        assert document.body.find("p") is not None
+
+    def test_attributes_parsed(self) -> None:
+        document = parse_html('<img src="/a.png" alt="a photo">')
+        image = document.root.find("img")
+        assert image is not None
+        assert image.get("src") == "/a.png"
+        assert image.get("alt") == "a photo"
+
+    def test_valueless_attribute_becomes_empty_string(self) -> None:
+        document = parse_html("<div hidden>x</div>")
+        div = document.root.find("div")
+        assert div is not None
+        assert div.get("hidden") == ""
+
+    def test_entities_decoded(self) -> None:
+        document = parse_html("<p>fish &amp; chips &lt;3</p>")
+        paragraph = document.root.find("p")
+        assert paragraph is not None
+        assert paragraph.text_content() == "fish & chips <3"
+
+    def test_url_recorded(self) -> None:
+        assert parse_html("<p>x</p>", url="https://x.example/").url == "https://x.example/"
+
+
+class TestStructureNormalisation:
+    def test_missing_html_head_body_synthesised(self) -> None:
+        document = parse_html("<p>loose content</p>")
+        assert document.head is not None
+        assert document.body is not None
+        assert document.body.find("p") is not None
+
+    def test_head_only_elements_moved_to_head(self) -> None:
+        document = parse_html("<title>T</title><p>body text</p>")
+        assert document.title == "T"
+        assert document.body is not None
+        assert document.body.find("title") is None
+
+    def test_explicit_head_and_body_preserved(self) -> None:
+        document = parse_html("<html><head><meta charset='utf-8'></head>"
+                              "<body><p>x</p></body></html>")
+        assert document.head is not None
+        assert document.head.find("meta") is not None
+        assert len(document.root.child_elements()) == 2
+
+
+class TestErrorTolerance:
+    def test_unclosed_tags(self) -> None:
+        document = parse_html("<div><p>one<p>two</div>")
+        paragraphs = document.root.find_all("p")
+        assert [p.text_content() for p in paragraphs] == ["one", "two"]
+
+    def test_stray_end_tag_ignored(self) -> None:
+        document = parse_html("<p>text</span></p>")
+        assert document.root.find("p") is not None
+
+    def test_unclosed_list_items(self) -> None:
+        document = parse_html("<ul><li>a<li>b<li>c</ul>")
+        items = document.root.find_all("li")
+        assert [item.text_content() for item in items] == ["a", "b", "c"]
+
+    def test_void_elements_do_not_nest(self) -> None:
+        document = parse_html("<p><br>text after break</p>")
+        paragraph = document.root.find("p")
+        assert paragraph is not None
+        assert "text after break" in paragraph.text_content()
+
+    def test_self_closing_syntax(self) -> None:
+        document = parse_html('<img src="/a.png"/><p>after</p>')
+        assert document.root.find("img") is not None
+        assert document.root.find("p") is not None
+
+    def test_comments_dropped(self) -> None:
+        document = parse_html("<p><!-- secret -->visible</p>")
+        paragraph = document.root.find("p")
+        assert paragraph is not None
+        assert paragraph.text_content() == "visible"
+
+    def test_empty_input(self) -> None:
+        document = parse_html("")
+        assert document.body is not None
+        assert document.body.text_content() == ""
+
+    def test_garbage_input_does_not_raise(self) -> None:
+        document = parse_html("<<<>>>&&& <p <span></")
+        assert document.root.tag == "html"
+
+
+class TestScriptAndStyleContent:
+    def test_script_content_not_parsed_as_markup(self) -> None:
+        document = parse_html("<script>if (a < b) { document.write('<p>x</p>'); }</script>"
+                              "<p>real</p>")
+        # The generated <p> inside the script must not become an element.
+        paragraphs = document.root.find_all("p")
+        assert len(paragraphs) == 1
+        assert paragraphs[0].text_content() == "real"
+
+    def test_style_content_preserved_as_text(self) -> None:
+        document = parse_html("<style>p { color: red; }</style><p>x</p>")
+        style = document.root.find("style")
+        assert style is not None
+        assert "color: red" in style.text_content()
+
+
+class TestUnicodeContent:
+    def test_non_latin_content_preserved(self) -> None:
+        markup = "<p>สวัสดีครับ ยินดีต้อนรับ</p><p>আজকের খবর</p>"
+        document = parse_html(markup)
+        text = document.root.text_content()
+        assert "สวัสดีครับ" in text
+        assert "আজকের" in text
+
+    def test_lang_attribute_on_html(self) -> None:
+        assert parse_html('<html lang="he"><body></body></html>').html_lang == "he"

@@ -1,0 +1,95 @@
+"""Tests for the selector engine (repro.html.selectors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html.parser import parse_html
+from repro.html.selectors import SelectorError, matches, parse_selector, select
+
+MARKUP = """
+<body>
+  <form id="login" class="card narrow">
+    <input type="text" name="user">
+    <input type="image" src="/go.png" alt="go">
+    <button class="primary" type="submit">Sign in</button>
+  </form>
+  <nav><a href="/a" class="primary">A</a><a href="/b">B</a></nav>
+  <div role="button">fake button</div>
+</body>
+"""
+
+
+@pytest.fixture()
+def document():
+    return parse_html(MARKUP)
+
+
+class TestSimpleSelectors:
+    def test_tag_selector(self, document) -> None:
+        assert len(select(document, "a")) == 2
+
+    def test_id_selector(self, document) -> None:
+        assert select(document, "#login")[0].tag == "form"
+
+    def test_class_selector(self, document) -> None:
+        assert {el.tag for el in select(document, ".primary")} == {"button", "a"}
+
+    def test_attribute_presence(self, document) -> None:
+        assert len(select(document, "[href]")) == 2
+
+    def test_attribute_value(self, document) -> None:
+        assert len(select(document, "[type=image]")) == 1
+
+    def test_attribute_value_quoted(self, document) -> None:
+        assert len(select(document, '[type="image"]')) == 1
+
+    def test_compound_selector(self, document) -> None:
+        results = select(document, "input[type=image]")
+        assert len(results) == 1
+        assert results[0].get("alt") == "go"
+
+    def test_tag_with_class(self, document) -> None:
+        assert len(select(document, "a.primary")) == 1
+
+
+class TestCombinators:
+    def test_descendant(self, document) -> None:
+        assert len(select(document, "form input")) == 2
+        assert len(select(document, "nav input")) == 0
+
+    def test_selector_list(self, document) -> None:
+        results = select(document, "button, [role=button]")
+        assert len(results) == 2
+
+    def test_no_duplicates_across_alternatives(self, document) -> None:
+        results = select(document, "button, .primary")
+        assert len(results) == len({id(el) for el in results})
+
+
+class TestMatches:
+    def test_matches_positive(self, document) -> None:
+        button = select(document, "button")[0]
+        assert matches(button, "button.primary")
+
+    def test_matches_negative(self, document) -> None:
+        button = select(document, "button")[0]
+        assert not matches(button, "a")
+
+
+class TestErrors:
+    def test_empty_selector_rejected(self) -> None:
+        with pytest.raises(SelectorError):
+            parse_selector("")
+
+    def test_unsupported_syntax_rejected(self) -> None:
+        with pytest.raises(SelectorError):
+            parse_selector("a > b")
+
+    def test_double_tag_rejected(self) -> None:
+        with pytest.raises(SelectorError):
+            parse_selector("divspan span div#x.y[z]extra~")
+
+    def test_empty_alternative_rejected(self) -> None:
+        with pytest.raises(SelectorError):
+            parse_selector("a, ")

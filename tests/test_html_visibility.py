@@ -1,0 +1,88 @@
+"""Tests for visible-text extraction (repro.html.visibility)."""
+
+from __future__ import annotations
+
+from repro.html.dom import Element, new_document
+from repro.html.parser import parse_html
+from repro.html.visibility import extract_visible_text, is_visible, visible_text_length
+
+
+class TestVisibleTextExtraction:
+    def test_plain_text_is_visible(self) -> None:
+        document = parse_html("<body><p>hello</p><p>world</p></body>")
+        assert extract_visible_text(document) == "hello world"
+
+    def test_script_and_style_excluded(self) -> None:
+        document = parse_html("<body><p>shown</p><script>var hidden=1;</script>"
+                              "<style>p{}</style></body>")
+        assert extract_visible_text(document) == "shown"
+
+    def test_head_content_excluded(self) -> None:
+        document = parse_html("<head><title>Site title</title></head><body><p>body</p></body>")
+        assert extract_visible_text(document) == "body"
+
+    def test_hidden_attribute_excludes_subtree(self) -> None:
+        document = parse_html("<body><div hidden><p>secret</p></div><p>public</p></body>")
+        assert extract_visible_text(document) == "public"
+
+    def test_aria_hidden_excludes_subtree(self) -> None:
+        document = parse_html('<body><div aria-hidden="true">secret</div>ok</body>')
+        assert extract_visible_text(document) == "ok"
+
+    def test_aria_hidden_false_is_visible(self) -> None:
+        document = parse_html('<body><div aria-hidden="false">shown</div></body>')
+        assert extract_visible_text(document) == "shown"
+
+    def test_display_none_inline_style(self) -> None:
+        document = parse_html('<body><div style="display: none">gone</div>kept</body>')
+        assert extract_visible_text(document) == "kept"
+
+    def test_visibility_hidden_inline_style(self) -> None:
+        document = parse_html('<body><div style="visibility:hidden">gone</div>kept</body>')
+        assert extract_visible_text(document) == "kept"
+
+    def test_input_hidden_excluded(self) -> None:
+        document = parse_html('<body><input type="hidden" value="x">shown</body>')
+        assert extract_visible_text(document) == "shown"
+
+    def test_attribute_text_is_not_visible(self) -> None:
+        document = parse_html('<body><img alt="descriptive alt text"></body>')
+        assert extract_visible_text(document) == ""
+
+    def test_whitespace_normalised(self) -> None:
+        document = parse_html("<body><p>a\n\n   b</p>\n<p>c</p></body>")
+        assert extract_visible_text(document) == "a b c"
+
+    def test_normalisation_can_be_disabled(self) -> None:
+        document = parse_html("<body><p>a  b</p></body>")
+        assert "a  b" in extract_visible_text(document, normalize=False)
+
+    def test_extraction_from_subtree(self) -> None:
+        document = parse_html("<body><div id='a'>inner</div><div>outer</div></body>")
+        div = document.get_element_by_id("a")
+        assert div is not None
+        assert extract_visible_text(div) == "inner"
+
+    def test_visible_text_length(self) -> None:
+        document = parse_html("<body><p>abcde</p></body>")
+        assert visible_text_length(document) == 5
+
+
+class TestIsVisible:
+    def test_node_inside_hidden_ancestor(self) -> None:
+        document = parse_html("<body><div hidden><p id='p'>x</p></div></body>")
+        paragraph = document.get_element_by_id("p")
+        assert paragraph is not None
+        assert not is_visible(paragraph)
+
+    def test_regular_node_is_visible(self) -> None:
+        document = parse_html("<body><p id='p'>x</p></body>")
+        paragraph = document.get_element_by_id("p")
+        assert paragraph is not None
+        assert is_visible(paragraph)
+
+    def test_detached_element_is_visible(self) -> None:
+        assert is_visible(Element("p"))
+
+    def test_empty_document(self) -> None:
+        assert extract_visible_text(new_document()) == ""

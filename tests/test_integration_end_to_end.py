@@ -1,0 +1,110 @@
+"""End-to-end integration checks: the paper's qualitative findings must hold
+on a dataset built entirely through the public pipeline.
+
+These are the "shape" assertions of DESIGN.md: not exact numbers (the web is
+synthetic) but the orderings and thresholds the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    element_statistics,
+    filter_breakdown_by_country,
+    uninformative_rate_by_country,
+)
+from repro.core.kizuki import rescore_dataset
+from repro.core.language_mix import classify_texts
+from repro.core.mismatch import low_native_accessibility_fraction
+from repro.core.filtering import DiscardCategory
+
+
+class TestTable2Shape:
+    def test_most_neglected_elements(self, small_dataset) -> None:
+        rows = element_statistics(small_dataset)
+        missing_means = {eid: row.missing_pct.mean for eid, row in rows.items()}
+        # label, link-name, svg-img-alt and input-button-name are the most
+        # neglected elements in the paper (>90% mean missing).
+        for element_id in ("label", "link-name", "svg-img-alt", "input-button-name"):
+            assert missing_means[element_id] > 80.0, element_id
+        # image-alt is the least neglected of the Table 2 elements.
+        assert missing_means["image-alt"] < 40.0
+
+    def test_image_alt_has_highest_empty_rate(self, small_dataset) -> None:
+        rows = element_statistics(small_dataset)
+        empty_means = {eid: row.empty_pct.mean for eid, row in rows.items()
+                       if rows[eid].sites > 0}
+        assert max(empty_means, key=empty_means.get) == "image-alt"
+
+    def test_link_names_longer_than_summaries(self, small_dataset) -> None:
+        rows = element_statistics(small_dataset)
+        assert rows["link-name"].word_count.mean > rows["summary-name"].word_count.mean
+
+
+class TestLanguageDistributionShape:
+    def test_bangladesh_relies_on_english(self, small_dataset) -> None:
+        texts: list[str] = []
+        for record in small_dataset.for_country("bd"):
+            texts.extend(record.informative_texts())
+        mix = classify_texts(texts, "bn").proportions()
+        assert mix["english"] > 0.6
+        assert mix["english"] > mix["native"]
+
+    def test_japan_and_israel_use_native_more_than_bangladesh(self, small_dataset) -> None:
+        def native_share(country: str, language: str) -> float:
+            texts: list[str] = []
+            for record in small_dataset.for_country(country):
+                texts.extend(record.informative_texts())
+            return classify_texts(texts, language).proportions()["native"]
+
+        bd = native_share("bd", "bn")
+        assert native_share("jp", "ja") > bd
+        assert native_share("il", "he") > bd
+
+    def test_thailand_has_substantial_mixed_language_hints(self, small_dataset) -> None:
+        texts: list[str] = []
+        for record in small_dataset.for_country("th"):
+            texts.extend(record.informative_texts())
+        mix = classify_texts(texts, "th").proportions()
+        assert mix["mixed"] > 0.15
+
+
+class TestMismatchShape:
+    def test_bd_mismatch_worse_than_jp_and_il(self, small_dataset) -> None:
+        bd = low_native_accessibility_fraction(small_dataset, "bd")
+        jp = low_native_accessibility_fraction(small_dataset, "jp")
+        il = low_native_accessibility_fraction(small_dataset, "il")
+        assert bd > jp
+        assert bd > il
+        assert bd > 0.2
+
+    def test_visible_content_is_native_despite_mismatch(self, small_dataset) -> None:
+        for record in small_dataset.for_country("bd"):
+            assert record.visible_native_share >= 0.5
+
+
+class TestFilteringShape:
+    def test_single_word_is_a_dominant_discard_reason(self, small_dataset) -> None:
+        breakdown = filter_breakdown_by_country(small_dataset)
+        for country in ("th", "bd"):
+            categories = breakdown[country]
+            assert categories, country
+            top = max(categories, key=categories.get)
+            assert top in (DiscardCategory.SINGLE_WORD, DiscardCategory.GENERIC_ACTION)
+
+    def test_thailand_discards_more_than_bangladesh(self, small_dataset) -> None:
+        rates = uninformative_rate_by_country(small_dataset)
+        assert rates["th"] > rates["bd"]
+
+
+class TestKizukiShape:
+    def test_scores_drop_after_language_aware_check(self, small_dataset) -> None:
+        summary = rescore_dataset(small_dataset, ("bd", "th"))
+        assert summary.sites > 0
+        assert summary.fraction_above(90, new=True) <= summary.fraction_above(90, new=False)
+        assert summary.fraction_perfect(new=True) <= summary.fraction_perfect(new=False)
+        # The average score must drop noticeably.
+        old_mean = sum(summary.old_scores) / summary.sites
+        new_mean = sum(summary.new_scores) / summary.sites
+        assert new_mean < old_mean

@@ -1,0 +1,81 @@
+"""Tests for native/English/mixed classification (repro.langid.classify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.langid.classify import (
+    ClassificationThresholds,
+    TextLanguageClass,
+    classify_share,
+    classify_text_language,
+    is_language_consistent,
+)
+from repro.langid.detector import LanguageShare
+
+
+class TestClassifyTextLanguage:
+    def test_native_label(self) -> None:
+        assert classify_text_language("ছাত্রদের বার্ষিক অনুষ্ঠান", "bn") is TextLanguageClass.NATIVE
+
+    def test_english_label(self) -> None:
+        assert classify_text_language("students at the annual ceremony", "bn") \
+            is TextLanguageClass.ENGLISH
+
+    def test_mixed_label(self) -> None:
+        assert classify_text_language("বার্ষিক অনুষ্ঠান annual ceremony", "bn") \
+            is TextLanguageClass.MIXED
+
+    def test_other_label(self) -> None:
+        assert classify_text_language("новости дня сегодня", "bn") is TextLanguageClass.OTHER
+
+    def test_empty_label(self) -> None:
+        assert classify_text_language("", "bn") is TextLanguageClass.EMPTY
+        assert classify_text_language("12345", "bn") is TextLanguageClass.EMPTY
+
+    def test_incidental_minority_script_ignored(self) -> None:
+        # One Latin brand token inside a long native label stays NATIVE.
+        text = "বাংলাদেশের শিক্ষা মন্ত্রণালয়ের বার্ষিক প্রতিবেদন PDF"
+        assert classify_text_language(text, "bn") is TextLanguageClass.NATIVE
+
+
+class TestClassifyShare:
+    def test_dominance_threshold_respected(self) -> None:
+        share = LanguageShare(native=0.92, english=0.08, other=0.0, textual_chars=100)
+        assert classify_share(share) is TextLanguageClass.NATIVE
+
+    def test_mix_floor_respected(self) -> None:
+        share = LanguageShare(native=0.5, english=0.5, other=0.0, textual_chars=100)
+        assert classify_share(share) is TextLanguageClass.MIXED
+
+    def test_custom_thresholds(self) -> None:
+        thresholds = ClassificationThresholds(dominance=0.99, mix_floor=0.4)
+        share = LanguageShare(native=0.95, english=0.05, other=0.0, textual_chars=100)
+        # Under stricter thresholds 0.95 is no longer dominant and english is
+        # below the mix floor, so the larger side wins.
+        assert classify_share(share, thresholds) is TextLanguageClass.NATIVE
+
+    def test_other_dominant(self) -> None:
+        share = LanguageShare(native=0.1, english=0.2, other=0.7, textual_chars=50)
+        assert classify_share(share) is TextLanguageClass.OTHER
+
+    def test_empty_share(self) -> None:
+        share = LanguageShare(native=0.0, english=0.0, other=0.0, textual_chars=0)
+        assert classify_share(share) is TextLanguageClass.EMPTY
+
+
+class TestLanguageConsistency:
+    def test_native_text_on_native_page_is_consistent(self) -> None:
+        assert is_language_consistent("ছবি: বার্ষিক অনুষ্ঠান", "bn", page_native_share=0.9)
+
+    def test_english_text_on_native_page_is_inconsistent(self) -> None:
+        assert not is_language_consistent("annual ceremony photo", "bn", page_native_share=0.9)
+
+    def test_mixed_text_counts_as_consistent(self) -> None:
+        assert is_language_consistent("বার্ষিক অনুষ্ঠান ceremony", "bn", page_native_share=0.9)
+
+    def test_non_native_page_accepts_any_nonempty_text(self) -> None:
+        assert is_language_consistent("annual ceremony photo", "bn", page_native_share=0.2)
+
+    def test_non_native_page_rejects_empty_text(self) -> None:
+        assert not is_language_consistent("   ", "bn", page_native_share=0.2)

@@ -1,0 +1,93 @@
+"""Tests for script-proportion detection (repro.langid.detector)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.langid.detector import (
+    ScriptDetector,
+    detect_language_mix,
+    dominant_language_code,
+    visible_script_profile,
+)
+from repro.langid.languages import get_language
+
+
+class TestLanguageShare:
+    def test_pure_native_text(self) -> None:
+        share = detect_language_mix("আজকের প্রধান খবর এবং সর্বশেষ সংবাদ", "bn")
+        assert share.native > 0.95
+        assert share.english == 0.0
+        assert share.dominant() == "native"
+
+    def test_pure_english_text(self) -> None:
+        share = detect_language_mix("latest breaking news and weather", "bn")
+        assert share.english > 0.95
+        assert share.native == 0.0
+        assert share.dominant() == "english"
+
+    def test_mixed_text(self) -> None:
+        share = detect_language_mix("আজকের খবর breaking news", "bn")
+        assert 0.2 < share.native < 0.8
+        assert 0.2 < share.english < 0.8
+
+    def test_empty_text(self) -> None:
+        share = detect_language_mix("", "bn")
+        assert share.is_empty
+        assert share.native == share.english == share.other == 0.0
+        assert share.dominant() == "other"
+
+    def test_non_textual_only(self) -> None:
+        share = detect_language_mix("1234 !!! 😀", "bn")
+        assert share.is_empty
+
+    def test_other_script_text(self) -> None:
+        share = detect_language_mix("Это новости на русском языке", "bn")
+        assert share.other > 0.9
+        assert share.dominant() == "other"
+
+    def test_shares_sum_to_one(self) -> None:
+        share = detect_language_mix("খবর news новости", "bn")
+        assert share.native + share.english + share.other == pytest.approx(1.0)
+
+
+class TestSharedScriptRefinement:
+    def test_urdu_requires_specific_characters(self) -> None:
+        # Plain Arabic text must not be attributed to Urdu.
+        urdu = ScriptDetector(get_language("ur"))
+        assert urdu.native_share("أخبار اليوم من الوزارة") == 0.0
+        # Text containing Urdu-specific characters is attributed to Urdu.
+        assert urdu.native_share("آج کی تازہ ترین خبریں ہیں") > 0.5
+
+    def test_arabic_detector_accepts_arabic(self) -> None:
+        arabic = ScriptDetector("ar")
+        assert arabic.native_share("أخبار اليوم من الوزارة") > 0.9
+
+
+class TestThreshold:
+    def test_meets_threshold(self) -> None:
+        detector = ScriptDetector("th")
+        assert detector.meets_threshold("ข่าวล่าสุดวันนี้ latest", threshold=0.5)
+        assert not detector.meets_threshold("mostly english ข่าว", threshold=0.5)
+
+    def test_empty_never_meets_threshold(self) -> None:
+        assert not ScriptDetector("th").meets_threshold("", threshold=0.0)
+
+    def test_latin_is_english_flag(self) -> None:
+        detector = ScriptDetector("hi", latin_is_english=False)
+        share = detector.share("hello दुनिया")
+        assert share.english == 0.0
+        assert share.other > 0.0
+
+
+class TestHelpers:
+    def test_dominant_language_code(self) -> None:
+        candidates = [get_language(code) for code in ("hi", "bn", "th")]
+        assert dominant_language_code("ข่าววันนี้", candidates) == "th"
+        assert dominant_language_code("আজকের খবর", candidates) == "bn"
+        assert dominant_language_code("12345", candidates) is None
+
+    def test_visible_script_profile(self) -> None:
+        profile = visible_script_profile("hello คน")
+        assert profile["latin"] == pytest.approx(5 / 7)
+        assert profile["thai"] == pytest.approx(2 / 7)

@@ -1,0 +1,100 @@
+"""Tests for the language/country registry (repro.langid.languages)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.langid.languages import (
+    EXCLUDED_PAIRS,
+    LANGCRUX_PAIRS,
+    LANGUAGE_POOL,
+    LANGUAGES,
+    get_language,
+    get_pair,
+    langcrux_country_codes,
+    languages_for_script,
+    total_speakers_millions,
+)
+from repro.langid.scripts import Script
+
+
+class TestRegistry:
+    def test_twelve_langcrux_pairs(self) -> None:
+        assert len(LANGCRUX_PAIRS) == 12
+
+    def test_country_codes_match_paper_axes(self) -> None:
+        assert set(langcrux_country_codes()) == {
+            "bd", "cn", "dz", "eg", "gr", "hk", "il", "in", "jp", "kr", "ru", "th",
+        }
+
+    def test_pool_has_at_least_twenty_five_languages(self) -> None:
+        # The paper's pool has 26 widely spoken non-Latin-script languages.
+        assert len(LANGUAGE_POOL) >= 25
+
+    def test_pool_languages_are_non_latin(self) -> None:
+        for language in LANGUAGE_POOL:
+            assert language.primary_script is not Script.LATIN, language.code
+
+    def test_get_language(self) -> None:
+        assert get_language("hi").name == "Hindi"
+        with pytest.raises(KeyError):
+            get_language("xx")
+
+    def test_get_pair(self) -> None:
+        assert get_pair("bd").language.code == "bn"
+        assert get_pair("jp").country_name == "Japan"
+        with pytest.raises(KeyError):
+            get_pair("zz")
+
+    def test_excluded_pairs_flagged(self) -> None:
+        assert all(not pair.in_langcrux for pair in EXCLUDED_PAIRS)
+        assert all(pair.in_langcrux for pair in LANGCRUX_PAIRS)
+
+    def test_english_is_registered(self) -> None:
+        assert LANGUAGES["en"].primary_script is Script.LATIN
+
+
+class TestSpeakerStatistics:
+    def test_total_speakers_matches_paper(self) -> None:
+        # The paper reports "over 3.19 billion people".
+        total = total_speakers_millions()
+        assert 3100 <= total <= 3300
+
+    def test_mandarin_dominates(self) -> None:
+        speakers = [pair.language.speakers_millions for pair in LANGCRUX_PAIRS]
+        assert max(speakers) == get_language("zh").speakers_millions == 1200.0
+
+    def test_hebrew_is_smallest(self) -> None:
+        smallest = min(LANGCRUX_PAIRS, key=lambda pair: pair.language.speakers_millions)
+        assert smallest.country_code == "il"
+
+
+class TestScriptMapping:
+    @pytest.mark.parametrize("code,script", [
+        ("hi", Script.DEVANAGARI),
+        ("bn", Script.BENGALI),
+        ("ar", Script.ARABIC),
+        ("ru", Script.CYRILLIC),
+        ("ja", Script.HIRAGANA),
+        ("zh", Script.HAN),
+        ("ko", Script.HANGUL),
+        ("th", Script.THAI),
+        ("el", Script.GREEK),
+        ("he", Script.HEBREW),
+    ])
+    def test_primary_scripts(self, code: str, script: Script) -> None:
+        assert get_language(code).primary_script is script
+
+    def test_urdu_has_specific_chars(self) -> None:
+        urdu = get_language("ur")
+        assert urdu.specific_chars
+        assert urdu.primary_script is Script.ARABIC
+
+    def test_languages_for_script(self) -> None:
+        arabic_langs = {lang.code for lang in languages_for_script(Script.ARABIC)}
+        assert {"ar", "arz", "ur", "fa"} <= arabic_langs
+
+    def test_cjk_detection(self) -> None:
+        assert get_language("zh").is_cjk()
+        assert get_language("ja").is_cjk()
+        assert not get_language("hi").is_cjk()

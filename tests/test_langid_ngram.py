@@ -1,0 +1,90 @@
+"""Tests for the n-gram classifier (repro.langid.ngram)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.langid.ngram import (
+    ENGLISH_SEED_TEXTS,
+    NGramClassifier,
+    NGramModel,
+    default_english_model,
+    extract_ngrams,
+)
+
+
+class TestExtractNgrams:
+    def test_padding_marks_boundaries(self) -> None:
+        grams = extract_ngrams("cat", n_values=(2,))
+        assert grams["_c"] == 1
+        assert grams["t_"] == 1
+        assert grams["ca"] == 1
+
+    def test_lowercasing(self) -> None:
+        assert extract_ngrams("CAT") == extract_ngrams("cat")
+
+    def test_empty_text(self) -> None:
+        assert not extract_ngrams("")
+
+    def test_multiple_tokens(self) -> None:
+        grams = extract_ngrams("a b", n_values=(1,))
+        assert grams["a"] == 1
+        assert grams["b"] == 1
+        assert grams["_"] == 4
+
+
+class TestNGramModel:
+    def test_update_accumulates(self) -> None:
+        model = NGramModel("en")
+        model.update("hello world")
+        assert model.total > 0
+        before = model.total
+        model.update("more text")
+        assert model.total > before
+
+    def test_score_prefers_training_like_text(self) -> None:
+        model = default_english_model()
+        english_score = model.score("read more news today")
+        gibberish_score = model.score("zzxqj vvkpw qqqq")
+        assert english_score > gibberish_score
+
+    def test_score_empty_is_minus_infinity(self) -> None:
+        assert default_english_model().score("") == float("-inf")
+
+    def test_seed_corpus_is_nontrivial(self) -> None:
+        assert len(ENGLISH_SEED_TEXTS) >= 5
+
+
+class TestNGramClassifier:
+    @pytest.fixture()
+    def classifier(self) -> NGramClassifier:
+        return NGramClassifier.train({
+            "en": ["the quick brown fox", "latest news and sports", "privacy policy terms"],
+            "tr": ["günün haberleri ve spor", "gizlilik politikası şartları", "hızlı kahverengi tilki"],
+        })
+
+    def test_classifies_english(self, classifier: NGramClassifier) -> None:
+        assert classifier.classify("sports news today") == "en"
+
+    def test_classifies_other_language(self, classifier: NGramClassifier) -> None:
+        assert classifier.classify("haberleri spor günün") == "tr"
+
+    def test_empty_input_returns_none(self, classifier: NGramClassifier) -> None:
+        assert classifier.classify("") is None
+        assert classifier.classify("   ") is None
+
+    def test_confidence_margin_positive_for_clear_cases(self, classifier: NGramClassifier) -> None:
+        language, margin = classifier.confidence("the quick brown fox")
+        assert language == "en"
+        assert margin > 0
+
+    def test_languages_property(self, classifier: NGramClassifier) -> None:
+        assert classifier.languages == ("en", "tr")
+
+    def test_requires_at_least_one_model(self) -> None:
+        with pytest.raises(ValueError):
+            NGramClassifier({})
+
+    def test_scores_cover_all_languages(self, classifier: NGramClassifier) -> None:
+        scores = classifier.scores("anything")
+        assert set(scores) == {"en", "tr"}

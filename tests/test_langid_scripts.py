@@ -1,0 +1,139 @@
+"""Tests for Unicode script classification (repro.langid.scripts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.langid.scripts import (
+    Script,
+    contains_script,
+    dominant_script,
+    is_emoji_only,
+    merge_histograms,
+    script_histogram,
+    script_of,
+    script_shares,
+    share_of_scripts,
+    textual_length,
+)
+
+
+class TestScriptOf:
+    @pytest.mark.parametrize("char,expected", [
+        ("a", Script.LATIN),
+        ("Z", Script.LATIN),
+        ("é", Script.LATIN),
+        ("Ж", Script.CYRILLIC),
+        ("λ", Script.GREEK),
+        ("א", Script.HEBREW),
+        ("ب", Script.ARABIC),
+        ("ٹ", Script.ARABIC),
+        ("ह", Script.DEVANAGARI),
+        ("ব", Script.BENGALI),
+        ("த", Script.TAMIL),
+        ("త", Script.TELUGU),
+        ("ස", Script.SINHALA),
+        ("ไ", Script.THAI),
+        ("ᄀ", Script.HANGUL),
+        ("한", Script.HANGUL),
+        ("ひ", Script.HIRAGANA),
+        ("カ", Script.KATAKANA),
+        ("中", Script.HAN),
+        ("ქ", Script.GEORGIAN),
+        ("አ", Script.ETHIOPIC),
+        ("မ", Script.MYANMAR),
+        ("5", Script.DIGIT),
+        (" ", Script.WHITESPACE),
+        (".", Script.PUNCTUATION),
+        ("€", Script.SYMBOL),
+        ("😀", Script.EMOJI),
+        ("☀", Script.EMOJI),
+    ])
+    def test_known_characters(self, char: str, expected: Script) -> None:
+        assert script_of(char) is expected
+
+    def test_rejects_multicharacter_input(self) -> None:
+        with pytest.raises(ValueError):
+            script_of("ab")
+
+    def test_rejects_empty_input(self) -> None:
+        with pytest.raises(ValueError):
+            script_of("")
+
+
+class TestTextualProperties:
+    def test_textual_scripts_flagged(self) -> None:
+        assert Script.LATIN.is_textual()
+        assert Script.THAI.is_textual()
+        assert not Script.DIGIT.is_textual()
+        assert not Script.EMOJI.is_textual()
+        assert not Script.WHITESPACE.is_textual()
+
+    def test_cjk_flag(self) -> None:
+        assert Script.HAN.is_cjk()
+        assert Script.HANGUL.is_cjk()
+        assert not Script.THAI.is_cjk()
+        assert not Script.LATIN.is_cjk()
+
+
+class TestHistograms:
+    def test_histogram_counts_characters(self) -> None:
+        counts = script_histogram("abc АБВ 123")
+        assert counts[Script.LATIN] == 3
+        assert counts[Script.CYRILLIC] == 3
+        assert counts[Script.DIGIT] == 3
+        assert counts[Script.WHITESPACE] == 2
+
+    def test_textual_only_excludes_common_characters(self) -> None:
+        counts = script_histogram("abc 123 !!!", textual_only=True)
+        assert counts == {Script.LATIN: 3}
+
+    def test_textual_length(self) -> None:
+        assert textual_length("ab1 ") == 2
+        assert textual_length("繁體字") == 3
+        assert textual_length("123") == 0
+
+    def test_shares_sum_to_one(self) -> None:
+        shares = script_shares("hello мир")
+        assert shares[Script.LATIN] == pytest.approx(5 / 8)
+        assert shares[Script.CYRILLIC] == pytest.approx(3 / 8)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_shares_empty_for_non_textual_input(self) -> None:
+        assert script_shares("123 !!!") == {}
+
+    def test_merge_histograms(self) -> None:
+        merged = merge_histograms([script_histogram("abc"), script_histogram("de")])
+        assert merged[Script.LATIN] == 5
+
+
+class TestDominantScript:
+    def test_dominant_script_majority(self) -> None:
+        assert dominant_script("hello ไทย") is Script.LATIN
+        assert dominant_script("สวัสดี hi") is Script.THAI
+
+    def test_dominant_script_none_for_empty(self) -> None:
+        assert dominant_script("123") is None
+
+    def test_contains_script(self) -> None:
+        assert contains_script("abcไทย", Script.THAI)
+        assert not contains_script("abc", Script.THAI)
+
+    def test_share_of_scripts(self) -> None:
+        assert share_of_scripts("abcde АБВГД", [Script.LATIN]) == pytest.approx(0.5)
+        assert share_of_scripts("", [Script.LATIN]) == 0.0
+
+
+class TestEmojiOnly:
+    def test_pure_emoji(self) -> None:
+        assert is_emoji_only("😀")
+        assert is_emoji_only("🎉 🎉")
+        assert is_emoji_only("▶️")
+
+    def test_mixed_content_is_not_emoji_only(self) -> None:
+        assert not is_emoji_only("😀 yes")
+        assert not is_emoji_only("search")
+
+    def test_empty_is_not_emoji_only(self) -> None:
+        assert not is_emoji_only("")
+        assert not is_emoji_only("   ")

@@ -1,0 +1,70 @@
+"""Property-based tests for audit-engine invariants over generated pages."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit.engine import AuditEngine
+from repro.audit.scoring import lighthouse_score
+from repro.core.kizuki import Kizuki
+from repro.webgen.pagegen import PageGenerator, PageSpec
+from repro.webgen.profiles import get_profile
+
+_COUNTRIES = ("bd", "th", "jp", "ru")
+
+
+@st.composite
+def generated_documents(draw):
+    """A synthetic page drawn from a random country/behaviour combination."""
+    country = draw(st.sampled_from(_COUNTRIES))
+    profile = get_profile(country)
+    spec = PageSpec(
+        language_code=profile.language_code,
+        visible_native_share=draw(st.floats(min_value=0.05, max_value=0.99)),
+        a11y_language_weights={"native": draw(st.floats(0.0, 1.0)),
+                               "english": draw(st.floats(0.0, 1.0)) + 0.01,
+                               "mixed": draw(st.floats(0.0, 1.0))},
+        uninformative_rate=draw(st.floats(min_value=0.0, max_value=0.9)),
+        discard_mix=dict(profile.discard_mix),
+        element_density=0.3,
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    document = PageGenerator(spec, random.Random(seed)).generate_document()
+    return profile.language_code, document
+
+
+class TestAuditInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(generated_documents())
+    def test_scores_are_bounded_and_complete(self, language_and_document) -> None:
+        _, document = language_and_document
+        report = AuditEngine().audit_document(document)
+        assert set(report.results) == {rule.rule_id for rule in AuditEngine().rules}
+        score = lighthouse_score(report)
+        assert 0.0 <= score <= 100.0
+        for result in report.results.values():
+            assert 0.0 <= result.score <= 1.0
+            if result.applicable:
+                assert result.passed == (result.failing_elements == 0)
+            else:
+                assert result.passed and result.score == 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(generated_documents())
+    def test_kizuki_never_raises_the_score(self, language_and_document) -> None:
+        language, document = language_and_document
+        kizuki = Kizuki(language)
+        old, new = kizuki.score_shift(document)
+        # Adding a stricter check can only keep or lower the score.
+        assert new <= old + 1e-9
+        assert 0.0 <= new <= 100.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(generated_documents())
+    def test_audit_is_deterministic(self, language_and_document) -> None:
+        _, document = language_and_document
+        first = AuditEngine().audit_document(document).to_dict()
+        second = AuditEngine().audit_document(document).to_dict()
+        assert first == second

@@ -1,0 +1,91 @@
+"""Property-based tests for the filtering pipeline and statistics helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filtering import DiscardCategory, classify_text, filter_texts
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import histogram
+from repro.stats.summary import summarize
+
+any_text = st.text(max_size=120)
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestFilteringProperties:
+    @given(any_text)
+    def test_classify_never_raises_and_is_exhaustive(self, text: str) -> None:
+        result = classify_text(text)
+        assert result.informative == (result.category is None)
+        if result.category is not None:
+            assert result.category in DiscardCategory
+
+    @given(any_text)
+    def test_classification_is_deterministic(self, text: str) -> None:
+        assert classify_text(text).category == classify_text(text).category
+
+    @given(st.lists(any_text, max_size=40))
+    def test_filter_texts_partitions_input(self, texts: list[str]) -> None:
+        retained, discarded = filter_texts(texts)
+        assert len(retained) + sum(discarded.values()) == len(texts)
+        for text in retained:
+            assert classify_text(text).informative
+
+    @given(st.lists(st.sampled_from(["search", "icon", "img123", "2 of 10", "😀"]), max_size=20))
+    def test_known_junk_is_never_retained(self, texts: list[str]) -> None:
+        retained, _ = filter_texts(texts)
+        assert retained == []
+
+
+class TestSummaryProperties:
+    @given(st.lists(floats, min_size=1, max_size=200))
+    def test_summary_bounds(self, values: list[float]) -> None:
+        stats = summarize(values)
+        tolerance = 1e-6 * max(1.0, abs(stats.maximum), abs(stats.minimum))
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
+        assert stats.std_dev >= 0.0
+        assert stats.count == len(values)
+
+    @given(st.lists(floats, min_size=1, max_size=100))
+    def test_summary_is_permutation_invariant(self, values: list[float]) -> None:
+        assert summarize(values) == summarize(list(reversed(values)))
+
+    @given(st.lists(floats, min_size=1, max_size=100), floats)
+    def test_shift_invariance_of_std(self, values: list[float], shift: float) -> None:
+        base = summarize(values)
+        shifted = summarize([value + shift for value in values])
+        assert abs(base.std_dev - shifted.std_dev) < 1e-6 * max(1.0, abs(shift), base.std_dev)
+
+
+class TestCDFProperties:
+    @given(st.lists(floats, min_size=1, max_size=200), floats, floats)
+    def test_cdf_is_monotone(self, values: list[float], a: float, b: float) -> None:
+        cdf = EmpiricalCDF(values)
+        low, high = min(a, b), max(a, b)
+        assert cdf(low) <= cdf(high)
+        assert 0.0 <= cdf(low) <= 1.0
+
+    @given(st.lists(floats, min_size=1, max_size=200))
+    def test_cdf_reaches_one_at_maximum(self, values: list[float]) -> None:
+        cdf = EmpiricalCDF(values)
+        assert cdf(max(values)) == 1.0
+
+    @settings(max_examples=50)
+    @given(st.lists(floats, min_size=1, max_size=200),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_quantile_is_consistent_with_cdf(self, values: list[float], q: float) -> None:
+        cdf = EmpiricalCDF(values)
+        value = cdf.quantile(q)
+        assert cdf(value) >= q - 1e-9
+
+
+class TestHistogramProperties:
+    @given(st.lists(floats, max_size=300))
+    def test_histogram_conserves_mass(self, values: list[float]) -> None:
+        result = histogram(values, [-1e6, -10, 0, 10, 1e6])
+        assert result.total == len(values)
+        normalized = result.normalized()
+        if values:
+            assert abs(sum(normalized) - 1.0) < 1e-9

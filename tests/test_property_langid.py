@@ -1,0 +1,77 @@
+"""Property-based tests for the language-identification substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.langid.classify import TextLanguageClass, classify_text_language
+from repro.langid.detector import ScriptDetector
+from repro.langid.languages import LANGCRUX_PAIRS
+from repro.langid.scripts import Script, script_histogram, script_of, script_shares, textual_length
+
+# Text strategies: arbitrary unicode, plus focused native-script strings.
+any_text = st.text(max_size=200)
+bengali_text = st.text(alphabet=st.characters(min_codepoint=0x0980, max_codepoint=0x09FF),
+                       min_size=1, max_size=50)
+latin_text = st.text(alphabet=st.characters(min_codepoint=0x0061, max_codepoint=0x007A),
+                     min_size=1, max_size=50)
+language_codes = st.sampled_from([pair.language.code for pair in LANGCRUX_PAIRS])
+
+
+class TestScriptProperties:
+    @given(any_text)
+    def test_script_of_never_raises_on_single_chars(self, text: str) -> None:
+        for char in text:
+            assert script_of(char) in Script
+
+    @given(any_text)
+    def test_histogram_totals_match_text_length(self, text: str) -> None:
+        assert sum(script_histogram(text).values()) == len(text)
+
+    @given(any_text)
+    def test_textual_length_bounded_by_length(self, text: str) -> None:
+        assert 0 <= textual_length(text) <= len(text)
+
+    @given(any_text)
+    def test_shares_sum_to_one_or_are_empty(self, text: str) -> None:
+        shares = script_shares(text)
+        if shares:
+            assert abs(sum(shares.values()) - 1.0) < 1e-9
+        else:
+            assert textual_length(text) == 0
+
+
+class TestDetectorProperties:
+    @settings(max_examples=60)
+    @given(any_text, language_codes)
+    def test_shares_are_valid_probabilities(self, text: str, code: str) -> None:
+        share = ScriptDetector(code).share(text)
+        for value in (share.native, share.english, share.other):
+            assert 0.0 <= value <= 1.0 + 1e-9
+        if not share.is_empty:
+            assert abs(share.native + share.english + share.other - 1.0) < 1e-9
+
+    @given(bengali_text)
+    def test_bengali_text_is_native_for_bangla(self, text: str) -> None:
+        share = ScriptDetector("bn").share(text)
+        if not share.is_empty:
+            assert share.native == 1.0
+
+    @given(latin_text)
+    def test_latin_text_is_english_for_bangla(self, text: str) -> None:
+        share = ScriptDetector("bn").share(text)
+        if not share.is_empty:
+            assert share.english == 1.0
+            assert classify_text_language(text, "bn") is TextLanguageClass.ENGLISH
+
+    @settings(max_examples=60)
+    @given(any_text, language_codes)
+    def test_classification_always_defined(self, text: str, code: str) -> None:
+        assert classify_text_language(text, code) in TextLanguageClass
+
+    @given(bengali_text, latin_text)
+    def test_concatenation_is_monotone_in_native_share(self, native: str, english: str) -> None:
+        detector = ScriptDetector("bn")
+        combined = detector.share(native + " " + english)
+        pure_english = detector.share(english)
+        assert combined.native >= pure_english.native

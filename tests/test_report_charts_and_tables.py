@@ -1,0 +1,96 @@
+"""Tests for the text chart renderers and table renderings (repro.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.tables import render_table1, render_table2
+from repro.report.text_charts import (
+    bar_chart,
+    cdf_chart,
+    comparison_table,
+    grouped_bar_chart,
+    histogram_chart,
+)
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import histogram
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_values(self) -> None:
+        chart = bar_chart({"bd": 44.0, "jp": 16.0}, title="mismatch", unit="%")
+        assert "mismatch" in chart
+        assert "bd" in chart and "jp" in chart
+        assert "44.00%" in chart
+
+    def test_bars_scale_with_values(self) -> None:
+        chart = bar_chart({"big": 100.0, "small": 10.0})
+        big_line = next(line for line in chart.splitlines() if line.startswith("big"))
+        small_line = next(line for line in chart.splitlines() if line.startswith("small"))
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_sorted_output(self) -> None:
+        chart = bar_chart({"a": 1.0, "b": 5.0}, sort=True)
+        lines = chart.splitlines()
+        assert lines[0].startswith("b")
+
+    def test_empty_input(self) -> None:
+        assert "(no data)" in bar_chart({}, title="t")
+
+    def test_zero_values_have_no_bar(self) -> None:
+        chart = bar_chart({"zero": 0.0, "one": 1.0})
+        zero_line = next(line for line in chart.splitlines() if line.startswith("zero"))
+        assert "#" not in zero_line
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self) -> None:
+        chart = grouped_bar_chart({"bd": {"english": 79.0, "native": 10.0},
+                                   "jp": {"english": 27.0, "native": 50.0}}, unit="%")
+        assert "bd:" in chart and "jp:" in chart
+        assert chart.count("english") == 2
+
+    def test_missing_series_member_rendered_as_zero(self) -> None:
+        chart = grouped_bar_chart({"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "x" in chart and "y" in chart
+
+    def test_empty(self) -> None:
+        assert "(no data)" in grouped_bar_chart({})
+
+
+class TestCDFChart:
+    def test_values_on_grid(self) -> None:
+        chart = cdf_chart({"visible": EmpiricalCDF([80, 90, 95]),
+                           "accessibility": EmpiricalCDF([5, 10, 20])},
+                          grid=(0, 50, 100))
+        assert "visible" in chart and "accessibility" in chart
+        last_row = chart.splitlines()[-1]
+        assert "1.00" in last_row
+
+
+class TestHistogramChart:
+    def test_counts_and_total(self) -> None:
+        chart = histogram_chart(histogram([85, 92, 95, 99], (0, 90, 100.001)))
+        assert "total" in chart
+        assert "4" in chart
+
+
+class TestComparisonTable:
+    def test_columns(self) -> None:
+        table = comparison_table({"score>90": (22.2, 43.0)}, left="measured", right="paper")
+        assert "measured" in table and "paper" in table
+        assert "22.20" in table and "43.00" in table
+
+
+class TestTableRenderings:
+    def test_table1_lists_all_elements(self) -> None:
+        rendered = render_table1()
+        assert "image-alt" in rendered and "object-alt" in rendered
+        assert len(rendered.splitlines()) == 2 + 12
+
+    def test_table2_over_small_dataset(self, small_dataset) -> None:
+        rendered = render_table2(small_dataset)
+        assert "image-alt" in rendered
+        assert "link-name" in rendered
+        # median/std/mean triplets present
+        assert "/" in rendered.splitlines()[2]

@@ -1,0 +1,114 @@
+"""Tests for the figure renderers and the JSON export (repro.report)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.report.export import (
+    country_summary,
+    export_dataset_summary,
+    site_summary,
+    write_dataset_summary,
+)
+from repro.report.figures import (
+    render_all_figures,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+)
+from repro.core.dataset import LangCrUXDataset
+
+
+class TestFigureRenderers:
+    def test_figure2(self, small_dataset) -> None:
+        rendered = render_figure2(small_dataset)
+        assert "Figure 2" in rendered
+        for country in small_dataset.countries():
+            assert country in rendered
+
+    def test_figure3(self, small_dataset) -> None:
+        rendered = render_figure3(small_dataset)
+        assert "Figure 3" in rendered
+        assert "Single Word" in rendered
+
+    def test_figure4(self, small_dataset) -> None:
+        rendered = render_figure4(small_dataset)
+        assert "Figure 4" in rendered
+        assert "english" in rendered and "native" in rendered and "mixed" in rendered
+
+    def test_figure5(self, small_dataset) -> None:
+        rendered = render_figure5(small_dataset)
+        assert "Figure 5" in rendered
+        assert "visible" in rendered and "accessibility" in rendered
+        assert "<10% native accessibility text" in rendered
+
+    def test_figure6(self, small_dataset) -> None:
+        rendered = render_figure6(small_dataset, ("bd", "th"))
+        assert "Figure 6" in rendered
+        assert "score > 90" in rendered
+
+    def test_figure6_empty_dataset(self) -> None:
+        assert "no sites eligible" in render_figure6(LangCrUXDataset(), ("bd",))
+
+    def test_figure7(self, pipeline_result) -> None:
+        rendered = render_figure7(pipeline_result.crux_table)
+        assert "Figure 7" in rendered
+        assert "<=50k" in rendered
+
+    def test_figure8_and_9(self, small_dataset) -> None:
+        assert "Figure 8" in render_figure8(small_dataset)
+        assert "Figure 9" in render_figure9(small_dataset)
+
+    def test_render_all_figures(self, pipeline_result) -> None:
+        rendered = render_all_figures(pipeline_result.dataset,
+                                      crux_table=pipeline_result.crux_table)
+        for figure in ("Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+                       "Figure 7", "Figure 8", "Figure 9"):
+            assert figure in rendered, figure
+
+    def test_render_all_figures_without_kizuki_countries(self, small_dataset) -> None:
+        rendered = render_all_figures(small_dataset, kizuki_countries=("ru",))
+        assert "Figure 6" not in rendered
+
+
+class TestExport:
+    def test_site_summary_fields(self, small_dataset) -> None:
+        record = next(iter(small_dataset))
+        summary = site_summary(record)
+        assert summary["domain"] == record.domain
+        assert 0 <= summary["visible_native_pct"] <= 100
+        assert "image-alt" in summary["elements"]
+        assert set(summary["language_mix"]) == {"native", "english", "mixed"}
+
+    def test_country_summary_fields(self, small_dataset) -> None:
+        summary = country_summary(small_dataset, "bd")
+        assert summary["country_name"] == "Bangladesh"
+        assert summary["language"] == "bn"
+        assert summary["sites"] == len(small_dataset.for_country("bd"))
+        assert 0.0 <= summary["low_native_accessibility_fraction"] <= 1.0
+
+    def test_export_document_shape(self, small_dataset) -> None:
+        payload = export_dataset_summary(small_dataset)
+        assert payload["schema_version"] == 1
+        assert payload["site_count"] == len(small_dataset)
+        assert len(payload["countries"]) == len(small_dataset.countries())
+        assert len(payload["sites"]) == len(small_dataset)
+        assert "image-alt" in payload["element_statistics"]
+
+    def test_export_without_sites(self, small_dataset) -> None:
+        payload = export_dataset_summary(small_dataset, include_sites=False)
+        assert "sites" not in payload
+
+    def test_written_file_is_valid_json(self, small_dataset, tmp_path) -> None:
+        path = write_dataset_summary(small_dataset, tmp_path / "out" / "summary.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["site_count"] == len(small_dataset)
+        # Native-script content must survive the round trip un-escaped.
+        assert "\\u" not in path.read_text(encoding="utf-8")[:200]

@@ -1,0 +1,134 @@
+"""Tests for the statistics helpers (repro.stats)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import Histogram, bucket_counts, histogram
+from repro.stats.summary import SummaryStats, percentile, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self) -> None:
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.median == 3
+        assert stats.mean == 3
+        assert stats.std_dev == pytest.approx(math.sqrt(2))
+        assert stats.minimum == 1 and stats.maximum == 5
+
+    def test_even_sample_median(self) -> None:
+        assert summarize([1, 2, 3, 4]).median == pytest.approx(2.5)
+
+    def test_single_value(self) -> None:
+        stats = summarize([7.0])
+        assert stats.median == stats.mean == 7.0
+        assert stats.std_dev == 0.0
+
+    def test_empty_sample(self) -> None:
+        stats = summarize([])
+        assert stats == SummaryStats.empty()
+
+    def test_as_row(self) -> None:
+        assert set(summarize([1, 2]).as_row()) == {"median", "std", "mean"}
+
+    def test_unordered_input(self) -> None:
+        assert summarize([5, 1, 3]).median == 3
+
+
+class TestPercentile:
+    def test_interpolation(self) -> None:
+        assert percentile([0, 10], 50) == pytest.approx(5.0)
+        assert percentile([1, 2, 3, 4], 0) == 1
+        assert percentile([1, 2, 3, 4], 100) == 4
+
+    def test_single_value(self) -> None:
+        assert percentile([42], 99) == 42
+
+    def test_invalid_inputs(self) -> None:
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestEmpiricalCDF:
+    def test_evaluate(self) -> None:
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf(0) == 0.0
+        assert cdf(2) == pytest.approx(0.5)
+        assert cdf(4) == 1.0
+        assert cdf(10) == 1.0
+
+    def test_empty_cdf(self) -> None:
+        cdf = EmpiricalCDF([])
+        assert cdf(5) == 0.0
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_quantile(self) -> None:
+        cdf = EmpiricalCDF([10, 20, 30, 40])
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+
+    def test_tabulate(self) -> None:
+        cdf = EmpiricalCDF([1, 2, 3])
+        table = cdf.tabulate([0, 2, 3])
+        assert table == [(0.0, 0.0), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+    def test_fraction_below_is_strict(self) -> None:
+        cdf = EmpiricalCDF([10, 10, 20])
+        assert cdf.fraction_below(10) == 0.0
+        assert cdf.fraction_below(20) == pytest.approx(2 / 3)
+
+    def test_values_are_sorted(self) -> None:
+        assert EmpiricalCDF([3, 1, 2]).values == (1, 2, 3)
+
+
+class TestHistogram:
+    def test_basic_binning(self) -> None:
+        result = histogram([1, 2, 5, 9, 10], [0, 5, 10])
+        assert result.counts == (2, 3)
+        assert result.total == 5
+
+    def test_out_of_range_values_clamped(self) -> None:
+        result = histogram([-5, 100], [0, 5, 10])
+        assert result.counts == (1, 1)
+
+    def test_normalized(self) -> None:
+        result = histogram([1, 6], [0, 5, 10])
+        assert result.normalized() == (0.5, 0.5)
+        assert Histogram(edges=(0.0, 1.0), counts=(0,)).normalized() == (0.0,)
+
+    def test_labels(self) -> None:
+        labels = histogram([1], [0, 5, 10]).bin_labels()
+        assert labels[0].startswith("[0, 5)")
+        assert labels[-1].endswith("10]")
+
+    def test_invalid_edges(self) -> None:
+        with pytest.raises(ValueError):
+            histogram([1], [0])
+        with pytest.raises(ValueError):
+            histogram([1], [5, 5])
+
+
+class TestBucketCounts:
+    def test_crux_style_buckets(self) -> None:
+        counts = bucket_counts([500, 900, 4000, 900_000], [1_000, 5_000, 10_000, 1_000_000])
+        assert counts[1_000] == 2
+        assert counts[5_000] == 1
+        assert counts[1_000_000] == 1
+
+    def test_overflow_bucket(self) -> None:
+        counts = bucket_counts([2_000_000], [1_000, 1_000_000])
+        assert counts[10_000_000] == 1
+
+    def test_requires_buckets(self) -> None:
+        with pytest.raises(ValueError):
+            bucket_counts([1], [])

@@ -1,0 +1,83 @@
+"""Tests for the synthetic CrUX ranking (repro.webgen.crux)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.webgen.crux import CruxEntry, CruxTable, RANK_BUCKETS, build_crux_table, rank_bucket
+from repro.webgen.profiles import get_profile
+from repro.webgen.sitegen import SiteGenerator
+
+
+class TestRankBuckets:
+    @pytest.mark.parametrize("rank,bucket", [
+        (1, 1_000), (1_000, 1_000), (1_001, 5_000), (9_999, 10_000),
+        (50_000, 50_000), (499_999, 500_000), (1_000_000, 1_000_000),
+    ])
+    def test_bucket_assignment(self, rank: int, bucket: int) -> None:
+        assert rank_bucket(rank) == bucket
+
+    def test_overflow_bucket(self) -> None:
+        assert rank_bucket(5_000_000) == RANK_BUCKETS[-1] * 10
+
+    def test_invalid_rank(self) -> None:
+        with pytest.raises(ValueError):
+            rank_bucket(0)
+
+    def test_entry_bucket_property(self) -> None:
+        assert CruxEntry("a.example", 4_500, "bd").bucket == 5_000
+
+
+class TestCruxTable:
+    @pytest.fixture()
+    def table(self) -> CruxTable:
+        table = CruxTable()
+        for rank, origin in [(300, "c.example"), (10, "a.example"), (45, "b.example")]:
+            table.add(CruxEntry(origin, rank, "bd"))
+        table.add(CruxEntry("x.example", 99, "th"))
+        return table
+
+    def test_entries_sorted_by_rank(self, table: CruxTable) -> None:
+        assert [entry.origin for entry in table.entries("bd")] == \
+            ["a.example", "b.example", "c.example"]
+
+    def test_top(self, table: CruxTable) -> None:
+        assert [entry.origin for entry in table.top("bd", 2)] == ["a.example", "b.example"]
+
+    def test_size(self, table: CruxTable) -> None:
+        assert table.size("bd") == 3
+        assert table.size("th") == 1
+        assert table.size() == 4
+        assert table.size("zz") == 0
+
+    def test_countries(self, table: CruxTable) -> None:
+        assert table.countries() == ("bd", "th")
+
+    def test_lookup(self, table: CruxTable) -> None:
+        entry = table.lookup("b.example")
+        assert entry is not None and entry.rank == 45
+        assert table.lookup("missing.example") is None
+
+    def test_bucket_histogram_covers_all_buckets(self, table: CruxTable) -> None:
+        histogram = table.bucket_histogram("bd")
+        assert set(RANK_BUCKETS) <= set(histogram)
+        assert histogram[1_000] == 3
+
+    def test_iter_ranked(self, table: CruxTable) -> None:
+        assert [entry.rank for entry in table.iter_ranked("bd")] == [10, 45, 300]
+
+
+class TestBuildFromSites:
+    def test_build_assigns_unique_ranks(self) -> None:
+        sites = SiteGenerator(get_profile("in"), seed=4).generate_sites(50)
+        table = build_crux_table(sites)
+        ranks = [entry.rank for entry in table.entries("in")]
+        assert len(ranks) == len(set(ranks)) == 50
+
+    def test_india_has_deeper_ranks_than_japan(self) -> None:
+        india = SiteGenerator(get_profile("in"), seed=4).generate_sites(120)
+        japan = SiteGenerator(get_profile("jp"), seed=4).generate_sites(120)
+        table = build_crux_table(india + japan)
+        india_median = sorted(e.rank for e in table.entries("in"))[60]
+        japan_median = sorted(e.rank for e in table.entries("jp"))[60]
+        assert india_median > japan_median

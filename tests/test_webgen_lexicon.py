@@ -1,0 +1,93 @@
+"""Tests for the per-language lexicons (repro.webgen.lexicon)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.langid.detector import ScriptDetector
+from repro.langid.languages import LANGCRUX_PAIRS
+from repro.webgen import lexicon
+from repro.webgen.lexicon import LEXICONS, get_lexicon, mixed_phrase
+
+
+class TestLexiconCoverage:
+    def test_every_langcrux_language_has_a_lexicon(self) -> None:
+        for pair in LANGCRUX_PAIRS:
+            assert pair.language.code in LEXICONS, pair.language.code
+
+    def test_english_lexicon_present(self) -> None:
+        assert "en" in LEXICONS
+
+    def test_get_lexicon_unknown_raises(self) -> None:
+        with pytest.raises(KeyError):
+            get_lexicon("xx")
+
+    @pytest.mark.parametrize("code", [pair.language.code for pair in LANGCRUX_PAIRS])
+    def test_words_are_in_the_native_script(self, code: str) -> None:
+        detector = ScriptDetector(code)
+        lex = get_lexicon(code)
+        joined = " ".join(lex.words)
+        assert detector.share(joined).native > 0.9, f"{code} lexicon is not in its native script"
+
+    @pytest.mark.parametrize("code", [pair.language.code for pair in LANGCRUX_PAIRS])
+    def test_lexicons_are_reasonably_sized(self, code: str) -> None:
+        lex = get_lexicon(code)
+        assert len(lex.words) >= 30
+        assert len(lex.ui_terms) >= 10
+        assert len(lex.phrases) >= 5
+
+    def test_cjk_lexicons_flag_no_spaces(self) -> None:
+        assert not get_lexicon("ja").space_separated
+        assert not get_lexicon("zh").space_separated
+        assert not get_lexicon("th").space_separated
+        assert get_lexicon("ru").space_separated
+
+
+class TestGenerationHelpers:
+    def test_sentence_word_count_in_range(self) -> None:
+        rng = random.Random(1)
+        sentence = get_lexicon("ru").sentence(rng, min_words=4, max_words=6)
+        assert 4 <= len(sentence.split()) <= 6
+
+    def test_cjk_sentence_has_no_spaces(self) -> None:
+        rng = random.Random(1)
+        assert " " not in get_lexicon("zh").sentence(rng)
+
+    def test_paragraph_is_longer_than_sentence(self) -> None:
+        rng = random.Random(2)
+        lex = get_lexicon("el")
+        assert len(lex.paragraph(rng)) > len(lex.sentence(rng, 3, 4))
+
+    def test_mixed_phrase_contains_both_languages(self) -> None:
+        rng = random.Random(3)
+        phrase = mixed_phrase(rng, get_lexicon("th"))
+        share = ScriptDetector("th").share(phrase)
+        assert share.native > 0.1
+        assert share.english > 0.1
+
+    def test_deterministic_given_seed(self) -> None:
+        lex = get_lexicon("hi")
+        assert lex.sentence(random.Random(9)) == lex.sentence(random.Random(9))
+
+
+class TestUninformativeLabelPools:
+    def test_pools_are_non_empty(self) -> None:
+        assert lexicon.DEV_LABELS
+        assert lexicon.FILE_NAME_LABELS
+        assert lexicon.URL_PATH_LABELS
+        assert lexicon.MIXED_ALNUM_LABELS
+        assert lexicon.LABEL_NUMBER_LABELS
+        assert lexicon.ORDINAL_PHRASE_LABELS
+        assert lexicon.EMOJI_LABELS
+        assert lexicon.TOO_SHORT_LABELS
+
+    def test_file_names_have_asset_extensions(self) -> None:
+        assert all("." in name for name in lexicon.FILE_NAME_LABELS)
+
+    def test_generic_actions_defined_for_all_native_lexicons(self) -> None:
+        for pair in LANGCRUX_PAIRS:
+            lex = get_lexicon(pair.language.code)
+            assert lex.generic_actions, pair.language.code
+            assert lex.placeholders, pair.language.code

@@ -1,0 +1,140 @@
+"""Tests for the synthetic page generator (repro.webgen.pagegen)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.extraction import extract_page
+from repro.html.parser import parse_html
+from repro.html.visibility import extract_visible_text
+from repro.langid.detector import ScriptDetector
+from repro.webgen.pagegen import PageGenerator, PageSpec
+from repro.webgen.profiles import get_profile
+
+
+def _spec(language: str = "bn", *, visible_native: float = 0.9,
+          a11y=None, uninformative: float = 0.2, declare_lang: str | None = "en") -> PageSpec:
+    profile = get_profile({"bn": "bd", "th": "th", "ja": "jp"}.get(language, "bd"))
+    return PageSpec(
+        language_code=language,
+        visible_native_share=visible_native,
+        a11y_language_weights=a11y or {"native": 0.2, "english": 0.6, "mixed": 0.2},
+        uninformative_rate=uninformative,
+        discard_mix=dict(profile.discard_mix),
+        declare_lang=declare_lang,
+    )
+
+
+class TestPageStructure:
+    @pytest.fixture(scope="class")
+    def document(self):
+        generator = PageGenerator(_spec(), random.Random(42))
+        return generator.generate_document(url="https://example.com.bd/")
+
+    def test_has_head_and_body(self, document) -> None:
+        assert document.head is not None
+        assert document.body is not None
+
+    def test_declared_lang_respected(self, document) -> None:
+        assert document.html_lang == "en"
+
+    def test_contains_all_core_element_types(self, document) -> None:
+        body = document.body
+        assert body is not None
+        assert body.find_all("img")
+        assert body.find_all("a")
+        assert body.find_all("button")
+        assert body.find_all("form")
+        assert body.find_all("svg") is not None  # may be empty but query works
+
+    def test_serialized_html_is_parseable(self) -> None:
+        generator = PageGenerator(_spec(), random.Random(3))
+        markup = generator.generate_html()
+        reparsed = parse_html(markup)
+        assert reparsed.body is not None
+        assert reparsed.body.find_all("img")
+
+    def test_no_lang_attribute_when_not_declared(self) -> None:
+        generator = PageGenerator(_spec(declare_lang=None), random.Random(1))
+        assert generator.generate_document().html_lang is None
+
+
+class TestLanguageComposition:
+    def test_visible_text_matches_native_share(self) -> None:
+        generator = PageGenerator(_spec(visible_native=0.95), random.Random(7))
+        document = generator.generate_document()
+        share = ScriptDetector("bn").share(extract_visible_text(document))
+        assert share.native > 0.7
+
+    def test_english_heavy_page(self) -> None:
+        generator = PageGenerator(_spec(visible_native=0.05), random.Random(7))
+        document = generator.generate_document()
+        share = ScriptDetector("bn").share(extract_visible_text(document))
+        assert share.english > 0.7
+
+    def test_accessibility_language_follows_weights(self) -> None:
+        spec = _spec(a11y={"native": 1.0, "english": 0.0, "mixed": 0.0}, uninformative=0.0)
+        generator = PageGenerator(spec, random.Random(11))
+        extraction = extract_page(generator.generate_document())
+        texts = extraction.texts("image-alt")
+        assert texts, "expected at least one informative alt text"
+        detector = ScriptDetector("bn")
+        native_like = sum(1 for text in texts if detector.share(text).native > 0.5)
+        assert native_like / len(texts) > 0.7
+
+
+class TestAccessibilityBehaviour:
+    def test_zero_missing_rate_spec_yields_alt_on_every_image(self) -> None:
+        spec = _spec()
+        # Force a profile where image alt text is always present.
+        from dataclasses import replace
+        profiles = dict(spec.element_profiles)
+        profiles["image-alt"] = replace(profiles["image-alt"], missing_rate=0.0, empty_rate=0.0)
+        spec.element_profiles = profiles
+        generator = PageGenerator(spec, random.Random(5))
+        document = generator.generate_document()
+        for image in document.body.find_all("img"):
+            assert image.has_attr("alt")
+            assert image.get("alt")
+
+    def test_full_missing_rate_spec_yields_no_alt(self) -> None:
+        spec = _spec()
+        from dataclasses import replace
+        profiles = dict(spec.element_profiles)
+        profiles["image-alt"] = replace(profiles["image-alt"], missing_rate=1.0, empty_rate=0.0)
+        spec.element_profiles = profiles
+        generator = PageGenerator(spec, random.Random(5))
+        document = generator.generate_document()
+        assert all(not image.has_attr("alt") for image in document.body.find_all("img"))
+
+    def test_uninformative_rate_one_produces_discardable_texts(self) -> None:
+        from repro.core.filtering import classify_text
+        spec = _spec(uninformative=1.0)
+        generator = PageGenerator(spec, random.Random(13))
+        extraction = extract_page(generator.generate_document())
+        texts = extraction.texts()
+        assert texts
+        uninformative = sum(1 for text in texts if not classify_text(text).informative)
+        assert uninformative / len(texts) > 0.8
+
+    def test_extreme_alt_rate_produces_long_alt(self) -> None:
+        spec = _spec()
+        spec.extreme_alt_rate = 1.0
+        generator = PageGenerator(spec, random.Random(17))
+        extraction = extract_page(generator.generate_document())
+        alts = extraction.texts("image-alt")
+        assert any(len(text) > 1000 for text in alts)
+
+
+class TestDeterminism:
+    def test_same_seed_same_page(self) -> None:
+        markup_a = PageGenerator(_spec(), random.Random(99)).generate_html()
+        markup_b = PageGenerator(_spec(), random.Random(99)).generate_html()
+        assert markup_a == markup_b
+
+    def test_different_seed_different_page(self) -> None:
+        markup_a = PageGenerator(_spec(), random.Random(1)).generate_html()
+        markup_b = PageGenerator(_spec(), random.Random(2)).generate_html()
+        assert markup_a != markup_b

@@ -1,0 +1,110 @@
+"""Tests for the country and element profiles (repro.webgen.profiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.langid.languages import langcrux_country_codes
+from repro.webgen.profiles import (
+    COUNTRY_PROFILES,
+    DISCARD_CATEGORIES,
+    ELEMENT_PROFILES,
+    CountryProfile,
+    all_country_codes,
+    get_profile,
+)
+
+
+class TestElementProfiles:
+    def test_all_twelve_elements_profiled(self) -> None:
+        assert len(ELEMENT_PROFILES) == 12
+
+    def test_rates_are_probabilities(self) -> None:
+        for profile in ELEMENT_PROFILES.values():
+            assert 0.0 <= profile.missing_rate <= 1.0
+            assert 0.0 <= profile.empty_rate <= 1.0
+            assert profile.missing_rate + profile.empty_rate <= 1.0
+
+    def test_counts_are_consistent(self) -> None:
+        for profile in ELEMENT_PROFILES.values():
+            assert 0 <= profile.min_per_page <= profile.max_per_page
+
+    def test_table2_ordering_preserved(self) -> None:
+        # The paper's most-missing elements must stay the most missing ones.
+        missing = {eid: profile.missing_rate for eid, profile in ELEMENT_PROFILES.items()}
+        assert missing["label"] > missing["button-name"] > missing["image-alt"]
+        assert missing["link-name"] > 0.9
+        assert missing["image-alt"] < 0.2
+
+    def test_image_alt_has_highest_empty_rate(self) -> None:
+        empty = {eid: profile.empty_rate for eid, profile in ELEMENT_PROFILES.items()}
+        assert max(empty, key=empty.get) == "image-alt"
+
+
+class TestCountryProfiles:
+    def test_all_twelve_countries_profiled(self) -> None:
+        assert set(COUNTRY_PROFILES) == set(langcrux_country_codes())
+        assert all_country_codes() == langcrux_country_codes()
+
+    def test_language_rates_sum_to_one(self) -> None:
+        for profile in COUNTRY_PROFILES.values():
+            total = profile.a11y_native_rate + profile.a11y_english_rate + profile.a11y_mixed_rate
+            assert total == pytest.approx(1.0)
+
+    def test_discard_mix_uses_known_categories(self) -> None:
+        for profile in COUNTRY_PROFILES.values():
+            assert set(profile.discard_mix) <= set(DISCARD_CATEGORIES)
+
+    def test_get_profile(self) -> None:
+        assert get_profile("bd").language_code == "bn"
+        with pytest.raises(KeyError):
+            get_profile("zz")
+
+    def test_invalid_language_rates_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            CountryProfile(
+                "xx", "en", 0.8, 0.1, 0.5, 0.5, 0.5, 0.1, 0.2,
+                {"single_word": 1.0}, 4.0, 0.4,
+            )
+
+    def test_unknown_discard_category_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            CountryProfile(
+                "xx", "en", 0.8, 0.1, 0.4, 0.4, 0.2, 0.1, 0.2,
+                {"bogus": 1.0}, 4.0, 0.4,
+            )
+
+
+class TestPaperCalibration:
+    """The qualitative orderings reported by the paper must hold in the profiles."""
+
+    def test_bangladesh_defaults_to_english_most(self) -> None:
+        english = {code: profile.a11y_english_rate for code, profile in COUNTRY_PROFILES.items()}
+        assert max(english, key=english.get) == "bd"
+        assert english["bd"] == pytest.approx(0.79, abs=0.02)
+
+    def test_mixed_language_hotspots(self) -> None:
+        mixed = {code: profile.a11y_mixed_rate for code, profile in COUNTRY_PROFILES.items()}
+        for hotspot in ("gr", "th", "hk"):
+            assert mixed[hotspot] >= 0.30
+        for code in ("cn", "ru", "jp", "in"):
+            assert mixed[code] >= 0.20
+
+    def test_mismatch_ordering(self) -> None:
+        low_native = {code: profile.low_native_a11y_site_rate
+                      for code, profile in COUNTRY_PROFILES.items()}
+        assert low_native["bd"] > 0.4
+        assert low_native["in"] > 0.4
+        assert low_native["th"] >= 0.25
+        assert low_native["jp"] < 0.10
+        assert low_native["il"] < 0.10
+
+    def test_thailand_has_most_single_word_labels(self) -> None:
+        single = {code: profile.discard_mix["single_word"]
+                  for code, profile in COUNTRY_PROFILES.items()}
+        assert max(single, key=single.get) == "th"
+        assert single["ru"] > single["bd"]
+
+    def test_india_has_deepest_rank_distribution(self) -> None:
+        ranks = {code: profile.rank_log10_mean for code, profile in COUNTRY_PROFILES.items()}
+        assert max(ranks, key=ranks.get) == "in"

@@ -1,0 +1,109 @@
+"""Tests for the geo-aware origin servers (repro.webgen.server)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.langid.detector import ScriptDetector
+from repro.html.parser import parse_html
+from repro.html.visibility import extract_visible_text
+from repro.webgen.profiles import get_profile
+from repro.webgen.server import OriginRequest, OriginServer, SyntheticWeb
+from repro.webgen.sitegen import SiteGenerator
+
+
+@pytest.fixture(scope="module")
+def sites():
+    return SiteGenerator(get_profile("bd"), seed=8).generate_sites(30)
+
+
+@pytest.fixture(scope="module")
+def web(sites):
+    return SyntheticWeb(sites)
+
+
+class TestSyntheticWeb:
+    def test_contains_all_domains(self, web, sites) -> None:
+        assert len(web) == len(sites)
+        assert sites[0].domain in web
+        assert "unknown.example" not in web
+
+    def test_duplicate_domain_rejected(self, sites) -> None:
+        web = SyntheticWeb(sites[:1])
+        with pytest.raises(ValueError):
+            web.add_site(sites[0])
+
+    def test_unknown_host_returns_502(self, web) -> None:
+        response = web.request("unknown.example", "/")
+        assert response.status == 502
+        assert not response.ok
+
+    def test_site_accessor(self, web, sites) -> None:
+        assert web.site(sites[0].domain) is sites[0]
+
+
+class TestLocalization:
+    def _native_share(self, body: str) -> float:
+        return ScriptDetector("bn").share(extract_visible_text(parse_html(body))).native
+
+    def test_in_country_client_gets_localized_variant(self, web, sites) -> None:
+        site = next(s for s in sites if s.localizes_by_ip and s.meets_language_threshold()
+                    and not s.blocks_vpn)
+        response = web.request(site.domain, "/", client_country="bd", via_vpn=True)
+        if response.is_redirect:
+            response = web.request(site.domain, "/home", client_country="bd", via_vpn=True)
+        assert response.ok
+        assert response.served_variant == "localized"
+        assert self._native_share(response.body) > 0.5
+
+    def test_foreign_client_gets_global_variant(self, web, sites) -> None:
+        site = next(s for s in sites if s.localizes_by_ip and s.meets_language_threshold()
+                    and not s.blocks_vpn)
+        response = web.request(site.domain, "/", client_country=None, via_vpn=False)
+        if response.is_redirect:
+            response = web.request(site.domain, "/home", client_country=None, via_vpn=False)
+        assert response.ok
+        assert response.served_variant == "global"
+        assert self._native_share(response.body) < 0.5
+
+    def test_non_localizing_site_ignores_vantage(self, web, sites) -> None:
+        site = next(s for s in sites if not s.localizes_by_ip and not s.blocks_vpn)
+        local = web.request(site.domain, "/", client_country="bd")
+        foreign = web.request(site.domain, "/", client_country=None)
+        assert local.served_variant == foreign.served_variant == "localized" or \
+            (local.is_redirect and foreign.is_redirect)
+
+
+class TestBlockingAndErrors:
+    def test_vpn_blocking_site_returns_403(self, sites) -> None:
+        blocking = [site for site in sites if site.blocks_vpn]
+        if not blocking:
+            pytest.skip("no VPN-blocking site in this sample")
+        server = OriginServer(blocking[0])
+        response = server.handle(OriginRequest(path="/", client_country="bd", via_vpn=True))
+        assert response.status == 403
+
+    def test_vpn_blocking_site_allows_direct_traffic(self, sites) -> None:
+        blocking = [site for site in sites if site.blocks_vpn]
+        if not blocking:
+            pytest.skip("no VPN-blocking site in this sample")
+        server = OriginServer(blocking[0])
+        response = server.handle(OriginRequest(path="/", client_country="bd", via_vpn=False))
+        assert response.status in (200, 302)
+
+    def test_unknown_path_is_404(self, web, sites) -> None:
+        site = next(s for s in sites if not s.blocks_vpn)
+        response = web.request(site.domain, "/definitely-missing", client_country="bd")
+        assert response.status == 404
+
+    def test_redirecting_sites_point_to_home(self, sites) -> None:
+        redirecting = [site for site in sites
+                       if OriginServer(site)._redirects_root and not site.blocks_vpn]
+        if not redirecting:
+            pytest.skip("no redirecting site in this sample")
+        server = OriginServer(redirecting[0])
+        response = server.handle(OriginRequest(path="/", client_country="bd"))
+        assert response.is_redirect
+        assert response.location.endswith("/home")
+        follow = server.handle(OriginRequest(path="/home", client_country="bd"))
+        assert follow.ok
