@@ -39,11 +39,19 @@ from repro.core.analysis import (
     uninformative_rate_by_country,
 )
 from repro.core.dataset import LangCrUXDataset
+from repro.core.executor import EXECUTOR_KINDS
 from repro.core.kizuki import rescore_dataset
 from repro.core.language_mix import classify_texts
 from repro.core.mismatch import mismatch_examples, mismatch_summary
 from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
 from repro.langid.languages import langcrux_country_codes
+
+
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return count
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +71,13 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=7, help="synthetic web seed")
     build.add_argument("--no-vpn", action="store_true",
                        help="crawl from a cloud vantage instead of country VPN exits")
+    build.add_argument("--workers", type=_positive_int, default=1,
+                       help="country shards crawled concurrently; any worker count "
+                            "produces byte-identical output (default: 1)")
+    build.add_argument("--executor", choices=EXECUTOR_KINDS, default="auto",
+                       help="execution backend: 'auto' picks serial for one worker "
+                            "and a thread pool otherwise; 'process' uses a process "
+                            "pool for CPU-bound scaling (default: auto)")
 
     analyze = subparsers.add_parser("analyze", help="print Table 2 style statistics")
     analyze.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
@@ -98,6 +113,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         sites_per_country=args.sites_per_country,
         seed=args.seed,
         use_vpn=not args.no_vpn,
+        workers=args.workers,
+        executor=args.executor,
     )
     result = LangCrUXPipeline(config).run()
     count = result.dataset.save_jsonl(args.output)
@@ -105,6 +122,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
     for country, outcome in sorted(result.selection_outcomes.items()):
         print(f"  {country}: selected {len(outcome.selected)}/{outcome.quota}"
               f" (replaced {outcome.replacement_count}, examined {outcome.candidates_examined})")
+    if args.workers > 1:
+        print(f"  shard wall-clock: {result.total_shard_seconds():.2f}s across"
+              f" {len(result.shard_metrics)} shards"
+              f" ({result.executor_workers} workers, {result.executor_name} executor)")
     return 0
 
 

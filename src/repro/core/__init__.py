@@ -21,9 +21,18 @@ Modules:
 * :mod:`repro.core.kizuki` — the language-aware audit extension and the
   Figure 6 re-scoring.
 * :mod:`repro.core.pipeline` — end-to-end orchestration (Figure 1).
+* :mod:`repro.core.executor` — serial/thread/process execution backends for
+  the per-country shards, with deterministic ordered merging.
 """
 
 from repro.core.dataset import LangCrUXDataset, SiteRecord, ElementObservation
+from repro.core.executor import (
+    PipelineExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    create_executor,
+)
 from repro.core.kizuki import Kizuki, KizukiConfig, KizukiImageAltRule
 from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
 
@@ -36,4 +45,9 @@ __all__ = [
     "KizukiImageAltRule",
     "LangCrUXPipeline",
     "PipelineConfig",
+    "PipelineExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "create_executor",
 ]

@@ -1,0 +1,358 @@
+"""Parallel execution of per-country pipeline shards.
+
+The paper's methodology (Figure 1) treats every language–country pair as an
+independent unit of work: each country gets its own VPN vantage, its own
+CrUX ranking walk, its own crawl session and its own audits.  Nothing flows
+between countries until the final dataset assembly, which makes the pipeline
+an embarrassingly parallel workload.  This module supplies the execution
+layer that exploits that independence without giving up determinism:
+
+* :class:`PipelineExecutor` — the abstraction: ``run()`` dispatches a shard
+  function over a sequence of shards and streams :class:`ShardResult`
+  envelopes back *as they complete*; ``run_ordered()`` re-sequences that
+  stream into submission order with a reorder buffer, which is what makes
+  parallel output byte-identical to sequential output.
+* :class:`SerialExecutor` — the reference backend: runs shards inline, in
+  order, with zero threading machinery.  Parallel backends are verified
+  against it.
+* :class:`ThreadedExecutor` — a ``concurrent.futures.ThreadPoolExecutor``
+  backend.  Workers push finished results into a *bounded* queue, so a slow
+  consumer exerts backpressure on the pool instead of letting completed
+  shard payloads pile up in memory.  (Note: ``run_ordered`` must keep
+  draining that queue to reach a straggling early shard, so the *ordered*
+  view can buffer up to O(shards) results when shard durations are extreme;
+  the bound applies to the unordered ``run`` stream.)
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor`` backend for true
+  CPU parallelism (page generation, HTML parsing and audits are pure-Python
+  hot loops that threads cannot speed up under the GIL).  Shard functions
+  and their arguments must be picklable.
+
+Determinism contract
+--------------------
+Backends never inject randomness: every shard derives its own RNG from
+``stable_seed(seed, "transport", country)`` inside the shard function, and
+``run_ordered`` merges results in submission order.  Consequently a run with
+``workers=4`` serializes to JSONL byte-for-byte identically to a sequential
+run with the same :class:`~repro.core.pipeline.PipelineConfig` — a property
+pinned by ``tests/test_core_executor.py``.
+
+Failure contract
+----------------
+The first shard exception aborts the run: pending shards are cancelled, the
+pool is drained and shut down, and the original exception is re-raised
+wrapped in :class:`ExecutorError` (with the failing shard attached).
+
+Sizing
+------
+``create_executor("auto", workers)`` picks :class:`SerialExecutor` for one
+worker and :class:`ThreadedExecutor` otherwise; pass ``"process"``
+explicitly for CPU-bound scaling across cores.  Worker counts are clamped
+to the number of shards, so over-provisioning (``workers > countries``) is
+harmless.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from abc import ABC, abstractmethod
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+#: Default capacity of the bounded result queue between workers and the
+#: consuming thread.  Small on purpose: it bounds how many finished shard
+#: payloads (crawl records, HTML snapshots) can be buffered at once.
+DEFAULT_QUEUE_SIZE = 8
+
+#: Executor kinds accepted by :func:`create_executor` (and the CLI).
+EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
+
+class ExecutorError(RuntimeError):
+    """A shard function raised; wraps the original exception.
+
+    Attributes:
+        shard: The shard whose function failed (``None`` when unknown).
+    """
+
+    def __init__(self, message: str, *, shard: Any = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One completed shard, as streamed out of an executor.
+
+    Attributes:
+        index: Position of the shard in the submitted sequence.
+        shard: The shard object itself (a country code in the pipeline).
+        value: Whatever the shard function returned.
+        duration_s: Wall-clock seconds the shard function ran for.
+    """
+
+    index: int
+    shard: Any
+    value: Any
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class ShardMetrics:
+    """Progress/timing metrics for one shard, surfaced on the result.
+
+    Attributes:
+        shard: Shard identifier (the country code).
+        index: Submission position of the shard.
+        duration_s: Wall-clock seconds spent in the shard function.
+        records: Number of site records the shard produced.
+    """
+
+    shard: str
+    index: int
+    duration_s: float
+    records: int
+
+    @property
+    def records_per_second(self) -> float:
+        """Shard throughput (0.0 for an instantaneous shard)."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return self.records / self.duration_s
+
+
+class PipelineExecutor(ABC):
+    """Dispatches a shard function over independent shards."""
+
+    #: Human-readable backend name (used in CLI output and benchmarks).
+    name: str = "abstract"
+
+    #: Number of concurrent workers the backend may use.
+    workers: int = 1
+
+    @abstractmethod
+    def run(self, fn: Callable[[Any], Any],
+            shards: Sequence[Any] | Iterable[Any]) -> Iterator[ShardResult]:
+        """Run ``fn`` over ``shards``, yielding results as they complete.
+
+        Completion order is backend-dependent; use :meth:`run_ordered` when
+        downstream consumers require submission order.
+
+        Raises:
+            ExecutorError: When any shard function raises; remaining shards
+                are cancelled.
+        """
+
+    def run_ordered(self, fn: Callable[[Any], Any],
+                    shards: Sequence[Any] | Iterable[Any]) -> Iterator[ShardResult]:
+        """Like :meth:`run` but re-sequenced into submission order.
+
+        Out-of-order completions are held in a reorder buffer until every
+        earlier shard has been yielded, which restores the deterministic
+        merge order of a sequential run.  The buffer cannot be hard-bounded:
+        a straggling early shard can only deliver its result once the queue
+        is drained, so in the worst case (first shard slowest) the buffer
+        holds all later results.  Callers for whom that matters should
+        consume :meth:`run` directly and reorder/spill themselves.
+        """
+        buffered: dict[int, ShardResult] = {}
+        next_index = 0
+        for result in self.run(fn, shards):
+            buffered[result.index] = result
+            while next_index in buffered:
+                yield buffered.pop(next_index)
+                next_index += 1
+
+
+class SerialExecutor(PipelineExecutor):
+    """Runs shards inline, in submission order — the reference backend."""
+
+    name = "serial"
+    workers = 1
+
+    def run(self, fn: Callable[[Any], Any],
+            shards: Sequence[Any] | Iterable[Any]) -> Iterator[ShardResult]:
+        for index, shard in enumerate(shards):
+            started = time.perf_counter()
+            try:
+                value = fn(shard)
+            except Exception as error:
+                raise ExecutorError(f"shard {shard!r} failed: {error}",
+                                    shard=shard) from error
+            yield ShardResult(index=index, shard=shard, value=value,
+                              duration_s=time.perf_counter() - started)
+
+
+class ThreadedExecutor(PipelineExecutor):
+    """Thread-pool backend with bounded-queue result streaming.
+
+    Each worker computes a shard and then *blocks* handing the result into a
+    bounded queue; the thread cannot pick up its next shard until the
+    consumer has drained a slot, so memory stays bounded regardless of how
+    uneven shard durations are.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int, *, queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        if workers < 1:
+            raise ValueError(f"ThreadedExecutor requires at least one worker, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be positive, got {queue_size}")
+        self.workers = workers
+        self.queue_size = queue_size
+
+    def run(self, fn: Callable[[Any], Any],
+            shards: Sequence[Any] | Iterable[Any]) -> Iterator[ShardResult]:
+        shard_list = list(shards)
+        if not shard_list:
+            return
+        results: queue.Queue = queue.Queue(maxsize=self.queue_size)
+
+        def job(index: int, shard: Any) -> None:
+            started = time.perf_counter()
+            try:
+                value = fn(shard)
+            except BaseException as error:  # delivered to the consumer, re-raised
+                # there; BaseException included so a SystemExit inside a shard
+                # cannot leave the consumer blocked on an empty queue forever.
+                results.put((index, shard, None, 0.0, error))
+                return
+            results.put((index, shard, value, time.perf_counter() - started, None))
+
+        pool = futures.ThreadPoolExecutor(
+            max_workers=min(self.workers, len(shard_list)),
+            thread_name_prefix="langcrux-shard",
+        )
+        pending = [pool.submit(job, index, shard)
+                   for index, shard in enumerate(shard_list)]
+        try:
+            for _ in range(len(shard_list)):
+                index, shard, value, duration_s, error = results.get()
+                if error is not None:
+                    if not isinstance(error, Exception):
+                        raise error  # KeyboardInterrupt/SystemExit: not wrapped
+                    raise ExecutorError(f"shard {shard!r} failed: {error}",
+                                        shard=shard) from error
+                yield ShardResult(index=index, shard=shard, value=value,
+                                  duration_s=duration_s)
+        finally:
+            for future in pending:
+                future.cancel()
+            # Keep draining so no worker stays blocked on a full queue, then
+            # join the pool once every non-cancelled job has settled.
+            while not all(future.done() for future in pending):
+                try:
+                    results.get_nowait()
+                except queue.Empty:
+                    time.sleep(0.005)
+            pool.shutdown(wait=True)
+
+
+def _timed_call(fn: Callable[[Any], Any], index: int,
+                shard: Any) -> tuple[int, Any, Any, float, Exception | None]:
+    """Run one shard in a worker process, measuring its wall-clock time.
+
+    Exceptions are returned rather than raised so the parent can report
+    *which* shard failed (a raised exception would surface through
+    ``Future.result()`` with the shard identity lost).
+    """
+    started = time.perf_counter()
+    try:
+        value = fn(shard)
+    except Exception as error:
+        return index, shard, None, 0.0, error
+    return index, shard, value, time.perf_counter() - started, None
+
+
+class ProcessExecutor(PipelineExecutor):
+    """Process-pool backend for CPU-bound shards.
+
+    ``fn`` and the shards must be picklable (the pipeline passes a
+    ``functools.partial`` over a module-level shard function).  Completed
+    futures are streamed through a bounded queue so the consumer sees
+    results as they finish rather than after a full barrier.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, *, queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        if workers < 1:
+            raise ValueError(f"ProcessExecutor requires at least one worker, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be positive, got {queue_size}")
+        self.workers = workers
+        self.queue_size = queue_size
+
+    def run(self, fn: Callable[[Any], Any],
+            shards: Sequence[Any] | Iterable[Any]) -> Iterator[ShardResult]:
+        shard_list = list(shards)
+        if not shard_list:
+            return
+        done: queue.Queue = queue.Queue(maxsize=self.queue_size)
+        pool = futures.ProcessPoolExecutor(max_workers=min(self.workers, len(shard_list)))
+        pending: list[futures.Future] = []
+        try:
+            for index, shard in enumerate(shard_list):
+                future = pool.submit(_timed_call, fn, index, shard)
+                future.add_done_callback(done.put)
+                pending.append(future)
+            for _ in range(len(shard_list)):
+                future = done.get()
+                try:
+                    index, shard, value, duration_s, error = future.result()
+                except futures.CancelledError:  # pragma: no cover - abort path
+                    continue
+                except Exception as error:  # pool breakage, unpicklable payloads
+                    raise ExecutorError(f"shard failed: {error}") from error
+                if error is not None:
+                    raise ExecutorError(f"shard {shard!r} failed: {error}",
+                                        shard=shard) from error
+                yield ShardResult(index=index, shard=shard, value=value,
+                                  duration_s=duration_s)
+        finally:
+            for future in pending:
+                future.cancel()
+            # Unblock any completion callback waiting on a full queue before
+            # joining the pool.
+            while not all(future.done() for future in pending):
+                try:
+                    done.get_nowait()
+                except queue.Empty:
+                    time.sleep(0.005)
+            while True:
+                try:
+                    done.get_nowait()
+                except queue.Empty:
+                    break
+            pool.shutdown(wait=True)
+
+
+def create_executor(kind: str = "auto", workers: int = 1, *,
+                    queue_size: int = DEFAULT_QUEUE_SIZE) -> PipelineExecutor:
+    """Build an executor backend.
+
+    Args:
+        kind: One of :data:`EXECUTOR_KINDS`.  ``"auto"`` selects
+            :class:`SerialExecutor` for a single worker and
+            :class:`ThreadedExecutor` otherwise.
+        workers: Number of concurrent shards (clamped to the shard count at
+            run time).  Must be >= 1; a value larger than the number of
+            shards is allowed and harmless.
+        queue_size: Capacity of the bounded result queue.
+
+    Raises:
+        ValueError: For an unknown ``kind`` or a non-positive worker count.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
+    if workers < 1:
+        raise ValueError(f"executor requires at least one worker, got {workers}")
+    if kind == "auto":
+        kind = "serial" if workers == 1 else "thread"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadedExecutor(workers, queue_size=queue_size)
+    return ProcessExecutor(workers, queue_size=queue_size)

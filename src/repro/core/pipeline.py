@@ -12,18 +12,33 @@ The pipeline chains every stage of the methodology:
    from each selected site and run the base (language-unaware) audits.
 5. **Dataset** — assemble :class:`~repro.core.dataset.LangCrUXDataset`.
 
+Stages 2–4 are independent per country, so they are expressed as *pure
+per-shard functions* (:func:`execute_country_shard` and the helpers it
+calls) that an execution backend from :mod:`repro.core.executor` dispatches
+concurrently.  Every shard constructs its own transport, crawl session and
+audit engine, and derives its RNG from ``stable_seed(seed, "transport",
+country)``, so a parallel run is byte-identical to a sequential one.
+
 The result object keeps the intermediate artifacts (ranking, selection
-outcomes) because several benchmark harnesses report on them directly
-(Figure 7 uses the ranking, the selection benchmark uses the outcomes).
+outcomes, per-shard timing metrics) because several benchmark harnesses
+report on them directly (Figure 7 uses the ranking, the selection benchmark
+uses the outcomes, the scaling benchmark uses the shard metrics).
 """
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 
 from repro.audit.engine import AuditEngine
 from repro.core.dataset import LangCrUXDataset, SiteRecord
+from repro.core.executor import (
+    PipelineExecutor,
+    ProcessExecutor,
+    ShardMetrics,
+    create_executor,
+)
 from repro.core.extraction import extract_page, merge_extractions
 from repro.core.site_selection import SelectionOutcome, SiteSelector
 from repro.crawler.crawler import CrawlerConfig, LangCruxCrawler
@@ -59,6 +74,11 @@ class PipelineConfig:
             simulated transport.
         language_threshold: Minimum native share of visible text (0.5).
         respect_robots: Whether the crawler honours robots.txt.
+        workers: Number of country shards processed concurrently.  The
+            default of 1 keeps the historical sequential behaviour; any
+            value produces the same dataset bytes (per-shard seeding).
+        executor: Execution backend — ``"auto"`` (serial for one worker,
+            threads otherwise), ``"serial"``, ``"thread"`` or ``"process"``.
     """
 
     countries: tuple[str, ...] = field(default_factory=langcrux_country_codes)
@@ -70,6 +90,8 @@ class PipelineConfig:
     transport_failure_rate: float = 0.02
     language_threshold: float = 0.5
     respect_robots: bool = True
+    workers: int = 1
+    executor: str = "auto"
 
 
 @dataclass
@@ -81,11 +103,170 @@ class PipelineResult:
     web: SyntheticWeb
     selection_outcomes: dict[str, SelectionOutcome]
     vantages: dict[str, VantagePoint]
+    shard_metrics: dict[str, ShardMetrics] = field(default_factory=dict)
+    executor_name: str = "serial"
+    executor_workers: int = 1
 
     def qualifying_site_counts(self) -> dict[str, int]:
         """Selected sites per country (input to the selection-criteria check)."""
         return {country: len(outcome.selected)
                 for country, outcome in self.selection_outcomes.items()}
+
+    def total_shard_seconds(self) -> float:
+        """Sum of per-shard wall-clock — the work a serial run would do."""
+        return sum(metric.duration_s for metric in self.shard_metrics.values())
+
+
+# -- pure per-shard functions -------------------------------------------------------
+#
+# Everything below takes the config (plus the prebuilt web) explicitly so it
+# can run on any executor backend, including process pools where the shard
+# callable and its arguments are pickled into the worker.
+
+
+def build_web_for_config(config: PipelineConfig) -> tuple[SyntheticWeb, CruxTable]:
+    """Generate the synthetic web and ranking for ``config`` (pure)."""
+    candidates_per_country = max(
+        config.sites_per_country + 1,
+        int(config.sites_per_country * config.candidate_multiplier),
+    )
+    sites: list[SyntheticSite] = []
+    for country in config.countries:
+        generator = SiteGenerator(get_profile(country), seed=config.seed)
+        sites.extend(generator.generate_sites(candidates_per_country))
+    return SyntheticWeb(sites), build_crux_table(sites)
+
+
+def _web_fingerprint(config: PipelineConfig) -> tuple:
+    """The config fields that determine the generated web."""
+    return (config.seed, config.countries, config.sites_per_country,
+            config.candidate_multiplier)
+
+
+#: Per-process memo of built webs, so a process-pool worker handling several
+#: country shards generates the (cheap, lazy) site metadata only once.
+_WEB_CACHE: dict[tuple, tuple[SyntheticWeb, CruxTable]] = {}
+
+
+def _cached_web(config: PipelineConfig) -> tuple[SyntheticWeb, CruxTable]:
+    fingerprint = _web_fingerprint(config)
+    if fingerprint not in _WEB_CACHE:
+        _WEB_CACHE[fingerprint] = build_web_for_config(config)
+    return _WEB_CACHE[fingerprint]
+
+
+def vantage_for_country(config: PipelineConfig, country_code: str) -> VantagePoint:
+    """The crawl vantage for a country under ``config`` (pure)."""
+    if not config.use_vpn:
+        return VantagePoint.cloud()
+    try:
+        return VPNManager(DEFAULT_PROVIDERS).vantage_for(country_code)
+    except VPNCoverageError:
+        return VantagePoint.cloud()
+
+
+def crawler_for_country(config: PipelineConfig, country_code: str,
+                        web: SyntheticWeb,
+                        vantage: VantagePoint | None = None) -> LangCruxCrawler:
+    """A crawler bound to the country's vantage, with shard-local state.
+
+    The transport, fetcher and session are constructed fresh per shard —
+    never shared across countries — so concurrent shards cannot interleave
+    RNG draws, retry counters or robots caches.
+    """
+    transport = SimulatedTransport(
+        web,
+        failure_rate=config.transport_failure_rate,
+        rng=random.Random(stable_seed(config.seed, "transport", country_code)),
+    )
+    fetcher = Fetcher(transport, FetcherConfig())
+    if vantage is None:
+        vantage = vantage_for_country(config, country_code)
+    session = CrawlSession(fetcher=fetcher, vantage=vantage,
+                           respect_robots=config.respect_robots)
+    crawler_config = CrawlerConfig(
+        max_pages_per_site=config.max_pages_per_site,
+        follow_links=config.max_pages_per_site > 1,
+        respect_robots=config.respect_robots,
+    )
+    return LangCruxCrawler(session, crawler_config)
+
+
+def select_country_sites(config: PipelineConfig, country_code: str,
+                         web: SyntheticWeb, crux: CruxTable,
+                         vantage: VantagePoint | None = None) -> SelectionOutcome:
+    """Run selection + crawling for one country (pure per-shard)."""
+    pair = get_pair(country_code)
+    crawler = crawler_for_country(config, country_code, web, vantage)
+    selector = SiteSelector(crawler, pair.language.code,
+                            threshold=config.language_threshold)
+    outcome = selector.select(crux.iter_ranked(country_code),
+                              quota=config.sites_per_country)
+    outcome.country_code = country_code
+    return outcome
+
+
+def record_from_crawl(crawl_record: CrawlRecord,
+                      audit_engine: AuditEngine | None = None) -> SiteRecord:
+    """Extraction + audit of one crawled origin (pure per-shard)."""
+    engine = audit_engine if audit_engine is not None else AuditEngine()
+    documents = [parse_html(page.html, url=page.final_url)
+                 for page in crawl_record.pages if page.ok and page.html]
+    extraction = merge_extractions([extract_page(document) for document in documents])
+    audit: dict[str, dict] = {}
+    if documents:
+        report = engine.audit_document(documents[0])
+        audit = {
+            rule_id: {
+                "applicable": result.applicable,
+                "passed": result.passed,
+                "score": result.score,
+            }
+            for rule_id, result in report.results.items()
+        }
+    homepage = crawl_record.homepage
+    return SiteRecord.from_extraction(
+        extraction,
+        domain=crawl_record.domain,
+        country_code=crawl_record.country_code,
+        language_code=crawl_record.language_code,
+        rank=crawl_record.rank,
+        served_variant=homepage.served_variant if homepage else None,
+        audit=audit,
+    )
+
+
+@dataclass
+class CountryShard:
+    """The complete output of one country's selection → crawl → audit shard."""
+
+    country_code: str
+    vantage: VantagePoint
+    outcome: SelectionOutcome
+    records: list[SiteRecord]
+
+
+def execute_country_shard(config: PipelineConfig, country_code: str,
+                          web_and_crux: tuple[SyntheticWeb, CruxTable] | None = None,
+                          ) -> CountryShard:
+    """Run stages 2–4 for one country, with shard-local state only.
+
+    Args:
+        config: The pipeline configuration.
+        country_code: The shard's country.
+        web_and_crux: The prebuilt web and ranking.  ``None`` (the process
+            backend) regenerates them deterministically from ``config`` via a
+            per-process cache instead of pickling the whole web into the
+            worker.
+    """
+    web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
+    vantage = vantage_for_country(config, country_code)
+    outcome = select_country_sites(config, country_code, web, crux, vantage)
+    audit_engine = AuditEngine()  # per-shard: concurrent audits never share state
+    records = [record_from_crawl(selected.record, audit_engine)
+               for selected in outcome.selected]
+    return CountryShard(country_code=country_code, vantage=vantage,
+                        outcome=outcome, records=records)
 
 
 class LangCrUXPipeline:
@@ -97,9 +278,7 @@ class LangCrUXPipeline:
         self.config = config or PipelineConfig()
         self._web = web
         self._crux = crux_table
-        self._sites: list[SyntheticSite] = []
-        self._vpn = VPNManager(DEFAULT_PROVIDERS)
-        self._audit_engine = AuditEngine()
+        self._web_supplied = web is not None or crux_table is not None
 
     # -- stage 1: the web ---------------------------------------------------------
 
@@ -107,102 +286,69 @@ class LangCrUXPipeline:
         """Generate candidate sites for every configured country."""
         if self._web is not None and self._crux is not None:
             return self._web, self._crux
-        candidates_per_country = max(
-            self.config.sites_per_country + 1,
-            int(self.config.sites_per_country * self.config.candidate_multiplier),
-        )
-        sites: list[SyntheticSite] = []
-        for country in self.config.countries:
-            generator = SiteGenerator(get_profile(country), seed=self.config.seed)
-            sites.extend(generator.generate_sites(candidates_per_country))
-        self._sites = sites
-        self._web = SyntheticWeb(sites)
-        self._crux = build_crux_table(sites)
+        self._web, self._crux = build_web_for_config(self.config)
         return self._web, self._crux
 
     # -- stage 2: vantage points -----------------------------------------------------
 
     def vantage_for(self, country_code: str) -> VantagePoint:
         """The crawl vantage for a country under the current configuration."""
-        if not self.config.use_vpn:
-            return VantagePoint.cloud()
-        try:
-            return self._vpn.vantage_for(country_code)
-        except VPNCoverageError:
-            return VantagePoint.cloud()
+        return vantage_for_country(self.config, country_code)
 
     # -- stage 3: selection + crawl -----------------------------------------------------
-
-    def _crawler_for(self, country_code: str, web: SyntheticWeb) -> LangCruxCrawler:
-        transport = SimulatedTransport(
-            web,
-            failure_rate=self.config.transport_failure_rate,
-            rng=random.Random(stable_seed(self.config.seed, "transport", country_code)),
-        )
-        fetcher = Fetcher(transport, FetcherConfig())
-        session = CrawlSession(fetcher=fetcher, vantage=self.vantage_for(country_code),
-                               respect_robots=self.config.respect_robots)
-        crawler_config = CrawlerConfig(
-            max_pages_per_site=self.config.max_pages_per_site,
-            follow_links=self.config.max_pages_per_site > 1,
-            respect_robots=self.config.respect_robots,
-        )
-        return LangCruxCrawler(session, crawler_config)
 
     def select_country(self, country_code: str) -> SelectionOutcome:
         """Run selection + crawling for one country."""
         web, crux = self.build_web()
-        pair = get_pair(country_code)
-        crawler = self._crawler_for(country_code, web)
-        selector = SiteSelector(crawler, pair.language.code,
-                                threshold=self.config.language_threshold)
-        outcome = selector.select(crux.iter_ranked(country_code),
-                                  quota=self.config.sites_per_country)
-        outcome.country_code = country_code
-        return outcome
+        return select_country_sites(self.config, country_code, web, crux)
 
     # -- stage 4: extraction + audit ------------------------------------------------------
 
     def record_from_crawl(self, crawl_record: CrawlRecord) -> SiteRecord:
         """Extraction + audit of one crawled origin."""
-        documents = [parse_html(page.html, url=page.final_url)
-                     for page in crawl_record.pages if page.ok and page.html]
-        extraction = merge_extractions([extract_page(document) for document in documents])
-        audit: dict[str, dict] = {}
-        if documents:
-            report = self._audit_engine.audit_document(documents[0])
-            audit = {
-                rule_id: {
-                    "applicable": result.applicable,
-                    "passed": result.passed,
-                    "score": result.score,
-                }
-                for rule_id, result in report.results.items()
-            }
-        homepage = crawl_record.homepage
-        return SiteRecord.from_extraction(
-            extraction,
-            domain=crawl_record.domain,
-            country_code=crawl_record.country_code,
-            language_code=crawl_record.language_code,
-            rank=crawl_record.rank,
-            served_variant=homepage.served_variant if homepage else None,
-            audit=audit,
-        )
+        return record_from_crawl(crawl_record)
 
     # -- stage 5: the dataset ------------------------------------------------------------------
 
-    def run(self) -> PipelineResult:
-        """Execute the full pipeline for every configured country."""
+    def _executor(self) -> PipelineExecutor:
+        return create_executor(self.config.executor, self.config.workers)
+
+    def run(self, executor: PipelineExecutor | None = None) -> PipelineResult:
+        """Execute the full pipeline for every configured country.
+
+        Shards are dispatched on the configured executor (or an explicit
+        ``executor`` argument) and their finished records stream back
+        through a bounded queue; the reorder buffer of ``run_ordered``
+        assembles the dataset in the configured country order, so the
+        output is identical for every backend and worker count.
+        """
         web, crux = self.build_web()
+        backend = executor if executor is not None else self._executor()
+        # Process workers rebuild the (lazily generated) web from the config
+        # instead of receiving a pickled copy — unless the web was supplied
+        # explicitly and cannot be derived from the config.
+        if isinstance(backend, ProcessExecutor) and not self._web_supplied:
+            shard_fn = functools.partial(execute_country_shard, self.config)
+        else:
+            shard_fn = functools.partial(execute_country_shard, self.config,
+                                         web_and_crux=(web, crux))
         dataset = LangCrUXDataset()
         outcomes: dict[str, SelectionOutcome] = {}
         vantages: dict[str, VantagePoint] = {}
-        for country in self.config.countries:
-            vantages[country] = self.vantage_for(country)
-            outcome = self.select_country(country)
-            outcomes[country] = outcome
-            for selected in outcome.selected:
-                dataset.add(self.record_from_crawl(selected.record))
+        metrics: dict[str, ShardMetrics] = {}
+        for result in backend.run_ordered(shard_fn, list(self.config.countries)):
+            shard: CountryShard = result.value
+            vantages[shard.country_code] = shard.vantage
+            outcomes[shard.country_code] = shard.outcome
+            dataset.extend(shard.records)
+            metrics[shard.country_code] = ShardMetrics(
+                shard=shard.country_code,
+                index=result.index,
+                duration_s=result.duration_s,
+                records=len(shard.records),
+            )
         return PipelineResult(dataset=dataset, crux_table=crux, web=web,
-                              selection_outcomes=outcomes, vantages=vantages)
+                              selection_outcomes=outcomes, vantages=vantages,
+                              shard_metrics=metrics, executor_name=backend.name,
+                              executor_workers=min(backend.workers,
+                                                   len(self.config.countries)))

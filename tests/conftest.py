@@ -69,6 +69,23 @@ def pipeline_result() -> PipelineResult:
 
 
 @pytest.fixture(scope="session")
+def small_pipeline_result() -> PipelineResult:
+    """The cheapest complete pipeline run: two countries, five sites each.
+
+    Tests that only need *a* built dataset — or only the Bangladesh/Thailand
+    shapes — use this instead of the four-country ``pipeline_result`` so
+    their share of the suite's wall-clock stays minimal.
+    """
+    config = PipelineConfig(
+        countries=("bd", "th"),
+        sites_per_country=5,
+        seed=11,
+        transport_failure_rate=0.05,
+    )
+    return LangCrUXPipeline(config).run()
+
+
+@pytest.fixture(scope="session")
 def small_dataset(pipeline_result: PipelineResult) -> LangCrUXDataset:
     return pipeline_result.dataset
 

@@ -37,6 +37,28 @@ class TestBuild:
         assert "wrote 2 site records" in captured
         assert "il: selected 2/2" in captured
 
+    def test_build_with_workers_matches_sequential_bytes(self, built_dataset_path: Path,
+                                                         tmp_path: Path, capsys) -> None:
+        path = tmp_path / "parallel.jsonl"
+        exit_code = main([
+            "build", "--output", str(path), "--sites-per-country", "5",
+            "--countries", "bd", "th", "--seed", "17", "--workers", "4",
+        ])
+        assert exit_code == 0
+        assert path.read_bytes() == built_dataset_path.read_bytes()
+        assert "shard wall-clock" in capsys.readouterr().out
+
+    def test_build_rejects_unknown_executor(self, tmp_path: Path) -> None:
+        with pytest.raises(SystemExit):
+            main(["build", "--output", str(tmp_path / "x.jsonl"),
+                  "--executor", "fibers"])
+
+    def test_build_rejects_non_positive_workers(self, tmp_path: Path) -> None:
+        for workers in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                main(["build", "--output", str(tmp_path / "x.jsonl"),
+                      "--workers", workers])
+
 
 class TestAnalyze:
     def test_analyze_prints_table(self, built_dataset_path: Path, capsys) -> None:

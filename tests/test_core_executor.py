@@ -1,0 +1,303 @@
+"""Tests for the parallel execution subsystem (repro.core.executor).
+
+The load-bearing guarantee is *determinism*: a parallel ``run()`` must
+serialize to JSONL byte-for-byte identically to a sequential run for the
+same :class:`~repro.core.pipeline.PipelineConfig`.  The remaining tests pin
+the failure contract (first shard exception aborts the run), worker-count
+edge cases, and the shard-isolation fix (per-shard audit engines, stateless
+``AuditEngine``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.audit.engine import AuditEngine
+from repro.core import pipeline as pipeline_module
+from repro.core.executor import (
+    DEFAULT_QUEUE_SIZE,
+    EXECUTOR_KINDS,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardMetrics,
+    ShardResult,
+    ThreadedExecutor,
+    create_executor,
+)
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+
+
+PARITY_CONFIG = dict(countries=("bd", "th", "jp", "il"), sites_per_country=5,
+                     seed=23, transport_failure_rate=0.05)
+
+
+def _dataset_bytes(result, tmp_path, name: str) -> bytes:
+    path = tmp_path / name
+    result.dataset.save_jsonl(path)
+    return path.read_bytes()
+
+
+class TestParallelParity:
+    def test_four_worker_thread_run_is_byte_identical(self, tmp_path) -> None:
+        sequential = LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG)).run()
+        parallel = LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG, workers=4,
+                                                   executor="thread")).run()
+        assert _dataset_bytes(sequential, tmp_path, "seq.jsonl") == \
+            _dataset_bytes(parallel, tmp_path, "par.jsonl")
+        assert sequential.qualifying_site_counts() == parallel.qualifying_site_counts()
+        assert sequential.vantages == parallel.vantages
+
+    def test_process_backend_is_byte_identical(self, tmp_path) -> None:
+        config = dict(countries=("bd", "jp"), sites_per_country=4, seed=5,
+                      transport_failure_rate=0.0)
+        sequential = LangCrUXPipeline(PipelineConfig(**config)).run()
+        parallel = LangCrUXPipeline(PipelineConfig(**config, workers=2,
+                                                   executor="process")).run()
+        assert _dataset_bytes(sequential, tmp_path, "seq.jsonl") == \
+            _dataset_bytes(parallel, tmp_path, "proc.jsonl")
+
+    def test_parallel_run_populates_shard_metrics(self) -> None:
+        result = LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG, workers=4,
+                                                 executor="thread")).run()
+        assert set(result.shard_metrics) == set(PARITY_CONFIG["countries"])
+        for country, metric in result.shard_metrics.items():
+            assert isinstance(metric, ShardMetrics)
+            assert metric.shard == country
+            assert metric.duration_s > 0.0
+            assert metric.records == 5
+            assert metric.records_per_second > 0.0
+        assert result.total_shard_seconds() == pytest.approx(
+            sum(m.duration_s for m in result.shard_metrics.values()))
+
+
+class TestWorkerCountEdges:
+    def test_zero_workers_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            create_executor("thread", 0)
+        with pytest.raises(ValueError):
+            create_executor("auto", 0)
+        with pytest.raises(ValueError):
+            ThreadedExecutor(0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(-1)
+
+    def test_single_worker_thread_backend_matches_serial(self, tmp_path) -> None:
+        config = dict(countries=("il",), sites_per_country=3, seed=3,
+                      transport_failure_rate=0.0)
+        sequential = LangCrUXPipeline(PipelineConfig(**config)).run()
+        one_worker = LangCrUXPipeline(PipelineConfig(**config, workers=1,
+                                                     executor="thread")).run()
+        assert _dataset_bytes(sequential, tmp_path, "a.jsonl") == \
+            _dataset_bytes(one_worker, tmp_path, "b.jsonl")
+
+    def test_more_workers_than_countries_is_clamped_and_identical(self, tmp_path) -> None:
+        config = dict(countries=("bd", "th"), sites_per_country=3, seed=9,
+                      transport_failure_rate=0.02)
+        sequential = LangCrUXPipeline(PipelineConfig(**config)).run()
+        oversubscribed = LangCrUXPipeline(PipelineConfig(**config, workers=16,
+                                                         executor="thread")).run()
+        assert _dataset_bytes(sequential, tmp_path, "a.jsonl") == \
+            _dataset_bytes(oversubscribed, tmp_path, "b.jsonl")
+
+    def test_empty_shard_list_yields_nothing(self) -> None:
+        for executor in (SerialExecutor(), ThreadedExecutor(4)):
+            assert list(executor.run(lambda shard: shard, [])) == []
+
+
+def _explode_in_worker(shard: str) -> str:
+    """Module-level so the process backend can pickle it into a worker."""
+    raise ValueError(f"worker cannot handle {shard}")
+
+
+class TestFailurePropagation:
+    def test_process_backend_error_names_the_shard(self) -> None:
+        # Both shards fail; whichever completes first must be named.
+        with pytest.raises(ExecutorError, match="worker cannot handle (bd|th)") as excinfo:
+            list(ProcessExecutor(2).run(_explode_in_worker, ["bd", "th"]))
+        assert excinfo.value.shard in ("bd", "th")
+        assert f"shard {excinfo.value.shard!r} failed" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_threaded_base_exception_does_not_hang(self) -> None:
+        def bail(shard: int) -> int:
+            raise SystemExit(3)
+
+        started = time.perf_counter()
+        with pytest.raises(SystemExit):
+            list(ThreadedExecutor(2).run(bail, [0, 1]))
+        assert time.perf_counter() - started < 10.0
+
+    @pytest.mark.parametrize("executor", [SerialExecutor(), ThreadedExecutor(3)],
+                             ids=["serial", "thread"])
+    def test_shard_exception_becomes_executor_error(self, executor) -> None:
+        def explode(shard: int) -> int:
+            if shard == 2:
+                raise RuntimeError("boom in shard 2")
+            return shard
+
+        with pytest.raises(ExecutorError, match="boom in shard 2"):
+            list(executor.run(explode, [0, 1, 2, 3]))
+
+    def test_executor_error_chains_original_and_names_shard(self) -> None:
+        def explode(shard: str) -> str:
+            raise KeyError(shard)
+
+        with pytest.raises(ExecutorError) as excinfo:
+            list(SerialExecutor().run(explode, ["zz"]))
+        assert isinstance(excinfo.value.__cause__, KeyError)
+        assert excinfo.value.shard == "zz"
+
+    def test_threaded_failure_does_not_hang_with_full_queue(self) -> None:
+        # Slow successes saturate the bounded queue while one shard fails;
+        # the run must still abort promptly instead of deadlocking workers
+        # blocked on queue.put().
+        def job(shard: int) -> int:
+            if shard == 0:
+                raise ValueError("first shard fails")
+            time.sleep(0.01)
+            return shard
+
+        executor = ThreadedExecutor(4, queue_size=1)
+        started = time.perf_counter()
+        with pytest.raises(ExecutorError):
+            list(executor.run(job, list(range(12))))
+        assert time.perf_counter() - started < 10.0
+
+    def test_pipeline_run_propagates_shard_failure(self, monkeypatch) -> None:
+        def broken_shard(config, country_code, web_and_crux=None):
+            raise RuntimeError(f"cannot crawl {country_code}")
+
+        monkeypatch.setattr(pipeline_module, "execute_country_shard", broken_shard)
+        pipeline = LangCrUXPipeline(PipelineConfig(countries=("bd", "th"),
+                                                   sites_per_country=2, workers=2,
+                                                   executor="thread"))
+        with pytest.raises(ExecutorError, match="cannot crawl"):
+            pipeline.run()
+
+
+class TestStreamingAndOrdering:
+    def test_run_ordered_restores_submission_order(self) -> None:
+        # Reverse-sorted sleep times force out-of-order completion.
+        delays = [0.05, 0.03, 0.01]
+
+        def job(shard: int) -> int:
+            time.sleep(delays[shard])
+            return shard * 10
+
+        results = list(ThreadedExecutor(3).run_ordered(job, [0, 1, 2]))
+        assert [r.index for r in results] == [0, 1, 2]
+        assert [r.value for r in results] == [0, 10, 20]
+
+    def test_results_stream_before_all_shards_finish(self) -> None:
+        release = threading.Event()
+
+        def job(shard: int) -> int:
+            if shard == 1:
+                release.wait(timeout=5.0)
+            return shard
+
+        executor = ThreadedExecutor(2)
+        stream = executor.run(job, [0, 1])
+        first = next(stream)  # must arrive while shard 1 is still blocked
+        assert first.value == 0
+        release.set()
+        assert next(stream).value == 1
+
+    def test_bounded_queue_backpressures_workers(self) -> None:
+        # With queue_size=1 and a consumer that never reads ahead, at most
+        # queue_size + workers shards may have started at any point.
+        started: list[int] = []
+        lock = threading.Lock()
+
+        def job(shard: int) -> int:
+            with lock:
+                started.append(shard)
+            return shard
+
+        executor = ThreadedExecutor(2, queue_size=1)
+        stream = executor.run(job, list(range(10)))
+        next(stream)
+        time.sleep(0.05)  # give eager workers a chance to overrun (they must not)
+        with lock:
+            in_flight = len(started)
+        # 1 consumed + 1 queued + 2 blocked in put() is the ceiling.
+        assert in_flight <= 1 + executor.queue_size + executor.workers
+        list(stream)  # drain cleanly
+
+    def test_serial_executor_reports_durations(self) -> None:
+        results = list(SerialExecutor().run(lambda shard: shard, ["a", "b"]))
+        assert [type(r) for r in results] == [ShardResult, ShardResult]
+        assert all(r.duration_s >= 0.0 for r in results)
+
+
+class TestCreateExecutor:
+    def test_auto_is_serial_for_one_worker(self) -> None:
+        assert isinstance(create_executor("auto", 1), SerialExecutor)
+
+    def test_auto_is_threaded_for_many_workers(self) -> None:
+        executor = create_executor("auto", 4)
+        assert isinstance(executor, ThreadedExecutor)
+        assert executor.workers == 4
+
+    def test_explicit_kinds(self) -> None:
+        assert isinstance(create_executor("serial", 1), SerialExecutor)
+        assert isinstance(create_executor("thread", 2), ThreadedExecutor)
+        assert isinstance(create_executor("process", 2), ProcessExecutor)
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            create_executor("fibers", 2)
+
+    def test_kinds_constant_covers_factory(self) -> None:
+        assert set(EXECUTOR_KINDS) == {"auto", "serial", "thread", "process"}
+        for kind in EXECUTOR_KINDS:
+            assert create_executor(kind, 2).workers >= 1
+
+    def test_queue_size_validation(self) -> None:
+        with pytest.raises(ValueError):
+            ThreadedExecutor(2, queue_size=0)
+        assert ThreadedExecutor(2).queue_size == DEFAULT_QUEUE_SIZE
+
+
+class TestShardIsolation:
+    """Regression tests for the shared audit-engine hazard."""
+
+    def test_audit_engine_is_stateless_across_documents(self, sample_document) -> None:
+        # Auditing A, then B, then A again must give identical results for A:
+        # rules carry no state between evaluations, so interleaved audits
+        # from concurrent shards cannot contaminate each other.
+        engine = AuditEngine()
+        first = engine.audit_document(sample_document)
+        other = engine.audit_html("<html><body><img src='x.png'></body></html>",
+                                  url="https://other.example/")
+        second = engine.audit_document(sample_document)
+        assert set(first.results) == set(second.results)
+        for rule_id, result in first.results.items():
+            again = second.results[rule_id]
+            assert (result.applicable, result.passed, result.score) == \
+                (again.applicable, again.passed, again.score)
+        assert other.url == "https://other.example/"
+
+    def test_each_shard_constructs_its_own_audit_engine(self, monkeypatch) -> None:
+        constructed: list[int] = []
+        original_init = AuditEngine.__init__
+
+        def counting_init(self, *args, **kwargs):
+            constructed.append(1)
+            original_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(AuditEngine, "__init__", counting_init)
+        config = PipelineConfig(countries=("bd", "th"), sites_per_country=2,
+                                seed=4, transport_failure_rate=0.0)
+        LangCrUXPipeline(config).run()
+        # One engine per country shard, never a single shared instance.
+        assert len(constructed) >= len(config.countries)
+
+    def test_pipeline_holds_no_shared_mutable_stage_state(self) -> None:
+        pipeline = LangCrUXPipeline(PipelineConfig(countries=("bd",)))
+        assert not hasattr(pipeline, "_audit_engine")
+        assert not hasattr(pipeline, "_vpn")

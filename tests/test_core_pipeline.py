@@ -1,7 +1,9 @@
 """Tests for the end-to-end pipeline (repro.core.pipeline).
 
-These use the session-scoped ``pipeline_result`` fixture (four countries,
-twelve sites each) so the expensive build happens once.
+These use the session-scoped ``small_pipeline_result`` fixture (two
+countries, five sites each) so the expensive build happens once and stays
+as cheap as possible; only determinism/ablation tests run their own
+pipelines.
 """
 
 from __future__ import annotations
@@ -31,47 +33,53 @@ class TestPipelineConfig:
 
 
 class TestPipelineRun:
-    def test_selection_quota_filled(self, pipeline_result) -> None:
-        for country, outcome in pipeline_result.selection_outcomes.items():
+    def test_selection_quota_filled(self, small_pipeline_result) -> None:
+        for country, outcome in small_pipeline_result.selection_outcomes.items():
             assert outcome.filled, f"{country} quota not filled"
-            assert len(outcome.selected) == 12
+            assert len(outcome.selected) == 5
 
-    def test_dataset_covers_configured_countries(self, pipeline_result) -> None:
-        dataset = pipeline_result.dataset
-        assert set(dataset.countries()) == {"bd", "th", "jp", "il"}
-        assert len(dataset) == 4 * 12
+    def test_dataset_covers_configured_countries(self, small_pipeline_result) -> None:
+        dataset = small_pipeline_result.dataset
+        assert set(dataset.countries()) == {"bd", "th"}
+        assert len(dataset) == 2 * 5
 
-    def test_every_record_meets_language_threshold(self, pipeline_result) -> None:
-        for record in pipeline_result.dataset:
+    def test_every_record_meets_language_threshold(self, small_pipeline_result) -> None:
+        for record in small_pipeline_result.dataset:
             assert record.visible_native_share >= 0.5
 
-    def test_records_carry_audit_results(self, pipeline_result) -> None:
-        for record in pipeline_result.dataset:
+    def test_records_carry_audit_results(self, small_pipeline_result) -> None:
+        for record in small_pipeline_result.dataset:
             assert record.audit
             assert set(record.audit) <= set(ELEMENT_IDS)
 
-    def test_records_have_element_observations(self, pipeline_result) -> None:
-        for record in pipeline_result.dataset:
+    def test_records_have_element_observations(self, small_pipeline_result) -> None:
+        for record in small_pipeline_result.dataset:
             assert record.element("image-alt").total > 0
             assert record.element("link-name").total > 0
 
-    def test_served_variant_is_localized_with_vpn(self, pipeline_result) -> None:
-        variants = {record.served_variant for record in pipeline_result.dataset}
+    def test_served_variant_is_localized_with_vpn(self, small_pipeline_result) -> None:
+        variants = {record.served_variant for record in small_pipeline_result.dataset}
         assert variants == {"localized"}
 
-    def test_crux_table_and_web_exposed(self, pipeline_result) -> None:
-        assert pipeline_result.crux_table.size() > 0
-        assert len(pipeline_result.web) >= pipeline_result.crux_table.size()
+    def test_crux_table_and_web_exposed(self, small_pipeline_result) -> None:
+        assert small_pipeline_result.crux_table.size() > 0
+        assert len(small_pipeline_result.web) >= small_pipeline_result.crux_table.size()
 
-    def test_qualifying_site_counts(self, pipeline_result) -> None:
-        counts = pipeline_result.qualifying_site_counts()
-        assert all(count == 12 for count in counts.values())
+    def test_qualifying_site_counts(self, small_pipeline_result) -> None:
+        counts = small_pipeline_result.qualifying_site_counts()
+        assert all(count == 5 for count in counts.values())
 
-    def test_dataset_round_trips_through_jsonl(self, pipeline_result, tmp_path) -> None:
+    def test_shard_metrics_cover_every_country(self, small_pipeline_result) -> None:
+        metrics = small_pipeline_result.shard_metrics
+        assert set(metrics) == {"bd", "th"}
+        assert all(metric.records == 5 for metric in metrics.values())
+        assert small_pipeline_result.total_shard_seconds() > 0.0
+
+    def test_dataset_round_trips_through_jsonl(self, small_pipeline_result, tmp_path) -> None:
         path = tmp_path / "langcrux.jsonl"
-        pipeline_result.dataset.save_jsonl(path)
+        small_pipeline_result.dataset.save_jsonl(path)
         reloaded = LangCrUXDataset.load_jsonl(path)
-        assert len(reloaded) == len(pipeline_result.dataset)
+        assert len(reloaded) == len(small_pipeline_result.dataset)
 
 
 class TestPipelineDeterminism:

@@ -3,6 +3,10 @@ on a dataset built entirely through the public pipeline.
 
 These are the "shape" assertions of DESIGN.md: not exact numbers (the web is
 synthetic) but the orderings and thresholds the paper reports.
+
+Shapes that only involve Bangladesh and Thailand run on the two-country
+``small_pipeline_result`` fixture; cross-country comparisons that need
+Japan/Israel stay on the four-country ``small_dataset``.
 """
 
 from __future__ import annotations
@@ -43,9 +47,9 @@ class TestTable2Shape:
 
 
 class TestLanguageDistributionShape:
-    def test_bangladesh_relies_on_english(self, small_dataset) -> None:
+    def test_bangladesh_relies_on_english(self, small_pipeline_result) -> None:
         texts: list[str] = []
-        for record in small_dataset.for_country("bd"):
+        for record in small_pipeline_result.dataset.for_country("bd"):
             texts.extend(record.informative_texts())
         mix = classify_texts(texts, "bn").proportions()
         assert mix["english"] > 0.6
@@ -62,9 +66,9 @@ class TestLanguageDistributionShape:
         assert native_share("jp", "ja") > bd
         assert native_share("il", "he") > bd
 
-    def test_thailand_has_substantial_mixed_language_hints(self, small_dataset) -> None:
+    def test_thailand_has_substantial_mixed_language_hints(self, small_pipeline_result) -> None:
         texts: list[str] = []
-        for record in small_dataset.for_country("th"):
+        for record in small_pipeline_result.dataset.for_country("th"):
             texts.extend(record.informative_texts())
         mix = classify_texts(texts, "th").proportions()
         assert mix["mixed"] > 0.15
@@ -85,22 +89,22 @@ class TestMismatchShape:
 
 
 class TestFilteringShape:
-    def test_single_word_is_a_dominant_discard_reason(self, small_dataset) -> None:
-        breakdown = filter_breakdown_by_country(small_dataset)
+    def test_single_word_is_a_dominant_discard_reason(self, small_pipeline_result) -> None:
+        breakdown = filter_breakdown_by_country(small_pipeline_result.dataset)
         for country in ("th", "bd"):
             categories = breakdown[country]
             assert categories, country
             top = max(categories, key=categories.get)
             assert top in (DiscardCategory.SINGLE_WORD, DiscardCategory.GENERIC_ACTION)
 
-    def test_thailand_discards_more_than_bangladesh(self, small_dataset) -> None:
-        rates = uninformative_rate_by_country(small_dataset)
+    def test_thailand_discards_more_than_bangladesh(self, small_pipeline_result) -> None:
+        rates = uninformative_rate_by_country(small_pipeline_result.dataset)
         assert rates["th"] > rates["bd"]
 
 
 class TestKizukiShape:
-    def test_scores_drop_after_language_aware_check(self, small_dataset) -> None:
-        summary = rescore_dataset(small_dataset, ("bd", "th"))
+    def test_scores_drop_after_language_aware_check(self, small_pipeline_result) -> None:
+        summary = rescore_dataset(small_pipeline_result.dataset, ("bd", "th"))
         assert summary.sites > 0
         assert summary.fraction_above(90, new=True) <= summary.fraction_above(90, new=False)
         assert summary.fraction_perfect(new=True) <= summary.fraction_perfect(new=False)
