@@ -78,6 +78,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="execution backend: 'auto' picks serial for one worker "
                             "and a thread pool otherwise; 'process' uses a process "
                             "pool for CPU-bound scaling (default: auto)")
+    build.add_argument("--max-in-flight", type=_positive_int, default=1,
+                       help="concurrent candidate fetches per country shard via the "
+                            "async batched fetch layer; any value produces "
+                            "byte-identical output (default: 1)")
+    build.add_argument("--stream-output", type=Path, default=None,
+                       help="stream records to this JSONL as shards finish instead "
+                            "of writing --output after the run; the file is "
+                            "committed atomically and is byte-identical to the "
+                            "in-memory write")
 
     analyze = subparsers.add_parser("analyze", help="print Table 2 style statistics")
     analyze.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
@@ -115,10 +124,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
         use_vpn=not args.no_vpn,
         workers=args.workers,
         executor=args.executor,
+        max_in_flight=args.max_in_flight,
     )
-    result = LangCrUXPipeline(config).run()
-    count = result.dataset.save_jsonl(args.output)
-    print(f"wrote {count} site records to {args.output}")
+    if args.stream_output is not None:
+        # Streaming builds don't retain records in memory: the streamed file
+        # is the dataset, and the analysis subcommands load from disk anyway.
+        result = LangCrUXPipeline(config).run(stream_to=args.stream_output,
+                                              keep_in_memory=False)
+        print(f"streamed {result.streamed_records} site records to {args.stream_output}")
+    else:
+        result = LangCrUXPipeline(config).run()
+        count = result.dataset.save_jsonl(args.output)
+        print(f"wrote {count} site records to {args.output}")
     for country, outcome in sorted(result.selection_outcomes.items()):
         print(f"  {country}: selected {len(outcome.selected)}/{outcome.quota}"
               f" (replaced {outcome.replacement_count}, examined {outcome.candidates_examined})")

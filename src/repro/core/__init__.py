@@ -25,7 +25,12 @@ Modules:
   the per-country shards, with deterministic ordered merging.
 """
 
-from repro.core.dataset import LangCrUXDataset, SiteRecord, ElementObservation
+from repro.core.dataset import (
+    LangCrUXDataset,
+    SiteRecord,
+    ElementObservation,
+    StreamingDatasetWriter,
+)
 from repro.core.executor import (
     PipelineExecutor,
     ProcessExecutor,
@@ -40,6 +45,7 @@ __all__ = [
     "LangCrUXDataset",
     "SiteRecord",
     "ElementObservation",
+    "StreamingDatasetWriter",
     "Kizuki",
     "KizukiConfig",
     "KizukiImageAltRule",

@@ -12,14 +12,21 @@ one per website, carrying everything the paper's analyses consume:
 
 Records serialize to JSON Lines so a dataset built once (the expensive crawl
 step) can be re-analysed many times, mirroring how the paper releases
-LangCrUX as a standalone artifact.
+LangCrUX as a standalone artifact.  Persistence is crash-safe throughout:
+:class:`StreamingDatasetWriter` appends records incrementally to a partial
+file and commits it atomically, and :meth:`LangCrUXDataset.save_jsonl` is a
+one-shot convenience over the same writer, so a crashed run can never leave
+a truncated dataset under the final path.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from types import TracebackType
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.elements import ELEMENT_IDS
@@ -219,22 +226,126 @@ class LangCrUXDataset:
     # -- persistence -----------------------------------------------------------------
 
     def save_jsonl(self, path: str | Path) -> int:
-        """Write the dataset as JSON Lines; returns the number of records."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            for record in self._records:
-                handle.write(json.dumps(record.to_dict(), ensure_ascii=False))
-                handle.write("\n")
+        """Write the dataset as JSON Lines; returns the number of records.
+
+        The write is atomic: records go to a partial file in the same
+        directory which is renamed over ``path`` only once every record is
+        out, so readers see either the previous complete file or the new
+        complete file — never a truncation.
+        """
+        with StreamingDatasetWriter(path) as writer:
+            writer.write_many(self._records)
         return len(self._records)
 
     @classmethod
-    def load_jsonl(cls, path: str | Path) -> "LangCrUXDataset":
-        """Load a dataset previously written by :meth:`save_jsonl`."""
+    def load_jsonl(cls, path: str | Path, *, skip_corrupt: bool = False) -> "LangCrUXDataset":
+        """Load a dataset previously written by :meth:`save_jsonl`.
+
+        Args:
+            path: The JSONL file to read.
+            skip_corrupt: Skip lines that are not valid JSON instead of
+                raising.  Use this to salvage the intact prefix of a partial
+                file left behind by a crashed streaming run (only its last
+                line can be torn; committed datasets are always complete).
+        """
         dataset = cls()
         with Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    dataset.add(SiteRecord.from_dict(json.loads(line)))
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    if skip_corrupt:
+                        continue
+                    raise
+                dataset.add(SiteRecord.from_dict(payload))
         return dataset
+
+
+class StreamingDatasetWriter:
+    """Appends :class:`SiteRecord` JSONL to disk incrementally, committing atomically.
+
+    Records are written to a uniquely named ``.<name>.<random>.partial``
+    file next to the destination (unique per writer, so concurrent runs
+    targeting the same path cannot corrupt each other's partials — each
+    commit is complete, last commit wins); a successful :meth:`close`
+    flushes, fsyncs and atomically renames it onto the final path.  Until
+    then the destination keeps its previous content (or stays absent), so a
+    crash mid-run can never truncate a dataset — it merely leaves the
+    partial file behind, whose intact lines
+    :meth:`LangCrUXDataset.load_jsonl` can salvage with ``skip_corrupt``.
+
+    The line format is byte-identical to :meth:`LangCrUXDataset.save_jsonl`
+    (which is itself implemented on this writer), so streaming a pipeline's
+    shards as they finish produces exactly the file an in-memory run would
+    have saved afterwards.
+
+    Usable as a context manager: commits on clean exit, discards the partial
+    file when the block raises.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, partial_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=f".{self.path.name}.", suffix=".partial")
+        self.partial_path = Path(partial_name)
+        self._handle = os.fdopen(descriptor, "w", encoding="utf-8")
+        self._count = 0
+        self._closed = False
+
+    @property
+    def count(self) -> int:
+        """Records written so far."""
+        return self._count
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def write(self, record: SiteRecord) -> None:
+        """Append one record to the partial file."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        self._handle.write(json.dumps(record.to_dict(), ensure_ascii=False))
+        self._handle.write("\n")
+        self._count += 1
+
+    def write_many(self, records: Iterable[SiteRecord]) -> int:
+        """Append ``records``; returns how many were written by this call."""
+        written = 0
+        for record in records:
+            self.write(record)
+            written += 1
+        return written
+
+    def close(self) -> int:
+        """Commit the partial file onto the final path; returns the count."""
+        if self._closed:
+            return self._count
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        os.replace(self.partial_path, self.path)
+        self._closed = True
+        return self._count
+
+    def abort(self) -> None:
+        """Discard everything written; the final path is left untouched."""
+        if self._closed:
+            return
+        self._handle.close()
+        self.partial_path.unlink(missing_ok=True)
+        self._closed = True
+
+    def __enter__(self) -> "StreamingDatasetWriter":
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None, tb: TracebackType | None) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()

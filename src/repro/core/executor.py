@@ -227,9 +227,11 @@ class ThreadedExecutor(PipelineExecutor):
         )
         pending = [pool.submit(job, index, shard)
                    for index, shard in enumerate(shard_list)]
+        consumed = 0
         try:
             for _ in range(len(shard_list)):
                 index, shard, value, duration_s, error = results.get()
+                consumed += 1
                 if error is not None:
                     if not isinstance(error, Exception):
                         raise error  # KeyboardInterrupt/SystemExit: not wrapped
@@ -238,15 +240,14 @@ class ThreadedExecutor(PipelineExecutor):
                 yield ShardResult(index=index, shard=shard, value=value,
                                   duration_s=duration_s)
         finally:
-            for future in pending:
-                future.cancel()
-            # Keep draining so no worker stays blocked on a full queue, then
-            # join the pool once every non-cancelled job has settled.
-            while not all(future.done() for future in pending):
-                try:
-                    results.get_nowait()
-                except queue.Empty:
-                    time.sleep(0.005)
+            # Every job that was not cancelled before starting puts exactly
+            # one envelope (errors included), so after cancelling we know
+            # precisely how many are still owed and can block on the queue's
+            # condition variable for each — no polling, no busy-wait, and no
+            # worker left blocked on a full queue.
+            cancelled = sum(1 for future in pending if future.cancel())
+            for _ in range(len(pending) - cancelled - consumed):
+                results.get()
             pool.shutdown(wait=True)
 
 
@@ -271,8 +272,13 @@ class ProcessExecutor(PipelineExecutor):
 
     ``fn`` and the shards must be picklable (the pipeline passes a
     ``functools.partial`` over a module-level shard function).  Completed
-    futures are streamed through a bounded queue so the consumer sees
-    results as they finish rather than after a full barrier.
+    futures are streamed through a completion queue so the consumer sees
+    results as they finish rather than after a full barrier.  The queue
+    holds future *references*, not payloads — payloads live on the futures
+    either way, so bounding it would buy no memory and only risk a
+    done-callback blocking while it holds pool-internal state; it is
+    therefore unbounded (``queue_size`` is kept for signature compatibility
+    with the thread backend and validated, but has no effect here).
     """
 
     name = "process"
@@ -290,9 +296,10 @@ class ProcessExecutor(PipelineExecutor):
         shard_list = list(shards)
         if not shard_list:
             return
-        done: queue.Queue = queue.Queue(maxsize=self.queue_size)
+        done: queue.SimpleQueue = queue.SimpleQueue()
         pool = futures.ProcessPoolExecutor(max_workers=min(self.workers, len(shard_list)))
         pending: list[futures.Future] = []
+        consumed = 0
         try:
             for index, shard in enumerate(shard_list):
                 future = pool.submit(_timed_call, fn, index, shard)
@@ -300,6 +307,7 @@ class ProcessExecutor(PipelineExecutor):
                 pending.append(future)
             for _ in range(len(shard_list)):
                 future = done.get()
+                consumed += 1
                 try:
                     index, shard, value, duration_s, error = future.result()
                 except futures.CancelledError:  # pragma: no cover - abort path
@@ -314,18 +322,12 @@ class ProcessExecutor(PipelineExecutor):
         finally:
             for future in pending:
                 future.cancel()
-            # Unblock any completion callback waiting on a full queue before
-            # joining the pool.
-            while not all(future.done() for future in pending):
-                try:
-                    done.get_nowait()
-                except queue.Empty:
-                    time.sleep(0.005)
-            while True:
-                try:
-                    done.get_nowait()
-                except queue.Empty:
-                    break
+            # Every future fires its done-callback exactly once — on
+            # completion or on cancellation — so exactly len(pending)
+            # envelopes ever enter the queue; block for the ones not yet
+            # consumed instead of sleep-polling future states.
+            for _ in range(len(pending) - consumed):
+                done.get()
             pool.shutdown(wait=True)
 
 

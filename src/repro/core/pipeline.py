@@ -16,8 +16,21 @@ Stages 2–4 are independent per country, so they are expressed as *pure
 per-shard functions* (:func:`execute_country_shard` and the helpers it
 calls) that an execution backend from :mod:`repro.core.executor` dispatches
 concurrently.  Every shard constructs its own transport, crawl session and
-audit engine, and derives its RNG from ``stable_seed(seed, "transport",
-country)``, so a parallel run is byte-identical to a sequential one.
+audit engine, and each candidate origin draws its transport randomness from
+its own stream seeded by ``stable_seed(seed, "transport", country,
+domain)``, so the outcome of crawling one origin depends on nothing but the
+config — not on worker counts, batch sizes or completion interleavings.  A
+parallel and/or batched run is therefore byte-identical to a sequential
+one, and the per-candidate split is also what intra-country sharding would
+build on.
+
+Within a shard, ``PipelineConfig.max_in_flight`` controls the async batched
+fetch layer: the selection walk prefetches that many origins concurrently
+through :meth:`~repro.crawler.crawler.LangCruxCrawler.crawl_batch` while
+evaluating candidates strictly in rank order.  Across shards,
+:meth:`LangCrUXPipeline.run` can stream finished shards straight to disk
+through :class:`~repro.core.dataset.StreamingDatasetWriter` (``stream_to``),
+preserving the ordered-merge guarantee.
 
 The result object keeps the intermediate artifacts (ranking, selection
 outcomes, per-shard timing metrics) because several benchmark harnesses
@@ -30,9 +43,10 @@ from __future__ import annotations
 import functools
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.audit.engine import AuditEngine
-from repro.core.dataset import LangCrUXDataset, SiteRecord
+from repro.core.dataset import LangCrUXDataset, SiteRecord, StreamingDatasetWriter
 from repro.core.executor import (
     PipelineExecutor,
     ProcessExecutor,
@@ -79,6 +93,10 @@ class PipelineConfig:
             value produces the same dataset bytes (per-shard seeding).
         executor: Execution backend — ``"auto"`` (serial for one worker,
             threads otherwise), ``"serial"``, ``"thread"`` or ``"process"``.
+        max_in_flight: Concurrent candidate fetches inside one country shard
+            (the async batched fetch layer).  1 keeps the sequential walk;
+            any value produces the same dataset bytes (per-candidate RNG
+            splits).
     """
 
     countries: tuple[str, ...] = field(default_factory=langcrux_country_codes)
@@ -92,6 +110,7 @@ class PipelineConfig:
     respect_robots: bool = True
     workers: int = 1
     executor: str = "auto"
+    max_in_flight: int = 1
 
 
 @dataclass
@@ -106,6 +125,8 @@ class PipelineResult:
     shard_metrics: dict[str, ShardMetrics] = field(default_factory=dict)
     executor_name: str = "serial"
     executor_workers: int = 1
+    stream_path: Path | None = None
+    streamed_records: int = 0
 
     def qualifying_site_counts(self) -> dict[str, int]:
         """Selected sites per country (input to the selection-criteria check)."""
@@ -165,6 +186,11 @@ def vantage_for_country(config: PipelineConfig, country_code: str) -> VantagePoi
         return VantagePoint.cloud()
 
 
+def _host_transport_rng(seed: int, country_code: str, host: str) -> random.Random:
+    """The per-candidate transport RNG split: one stream per (country, host)."""
+    return random.Random(stable_seed(seed, "transport", country_code, host))
+
+
 def crawler_for_country(config: PipelineConfig, country_code: str,
                         web: SyntheticWeb,
                         vantage: VantagePoint | None = None) -> LangCruxCrawler:
@@ -172,12 +198,15 @@ def crawler_for_country(config: PipelineConfig, country_code: str,
 
     The transport, fetcher and session are constructed fresh per shard —
     never shared across countries — so concurrent shards cannot interleave
-    RNG draws, retry counters or robots caches.
+    retry counters or robots caches.  Transport randomness is split per
+    host (see :func:`_host_transport_rng`), so within the shard no two
+    candidates share a stream either — the precondition for the batched
+    selection walk being byte-identical to the sequential one.
     """
     transport = SimulatedTransport(
         web,
         failure_rate=config.transport_failure_rate,
-        rng=random.Random(stable_seed(config.seed, "transport", country_code)),
+        rng_factory=functools.partial(_host_transport_rng, config.seed, country_code),
     )
     fetcher = Fetcher(transport, FetcherConfig())
     if vantage is None:
@@ -201,7 +230,8 @@ def select_country_sites(config: PipelineConfig, country_code: str,
     selector = SiteSelector(crawler, pair.language.code,
                             threshold=config.language_threshold)
     outcome = selector.select(crux.iter_ranked(country_code),
-                              quota=config.sites_per_country)
+                              quota=config.sites_per_country,
+                              max_in_flight=config.max_in_flight)
     outcome.country_code = country_code
     return outcome
 
@@ -313,7 +343,9 @@ class LangCrUXPipeline:
     def _executor(self) -> PipelineExecutor:
         return create_executor(self.config.executor, self.config.workers)
 
-    def run(self, executor: PipelineExecutor | None = None) -> PipelineResult:
+    def run(self, executor: PipelineExecutor | None = None, *,
+            stream_to: str | Path | None = None,
+            keep_in_memory: bool = True) -> PipelineResult:
         """Execute the full pipeline for every configured country.
 
         Shards are dispatched on the configured executor (or an explicit
@@ -321,7 +353,26 @@ class LangCrUXPipeline:
         through a bounded queue; the reorder buffer of ``run_ordered``
         assembles the dataset in the configured country order, so the
         output is identical for every backend and worker count.
+
+        Args:
+            executor: Overrides the configured execution backend.
+            stream_to: Stream each shard's records to this JSONL path as the
+                shard completes, through an atomically-committed
+                :class:`~repro.core.dataset.StreamingDatasetWriter`.  Since
+                shards arrive already merged in submission order, the
+                streamed file is byte-identical to ``save_jsonl`` of the
+                in-memory dataset; a failed run leaves the destination
+                untouched.
+            keep_in_memory: Whether to also accumulate the records on
+                ``PipelineResult.dataset``.  Pass ``False`` (streaming runs
+                only) when the dataset is consumed from the streamed file:
+                site records are then dropped as soon as they are on disk.
+                Selection outcomes — including their crawl snapshots — are
+                still retained; trimming those too is an open ROADMAP item.
         """
+        if not keep_in_memory and stream_to is None:
+            raise ValueError("keep_in_memory=False requires stream_to: "
+                             "the records would otherwise be lost")
         web, crux = self.build_web()
         backend = executor if executor is not None else self._executor()
         # Process workers rebuild the (lazily generated) web from the config
@@ -336,19 +387,31 @@ class LangCrUXPipeline:
         outcomes: dict[str, SelectionOutcome] = {}
         vantages: dict[str, VantagePoint] = {}
         metrics: dict[str, ShardMetrics] = {}
-        for result in backend.run_ordered(shard_fn, list(self.config.countries)):
-            shard: CountryShard = result.value
-            vantages[shard.country_code] = shard.vantage
-            outcomes[shard.country_code] = shard.outcome
-            dataset.extend(shard.records)
-            metrics[shard.country_code] = ShardMetrics(
-                shard=shard.country_code,
-                index=result.index,
-                duration_s=result.duration_s,
-                records=len(shard.records),
-            )
+        writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
+        try:
+            for result in backend.run_ordered(shard_fn, list(self.config.countries)):
+                shard: CountryShard = result.value
+                vantages[shard.country_code] = shard.vantage
+                outcomes[shard.country_code] = shard.outcome
+                if keep_in_memory:
+                    dataset.extend(shard.records)
+                if writer is not None:
+                    writer.write_many(shard.records)
+                metrics[shard.country_code] = ShardMetrics(
+                    shard=shard.country_code,
+                    index=result.index,
+                    duration_s=result.duration_s,
+                    records=len(shard.records),
+                )
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
+        streamed = writer.close() if writer is not None else 0
         return PipelineResult(dataset=dataset, crux_table=crux, web=web,
                               selection_outcomes=outcomes, vantages=vantages,
                               shard_metrics=metrics, executor_name=backend.name,
                               executor_workers=min(backend.workers,
-                                                   len(self.config.countries)))
+                                                   len(self.config.countries)),
+                              stream_path=Path(stream_to) if stream_to is not None else None,
+                              streamed_records=streamed)

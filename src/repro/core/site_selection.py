@@ -14,10 +14,13 @@ builder.
 
 from __future__ import annotations
 
+import asyncio
+import itertools
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.crawler.crawler import LangCruxCrawler
+from repro.crawler.fetcher import run_coroutine
 from repro.crawler.records import CrawlRecord
 from repro.html.parser import parse_html
 from repro.html.visibility import extract_visible_text
@@ -81,27 +84,61 @@ class SiteSelector:
             return 0.0
         return self._detector.share(" ".join(texts)).native
 
-    def select(self, candidates: Iterable[CruxEntry], quota: int) -> SelectionOutcome:
+    def _consider(self, outcome: SelectionOutcome, entry: CruxEntry,
+                  record: CrawlRecord) -> None:
+        """Apply the paper's accept/replace rule to one crawled candidate."""
+        outcome.country_code = outcome.country_code or entry.country_code
+        outcome.candidates_examined += 1
+        if not record.succeeded:
+            outcome.rejected_fetch_failure += 1
+            return
+        share = self._native_share(record)
+        if share < self.threshold:
+            outcome.rejected_below_threshold += 1
+            return
+        outcome.selected.append(SelectedSite(entry=entry, record=record,
+                                             visible_native_share=share))
+
+    def select(self, candidates: Iterable[CruxEntry], quota: int, *,
+               max_in_flight: int = 1) -> SelectionOutcome:
         """Walk ``candidates`` in rank order until ``quota`` sites qualify.
 
         Candidates that fail to fetch (VPN-blocked, persistent errors) or
         fall below the language threshold are skipped and replaced by the
         next candidate, exactly the paper's replacement rule.
+
+        With ``max_in_flight > 1`` the walk prefetches candidates in batches
+        of that size, keeping up to ``max_in_flight`` origins in flight on a
+        single event loop (one loop and one async fetcher per ``select``
+        call, not per batch).  Evaluation (and therefore every counter and
+        the selected set) still happens strictly in rank order: results
+        crawled beyond the point where the quota fills are discarded
+        uncounted, so the outcome is identical to the sequential walk.
         """
         outcome = SelectionOutcome(country_code="", quota=quota)
-        for entry in candidates:
-            if outcome.filled:
-                break
-            outcome.country_code = outcome.country_code or entry.country_code
-            outcome.candidates_examined += 1
-            record = self.crawler.crawl_origin(entry, self.language_code)
-            if not record.succeeded:
-                outcome.rejected_fetch_failure += 1
-                continue
-            share = self._native_share(record)
-            if share < self.threshold:
-                outcome.rejected_below_threshold += 1
-                continue
-            outcome.selected.append(SelectedSite(entry=entry, record=record,
-                                                 visible_native_share=share))
+        if max_in_flight <= 1:
+            for entry in candidates:
+                if outcome.filled:
+                    break
+                self._consider(outcome, entry,
+                               self.crawler.crawl_origin(entry, self.language_code))
+            return outcome
+        run_coroutine(self._select_batched(iter(candidates), outcome, max_in_flight))
         return outcome
+
+    async def _select_batched(self, iterator: Iterator[CruxEntry],
+                              outcome: SelectionOutcome, max_in_flight: int) -> None:
+        """The batched walk: crawl ``max_in_flight`` candidates concurrently,
+        evaluate them in rank order, repeat until the quota fills."""
+        fetcher = self.crawler.session.async_fetcher()
+        while not outcome.filled:
+            batch = list(itertools.islice(iterator, max_in_flight))
+            if not batch:
+                break
+            records = await asyncio.gather(
+                *(self.crawler.crawl_origin_async(entry, self.language_code, fetcher)
+                  for entry in batch))
+            for entry, record in zip(batch, records):
+                if outcome.filled:
+                    break
+                self._consider(outcome, entry, record)

@@ -10,9 +10,10 @@ that methodology against the synthetic web:
 * :mod:`repro.crawler.robots` — robots.txt parsing and politeness decisions.
 * :mod:`repro.crawler.frontier` — a deduplicating URL frontier with per-host
   politeness delays.
-* :mod:`repro.crawler.fetcher` — the transport abstraction plus the
-  simulated transport over :class:`repro.webgen.server.SyntheticWeb`,
-  retries and redirect handling.
+* :mod:`repro.crawler.fetcher` — the transport abstraction (sync and async)
+  plus the simulated transport over
+  :class:`repro.webgen.server.SyntheticWeb`, retries, redirect handling and
+  batched concurrent fetching.
 * :mod:`repro.crawler.session` — a crawl session bound to a country vantage.
 * :mod:`repro.crawler.records` — crawl records (page snapshots) and JSONL IO.
 * :mod:`repro.crawler.crawler` — the LangCrUX crawler tying it all together.
@@ -20,7 +21,15 @@ that methodology against the synthetic web:
 
 from repro.crawler.http import URL, Request, Response, Headers
 from repro.crawler.vpn import VantagePoint, VPNProvider, VPNManager, DEFAULT_PROVIDERS
-from repro.crawler.fetcher import Fetcher, FetchError, SimulatedTransport, Transport
+from repro.crawler.fetcher import (
+    AsyncFetcher,
+    AsyncTransport,
+    Fetcher,
+    FetchError,
+    SimulatedTransport,
+    SyncTransportAdapter,
+    Transport,
+)
 from repro.crawler.frontier import Frontier, FrontierEntry
 from repro.crawler.records import PageSnapshot, CrawlRecord, write_records_jsonl, read_records_jsonl
 from repro.crawler.crawler import LangCruxCrawler, CrawlerConfig
@@ -34,9 +43,12 @@ __all__ = [
     "VPNProvider",
     "VPNManager",
     "DEFAULT_PROVIDERS",
+    "AsyncFetcher",
+    "AsyncTransport",
     "Fetcher",
     "FetchError",
     "SimulatedTransport",
+    "SyncTransportAdapter",
     "Transport",
     "Frontier",
     "FrontierEntry",

@@ -11,13 +11,31 @@ via :class:`FetchError`.  The transport itself is a tiny protocol —
   failures so the retry path is genuinely exercised);
 * anything else a downstream user plugs in (a real HTTP client would slot in
   here without changes elsewhere).
+
+A second, asynchronous stack lives alongside the blocking one:
+
+* :class:`AsyncTransport` — the ``async`` twin of :class:`Transport`;
+* :class:`SyncTransportAdapter` — lifts any blocking transport (including
+  :class:`SimulatedTransport`, unchanged) into the async protocol, optionally
+  offloading genuinely blocking ``send`` calls to worker threads;
+* :class:`AsyncFetcher` — the same retry/redirect policy as
+  :class:`Fetcher`, plus :meth:`AsyncFetcher.fetch_many`, which keeps up to
+  ``max_in_flight`` requests in flight and returns responses in input order.
+
+Determinism across interleavings comes from *per-host* RNG splitting: when
+:class:`SimulatedTransport` is given an ``rng_factory``, every host draws its
+latency and failure-injection randomness from its own stream, so the outcome
+of fetching one origin no longer depends on which other origins were fetched
+before (or concurrently with) it.
 """
 
 from __future__ import annotations
 
+import asyncio
 import random
+import threading
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Awaitable, Callable, Iterable, Protocol, Sequence
 
 from repro.crawler.http import Headers, Request, Response, RETRYABLE_STATUS_CODES, URL
 from repro.webgen.server import SyntheticWeb
@@ -47,21 +65,49 @@ class SimulatedTransport:
         failure_rate: Probability that a request fails transiently with a 503
             before reaching the origin, exercising the fetcher's retry logic.
         latency_ms: Base simulated latency recorded on responses.
-        rng: Random source for failure injection (seed for determinism).
+        rng: Shared random source for failure injection (seed for
+            determinism).  With a shared RNG the outcome of a request depends
+            on how many requests preceded it, so only strictly sequential
+            fetch orders are reproducible.
+        rng_factory: Per-host RNG splitter — called once per host, the
+            returned generator feeds every draw for that host's requests.
+            This makes each origin's fetch outcome independent of the
+            interleaving with other origins, which is what lets batched
+            (async) and sequential crawls produce identical records.  Takes
+            precedence over ``rng``.
     """
 
     def __init__(self, web: SyntheticWeb, *, failure_rate: float = 0.0,
-                 latency_ms: float = 120.0, rng: random.Random | None = None) -> None:
+                 latency_ms: float = 120.0, rng: random.Random | None = None,
+                 rng_factory: Callable[[str], random.Random] | None = None) -> None:
         self.web = web
         self.failure_rate = failure_rate
         self.latency_ms = latency_ms
         self._rng = rng or random.Random(0)
+        self._rng_factory = rng_factory
+        self._host_rngs: dict[str, random.Random] = {}
+        self._lock = threading.Lock()
         self.requests_sent = 0
 
+    def _rng_for(self, host: str) -> random.Random:
+        if self._rng_factory is None:
+            return self._rng
+        rng = self._host_rngs.get(host)
+        if rng is None:
+            rng = self._host_rngs[host] = self._rng_factory(host)
+        return rng
+
     def send(self, request: Request) -> Response:
-        self.requests_sent += 1
-        elapsed = self.latency_ms * self._rng.uniform(0.5, 2.0)
-        if self.failure_rate and self._rng.random() < self.failure_rate:
+        # The lock keeps the counter and each host's draw sequence coherent
+        # when a blocking adapter dispatches sends from worker threads; draws
+        # for one request are atomic, and per-host streams make the ordering
+        # across hosts irrelevant.
+        with self._lock:
+            self.requests_sent += 1
+            rng = self._rng_for(request.url.host)
+            elapsed = self.latency_ms * rng.uniform(0.5, 2.0)
+            failed = bool(self.failure_rate) and rng.random() < self.failure_rate
+        if failed:
             return Response(url=request.url, status=503, headers=Headers({"retry-after": "1"}),
                             body="transient upstream error", elapsed_ms=elapsed)
         origin_response = self.web.request(
@@ -149,3 +195,141 @@ class Fetcher:
         if not response.ok:
             self.stats["failures"] += 1
         return response
+
+
+# -- asynchronous stack -------------------------------------------------------------
+
+
+class AsyncTransport(Protocol):
+    """Asynchronous twin of :class:`Transport`."""
+
+    async def send(self, request: Request) -> Response:  # pragma: no cover - protocol
+        ...
+
+
+class SyncTransportAdapter:
+    """Lifts a blocking :class:`Transport` into the :class:`AsyncTransport` protocol.
+
+    Args:
+        transport: The blocking transport to adapt.
+        blocking: Whether ``transport.send`` genuinely blocks the calling
+            thread.  ``False`` (the default) runs it inline on the event
+            loop, which is correct for :class:`SimulatedTransport` — its
+            latency is virtual, recorded on the response rather than slept.
+            ``True`` offloads each send to a worker thread via
+            :func:`asyncio.to_thread`, so a transport that really sleeps or
+            does socket I/O overlaps across in-flight requests.
+    """
+
+    def __init__(self, transport: Transport, *, blocking: bool = False) -> None:
+        self.transport = transport
+        self.blocking = blocking
+
+    async def send(self, request: Request) -> Response:
+        if self.blocking:
+            return await asyncio.to_thread(self.transport.send, request)
+        return self.transport.send(request)
+
+
+class AsyncFetcher:
+    """Asynchronous counterpart of :class:`Fetcher`.
+
+    Applies the identical retry/redirect policy (the two implementations are
+    deliberate mirrors; behavioural changes must land in both), and adds
+    :meth:`fetch_many` for issuing a bounded number of concurrent requests.
+
+    Args:
+        transport: The async transport to send through.
+        config: Retry/redirect policy (shared with the sync fetcher).
+        stats: Optional stats dict to update in place — pass a
+            :class:`Fetcher`'s ``stats`` so sequential and batched fetches
+            aggregate into one set of counters.
+    """
+
+    def __init__(self, transport: AsyncTransport, config: FetcherConfig | None = None,
+                 *, stats: dict[str, int] | None = None) -> None:
+        self.transport = transport
+        self.config = config or FetcherConfig()
+        self.stats = stats if stats is not None else {
+            "requests": 0, "retries": 0, "redirects": 0, "failures": 0}
+
+    async def _send_once(self, request: Request) -> Response:
+        self.stats["requests"] += 1
+        headers = Headers(request.headers.as_dict())
+        headers["user-agent"] = self.config.user_agent
+        return await self.transport.send(Request(url=request.url, method=request.method,
+                                                 headers=headers,
+                                                 client_country=request.client_country,
+                                                 via_vpn=request.via_vpn))
+
+    async def _send_with_retries(self, request: Request) -> Response:
+        response = await self._send_once(request)
+        attempts = 0
+        while response.status in RETRYABLE_STATUS_CODES and attempts < self.config.max_retries:
+            attempts += 1
+            self.stats["retries"] += 1
+            response = await self._send_once(request)
+        return response
+
+    async def fetch(self, url: URL | str, *, client_country: str | None = None,
+                    via_vpn: bool = False) -> Response:
+        """Async variant of :meth:`Fetcher.fetch` (same contract).
+
+        Raises:
+            FetchError: When a redirect loop/chain exceeds the hop limit or a
+                redirect has no usable target.
+        """
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        request = Request(url=parsed, client_country=client_country, via_vpn=via_vpn)
+        response = await self._send_with_retries(request)
+        hops = 0
+        while response.is_redirect:
+            hops += 1
+            if hops > self.config.max_redirects:
+                self.stats["failures"] += 1
+                raise FetchError(f"too many redirects fetching {parsed}", url=parsed,
+                                 status=response.status)
+            target = response.redirect_target()
+            if target is None:
+                self.stats["failures"] += 1
+                raise FetchError(f"redirect without usable location from {response.url}",
+                                 url=response.url, status=response.status)
+            self.stats["redirects"] += 1
+            request = request.with_url(target)
+            response = await self._send_with_retries(request)
+        if not response.ok:
+            self.stats["failures"] += 1
+        return response
+
+    async def fetch_many(self, urls: Sequence[URL | str] | Iterable[URL | str], *,
+                         client_country: str | None = None, via_vpn: bool = False,
+                         max_in_flight: int = 8,
+                         return_exceptions: bool = False) -> list[Response]:
+        """Fetch ``urls`` with at most ``max_in_flight`` requests in flight.
+
+        Responses come back in input order regardless of completion order.
+        With ``return_exceptions`` a failed fetch yields its
+        :class:`FetchError` in place of a response instead of aborting the
+        whole batch.
+        """
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
+        semaphore = asyncio.Semaphore(max_in_flight)
+
+        async def bounded(url: URL | str) -> Response:
+            async with semaphore:
+                return await self.fetch(url, client_country=client_country, via_vpn=via_vpn)
+
+        return await asyncio.gather(*(bounded(url) for url in urls),
+                                    return_exceptions=return_exceptions)
+
+
+def run_coroutine(coroutine: Awaitable):
+    """Drive ``coroutine`` to completion from synchronous code.
+
+    Thin wrapper over :func:`asyncio.run` so every sync→async entry point in
+    the crawling layer goes through one place.  Callers must not already be
+    inside a running event loop (the batched crawl APIs are sync facades used
+    by the per-shard pipeline functions, which never are).
+    """
+    return asyncio.run(coroutine)

@@ -59,6 +59,23 @@ class TestBuild:
                 main(["build", "--output", str(tmp_path / "x.jsonl"),
                       "--workers", workers])
 
+    def test_build_stream_output_matches_sequential_bytes(self, built_dataset_path: Path,
+                                                          tmp_path: Path, capsys) -> None:
+        path = tmp_path / "streamed.jsonl"
+        exit_code = main([
+            "build", "--stream-output", str(path), "--sites-per-country", "5",
+            "--countries", "bd", "th", "--seed", "17", "--workers", "2",
+            "--max-in-flight", "4",
+        ])
+        assert exit_code == 0
+        assert path.read_bytes() == built_dataset_path.read_bytes()
+        assert "streamed 10 site records" in capsys.readouterr().out
+
+    def test_build_rejects_non_positive_max_in_flight(self, tmp_path: Path) -> None:
+        with pytest.raises(SystemExit):
+            main(["build", "--output", str(tmp_path / "x.jsonl"),
+                  "--max-in-flight", "0"])
+
 
 class TestAnalyze:
     def test_analyze_prints_table(self, built_dataset_path: Path, capsys) -> None:

@@ -233,6 +233,26 @@ class TestStreamingAndOrdering:
         assert [type(r) for r in results] == [ShardResult, ShardResult]
         assert all(r.duration_s >= 0.0 for r in results)
 
+    def test_abandoned_threaded_stream_drains_without_hanging(self) -> None:
+        # Closing the generator after one result must cancel what it can,
+        # drain exactly the envelopes still owed (workers blocked on the
+        # full queue included) and join the pool — promptly, with the
+        # blocking-wait drain rather than a poll loop.
+        executor = ThreadedExecutor(3, queue_size=1)
+        started = time.perf_counter()
+        stream = executor.run(lambda shard: shard, list(range(16)))
+        next(stream)
+        stream.close()
+        assert time.perf_counter() - started < 10.0
+
+    def test_abandoned_process_stream_drains_without_hanging(self) -> None:
+        executor = ProcessExecutor(2)
+        started = time.perf_counter()
+        stream = executor.run(str, list(range(8)))
+        next(stream)
+        stream.close()
+        assert time.perf_counter() - started < 30.0
+
 
 class TestCreateExecutor:
     def test_auto_is_serial_for_one_worker(self) -> None:

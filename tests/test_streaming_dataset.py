@@ -1,0 +1,213 @@
+"""Tests for streaming dataset persistence and its parity guarantees.
+
+Two layers:
+
+* :class:`~repro.core.dataset.StreamingDatasetWriter` unit behaviour —
+  atomic commit, abort, crash simulation (writer never closed), salvage of
+  a torn partial file, and the atomicity of ``save_jsonl`` built on top;
+* end-to-end parity — a pipeline run streaming to disk produces JSONL
+  byte-identical to the sequential in-memory ``save_jsonl`` path for every
+  executor backend, worker count and ``max_in_flight``, pinned both by
+  explicit backend cases (process pool included) and by a hypothesis sweep
+  over worker/batch/streaming combinations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataset import LangCrUXDataset, SiteRecord, StreamingDatasetWriter
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+
+
+def _record(index: int) -> SiteRecord:
+    return SiteRecord(domain=f"site{index}.example.bd", country_code="bd",
+                      language_code="bn", rank=index + 1,
+                      visible_text_chars=100 + index)
+
+
+class TestStreamingDatasetWriter:
+    def test_commit_publishes_only_on_close(self, tmp_path) -> None:
+        path = tmp_path / "data.jsonl"
+        writer = StreamingDatasetWriter(path)
+        writer.write_many([_record(0), _record(1)])
+        assert not path.exists()
+        assert writer.partial_path.exists()
+        assert writer.close() == 2
+        assert writer.closed
+        assert not writer.partial_path.exists()
+        assert len(LangCrUXDataset.load_jsonl(path)) == 2
+
+    def test_streamed_bytes_match_save_jsonl(self, tmp_path) -> None:
+        records = [_record(i) for i in range(5)]
+        streamed, saved = tmp_path / "streamed.jsonl", tmp_path / "saved.jsonl"
+        with StreamingDatasetWriter(streamed) as writer:
+            for record in records:
+                writer.write(record)
+        LangCrUXDataset(records).save_jsonl(saved)
+        assert streamed.read_bytes() == saved.read_bytes()
+
+    def test_abort_leaves_previous_file_untouched(self, tmp_path) -> None:
+        path = tmp_path / "data.jsonl"
+        LangCrUXDataset([_record(0)]).save_jsonl(path)
+        before = path.read_bytes()
+        writer = StreamingDatasetWriter(path)
+        writer.write(_record(1))
+        writer.abort()
+        assert path.read_bytes() == before
+        assert not writer.partial_path.exists()
+
+    def test_context_manager_aborts_on_exception(self, tmp_path) -> None:
+        path = tmp_path / "data.jsonl"
+        with pytest.raises(RuntimeError):
+            with StreamingDatasetWriter(path) as writer:
+                writer.write(_record(0))
+                raise RuntimeError("crash mid-stream")
+        assert not path.exists()
+        assert not writer.partial_path.exists()
+
+    def test_crash_without_close_never_truncates_destination(self, tmp_path) -> None:
+        path = tmp_path / "data.jsonl"
+        LangCrUXDataset([_record(0), _record(1)]).save_jsonl(path)
+        before = path.read_bytes()
+        # A hard crash = the writer object simply stops being driven; close()
+        # is never called and only the partial file is left behind.
+        writer = StreamingDatasetWriter(path)
+        writer.write(_record(2))
+        assert path.read_bytes() == before
+        assert writer.partial_path.exists()
+        writer.abort()  # cleanup for the tmp dir
+
+    def test_torn_partial_file_salvaged_with_skip_corrupt(self, tmp_path) -> None:
+        partial = tmp_path / ".data.jsonl.partial"
+        lines = [json.dumps(_record(i).to_dict(), ensure_ascii=False) for i in range(3)]
+        torn = "\n".join(lines) + "\n" + lines[0][: len(lines[0]) // 2]
+        partial.write_text(torn, encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            LangCrUXDataset.load_jsonl(partial)
+        salvaged = LangCrUXDataset.load_jsonl(partial, skip_corrupt=True)
+        assert [record.domain for record in salvaged] == \
+            [f"site{i}.example.bd" for i in range(3)]
+
+    def test_concurrent_writers_to_one_path_stay_isolated(self, tmp_path) -> None:
+        # Unique partial names mean two writers racing for the same
+        # destination each commit a complete file; last close wins.
+        path = tmp_path / "data.jsonl"
+        first, second = StreamingDatasetWriter(path), StreamingDatasetWriter(path)
+        assert first.partial_path != second.partial_path
+        first.write(_record(0))
+        second.write(_record(1))
+        first.write(_record(2))
+        first.close()
+        assert [r.domain for r in LangCrUXDataset.load_jsonl(path)] == \
+            ["site0.example.bd", "site2.example.bd"]
+        second.close()
+        assert [r.domain for r in LangCrUXDataset.load_jsonl(path)] == ["site1.example.bd"]
+
+    def test_write_after_close_rejected(self, tmp_path) -> None:
+        writer = StreamingDatasetWriter(tmp_path / "data.jsonl")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write(_record(0))
+
+    def test_close_is_idempotent(self, tmp_path) -> None:
+        writer = StreamingDatasetWriter(tmp_path / "data.jsonl")
+        writer.write(_record(0))
+        assert writer.close() == 1
+        assert writer.close() == 1
+
+    def test_save_jsonl_is_atomic_under_serialization_failure(self, tmp_path,
+                                                              monkeypatch) -> None:
+        path = tmp_path / "data.jsonl"
+        LangCrUXDataset([_record(0)]).save_jsonl(path)
+        before = path.read_bytes()
+
+        exploding = _record(1)
+        monkeypatch.setattr(type(exploding), "to_dict",
+                            lambda self: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError):
+            LangCrUXDataset([exploding]).save_jsonl(path)
+        assert path.read_bytes() == before
+
+
+PARITY_CONFIG = dict(countries=("bd", "th"), sites_per_country=4, seed=13,
+                     transport_failure_rate=0.05)
+
+
+@pytest.fixture(scope="module")
+def sequential_bytes(tmp_path_factory) -> bytes:
+    """The reference: a sequential in-memory run saved after the fact."""
+    path = tmp_path_factory.mktemp("parity") / "sequential.jsonl"
+    LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG)).run().dataset.save_jsonl(path)
+    return path.read_bytes()
+
+
+class TestStreamingPipelineParity:
+    @pytest.mark.parametrize("overrides", [
+        dict(max_in_flight=4),
+        dict(workers=3, executor="thread"),
+        dict(workers=2, executor="thread", max_in_flight=5),
+        dict(workers=2, executor="process", max_in_flight=3),
+    ], ids=["serial-batched", "thread", "thread-batched", "process-batched"])
+    def test_streamed_output_is_byte_identical(self, overrides, sequential_bytes,
+                                               tmp_path) -> None:
+        stream_path = tmp_path / "streamed.jsonl"
+        result = LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG, **overrides)).run(
+            stream_to=stream_path)
+        assert stream_path.read_bytes() == sequential_bytes
+        assert result.stream_path == stream_path
+        assert result.streamed_records == len(result.dataset)
+        memory_path = tmp_path / "memory.jsonl"
+        result.dataset.save_jsonl(memory_path)
+        assert memory_path.read_bytes() == sequential_bytes
+
+    def test_stream_without_memory_retention(self, sequential_bytes, tmp_path) -> None:
+        stream_path = tmp_path / "streamed.jsonl"
+        result = LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG, workers=2,
+                                                 executor="thread", max_in_flight=3)).run(
+            stream_to=stream_path, keep_in_memory=False)
+        assert stream_path.read_bytes() == sequential_bytes
+        assert len(result.dataset) == 0
+        assert result.streamed_records == 8
+        assert result.qualifying_site_counts() == {"bd": 4, "th": 4}
+
+    def test_dropping_memory_requires_streaming(self) -> None:
+        with pytest.raises(ValueError, match="keep_in_memory"):
+            LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG)).run(keep_in_memory=False)
+
+    def test_failed_run_leaves_no_streamed_file(self, tmp_path, monkeypatch) -> None:
+        from repro.core import pipeline as pipeline_module
+
+        def broken_shard(config, country_code, web_and_crux=None):
+            raise RuntimeError(f"cannot crawl {country_code}")
+
+        monkeypatch.setattr(pipeline_module, "execute_country_shard", broken_shard)
+        stream_path = tmp_path / "streamed.jsonl"
+        with pytest.raises(Exception):
+            LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG)).run(stream_to=stream_path)
+        assert not stream_path.exists()
+        assert not list(tmp_path.glob(".*.partial"))
+
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        max_in_flight=st.integers(min_value=1, max_value=6),
+        executor=st.sampled_from(["serial", "thread"]),
+        stream=st.booleans(),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_parity_property_across_schedules(self, workers, max_in_flight, executor,
+                                              stream, sequential_bytes,
+                                              tmp_path_factory) -> None:
+        tmp_path = tmp_path_factory.mktemp("sweep")
+        config = PipelineConfig(**PARITY_CONFIG, workers=workers,
+                                executor=executor, max_in_flight=max_in_flight)
+        stream_path = tmp_path / "streamed.jsonl"
+        result = LangCrUXPipeline(config).run(stream_to=stream_path if stream else None)
+        saved = tmp_path / "saved.jsonl"
+        result.dataset.save_jsonl(saved)
+        assert saved.read_bytes() == sequential_bytes
+        if stream:
+            assert stream_path.read_bytes() == sequential_bytes
