@@ -15,6 +15,7 @@ from repro.audit.report import AuditReport
 from repro.audit.rules import ALL_RULES
 from repro.audit.rules.base import AuditRule
 from repro.html.dom import Document
+from repro.html.index import DocumentAccessor, NaiveDocumentAccessor, ensure_index
 from repro.html.parser import parse_html
 
 
@@ -43,11 +44,27 @@ class AuditEngine:
                       for rule in self.rules)
         return AuditEngine(rules)
 
-    def audit_document(self, document: Document) -> AuditReport:
-        """Run every rule over ``document``."""
-        report = AuditReport(url=document.url)
+    def audit_document(self, document: Document | DocumentAccessor, *,
+                       use_index: bool = True) -> AuditReport:
+        """Run every rule over ``document``.
+
+        The document is coerced to its cached
+        :class:`~repro.html.index.DocumentIndex` once, and every rule selects
+        targets and resolves names through it — one traversal for the whole
+        audit (shared with extraction when both see the same document).
+        ``use_index=False`` routes through the naive-traversal reference
+        path instead; it exists for parity tests and benchmarks.
+        """
+        if use_index:
+            context = ensure_index(document)
+        else:
+            # Unwrap accessors so a DocumentIndex argument cannot silently
+            # ride through what is supposed to be the naive reference path.
+            naive_source = document if isinstance(document, Document) else document.document
+            context = NaiveDocumentAccessor(naive_source)
+        report = AuditReport(url=context.url)
         for rule in self.rules:
-            report.add(rule.evaluate(document))
+            report.add(rule.evaluate(context))
         return report
 
     def audit_html(self, markup: str, url: str | None = None) -> AuditReport:

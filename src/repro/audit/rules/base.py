@@ -12,6 +12,13 @@ Every audit rule answers three questions for a document:
    the gap Kizuki fills by overriding :meth:`AuditRule.text_passes`.
 
 Rules are stateless; one instance can audit any number of documents.
+
+Rules select their targets from a :class:`~repro.html.index.DocumentIndex`
+rather than re-traversing the tree: every hook accepts either a plain
+:class:`~repro.html.dom.Document` (coerced to its cached index via
+:func:`~repro.html.index.ensure_index`) or an accessor directly, so twelve
+rules auditing one page share a single traversal — and share it with the
+extraction layer when both are handed the same document.
 """
 
 from __future__ import annotations
@@ -19,8 +26,24 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.audit.report import ElementOutcome, RuleResult
-from repro.html.accessibility import NameSource, accessible_name
+from repro.html.accessibility import AccessibleNameResult, NameSource, accessible_name
 from repro.html.dom import Document, Element
+from repro.html.index import DocumentAccessor, ensure_index
+
+#: What the rule hooks accept: a document or either access path over one.
+AuditContext = Document | DocumentAccessor
+
+
+def context_name(element: Element, context: AuditContext) -> AccessibleNameResult:
+    """Accessible name of ``element`` through ``context``.
+
+    Routes through the accessor's memo when one is available, so repeated
+    name computations (several rules, extraction + audit) are free after the
+    first; a plain :class:`~repro.html.dom.Document` computes naively.
+    """
+    if isinstance(context, DocumentAccessor):
+        return context.accessible_name(element)
+    return accessible_name(element, context)
 
 
 class AuditRule(ABC):
@@ -38,16 +61,17 @@ class AuditRule(ABC):
     # -- to implement per rule -------------------------------------------------
 
     @abstractmethod
-    def select_targets(self, document: Document) -> list[Element]:
-        """Elements of ``document`` this rule applies to."""
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        """Elements this rule applies to, in document order."""
 
     @abstractmethod
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         """Accessibility text of ``element``: ``None`` missing, ``""`` empty."""
 
     # -- shared evaluation --------------------------------------------------------
 
-    def text_passes(self, text: str, element: Element, document: Document) -> tuple[bool, str]:
+    def text_passes(self, text: str, element: Element,
+                    document: AuditContext) -> tuple[bool, str]:
         """Whether a non-empty accessibility text passes the audit.
 
         Base rules accept any non-empty text regardless of language or
@@ -56,7 +80,7 @@ class AuditRule(ABC):
         """
         return True, "ok"
 
-    def evaluate_element(self, element: Element, document: Document) -> ElementOutcome:
+    def evaluate_element(self, element: Element, document: AuditContext) -> ElementOutcome:
         text = self.target_text(element, document)
         tag = element.tag
         if text is None:
@@ -66,12 +90,13 @@ class AuditRule(ABC):
         passed, reason = self.text_passes(text, element, document)
         return ElementOutcome(tag, text, passed=passed, reason=reason)
 
-    def evaluate(self, document: Document) -> RuleResult:
+    def evaluate(self, document: AuditContext) -> RuleResult:
         """Evaluate the rule over a whole document."""
-        targets = self.select_targets(document)
+        context = ensure_index(document)
+        targets = self.select_targets(context)
         if not targets:
             return RuleResult(rule_id=self.rule_id, applicable=False, passed=True, score=1.0)
-        outcomes = tuple(self.evaluate_element(element, document) for element in targets)
+        outcomes = tuple(self.evaluate_element(element, context) for element in targets)
         passing = sum(1 for outcome in outcomes if outcome.passed)
         return RuleResult(
             rule_id=self.rule_id,
@@ -82,13 +107,13 @@ class AuditRule(ABC):
         )
 
 
-def explicit_name_text(element: Element, document: Document) -> str | None:
+def explicit_name_text(element: Element, document: AuditContext) -> str | None:
     """Accessibility text from explicit metadata only (no visible-text fallback).
 
     Returns ``None`` when the element has no explicit accessibility markup,
     matching the "missing" condition of Table 2/3.
     """
-    result = accessible_name(element, document)
+    result = context_name(element, document)
     if result.source is NameSource.NONE:
         return None
     if not result.explicit and result.source is NameSource.VISIBLE_TEXT:
@@ -99,9 +124,9 @@ def explicit_name_text(element: Element, document: Document) -> str | None:
     return result.name
 
 
-def explicit_only_text(element: Element, document: Document) -> str | None:
+def explicit_only_text(element: Element, document: AuditContext) -> str | None:
     """Accessibility text from explicit metadata, ignoring visible text entirely."""
-    result = accessible_name(element, document)
+    result = context_name(element, document)
     if result.explicit:
         return result.name
     return None

@@ -6,8 +6,9 @@ name at all fails; a present-but-empty value passes; language is ignored.
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_name_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_name_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class ButtonNameRule(AuditRule):
@@ -18,12 +19,14 @@ class ButtonNameRule(AuditRule):
     fails_on_missing = True
     fails_on_empty = False
 
-    def select_targets(self, document: Document) -> list[Element]:
-        targets = document.find_all("button")
-        for element in document.iter_elements():
-            if element.tag != "button" and element.role == "button" and element.tag != "input":
-                targets.append(element)
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        index = ensure_index(document)
+        # Real buttons first, then role-carrying non-buttons, each group in
+        # document order (the historical report shape).
+        targets = index.elements("button")
+        targets.extend(element for element in index.elements_with_role("button")
+                       if element.tag not in ("button", "input"))
         return targets
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_name_text(element, document)

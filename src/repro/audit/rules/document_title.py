@@ -7,8 +7,9 @@ different language than the page content passes.
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class DocumentTitleRule(AuditRule):
@@ -19,10 +20,10 @@ class DocumentTitleRule(AuditRule):
     fails_on_missing = False
     fails_on_empty = True
 
-    def select_targets(self, document: Document) -> list[Element]:
+    def select_targets(self, document: AuditContext) -> list[Element]:
         # The audit is document-level; the root element stands in as the
         # single target so that reports have a consistent shape.
-        return [document.root]
+        return [ensure_index(document).root]
 
-    def target_text(self, element: Element, document: Document) -> str | None:
-        return document.title
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
+        return ensure_index(document).title

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_name_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_name_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class FrameTitleRule(AuditRule):
@@ -14,8 +15,10 @@ class FrameTitleRule(AuditRule):
     fails_on_missing = True
     fails_on_empty = True
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all("iframe") + document.find_all("frame")
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        # One merged, document-ordered list — not all iframes followed by
+        # all frames (pinned by tests/test_audit_rules.py).
+        return ensure_index(document).elements_of("iframe", "frame")
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_name_text(element, document)

@@ -9,8 +9,9 @@ considered.
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_only_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_only_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class ImageAltRule(AuditRule):
@@ -21,10 +22,10 @@ class ImageAltRule(AuditRule):
     fails_on_missing = True
     fails_on_empty = False
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all("img")
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        return ensure_index(document).elements("img")
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         if (element.get("role") or "").strip().lower() in ("presentation", "none"):
             # Explicitly decorative images are treated like alt="".
             return element.get("alt") or ""

@@ -6,8 +6,9 @@ label for submit/reset buttons), an explicitly empty value fails.
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_name_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_name_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 _BUTTON_TYPES = frozenset({"button", "submit", "reset"})
 
@@ -20,11 +21,11 @@ class InputButtonNameRule(AuditRule):
     fails_on_missing = False
     fails_on_empty = True
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all(
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        return ensure_index(document).elements(
             "input",
             predicate=lambda el: (el.get("type") or "").lower() in _BUTTON_TYPES,
         )
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_name_text(element, document)

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_only_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_only_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class InputImageAltRule(AuditRule):
@@ -14,11 +15,11 @@ class InputImageAltRule(AuditRule):
     fails_on_missing = True
     fails_on_empty = True
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all(
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        return ensure_index(document).elements(
             "input",
             predicate=lambda el: (el.get("type") or "").lower() == "image",
         )
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_only_text(element, document)

@@ -8,11 +8,18 @@ reason about label text.
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_only_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_only_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 #: Input types that do not take a visible label.
 _UNLABELLED_TYPES = frozenset({"hidden", "button", "submit", "reset", "image"})
+
+
+def _labellable(element: Element) -> bool:
+    if element.tag == "textarea":
+        return True
+    return (element.get("type") or "text").lower() not in _UNLABELLED_TYPES
 
 
 class LabelRule(AuditRule):
@@ -23,12 +30,12 @@ class LabelRule(AuditRule):
     fails_on_missing = False
     fails_on_empty = False
 
-    def select_targets(self, document: Document) -> list[Element]:
-        inputs = document.find_all(
-            "input",
-            predicate=lambda el: (el.get("type") or "text").lower() not in _UNLABELLED_TYPES,
-        )
-        return inputs + document.find_all("textarea")
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        # One merged, document-ordered list — not all inputs followed by all
+        # textareas (pinned by tests/test_audit_rules.py).
+        return [element
+                for element in ensure_index(document).elements_of("input", "textarea")
+                if _labellable(element)]
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_only_text(element, document)

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_name_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_name_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class LinkNameRule(AuditRule):
@@ -14,8 +15,9 @@ class LinkNameRule(AuditRule):
     fails_on_missing = True
     fails_on_empty = True
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all("a", predicate=lambda el: el.has_attr("href"))
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        return ensure_index(document).elements(
+            "a", predicate=lambda el: el.has_attr("href"))
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_name_text(element, document)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule
-from repro.html.accessibility import NameSource, accessible_name
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, context_name
+from repro.html.accessibility import NameSource
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class ObjectAltRule(AuditRule):
@@ -15,11 +16,11 @@ class ObjectAltRule(AuditRule):
     fails_on_missing = True
     fails_on_empty = True
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all("object")
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        return ensure_index(document).elements("object")
 
-    def target_text(self, element: Element, document: Document) -> str | None:
-        result = accessible_name(element, document)
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
+        result = context_name(element, document)
         if result.source is NameSource.NONE:
             # Distinguish "no fallback content at all" (missing) from
             # "fallback content present but blank" (empty).

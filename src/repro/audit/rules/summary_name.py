@@ -6,8 +6,9 @@ page under every condition, so neither missing nor empty names fail here.
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_name_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_name_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class SummaryNameRule(AuditRule):
@@ -18,8 +19,8 @@ class SummaryNameRule(AuditRule):
     fails_on_missing = False
     fails_on_empty = False
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all("summary")
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        return ensure_index(document).elements("summary")
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_name_text(element, document)

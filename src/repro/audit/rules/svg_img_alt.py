@@ -7,8 +7,9 @@ Kizuki can inspect them.
 
 from __future__ import annotations
 
-from repro.audit.rules.base import AuditRule, explicit_only_text
-from repro.html.dom import Document, Element
+from repro.audit.rules.base import AuditContext, AuditRule, explicit_only_text
+from repro.html.dom import Element
+from repro.html.index import ensure_index
 
 
 class SvgImgAltRule(AuditRule):
@@ -19,8 +20,8 @@ class SvgImgAltRule(AuditRule):
     fails_on_missing = False
     fails_on_empty = False
 
-    def select_targets(self, document: Document) -> list[Element]:
-        return document.find_all("svg")
+    def select_targets(self, document: AuditContext) -> list[Element]:
+        return ensure_index(document).elements("svg")
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return explicit_only_text(element, document)

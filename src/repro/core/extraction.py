@@ -14,6 +14,14 @@ Unlike the audit rules, extraction considers **explicit metadata only**
 measure whether developers provide accessibility metadata, not whether a
 screen reader could scrape a fallback from visible text — the reliance on
 that fallback is precisely one of the paper's findings.
+
+Element instances are looked up through the document's
+:class:`~repro.html.index.DocumentIndex` (one traversal, shared with the
+audit stage when both see the same document) instead of one ``find_all``
+walk per element group; ``use_index=False`` switches to the naive-traversal
+reference path for parity tests and benchmarks.  Observations stay grouped
+by element type, in the fixed Table 1 order, exactly as before — the index
+only changes how instances are found, not how they are reported.
 """
 
 from __future__ import annotations
@@ -21,10 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.elements import ELEMENT_IDS
-from repro.html.accessibility import accessible_name
 from repro.html.dom import Document, Element
+from repro.html.index import DocumentAccessor, NaiveDocumentAccessor, ensure_index
 from repro.html.parser import parse_html
-from repro.html.visibility import extract_visible_text
 
 _BUTTON_INPUT_TYPES = frozenset({"button", "submit", "reset"})
 _LABELLED_INPUT_EXCLUDES = frozenset({"hidden", "button", "submit", "reset", "image"})
@@ -77,26 +84,26 @@ class PageExtraction:
                 if obs.has_text and (element_id is None or obs.element_id == element_id)]
 
 
-def _explicit_text(element: Element, document: Document) -> str | None:
+def _explicit_text(element: Element, context: DocumentAccessor) -> str | None:
     """Explicit accessibility metadata of an element (no visible-text fallback)."""
-    result = accessible_name(element, document)
+    result = context.accessible_name(element)
     return result.name if result.explicit else None
 
 
-def _extract_document_title(document: Document) -> ExtractedText:
-    return ExtractedText("document-title", document.title)
+def _extract_document_title(context: DocumentAccessor) -> ExtractedText:
+    return ExtractedText("document-title", context.title)
 
 
-def _extract_simple(document: Document, element_id: str, tag: str,
+def _extract_simple(context: DocumentAccessor, element_id: str, tag: str,
                     predicate=None) -> list[ExtractedText]:
-    return [ExtractedText(element_id, _explicit_text(element, document))
-            for element in document.find_all(tag, predicate=predicate)]
+    return [ExtractedText(element_id, _explicit_text(element, context))
+            for element in context.elements(tag, predicate=predicate)]
 
 
-def _extract_object_alt(document: Document) -> list[ExtractedText]:
+def _extract_object_alt(context: DocumentAccessor) -> list[ExtractedText]:
     observations = []
-    for element in document.find_all("object"):
-        text = _explicit_text(element, document)
+    for element in context.elements("object"):
+        text = _explicit_text(element, context)
         if text is None:
             fallback = element.text_content()
             if fallback.strip():
@@ -107,47 +114,53 @@ def _extract_object_alt(document: Document) -> list[ExtractedText]:
     return observations
 
 
-def extract_page(document: Document | str, url: str | None = None) -> PageExtraction:
+def extract_page(document: Document | str, url: str | None = None, *,
+                 use_index: bool = True) -> PageExtraction:
     """Extract visible text and all accessibility-text observations.
 
     Args:
         document: A parsed :class:`Document` or raw HTML markup.
         url: Recorded on the result when ``document`` is raw markup.
+        use_index: Look elements and names up through the document's cached
+            :class:`~repro.html.index.DocumentIndex` (the default; one DOM
+            traversal, shared with any audit of the same document).
+            ``False`` uses the naive full-traversal reference path.
 
     Returns:
         A :class:`PageExtraction` with one observation per element instance.
     """
     if isinstance(document, str):
         document = parse_html(document, url=url)
+    context = ensure_index(document) if use_index else NaiveDocumentAccessor(document)
 
     extraction = PageExtraction(
-        url=document.url or url,
-        visible_text=extract_visible_text(document),
-        declared_lang=document.html_lang,
+        url=context.url or url,
+        visible_text=context.document_text(),
+        declared_lang=context.html_lang,
     )
 
-    extraction.observations.append(_extract_document_title(document))
-    extraction.observations.extend(_extract_simple(document, "button-name", "button"))
-    extraction.observations.extend(_extract_simple(document, "image-alt", "img"))
+    extraction.observations.append(_extract_document_title(context))
+    extraction.observations.extend(_extract_simple(context, "button-name", "button"))
+    extraction.observations.extend(_extract_simple(context, "image-alt", "img"))
     extraction.observations.extend(
-        _extract_simple(document, "frame-title", "iframe")
-        + _extract_simple(document, "frame-title", "frame"))
-    extraction.observations.extend(_extract_simple(document, "summary-name", "summary"))
+        _extract_simple(context, "frame-title", "iframe")
+        + _extract_simple(context, "frame-title", "frame"))
+    extraction.observations.extend(_extract_simple(context, "summary-name", "summary"))
     extraction.observations.extend(_extract_simple(
-        document, "label", "input",
+        context, "label", "input",
         predicate=lambda el: (el.get("type") or "text").lower() not in _LABELLED_INPUT_EXCLUDES))
-    extraction.observations.extend(_extract_simple(document, "label", "textarea"))
+    extraction.observations.extend(_extract_simple(context, "label", "textarea"))
     extraction.observations.extend(_extract_simple(
-        document, "input-image-alt", "input",
+        context, "input-image-alt", "input",
         predicate=lambda el: (el.get("type") or "").lower() == "image"))
-    extraction.observations.extend(_extract_simple(document, "select-name", "select"))
+    extraction.observations.extend(_extract_simple(context, "select-name", "select"))
     extraction.observations.extend(_extract_simple(
-        document, "link-name", "a", predicate=lambda el: el.has_attr("href")))
+        context, "link-name", "a", predicate=lambda el: el.has_attr("href")))
     extraction.observations.extend(_extract_simple(
-        document, "input-button-name", "input",
+        context, "input-button-name", "input",
         predicate=lambda el: (el.get("type") or "").lower() in _BUTTON_INPUT_TYPES))
-    extraction.observations.extend(_extract_simple(document, "svg-img-alt", "svg"))
-    extraction.observations.extend(_extract_object_alt(document))
+    extraction.observations.extend(_extract_simple(context, "svg-img-alt", "svg"))
+    extraction.observations.extend(_extract_object_alt(context))
 
     return extraction
 

@@ -23,12 +23,13 @@ from dataclasses import dataclass
 from repro.audit.engine import AuditEngine
 from repro.audit.report import AuditReport, ElementOutcome, RuleResult
 from repro.audit.rules import get_rule
-from repro.audit.rules.base import AuditRule
+from repro.audit.rules.base import AuditContext, AuditRule
 from repro.audit.rules.image_alt import ImageAltRule
 from repro.audit.scoring import DEFAULT_WEIGHTS, lighthouse_score
 from repro.core.dataset import LangCrUXDataset, SiteRecord
 from repro.core.filtering import classify_text
 from repro.html.dom import Document, Element
+from repro.html.index import DocumentAccessor, ensure_index
 from repro.html.visibility import extract_visible_text
 from repro.langid.classify import (
     ClassificationThresholds,
@@ -37,6 +38,18 @@ from repro.langid.classify import (
 )
 from repro.langid.detector import ScriptDetector
 from repro.langid.languages import Language, get_language
+
+
+def _page_text(document: AuditContext) -> str:
+    """Visible text of the page behind ``document`` (a Document or accessor).
+
+    Accessors memoize the document text, so the language-context computation
+    of a language-aware rule costs nothing when extraction or another rule
+    already extracted the same page's text through the same index.
+    """
+    if isinstance(document, DocumentAccessor):
+        return document.document_text()
+    return extract_visible_text(document)
 
 
 @dataclass(frozen=True)
@@ -90,10 +103,10 @@ class KizukiImageAltRule(ImageAltRule):
 
     # -- language context -------------------------------------------------------
 
-    def _page_share(self, document: Document) -> float:
+    def _page_share(self, document: AuditContext) -> float:
         if self._page_native_share is not None:
             return self._page_native_share
-        return self._detector.share(extract_visible_text(document)).native
+        return self._detector.share(_page_text(document)).native
 
     def text_is_consistent(self, text: str, page_native_share: float) -> bool:
         """Whether ``text`` is language-consistent with the page."""
@@ -110,14 +123,16 @@ class KizukiImageAltRule(ImageAltRule):
 
     # -- AuditRule hooks -----------------------------------------------------------
 
-    def text_passes(self, text: str, element: Element, document: Document) -> tuple[bool, str]:
+    def text_passes(self, text: str, element: Element,
+                    document: AuditContext) -> tuple[bool, str]:
         if self.text_is_consistent(text, self._page_share(document)):
             return True, "ok"
         return False, "language-mismatch"
 
-    def evaluate(self, document: Document) -> RuleResult:
-        # Compute the page context once per document rather than per image.
-        self._page_native_share = self._detector.share(extract_visible_text(document)).native
+    def evaluate(self, document: AuditContext) -> RuleResult:
+        # Compute the page context once per document rather than per image;
+        # the accessor's text memo shares it with every other consumer.
+        self._page_native_share = self._detector.share(_page_text(document)).native
         try:
             return super().evaluate(document)
         finally:
@@ -150,10 +165,10 @@ class LanguageAwareRule(AuditRule):
 
     # -- delegation to the wrapped rule --------------------------------------
 
-    def select_targets(self, document: Document) -> list[Element]:
+    def select_targets(self, document: AuditContext) -> list[Element]:
         return self.base_rule.select_targets(document)
 
-    def target_text(self, element: Element, document: Document) -> str | None:
+    def target_text(self, element: Element, document: AuditContext) -> str | None:
         return self.base_rule.target_text(element, document)
 
     # -- the language check ----------------------------------------------------
@@ -168,19 +183,20 @@ class LanguageAwareRule(AuditRule):
             return True
         return outcome is TextLanguageClass.MIXED and self.config.accept_mixed
 
-    def text_passes(self, text: str, element: Element, document: Document) -> tuple[bool, str]:
+    def text_passes(self, text: str, element: Element,
+                    document: AuditContext) -> tuple[bool, str]:
         passed, reason = self.base_rule.text_passes(text, element, document)
         if not passed:
             return passed, reason
         share = self._page_native_share
         if share is None:
-            share = self._detector.share(extract_visible_text(document)).native
+            share = self._detector.share(_page_text(document)).native
         if self.text_is_consistent(text, share):
             return True, "ok"
         return False, "language-mismatch"
 
-    def evaluate(self, document: Document) -> RuleResult:
-        self._page_native_share = self._detector.share(extract_visible_text(document)).native
+    def evaluate(self, document: AuditContext) -> RuleResult:
+        self._page_native_share = self._detector.share(_page_text(document)).native
         try:
             return super().evaluate(document)
         finally:
@@ -211,16 +227,22 @@ class Kizuki:
         """The audit engine with the language-aware ``image-alt`` rule."""
         return self._engine
 
-    def audit_document(self, document: Document) -> AuditReport:
+    def audit_document(self, document: AuditContext) -> AuditReport:
         return self._engine.audit_document(document)
 
     def audit_html(self, markup: str, url: str | None = None) -> AuditReport:
         return self._engine.audit_html(markup, url=url)
 
     def score_shift(self, document: Document) -> tuple[float, float]:
-        """(old, new) Lighthouse scores of one document."""
-        old = lighthouse_score(self._base_engine.audit_document(document))
-        new = lighthouse_score(self.audit_document(document), proportional=False)
+        """(old, new) Lighthouse scores of one document.
+
+        Both audits run over the document's cached
+        :class:`~repro.html.index.DocumentIndex`, so the base-vs-extended
+        double audit traverses the page once instead of twice.
+        """
+        context = ensure_index(document)
+        old = lighthouse_score(self._base_engine.audit_document(context))
+        new = lighthouse_score(self.audit_document(context), proportional=False)
         return old, new
 
     # -- dataset-level API (Figure 6) ------------------------------------------------

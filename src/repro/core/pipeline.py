@@ -10,6 +10,8 @@ The pipeline chains every stage of the methodology:
    validate the 50% visible-language criterion, and replace failures.
 4. **Extraction + audit** — extract visible text and accessibility texts
    from each selected site and run the base (language-unaware) audits.
+   Each page is parsed once and both stages work off the page's cached
+   :class:`~repro.html.index.DocumentIndex`, one DOM traversal per page.
 5. **Dataset** — assemble :class:`~repro.core.dataset.LangCrUXDataset`.
 
 Stages 2–4 are independent per country, so they are expressed as *pure
@@ -237,15 +239,26 @@ def select_country_sites(config: PipelineConfig, country_code: str,
 
 
 def record_from_crawl(crawl_record: CrawlRecord,
-                      audit_engine: AuditEngine | None = None) -> SiteRecord:
-    """Extraction + audit of one crawled origin (pure per-shard)."""
+                      audit_engine: AuditEngine | None = None, *,
+                      use_index: bool = True) -> SiteRecord:
+    """Extraction + audit of one crawled origin (pure per-shard).
+
+    Each page is parsed exactly once; extraction and audit then share the
+    parsed :class:`~repro.html.dom.Document` and — through
+    :meth:`~repro.html.dom.Document.index` — one
+    :class:`~repro.html.index.DocumentIndex` per page, so the per-page cost
+    is a single DOM traversal instead of one per rule and element group.
+    ``use_index=False`` keeps the naive traversal path (the reference the
+    byte-parity tests and the benchmark compare against).
+    """
     engine = audit_engine if audit_engine is not None else AuditEngine()
     documents = [parse_html(page.html, url=page.final_url)
                  for page in crawl_record.pages if page.ok and page.html]
-    extraction = merge_extractions([extract_page(document) for document in documents])
+    extraction = merge_extractions(
+        [extract_page(document, use_index=use_index) for document in documents])
     audit: dict[str, dict] = {}
     if documents:
-        report = engine.audit_document(documents[0])
+        report = engine.audit_document(documents[0], use_index=use_index)
         audit = {
             rule_id: {
                 "applicable": result.applicable,

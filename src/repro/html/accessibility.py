@@ -23,15 +23,29 @@ elements studied by the paper:
 The result records both the name and the *source* that produced it, because
 the paper distinguishes explicit accessibility metadata from the fallback to
 visible text (Section 3 discusses developers relying on that fallback).
+
+The ``document`` argument of :func:`accessible_name` accepts either a plain
+:class:`~repro.html.dom.Document` (the naive reference path: id lookups and
+``label[for]`` associations walk the tree) or a
+:class:`~repro.html.index.DocumentIndex` (all lookups come from the one-pass
+index, and visible-text fallbacks hit its memo).  The functions only rely on
+the shared ``get_element_by_id``/``labels_for`` surface, so they stay
+ignorant of which access path is in use.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.html.dom import Document, Element
 from repro.html.visibility import visible_text_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.html.index import DocumentIndex
+
+    NameContext = Document | DocumentIndex | None
 
 
 class NameSource(str, enum.Enum):
@@ -78,7 +92,7 @@ _FORM_CONTROL_TAGS = frozenset({"input", "select", "textarea"})
 _BUTTON_VALUE_TYPES = frozenset({"button", "submit", "reset"})
 
 
-def _labelledby_name(element: Element, document: Document | None) -> str | None:
+def _labelledby_name(element: Element, document: "NameContext") -> str | None:
     ids = (element.get("aria-labelledby") or "").split()
     if not ids or document is None:
         return None
@@ -91,18 +105,18 @@ def _labelledby_name(element: Element, document: Document | None) -> str | None:
     return name or None
 
 
-def _associated_label_text(element: Element, document: Document | None) -> str | None:
+def _associated_label_text(element: Element, document: "NameContext") -> str | None:
     """Text of a ``<label>`` associated with a form control."""
     # Wrapping label.
     for ancestor in element.ancestors():
         if ancestor.tag == "label":
             return ancestor.text_content().strip() or None
-    # label[for=id]
+    # label[for=id] — an O(1) map lookup on the index, a scan on a Document.
     element_id = element.id
     if element_id and document is not None:
-        for label in document.find_all("label"):
-            if label.get("for") == element_id:
-                return label.text_content().strip() or None
+        labels = document.labels_for(element_id)
+        if labels:
+            return labels[0].text_content().strip() or None
     return None
 
 
@@ -120,7 +134,7 @@ def _svg_title(element: Element) -> str | None:
     return None
 
 
-def _native_markup_name(element: Element, document: Document | None) -> str | None:
+def _native_markup_name(element: Element, document: "NameContext") -> str | None:
     """Element-specific native naming markup, step 3 of the precedence list."""
     tag = element.tag
     if tag in ("img", "area"):
@@ -154,19 +168,26 @@ def _native_markup_name(element: Element, document: Document | None) -> str | No
     return None
 
 
-def _visible_text_name(element: Element) -> str | None:
+def _visible_text_name(element: Element, document: "NameContext") -> str | None:
     if element.tag in ("button", "a", "summary", "label", "option", "legend", "caption", "th", "td"):
-        text = visible_text_of(element)
+        # An accessor memoizes subtree text; a plain Document (or no context)
+        # computes fresh.  Dispatch on the Document type rather than
+        # importing the accessor union, which would be a circular import.
+        if document is None or isinstance(document, Document):
+            text = visible_text_of(element)
+        else:
+            text = document.visible_text(element)
         return text or None
     return None
 
 
-def accessible_name(element: Element, document: Document | None = None) -> AccessibleNameResult:
+def accessible_name(element: Element, document: "NameContext" = None) -> AccessibleNameResult:
     """Compute the accessible name of ``element``.
 
     Args:
         element: The element to name.
-        document: The containing document; needed to resolve
+        document: The containing document (or its
+            :class:`~repro.html.index.DocumentIndex`); needed to resolve
             ``aria-labelledby`` references and ``label[for]`` associations.
             When omitted, those sources are skipped.
 
@@ -188,7 +209,7 @@ def accessible_name(element: Element, document: Document | None = None) -> Acces
     if native is not None:
         return AccessibleNameResult(native, NameSource.NATIVE_MARKUP)
 
-    visible = _visible_text_name(element)
+    visible = _visible_text_name(element, document)
     if visible is not None:
         return AccessibleNameResult(visible, NameSource.VISIBLE_TEXT)
 
@@ -199,6 +220,6 @@ def accessible_name(element: Element, document: Document | None = None) -> Acces
     return AccessibleNameResult("", NameSource.NONE)
 
 
-def has_explicit_accessibility_text(element: Element, document: Document | None = None) -> bool:
+def has_explicit_accessibility_text(element: Element, document: "NameContext" = None) -> bool:
     """Whether the element carries explicit (non-fallback) accessibility text."""
     return accessible_name(element, document).explicit

@@ -11,7 +11,10 @@ for this study.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.html.index import DocumentIndex
 
 
 #: Elements that never contribute rendered text.
@@ -59,18 +62,48 @@ class TextNode(Node):
 class Element(Node):
     """An HTML element with attributes and children."""
 
-    __slots__ = ("tag", "attributes", "children")
+    __slots__ = ("tag", "attributes", "children", "tree_version")
 
     def __init__(self, tag: str, attributes: Mapping[str, str] | None = None) -> None:
         super().__init__()
         self.tag = tag.lower()
         self.attributes: dict[str, str] = {k.lower(): v for k, v in (attributes or {}).items()}
         self.children: list[Node] = []
+        #: Mutation counter of the tree rooted here.  Every :meth:`set` /
+        #: :meth:`append` anywhere in a tree bumps the counter on that tree's
+        #: root, so document-level caches (the id index, the
+        #: :class:`~repro.html.index.DocumentIndex`) can detect staleness
+        #: without being told explicitly (generators mutate trees they later
+        #: serve).
+        self.tree_version: int = 0
+
+    def _mark_mutated(self) -> None:
+        # Tight parent-chain walk (self is always an Element): O(depth) per
+        # mutation, which stays cheap because HTML trees are shallow even
+        # when they are wide.
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        node.tree_version += 1
 
     # -- tree construction -------------------------------------------------
 
     def append(self, node: Node) -> Node:
         """Append ``node`` as the last child and return it."""
+        node.parent = self
+        self.children.append(node)
+        self._mark_mutated()
+        return node
+
+    def _append_raw(self, node: Node) -> Node:
+        """Append without bumping ``tree_version``.
+
+        Tree-construction fast path for the parser: while a tree is first
+        being built no :class:`Document` (and therefore no cache that could
+        go stale) exists yet, so the per-mutation parent-chain walk would be
+        pure overhead on the parse hot path.  Never use this on a tree that
+        a document may already be serving.
+        """
         node.parent = self
         self.children.append(node)
         return node
@@ -91,6 +124,7 @@ class Element(Node):
 
     def set(self, name: str, value: str) -> None:
         self.attributes[name.lower()] = value
+        self._mark_mutated()
 
     @property
     def id(self) -> str | None:
@@ -215,6 +249,9 @@ class Document:
     root: Element
     url: str | None = None
     _id_index: dict[str, Element] | None = field(default=None, repr=False, compare=False)
+    _id_index_version: int = field(default=-1, repr=False, compare=False)
+    _document_index: "DocumentIndex | None" = field(default=None, repr=False, compare=False)
+    _document_index_version: int = field(default=-1, repr=False, compare=False)
 
     # -- document-level accessors -------------------------------------------
 
@@ -259,18 +296,67 @@ class Document:
         return results
 
     def get_element_by_id(self, element_id: str) -> Element | None:
-        """Look up an element by its ``id`` attribute (index built lazily)."""
-        if self._id_index is None:
-            self._id_index = {}
+        """Look up an element by its ``id`` attribute (index built lazily).
+
+        The lazily built map invalidates itself when the tree mutates
+        (``Element.set``/``append`` bump the root's ``tree_version``), so
+        callers never observe stale lookups after a mutation.
+        """
+        if self._id_index is None or self._id_index_version != self.root.tree_version:
+            version = self.root.tree_version
+            index: dict[str, Element] = {}
             for element in self.root.iter():
                 identifier = element.id
-                if identifier and identifier not in self._id_index:
-                    self._id_index[identifier] = element
+                if identifier and identifier not in index:
+                    index[identifier] = element
+            # Record the version only once the rebuild succeeded, so an
+            # interrupted build can never leave a stale map marked fresh.
+            self._id_index = index
+            self._id_index_version = version
         return self._id_index.get(element_id)
 
+    def labels_for(self, element_id: str) -> list[Element]:
+        """All ``<label for=element_id>`` elements, in document order.
+
+        This is the naive reference lookup (one traversal per call); the
+        :class:`~repro.html.index.DocumentIndex` answers the same query from
+        a prebuilt map.  An empty ``element_id`` matches nothing, mirroring
+        ``get_element_by_id`` (which never indexes empty ids).
+        """
+        if not element_id:
+            return []
+        return self.root.find_all(
+            "label", predicate=lambda label: label.get("for") == element_id)
+
+    def index(self) -> "DocumentIndex":
+        """The document's :class:`~repro.html.index.DocumentIndex`.
+
+        Built on first use in a single traversal and cached; rebuilt
+        automatically when the tree mutates.  Every consumer that asks the
+        same document for its index shares one instance, which is how the
+        pipeline's extraction and audit stages (and Kizuki's base-vs-extended
+        double audit) end up traversing each page only once.
+        """
+        from repro.html.index import DocumentIndex
+
+        if (self._document_index is None
+                or self._document_index_version != self.root.tree_version):
+            version = self.root.tree_version
+            self._document_index = DocumentIndex(self)
+            self._document_index_version = version
+        return self._document_index
+
     def invalidate_indexes(self) -> None:
-        """Drop cached indexes after a mutation (generators mutate documents)."""
+        """Drop cached indexes explicitly.
+
+        Mutations through ``Element.set``/``append`` invalidate automatically;
+        this remains for callers that mutate ``children``/``attributes``
+        containers directly.
+        """
         self._id_index = None
+        self._id_index_version = -1
+        self._document_index = None
+        self._document_index_version = -1
 
     def to_html(self) -> str:
         """Serialize the whole document, including a doctype."""

@@ -47,7 +47,9 @@ class _TreeBuilder(HTMLParser):
         return self._stack[-1]
 
     def _open(self, element: Element) -> None:
-        self._current.append(element)
+        # _append_raw throughout the builder: no Document exists while the
+        # tree is under construction, so version bumps would be pure cost.
+        self._current._append_raw(element)
         if element.tag not in VOID_TAGS:
             self._stack.append(element)
 
@@ -87,7 +89,7 @@ class _TreeBuilder(HTMLParser):
             return
         attributes = {name: (value if value is not None else "") for name, value in attrs}
         element = Element(tag, attributes)
-        self._current.append(element)
+        self._current._append_raw(element)
 
     def handle_endtag(self, tag: str) -> None:
         tag = tag.lower()
@@ -103,7 +105,7 @@ class _TreeBuilder(HTMLParser):
         # Inside <script>/<style>, keep the text attached (so that the
         # visibility rules can skip it) but never interpret it as markup;
         # HTMLParser already handles CDATA content modes for these tags.
-        self._current.append(TextNode(data))
+        self._current._append_raw(TextNode(data))
 
     def handle_comment(self, data: str) -> None:
         # Comments carry no accessibility signal; drop them.
@@ -136,9 +138,9 @@ def _ensure_head_and_body(root: Element) -> None:
         if child is head or child is body:
             continue
         if isinstance(child, Element) and child.tag in head_only:
-            head.append(child)
+            head._append_raw(child)
         else:
-            body.append(child)
+            body._append_raw(child)
         reassigned.append(child)
 
     root.children = [head, body]

@@ -21,8 +21,12 @@ the synthetic corpus and the overwhelming majority of real pages:
 from __future__ import annotations
 
 import re
+from typing import TYPE_CHECKING
 
 from repro.html.dom import Document, Element, Node, NON_RENDERED_TAGS, TextNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.html.index import DocumentIndex
 
 _WHITESPACE_RE = re.compile(r"\s+")
 _DISPLAY_NONE_RE = re.compile(r"display\s*:\s*none", re.IGNORECASE)
@@ -59,12 +63,20 @@ def _element_hidden(element: Element) -> bool:
     return _style_hides(element)
 
 
-def is_visible(node: Node) -> bool:
+def is_visible(node: Node, index: "DocumentIndex | None" = None) -> bool:
     """Whether ``node`` (an element or text node) is rendered.
 
     A node is visible when neither it nor any of its ancestors hides its
     subtree.  The document root is always considered visible.
+
+    Args:
+        node: The node to test.
+        index: An optional :class:`~repro.html.index.DocumentIndex`; when
+            given, the answer comes from its top-down memoized visibility
+            map instead of re-walking the ancestor chain.
     """
+    if index is not None:
+        return index.is_visible(node)
     element = node if isinstance(node, Element) else node.parent
     while element is not None:
         if _element_hidden(element):
@@ -88,7 +100,8 @@ def _collect_visible_text(element: Element, parts: list[str]) -> None:
                 parts.append(" ")
 
 
-def extract_visible_text(document: Document | Element, *, normalize: bool = True) -> str:
+def extract_visible_text(document: Document | Element, *, normalize: bool = True,
+                         index: "DocumentIndex | None" = None) -> str:
     """Extract the visible text of a document or subtree.
 
     Args:
@@ -96,11 +109,16 @@ def extract_visible_text(document: Document | Element, *, normalize: bool = True
         normalize: When true (default), runs of whitespace collapse to single
             spaces and the result is stripped, mirroring how rendered text is
             perceived.
+        index: An optional :class:`~repro.html.index.DocumentIndex`; when
+            given, the (normalized) result comes from its per-element memo,
+            so repeated extraction of the same subtree costs one traversal.
 
     Returns:
         The visible text.  Empty string when nothing is visible.
     """
     root = document.root if isinstance(document, Document) else document
+    if index is not None:
+        return index.visible_text(root, normalize=normalize)
     parts: list[str] = []
     _collect_visible_text(root, parts)
     text = "".join(parts)

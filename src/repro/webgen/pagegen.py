@@ -375,7 +375,8 @@ class PageGenerator:
         self._add_summaries(body, self.spec.element_profiles["summary-name"])
         self._add_svgs(body, self.spec.element_profiles["svg-img-alt"])
 
-        document.invalidate_indexes()
+        # No explicit invalidate_indexes() needed: the mutations above bump
+        # the tree version, so document-level caches rebuild on next access.
         return document
 
     def generate_html(self, url: str | None = None) -> str:

@@ -57,6 +57,26 @@ class TestTargetSelection:
         assert result.passed
         assert result.score == 1.0
 
+    def test_frame_title_targets_in_document_order(self) -> None:
+        # Regression: targets used to come back as all iframes then all
+        # frames, regardless of where they sat in the document.
+        markup = ("<frameset><frame src='/top'></frameset>"
+                  "<iframe src='/mid' title='mid'></iframe>"
+                  "<frameset><frame src='/bottom'></frameset>")
+        targets = get_rule("frame-title").select_targets(parse_html(markup))
+        assert [element.get("src") for element in targets] == ["/top", "/mid", "/bottom"]
+
+    def test_label_targets_in_document_order(self) -> None:
+        # Regression: targets used to come back as all inputs then all
+        # textareas rather than in document order.
+        markup = ("<form><textarea name='first'></textarea>"
+                  "<input type='text' name='second'>"
+                  "<textarea name='third'></textarea>"
+                  "<input type='text' name='fourth'></form>")
+        targets = get_rule("label").select_targets(parse_html(markup))
+        assert [element.get("name") for element in targets] == [
+            "first", "second", "third", "fourth"]
+
 
 class TestOutcomeDetails:
     def test_failing_elements_counted(self) -> None:

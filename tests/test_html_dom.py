@@ -146,17 +146,48 @@ class TestDocument:
         target = Element("div", {"id": "target"})
         assert document.body is not None
         document.body.append(target)
-        document.invalidate_indexes()
         assert document.get_element_by_id("target") is target
         assert document.get_element_by_id("nope") is None
 
-    def test_index_invalidation(self) -> None:
+    def test_id_index_invalidated_by_append(self) -> None:
+        # Regression: the lazily built id index used to go stale when the
+        # tree was mutated after the first lookup (webgen mutates trees it
+        # later serves); mutations now invalidate it automatically.
         document = new_document()
         assert document.get_element_by_id("later") is None
         assert document.body is not None
         document.body.append(Element("div", {"id": "later"}))
-        document.invalidate_indexes()
         assert document.get_element_by_id("later") is not None
+
+    def test_id_index_invalidated_by_set(self) -> None:
+        document = new_document()
+        element = Element("div")
+        assert document.body is not None
+        document.body.append(element)
+        assert document.get_element_by_id("renamed") is None
+        element.set("id", "renamed")
+        assert document.get_element_by_id("renamed") is element
+
+    def test_id_index_invalidated_by_deep_mutation(self) -> None:
+        document = new_document()
+        assert document.body is not None
+        inner = Element("div")
+        document.body.append(inner)
+        assert document.get_element_by_id("deep") is None
+        inner.append(Element("span", {"id": "deep"}))
+        assert document.get_element_by_id("deep") is not None
+
+    def test_explicit_invalidation_still_works(self) -> None:
+        # Direct container mutations bypass set()/append(); the explicit
+        # escape hatch remains for those.
+        document = new_document()
+        assert document.get_element_by_id("direct") is None
+        assert document.body is not None
+        orphan = Element("div", {"id": "direct"})
+        orphan.parent = document.body
+        document.body.children.append(orphan)
+        document.invalidate_indexes()
+        assert document.get_element_by_id("direct") is orphan
 
     def test_find_all_includes_root_when_matching(self) -> None:
         document = new_document()

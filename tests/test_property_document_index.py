@@ -1,0 +1,245 @@
+"""Property tests: the DocumentIndex is a pure access-path change.
+
+Random DOMs — nested containers, hidden subtrees, dangling and duplicate
+ids, ``label[for]`` associations, ``aria-labelledby`` references, every
+studied element type — are generated as markup and parsed; then every query
+the index answers (selection, visibility, visible text, accessible names)
+is compared against the naive-traversal reference implementation
+(:class:`~repro.html.index.NaiveDocumentAccessor` /the module-level
+functions).  A final end-to-end check rebuilds real pipeline records with
+``use_index=False`` and asserts byte-identical serialization.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit.engine import AuditEngine
+from repro.audit.rules import ALL_RULES
+from repro.core.extraction import extract_page
+from repro.core.pipeline import record_from_crawl
+from repro.html.accessibility import accessible_name
+from repro.html.dom import Element
+from repro.html.index import NaiveDocumentAccessor
+from repro.html.parser import parse_html
+from repro.html.visibility import extract_visible_text, is_visible
+
+#: Small id pool so generated references collide, dangle and duplicate; the
+#: empty id exercises the "never indexed" edge on every access path.
+ID_POOL = tuple(f"id{i}" for i in range(5)) + ("",)
+
+_HIDING = st.sampled_from([
+    "",
+    " hidden",
+    " aria-hidden='true'",
+    " aria-hidden='false'",
+    " style='display:none'",
+    " style='color:red'",
+    " style='visibility:hidden'",
+])
+
+_WORDS = st.text(alphabet="abc xyzধন", min_size=0, max_size=12)
+
+
+@st.composite
+def _leaf(draw) -> str:
+    """One studied element (or plain text), with randomised attributes."""
+    ident = draw(st.sampled_from(ID_POOL))
+    word = draw(_WORDS)
+    kind = draw(st.sampled_from([
+        "text", "img", "img_plain", "a", "a_plain", "button", "role_button",
+        "input_text", "input_submit", "input_image", "input_hidden",
+        "textarea", "select", "label", "iframe", "frame", "object",
+        "object_blank", "svg", "summary", "labelledby",
+    ]))
+    if kind == "text":
+        return word
+    if kind == "img":
+        return f"<img src='x' alt='{word}'>"
+    if kind == "img_plain":
+        return "<img src='x'>"
+    if kind == "a":
+        return f"<a href='/x' id='{ident}'>{word}</a>"
+    if kind == "a_plain":
+        return f"<a>{word}</a>"
+    if kind == "button":
+        return f"<button id='{ident}'>{word}</button>"
+    if kind == "role_button":
+        return f"<span role='button' title='{word}'>{word}</span>"
+    if kind == "input_text":
+        return f"<input type='text' id='{ident}'>"
+    if kind == "input_submit":
+        return f"<input type='submit' value='{word}'>"
+    if kind == "input_image":
+        return f"<input type='image' alt='{word}'>"
+    if kind == "input_hidden":
+        return "<input type='hidden'>"
+    if kind == "textarea":
+        return f"<textarea id='{ident}'></textarea>"
+    if kind == "select":
+        return f"<select id='{ident}'><option>{word}</option></select>"
+    if kind == "label":
+        return f"<label for='{ident}'>{word}</label>"
+    if kind == "iframe":
+        return f"<iframe src='/f' title='{word}'></iframe>"
+    if kind == "frame":
+        return "<frame src='/f'>"
+    if kind == "object":
+        return f"<object data='/d'>{word}</object>"
+    if kind == "object_blank":
+        return "<object data='/d'>   </object>"
+    if kind == "svg":
+        return f"<svg><title>{word}</title><path d='M0 0'/></svg>"
+    if kind == "summary":
+        return f"<details><summary>{word}</summary><p>{word}</p></details>"
+    return f"<span aria-labelledby='{ident}'>{word}</span>"
+
+
+@st.composite
+def _fragment(draw, depth: int = 0) -> str:
+    pieces = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        if depth < 2 and draw(st.booleans()):
+            tag = draw(st.sampled_from(["div", "p", "section", "form"]))
+            hiding = draw(_HIDING)
+            inner = draw(_fragment(depth=depth + 1))
+            pieces.append(f"<{tag}{hiding}>{inner}</{tag}>")
+        else:
+            pieces.append(draw(_leaf()))
+    return "".join(pieces)
+
+
+@st.composite
+def random_pages(draw):
+    body = draw(_fragment())
+    title = draw(st.sampled_from(["<title>t</title>", "<title></title>", ""]))
+    return parse_html(f"<html lang='bn'><head>{title}</head><body>{body}</body></html>")
+
+
+_QUERY_TAGS = (None, "img", "a", "button", "input", "textarea", "select", "label",
+               "iframe", "frame", "object", "svg", "summary", "div", "span", "html")
+
+
+class TestIndexedQueriesMatchNaive:
+    @settings(max_examples=60, deadline=None)
+    @given(random_pages())
+    def test_selection(self, document) -> None:
+        index = document.index()
+        reference = NaiveDocumentAccessor(document)
+        for tag in _QUERY_TAGS:
+            assert index.elements(tag) == reference.elements(tag)
+        predicate = lambda el: el.has_attr("id")  # noqa: E731
+        assert (index.elements("input", predicate=predicate)
+                == reference.elements("input", predicate=predicate))
+        # Multi-tag merges are document-ordered in both paths.
+        assert (index.elements_of("iframe", "frame")
+                == reference.elements_of("iframe", "frame"))
+        assert (index.elements_of("input", "textarea")
+                == reference.elements_of("input", "textarea"))
+        # Repeated tags do not duplicate results on either path.
+        assert index.elements_of("img", "img") == reference.elements_of("img", "img")
+        assert index.elements_with_role("button") == reference.elements_with_role("button")
+        for ident in ID_POOL:
+            assert index.get_element_by_id(ident) is reference.get_element_by_id(ident)
+            assert index.labels_for(ident) == reference.labels_for(ident)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_pages())
+    def test_visibility(self, document) -> None:
+        index = document.index()
+        for node in document.root.iter_nodes():
+            assert index.is_visible(node) == is_visible(node), node
+            # The module-level function consults a supplied index.
+            assert is_visible(node, index) == is_visible(node), node
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_pages())
+    def test_visible_text(self, document) -> None:
+        index = document.index()
+        assert index.document_text() == extract_visible_text(document)
+        assert extract_visible_text(document, index=index) == extract_visible_text(document)
+        for element in document.iter_elements():
+            assert index.visible_text(element) == extract_visible_text(element)
+            # Memoized second read is stable, and the module-level function
+            # consults a supplied index.
+            assert index.visible_text(element) == extract_visible_text(element)
+            assert (extract_visible_text(element, index=index)
+                    == extract_visible_text(element))
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_pages())
+    def test_accessible_names(self, document) -> None:
+        index = document.index()
+        for element in document.iter_elements():
+            assert index.accessible_name(element) == accessible_name(element, document)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_pages())
+    def test_rule_results(self, document) -> None:
+        reference = NaiveDocumentAccessor(document)
+        index = document.index()
+        for rule in ALL_RULES:
+            assert rule.select_targets(index) == rule.select_targets(reference), rule.rule_id
+            assert rule.evaluate(index) == rule.evaluate(reference), rule.rule_id
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_pages())
+    def test_extraction_and_audit_parity(self, document) -> None:
+        assert extract_page(document) == extract_page(document, use_index=False)
+        engine = AuditEngine()
+        indexed = engine.audit_document(document).to_dict()
+        naive = engine.audit_document(document, use_index=False).to_dict()
+        assert indexed == naive
+        # use_index=False unwraps an accessor argument back to the naive
+        # path instead of letting the index ride through.
+        assert engine.audit_document(document.index(), use_index=False).to_dict() == naive
+
+
+class TestEndToEndByteParity:
+    def test_pipeline_records_identical_indexed_vs_naive(self, small_pipeline_result) -> None:
+        """Rebuilding every crawled record without the index is byte-identical."""
+        engine = AuditEngine()
+        compared = 0
+        for outcome in small_pipeline_result.selection_outcomes.values():
+            for selected in outcome.selected:
+                indexed = record_from_crawl(selected.record, engine)
+                naive = record_from_crawl(selected.record, engine, use_index=False)
+                assert (json.dumps(indexed.to_dict(), ensure_ascii=False, sort_keys=True)
+                        == json.dumps(naive.to_dict(), ensure_ascii=False, sort_keys=True))
+                compared += 1
+        assert compared > 0
+
+    def test_dataset_bytes_identical_indexed_vs_naive(self, small_pipeline_result) -> None:
+        indexed_lines = [json.dumps(record.to_dict(), ensure_ascii=False)
+                         for record in small_pipeline_result.dataset.records]
+        engine = AuditEngine()
+        naive_records = []
+        for outcome in small_pipeline_result.selection_outcomes.values():
+            naive_records.extend(
+                record_from_crawl(selected.record, engine, use_index=False)
+                for selected in outcome.selected)
+        naive_lines = [json.dumps(record.to_dict(), ensure_ascii=False)
+                       for record in naive_records]
+        assert indexed_lines == naive_lines
+
+
+class TestIndexCacheLifecycle:
+    def test_index_shared_until_mutation(self) -> None:
+        document = parse_html("<body><p id='a'>x</p></body>")
+        first = document.index()
+        assert document.index() is first
+        element = document.get_element_by_id("a")
+        assert element is not None
+        element.set("class", "changed")
+        assert document.index() is not first
+
+    def test_stale_elements_not_served_after_mutation(self) -> None:
+        document = parse_html("<body><div id='host'></div></body>")
+        assert document.index().get_element_by_id("late") is None
+        host = document.get_element_by_id("host")
+        assert host is not None
+        late = Element("span", {"id": "late"})
+        host.append(late)
+        assert document.index().get_element_by_id("late") is late
