@@ -82,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="concurrent candidate fetches per country shard via the "
                             "async batched fetch layer; any value produces "
                             "byte-identical output (default: 1)")
+    build.add_argument("--sub-shard-size", type=_positive_int, default=None,
+                       help="split each country's candidate walk into sub-shards of "
+                            "this many candidates so one country can use every "
+                            "worker; sub-shards are evaluated speculatively but "
+                            "committed in rank order, so any value produces "
+                            "byte-identical output (default: whole-country shards)")
     build.add_argument("--stream-output", type=Path, default=None,
                        help="stream records to this JSONL as shards finish instead "
                             "of writing --output after the run; the file is "
@@ -125,6 +131,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         max_in_flight=args.max_in_flight,
+        sub_shard_size=args.sub_shard_size,
     )
     if args.stream_output is not None:
         # Streaming builds don't retain records in memory: the streamed file
@@ -140,8 +147,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
         print(f"  {country}: selected {len(outcome.selected)}/{outcome.quota}"
               f" (replaced {outcome.replacement_count}, examined {outcome.candidates_examined})")
     if args.workers > 1:
+        shards = len(result.shard_metrics)
+        sub_shards = sum(metric.sub_shards for metric in result.shard_metrics.values())
+        shard_note = (f" {shards} shards ({sub_shards} sub-shards)"
+                      if args.sub_shard_size is not None else f" {shards} shards")
         print(f"  shard wall-clock: {result.total_shard_seconds():.2f}s across"
-              f" {len(result.shard_metrics)} shards"
+              f"{shard_note}"
               f" ({result.executor_workers} workers, {result.executor_name} executor)")
     return 0
 

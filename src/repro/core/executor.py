@@ -69,6 +69,23 @@ DEFAULT_QUEUE_SIZE = 8
 EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
 
 
+def plan_chunks(total: int, size: int) -> list[tuple[int, int]]:
+    """``[start, stop)`` windows of at most ``size`` covering ``range(total)``.
+
+    The unit of sub-shard planning: a shard of ``total`` rank-ordered items
+    splits into ``ceil(total / size)`` contiguous windows, each of which can
+    be evaluated independently and merged back in window order.
+
+    Raises:
+        ValueError: For a non-positive ``size`` or a negative ``total``.
+    """
+    if size < 1:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    return [(start, min(start + size, total)) for start in range(0, total, size)]
+
+
 class ExecutorError(RuntimeError):
     """A shard function raised; wraps the original exception.
 
@@ -105,14 +122,19 @@ class ShardMetrics:
     Attributes:
         shard: Shard identifier (the country code).
         index: Submission position of the shard.
-        duration_s: Wall-clock seconds spent in the shard function.
+        duration_s: Wall-clock seconds spent in the shard function.  For a
+            sub-sharded shard this is the *sum* over its sub-shards — the
+            work a serial walk would do, not the elapsed wall-clock.
         records: Number of site records the shard produced.
+        sub_shards: How many sub-shard units the shard was executed as
+            (1 when the shard ran as a single unit).
     """
 
     shard: str
     index: int
     duration_s: float
     records: int
+    sub_shards: int = 1
 
     @property
     def records_per_second(self) -> float:
@@ -158,11 +180,21 @@ class PipelineExecutor(ABC):
         """
         buffered: dict[int, ShardResult] = {}
         next_index = 0
-        for result in self.run(fn, shards):
-            buffered[result.index] = result
-            while next_index in buffered:
-                yield buffered.pop(next_index)
-                next_index += 1
+        stream = self.run(fn, shards)
+        try:
+            for result in stream:
+                buffered[result.index] = result
+                while next_index in buffered:
+                    yield buffered.pop(next_index)
+                    next_index += 1
+        finally:
+            # A consumer that stops early (e.g. the sub-sharded selection
+            # walk once its quota fills) closes this generator; propagate
+            # the close so the backend cancels pending shards and shuts its
+            # pool down deterministically instead of at garbage collection.
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
 
 
 class SerialExecutor(PipelineExecutor):

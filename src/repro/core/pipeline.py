@@ -23,16 +23,36 @@ its own stream seeded by ``stable_seed(seed, "transport", country,
 domain)``, so the outcome of crawling one origin depends on nothing but the
 config — not on worker counts, batch sizes or completion interleavings.  A
 parallel and/or batched run is therefore byte-identical to a sequential
-one, and the per-candidate split is also what intra-country sharding would
-build on.
+one.
 
-Within a shard, ``PipelineConfig.max_in_flight`` controls the async batched
-fetch layer: the selection walk prefetches that many origins concurrently
-through :meth:`~repro.crawler.crawler.LangCruxCrawler.crawl_batch` while
-evaluating candidates strictly in rank order.  Across shards,
-:meth:`LangCrUXPipeline.run` can stream finished shards straight to disk
-through :class:`~repro.core.dataset.StreamingDatasetWriter` (``stream_to``),
-preserving the ordered-merge guarantee.
+Intra-country sub-sharding
+--------------------------
+With ``PipelineConfig.sub_shard_size`` set, shard planning descends one
+level: instead of one work unit per country, each country's ranking is cut
+into fixed-size :class:`SelectionSubShard` windows and *those* are what the
+executor dispatches (:func:`execute_selection_subshard`).  Each sub-shard
+speculatively crawls its window, measures native shares, and — for
+candidates that would qualify — speculatively builds the site record from
+the already-parsed documents.  The parent then reassembles per-country
+:class:`~repro.core.site_selection.SelectionOutcome`s by committing
+sub-shard evaluations in strict rank order through a
+:class:`~repro.core.site_selection.RankOrderCommitter`: once a country's
+quota fills, later evaluations are discarded uncounted, queued sub-shards
+of that country short-circuit via a filled-countries flag, and once every
+country is finalized the executor stream is closed, cancelling anything
+still pending.  Selected sets, rejection counters and output JSONL are
+byte-identical to the sequential walk for every ``(executor, workers,
+sub_shard_size, max_in_flight)`` combination — which is what lets a run
+dominated by one large country scale past one worker.
+
+Within a shard (or sub-shard), ``PipelineConfig.max_in_flight`` controls the
+async batched fetch layer as before.
+
+Across shards, :meth:`LangCrUXPipeline.run` can stream finished shards
+straight to disk through
+:class:`~repro.core.dataset.StreamingDatasetWriter` (``stream_to``),
+preserving the ordered-merge guarantee (countries always finalize in
+configured order, sub-sharded or not).
 
 The result object keeps the intermediate artifacts (ranking, selection
 outcomes, per-shard timing metrics) because several benchmark harnesses
@@ -43,9 +63,11 @@ uses the outcomes, the scaling benchmark uses the shard metrics).
 from __future__ import annotations
 
 import functools
+import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import Iterator, Sequence
 
 from repro.audit.engine import AuditEngine
 from repro.core.dataset import LangCrUXDataset, SiteRecord, StreamingDatasetWriter
@@ -53,15 +75,23 @@ from repro.core.executor import (
     PipelineExecutor,
     ProcessExecutor,
     ShardMetrics,
+    ShardResult,
     create_executor,
+    plan_chunks,
 )
 from repro.core.extraction import extract_page, merge_extractions
-from repro.core.site_selection import SelectionOutcome, SiteSelector
+from repro.core.site_selection import (
+    CandidateEvaluation,
+    RankOrderCommitter,
+    SelectionOutcome,
+    SiteSelector,
+)
 from repro.crawler.crawler import CrawlerConfig, LangCruxCrawler
 from repro.crawler.fetcher import Fetcher, FetcherConfig, SimulatedTransport
 from repro.crawler.records import CrawlRecord
 from repro.crawler.session import CrawlSession
 from repro.crawler.vpn import DEFAULT_PROVIDERS, VantagePoint, VPNCoverageError, VPNManager
+from repro.html.dom import Document
 from repro.html.parser import parse_html
 from repro.langid.languages import get_pair, langcrux_country_codes
 from repro.webgen.crux import CruxTable, build_crux_table
@@ -99,6 +129,12 @@ class PipelineConfig:
             (the async batched fetch layer).  1 keeps the sequential walk;
             any value produces the same dataset bytes (per-candidate RNG
             splits).
+        sub_shard_size: When set, each country's candidate rank-walk is cut
+            into sub-shards of this many candidates and those become the
+            executor's work units, so a single large country can occupy
+            every worker.  ``None`` (the default) keeps whole-country
+            shards.  Any value produces the same dataset bytes: sub-shards
+            are evaluated speculatively but committed in strict rank order.
     """
 
     countries: tuple[str, ...] = field(default_factory=langcrux_country_codes)
@@ -113,6 +149,7 @@ class PipelineConfig:
     workers: int = 1
     executor: str = "auto"
     max_in_flight: int = 1
+    sub_shard_size: int | None = None
 
 
 @dataclass
@@ -223,14 +260,21 @@ def crawler_for_country(config: PipelineConfig, country_code: str,
     return LangCruxCrawler(session, crawler_config)
 
 
+def selector_for_country(config: PipelineConfig, country_code: str,
+                         web: SyntheticWeb,
+                         vantage: VantagePoint | None = None) -> SiteSelector:
+    """A selector over a fresh country-bound crawler (pure per-shard)."""
+    pair = get_pair(country_code)
+    crawler = crawler_for_country(config, country_code, web, vantage)
+    return SiteSelector(crawler, pair.language.code,
+                        threshold=config.language_threshold)
+
+
 def select_country_sites(config: PipelineConfig, country_code: str,
                          web: SyntheticWeb, crux: CruxTable,
                          vantage: VantagePoint | None = None) -> SelectionOutcome:
     """Run selection + crawling for one country (pure per-shard)."""
-    pair = get_pair(country_code)
-    crawler = crawler_for_country(config, country_code, web, vantage)
-    selector = SiteSelector(crawler, pair.language.code,
-                            threshold=config.language_threshold)
+    selector = selector_for_country(config, country_code, web, vantage)
     outcome = selector.select(crux.iter_ranked(country_code),
                               quota=config.sites_per_country,
                               max_in_flight=config.max_in_flight)
@@ -240,7 +284,8 @@ def select_country_sites(config: PipelineConfig, country_code: str,
 
 def record_from_crawl(crawl_record: CrawlRecord,
                       audit_engine: AuditEngine | None = None, *,
-                      use_index: bool = True) -> SiteRecord:
+                      use_index: bool = True,
+                      documents: Sequence[Document] | None = None) -> SiteRecord:
     """Extraction + audit of one crawled origin (pure per-shard).
 
     Each page is parsed exactly once; extraction and audit then share the
@@ -250,10 +295,23 @@ def record_from_crawl(crawl_record: CrawlRecord,
     is a single DOM traversal instead of one per rule and element group.
     ``use_index=False`` keeps the naive traversal path (the reference the
     byte-parity tests and the benchmark compare against).
+
+    Args:
+        crawl_record: The crawled origin.
+        audit_engine: The audit engine to use (a fresh one when ``None``).
+        use_index: Whether lookups go through the document index.
+        documents: The record's pages already parsed (in page order, one per
+            ``ok`` HTML page), e.g. carried over from selection validation
+            via :class:`~repro.core.site_selection.SelectedSite.documents`.
+            Skips the re-parse; since parsing is deterministic, the produced
+            record is byte-identical either way.
     """
     engine = audit_engine if audit_engine is not None else AuditEngine()
-    documents = [parse_html(page.html, url=page.final_url)
-                 for page in crawl_record.pages if page.ok and page.html]
+    if documents is None:
+        documents = [parse_html(page.html, url=page.final_url)
+                     for page in crawl_record.pages if page.ok and page.html]
+    else:
+        documents = list(documents)
     extraction = merge_extractions(
         [extract_page(document, use_index=use_index) for document in documents])
     audit: dict[str, dict] = {}
@@ -306,10 +364,122 @@ def execute_country_shard(config: PipelineConfig, country_code: str,
     vantage = vantage_for_country(config, country_code)
     outcome = select_country_sites(config, country_code, web, crux, vantage)
     audit_engine = AuditEngine()  # per-shard: concurrent audits never share state
-    records = [record_from_crawl(selected.record, audit_engine)
+    records = [record_from_crawl(selected.record, audit_engine,
+                                 documents=selected.documents or None)
                for selected in outcome.selected]
+    # Selected sites carried their validation-time parsed documents into the
+    # record build above; strip them now so the returned shard stays light
+    # (and picklable without shipping DOM trees back from process workers).
+    outcome.selected = [replace(selected, documents=())
+                        for selected in outcome.selected]
     return CountryShard(country_code=country_code, vantage=vantage,
                         outcome=outcome, records=records)
+
+
+# -- intra-country sub-shards --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectionSubShard:
+    """One executor work unit of a sub-sharded selection walk.
+
+    Attributes:
+        country_code: The country whose ranking this window belongs to.
+        chunk_index: Position of the window within the country (0-based).
+        start: First candidate rank-position of the window (inclusive).
+        stop: One past the last candidate rank-position (exclusive).
+    """
+
+    country_code: str
+    chunk_index: int
+    start: int
+    stop: int
+
+
+@dataclass
+class SelectionSubShardResult:
+    """The speculative output of one sub-shard.
+
+    ``evaluations`` come back rank-ordered and slimmed for the trip home:
+    documents are stripped, and non-qualifying candidates also drop their
+    page snapshots (the committer only consults their pre-derived
+    ``fetch_succeeded``, and only qualifying candidates' crawl records are
+    retained on the outcome), so a process backend never ships rejected
+    HTML parent-ward.  ``records`` holds, aligned with ``evaluations``, the
+    speculatively built site record for every candidate that would qualify
+    (``None`` otherwise).  A ``skipped`` result carries no evaluations: the
+    worker observed that the country's quota had already filled and
+    short-circuited.
+    """
+
+    spec: SelectionSubShard
+    evaluations: list[CandidateEvaluation]
+    records: list[SiteRecord | None]
+    skipped: bool = False
+
+
+def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
+                               web_and_crux: tuple[SyntheticWeb, CruxTable] | None = None,
+                               filled_countries: set[str] | None = None,
+                               ) -> SelectionSubShardResult:
+    """Speculatively evaluate one rank window of one country (pure).
+
+    Crawls the window's candidates, measures native shares, and builds the
+    site record for each would-qualify candidate from its validation-time
+    parse — all without touching selection state.  Whether each evaluation
+    is *committed* (counted, selected) is decided later by the parent's
+    rank-ordered merge, so running windows out of order, concurrently or
+    redundantly cannot change the outcome.
+
+    Args:
+        config: The pipeline configuration.
+        spec: The window to evaluate.
+        web_and_crux: The prebuilt web and ranking (``None`` regenerates
+            them deterministically per process, as for country shards).
+        filled_countries: Optional live set of countries whose quota already
+            filled; sub-shards of those return an empty ``skipped`` result
+            without crawling.  Only same-process backends can observe
+            updates (a process backend pickles the set's state at submit
+            time), which is safe either way: skipping is a pure
+            optimisation, the merge discards past-quota evaluations
+            regardless.
+    """
+    if filled_countries is not None and spec.country_code in filled_countries:
+        return SelectionSubShardResult(spec=spec, evaluations=[], records=[],
+                                       skipped=True)
+    web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
+    selector = selector_for_country(config, spec.country_code, web)
+    evaluations = selector.evaluate_window(
+        crux.iter_ranked(spec.country_code), spec.start, spec.stop,
+        max_in_flight=config.max_in_flight)
+    audit_engine = AuditEngine()  # per-sub-shard: never shared across workers
+    records: list[SiteRecord | None] = []
+    slimmed: list[CandidateEvaluation] = []
+    for evaluation in evaluations:
+        qualifies = (evaluation.fetch_succeeded
+                     and evaluation.native_share >= config.language_threshold)
+        records.append(record_from_crawl(evaluation.record, audit_engine,
+                                         documents=evaluation.documents or None)
+                       if qualifies else None)
+        slim = evaluation.without_documents()
+        if not qualifies and slim.record.pages:
+            slim = replace(slim, record=replace(slim.record, pages=[]))
+        slimmed.append(slim)
+    return SelectionSubShardResult(spec=spec, evaluations=slimmed, records=records)
+
+
+@dataclass
+class _CountryMergeState:
+    """Accumulator for one country while its sub-shards stream in."""
+
+    country_code: str
+    index: int
+    committer: RankOrderCommitter
+    remaining_chunks: int
+    records: list[SiteRecord] = field(default_factory=list)
+    duration_s: float = 0.0
+    sub_shards_merged: int = 0
+    done: bool = False
 
 
 class LangCrUXPipeline:
@@ -388,6 +558,49 @@ class LangCrUXPipeline:
                              "the records would otherwise be lost")
         web, crux = self.build_web()
         backend = executor if executor is not None else self._executor()
+        if self.config.sub_shard_size is not None:
+            shard_stream = self._run_subsharded(backend, web, crux)
+        else:
+            shard_stream = self._run_country_shards(backend, web, crux)
+        dataset = LangCrUXDataset()
+        outcomes: dict[str, SelectionOutcome] = {}
+        vantages: dict[str, VantagePoint] = {}
+        metrics: dict[str, ShardMetrics] = {}
+        writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
+        try:
+            for shard, metric in shard_stream:
+                vantages[shard.country_code] = shard.vantage
+                outcomes[shard.country_code] = shard.outcome
+                if keep_in_memory:
+                    dataset.extend(shard.records)
+                if writer is not None:
+                    writer.write_many(shard.records)
+                metrics[shard.country_code] = metric
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
+        streamed = writer.close() if writer is not None else 0
+        # Usable workers are capped by the number of work units: countries,
+        # or sub-shard windows when the walk is sub-sharded (the whole point
+        # of sub-sharding is that this cap exceeds the country count).
+        if self.config.sub_shard_size is not None:
+            work_units = sum(
+                len(plan_chunks(crux.size(country), self.config.sub_shard_size))
+                for country in self.config.countries)
+        else:
+            work_units = len(self.config.countries)
+        return PipelineResult(dataset=dataset, crux_table=crux, web=web,
+                              selection_outcomes=outcomes, vantages=vantages,
+                              shard_metrics=metrics, executor_name=backend.name,
+                              executor_workers=min(backend.workers, work_units),
+                              stream_path=Path(stream_to) if stream_to is not None else None,
+                              streamed_records=streamed)
+
+    def _run_country_shards(self, backend: PipelineExecutor, web: SyntheticWeb,
+                            crux: CruxTable,
+                            ) -> Iterator[tuple[CountryShard, ShardMetrics]]:
+        """Dispatch whole-country shards, yielding them in configured order."""
         # Process workers rebuild the (lazily generated) web from the config
         # instead of receiving a pickled copy — unless the web was supplied
         # explicitly and cannot be derived from the config.
@@ -396,35 +609,111 @@ class LangCrUXPipeline:
         else:
             shard_fn = functools.partial(execute_country_shard, self.config,
                                          web_and_crux=(web, crux))
-        dataset = LangCrUXDataset()
-        outcomes: dict[str, SelectionOutcome] = {}
-        vantages: dict[str, VantagePoint] = {}
-        metrics: dict[str, ShardMetrics] = {}
-        writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
+        for result in backend.run_ordered(shard_fn, list(self.config.countries)):
+            shard: CountryShard = result.value
+            yield shard, ShardMetrics(shard=shard.country_code, index=result.index,
+                                      duration_s=result.duration_s,
+                                      records=len(shard.records))
+
+    def _run_subsharded(self, backend: PipelineExecutor, web: SyntheticWeb,
+                        crux: CruxTable,
+                        ) -> Iterator[tuple[CountryShard, ShardMetrics]]:
+        """Dispatch intra-country sub-shards and reassemble country shards.
+
+        Sub-shards are submitted country by country in configured order (so
+        ``run_ordered`` delivers each country's windows contiguously and in
+        rank order) and their speculative evaluations are committed through
+        per-country :class:`~repro.core.site_selection.RankOrderCommitter`s.
+        A country finalizes — and is yielded, preserving the streaming
+        order — as soon as its quota fills or its ranking exhausts; its
+        remaining sub-shards are skipped via the shared filled flag or
+        discarded on arrival.  Once every country has finalized, the
+        executor stream is closed, cancelling pending speculative windows.
+        """
+        config = self.config
+        assert config.sub_shard_size is not None
+        specs: list[SelectionSubShard] = []
+        states: dict[str, _CountryMergeState] = {}
+        for position, country in enumerate(config.countries):
+            windows = plan_chunks(crux.size(country), config.sub_shard_size)
+            states[country] = _CountryMergeState(
+                country_code=country, index=position,
+                committer=RankOrderCommitter(config.sites_per_country,
+                                             config.language_threshold,
+                                             country_code=country),
+                remaining_chunks=len(windows))
+            specs.extend(
+                SelectionSubShard(country_code=country, chunk_index=chunk_index,
+                                  start=start, stop=stop)
+                for chunk_index, (start, stop) in enumerate(windows))
+        filled: set[str] = set()
+        if isinstance(backend, ProcessExecutor):
+            # Workers in other processes cannot observe the live flag (and
+            # rebuild the web per process when it is config-derived).
+            web_and_crux = (web, crux) if self._web_supplied else None
+            subshard_fn = functools.partial(execute_selection_subshard, config,
+                                            web_and_crux=web_and_crux)
+        else:
+            subshard_fn = functools.partial(execute_selection_subshard, config,
+                                            web_and_crux=(web, crux),
+                                            filled_countries=filled)
+        order = list(config.countries)
+        finalized = 0
+
+        def finalize(state: _CountryMergeState) -> tuple[CountryShard, ShardMetrics]:
+            state.done = True
+            filled.add(state.country_code)
+            shard = CountryShard(
+                country_code=state.country_code,
+                vantage=vantage_for_country(config, state.country_code),
+                outcome=state.committer.outcome,
+                records=state.records)
+            metric = ShardMetrics(shard=state.country_code, index=state.index,
+                                  duration_s=state.duration_s,
+                                  records=len(state.records),
+                                  sub_shards=state.sub_shards_merged)
+            return shard, metric
+
+        stream = backend.run_ordered(subshard_fn, specs)
         try:
-            for result in backend.run_ordered(shard_fn, list(self.config.countries)):
-                shard: CountryShard = result.value
-                vantages[shard.country_code] = shard.vantage
-                outcomes[shard.country_code] = shard.outcome
-                if keep_in_memory:
-                    dataset.extend(shard.records)
-                if writer is not None:
-                    writer.write_many(shard.records)
-                metrics[shard.country_code] = ShardMetrics(
-                    shard=shard.country_code,
-                    index=result.index,
-                    duration_s=result.duration_s,
-                    records=len(shard.records),
-                )
-        except BaseException:
-            if writer is not None:
-                writer.abort()
-            raise
-        streamed = writer.close() if writer is not None else 0
-        return PipelineResult(dataset=dataset, crux_table=crux, web=web,
-                              selection_outcomes=outcomes, vantages=vantages,
-                              shard_metrics=metrics, executor_name=backend.name,
-                              executor_workers=min(backend.workers,
-                                                   len(self.config.countries)),
-                              stream_path=Path(stream_to) if stream_to is not None else None,
-                              streamed_records=streamed)
+            for result in stream:
+                sub: SelectionSubShardResult = result.value
+                state = states[sub.spec.country_code]
+                if state.done:
+                    continue  # quota filled earlier; discard the speculation
+                state.duration_s += result.duration_s
+                if not sub.skipped:
+                    state.sub_shards_merged += 1
+                    record_for = {evaluation.entry: record
+                                  for evaluation, record
+                                  in zip(sub.evaluations, sub.records)}
+                    for evaluation, _site in state.committer.commit_chunk(
+                            sub.evaluations):
+                        # Workers build records for exactly the candidates
+                        # the committer accepts (same succeeded + threshold
+                        # rule).
+                        record = record_for[evaluation.entry]
+                        assert record is not None
+                        state.records.append(record)
+                state.remaining_chunks -= 1
+                # Finalize the frontier of completed countries in configured
+                # order; zero-window countries finalize when reached.
+                while finalized < len(order):
+                    frontier = states[order[finalized]]
+                    if not frontier.done and not (frontier.committer.filled
+                                                  or frontier.remaining_chunks == 0):
+                        break
+                    if not frontier.done:
+                        yield finalize(frontier)
+                    finalized += 1
+                if finalized == len(order):
+                    break  # cancel whatever speculative windows remain
+        finally:
+            stream.close()
+        # Countries with no sub-shards at all (empty rankings) never appear
+        # in the stream; flush them so every configured country reports.
+        while finalized < len(order):
+            state = states[order[finalized]]
+            if not state.done:
+                yield finalize(state)
+            finalized += 1

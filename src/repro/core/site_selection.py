@@ -10,6 +10,42 @@ ranking is exhausted.
 This module implements that loop on top of the crawler; it is the step that
 turns a ranking into the set of origins whose crawl records feed the dataset
 builder.
+
+Architecture: speculative evaluation, rank-ordered commit
+---------------------------------------------------------
+The walk is split into two halves with different freedom to parallelise:
+
+* **Evaluation** (:meth:`SiteSelector.evaluate`) — crawl one candidate and
+  measure its visible-text native share.  Thanks to the per-candidate RNG
+  split of the simulated transport (``stable_seed(seed, "transport",
+  country, host)``), the result depends on nothing but the candidate, so
+  evaluations may run in any order, concurrently, batched, or speculatively
+  past the quota boundary.
+* **Commit** (:class:`RankOrderCommitter`) — apply the paper's
+  accept/replace rule to evaluations in *strict rank order*, stopping the
+  moment the quota fills.  Evaluations past that point are discarded
+  uncounted, so the selected set, every rejection counter and the resulting
+  records are byte-identical to the strictly sequential walk.
+
+Three dispatch modes share those halves:
+
+* the sequential walk (``max_in_flight == 1``, no executor) — evaluate and
+  commit one candidate at a time, the reference semantics;
+* the batched walk (``max_in_flight > 1``) — prefetch up to
+  ``max_in_flight`` candidates on one event loop, commit in rank order;
+* the **sub-sharded walk** (``sub_shard_size`` + an executor from
+  :mod:`repro.core.executor`) — chunk the ranking into fixed-size
+  sub-shards, evaluate whole sub-shards speculatively on executor workers,
+  and merge their outcomes through the committer.  Sub-shards queued after
+  the quota fills are skipped (serial/thread backends observe the filled
+  flag) or cancelled when the consumer stops iterating; results that still
+  arrive are discarded by the committer.  This is what lets a run dominated
+  by one large country use every worker.
+
+Evaluations also carry the parsed :class:`~repro.html.dom.Document` of each
+page (with its cached :class:`~repro.html.index.DocumentIndex` built while
+computing the visible text), so the downstream record builder can reuse the
+parse instead of re-parsing every selected page.
 """
 
 from __future__ import annotations
@@ -17,24 +53,67 @@ from __future__ import annotations
 import asyncio
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.core.executor import PipelineExecutor, plan_chunks
 from repro.crawler.crawler import LangCruxCrawler
 from repro.crawler.fetcher import run_coroutine
 from repro.crawler.records import CrawlRecord
+from repro.html.dom import Document
+from repro.html.index import ensure_index
 from repro.html.parser import parse_html
-from repro.html.visibility import extract_visible_text
 from repro.langid.detector import ScriptDetector
 from repro.webgen.crux import CruxEntry
 
 
 @dataclass(frozen=True)
 class SelectedSite:
-    """One origin that passed selection."""
+    """One origin that passed selection.
+
+    ``documents`` holds the pages parsed during validation (index built),
+    so record building can skip one parse+extract per selected origin.  It
+    is excluded from comparisons: a stripped site (documents dropped after
+    records are built, e.g. before crossing a process boundary) still
+    compares equal to the one that carried them.
+    """
 
     entry: CruxEntry
     record: CrawlRecord
     visible_native_share: float
+    documents: tuple[Document, ...] = field(default=(), compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """The speculative, commit-free evaluation of one candidate.
+
+    Evaluating a candidate (crawl + native-share measurement) mutates no
+    shared state, so evaluations can be produced in any order and discarded
+    freely; only :meth:`RankOrderCommitter.commit` turns them into outcome
+    state.
+
+    ``fetch_succeeded`` records the crawl verdict at evaluation time
+    (derived from the record when not given), so the committer never
+    re-derives it — which lets carriers slim a rejected evaluation's record
+    (drop its page snapshots) without changing how it commits.
+    """
+
+    entry: CruxEntry
+    record: CrawlRecord
+    native_share: float
+    fetch_succeeded: bool | None = None
+    documents: tuple[Document, ...] = field(default=(), compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.fetch_succeeded is None:
+            object.__setattr__(self, "fetch_succeeded", self.record.succeeded)
+
+    def without_documents(self) -> "CandidateEvaluation":
+        """A copy safe to pickle across process boundaries."""
+        return CandidateEvaluation(entry=self.entry, record=self.record,
+                                   native_share=self.native_share,
+                                   fetch_succeeded=self.fetch_succeeded,
+                                   documents=())
 
 
 @dataclass
@@ -58,6 +137,66 @@ class SelectionOutcome:
         return self.rejected_below_threshold + self.rejected_fetch_failure
 
 
+class RankOrderCommitter:
+    """Applies the accept/replace rule to evaluations in strict rank order.
+
+    The committer is the *only* place selection state changes, which is what
+    makes speculative evaluation safe: callers may evaluate candidates in
+    any order, but must commit them in rank order, and every commit after
+    the quota fills is a no-op (the evaluation is discarded uncounted,
+    exactly as the sequential walk never examines those candidates).
+    """
+
+    def __init__(self, quota: int, threshold: float, *,
+                 country_code: str = "") -> None:
+        self.outcome = SelectionOutcome(country_code=country_code, quota=quota)
+        self.threshold = threshold
+
+    @property
+    def filled(self) -> bool:
+        return self.outcome.filled
+
+    def commit(self, evaluation: CandidateEvaluation) -> SelectedSite | None:
+        """Commit one evaluation; returns the selected site when accepted.
+
+        No-op (returns ``None``) once the quota is filled — committing past
+        the boundary discards the speculative evaluation without touching
+        any counter.
+        """
+        outcome = self.outcome
+        if outcome.filled:
+            return None
+        outcome.country_code = outcome.country_code or evaluation.entry.country_code
+        outcome.candidates_examined += 1
+        if not evaluation.fetch_succeeded:
+            outcome.rejected_fetch_failure += 1
+            return None
+        if evaluation.native_share < self.threshold:
+            outcome.rejected_below_threshold += 1
+            return None
+        site = SelectedSite(entry=evaluation.entry, record=evaluation.record,
+                            visible_native_share=evaluation.native_share,
+                            documents=evaluation.documents)
+        outcome.selected.append(site)
+        return site
+
+    def commit_chunk(self, evaluations: Iterable[CandidateEvaluation]
+                     ) -> list[tuple[CandidateEvaluation, SelectedSite]]:
+        """Commit a rank-ordered chunk; returns the newly accepted pairs.
+
+        Stops at the quota boundary: evaluations past the fill point are
+        not committed (and not counted), mirroring the sequential walk.
+        """
+        accepted: list[tuple[CandidateEvaluation, SelectedSite]] = []
+        for evaluation in evaluations:
+            if self.outcome.filled:
+                break
+            site = self.commit(evaluation)
+            if site is not None:
+                accepted.append((evaluation, site))
+        return accepted
+
+
 class SiteSelector:
     """Selects qualifying origins for one country using a crawler.
 
@@ -65,42 +204,87 @@ class SiteSelector:
         crawler: A crawler bound to the country's vantage point.
         language_code: The country's target language.
         threshold: Minimum visible-text native share (0.5 in the paper).
+        crawler_factory: Optional factory for per-chunk crawlers.  The
+            sub-sharded walk evaluates chunks on executor workers; with a
+            factory every chunk gets its own crawler (own session, robots
+            cache and virtual clock), so concurrent chunks share no mutable
+            crawl state.  Without one, chunks share ``crawler`` — fine for
+            the serial backend, and for thread backends whose transport is
+            thread-safe and single-page crawls.
     """
 
     def __init__(self, crawler: LangCruxCrawler, language_code: str, *,
-                 threshold: float = 0.5) -> None:
+                 threshold: float = 0.5,
+                 crawler_factory: Callable[[], LangCruxCrawler] | None = None) -> None:
         self.crawler = crawler
         self.language_code = language_code
         self.threshold = threshold
+        self.crawler_factory = crawler_factory
         self._detector = ScriptDetector(language_code)
 
-    def _native_share(self, record: CrawlRecord) -> float:
-        """Pooled native share of the visible text of the record's pages."""
-        texts = []
-        for page in record.pages:
-            if page.ok and page.html:
-                texts.append(extract_visible_text(parse_html(page.html, url=page.final_url)))
-        if not texts:
-            return 0.0
-        return self._detector.share(" ".join(texts)).native
+    # -- speculative evaluation -------------------------------------------------
 
-    def _consider(self, outcome: SelectionOutcome, entry: CruxEntry,
-                  record: CrawlRecord) -> None:
-        """Apply the paper's accept/replace rule to one crawled candidate."""
-        outcome.country_code = outcome.country_code or entry.country_code
-        outcome.candidates_examined += 1
+    def _evaluation(self, entry: CruxEntry, record: CrawlRecord) -> CandidateEvaluation:
+        """Measure one crawled candidate (no selection state is touched)."""
         if not record.succeeded:
-            outcome.rejected_fetch_failure += 1
-            return
-        share = self._native_share(record)
-        if share < self.threshold:
-            outcome.rejected_below_threshold += 1
-            return
-        outcome.selected.append(SelectedSite(entry=entry, record=record,
-                                             visible_native_share=share))
+            return CandidateEvaluation(entry=entry, record=record, native_share=0.0)
+        documents = tuple(parse_html(page.html, url=page.final_url)
+                          for page in record.pages if page.ok and page.html)
+        texts = [ensure_index(document).document_text() for document in documents]
+        share = self._detector.share(" ".join(texts)).native if texts else 0.0
+        return CandidateEvaluation(entry=entry, record=record, native_share=share,
+                                   documents=documents)
+
+    def evaluate(self, entry: CruxEntry,
+                 crawler: LangCruxCrawler | None = None) -> CandidateEvaluation:
+        """Crawl and measure one candidate speculatively."""
+        crawler = crawler or self.crawler
+        return self._evaluation(entry, crawler.crawl_origin(entry, self.language_code))
+
+    def _chunk_crawler(self) -> LangCruxCrawler:
+        """The crawler one chunk evaluates on (chunk-local with a factory)."""
+        return self.crawler_factory() if self.crawler_factory is not None else self.crawler
+
+    def evaluate_chunk(self, entries: Sequence[CruxEntry] | Iterable[CruxEntry], *,
+                       max_in_flight: int = 1) -> list[CandidateEvaluation]:
+        """Speculatively evaluate a rank-contiguous chunk of candidates.
+
+        The chunk is crawled through a chunk-local crawler when a
+        ``crawler_factory`` is configured, batched-async when
+        ``max_in_flight > 1``.  Results come back in entry order.
+        """
+        entry_list = list(entries)
+        if not entry_list:
+            return []
+        crawler = self._chunk_crawler()
+        if max_in_flight > 1:
+            records = crawler.crawl_batch(entry_list, self.language_code,
+                                          max_in_flight=max_in_flight)
+        else:
+            records = [crawler.crawl_origin(entry, self.language_code)
+                       for entry in entry_list]
+        return [self._evaluation(entry, record)
+                for entry, record in zip(entry_list, records)]
+
+    def evaluate_window(self, candidates: Iterable[CruxEntry], start: int, stop: int,
+                        *, max_in_flight: int = 1) -> list[CandidateEvaluation]:
+        """Evaluate the rank window ``[start, stop)`` of ``candidates``."""
+        if max_in_flight > 1:
+            entry_list = list(candidates)
+            records = self._chunk_crawler().crawl_batch(
+                entry_list, self.language_code, max_in_flight=max_in_flight,
+                window=(start, stop))
+            return [self._evaluation(entry, record)
+                    for entry, record in zip(entry_list[start:stop], records)]
+        return self.evaluate_chunk(itertools.islice(candidates, start, stop),
+                                   max_in_flight=max_in_flight)
+
+    # -- the walks ----------------------------------------------------------------
 
     def select(self, candidates: Iterable[CruxEntry], quota: int, *,
-               max_in_flight: int = 1) -> SelectionOutcome:
+               max_in_flight: int = 1,
+               executor: PipelineExecutor | None = None,
+               sub_shard_size: int | None = None) -> SelectionOutcome:
         """Walk ``candidates`` in rank order until ``quota`` sites qualify.
 
         Candidates that fail to fetch (VPN-blocked, persistent errors) or
@@ -110,28 +294,42 @@ class SiteSelector:
         With ``max_in_flight > 1`` the walk prefetches candidates in batches
         of that size, keeping up to ``max_in_flight`` origins in flight on a
         single event loop (one loop and one async fetcher per ``select``
-        call, not per batch).  Evaluation (and therefore every counter and
-        the selected set) still happens strictly in rank order: results
-        crawled beyond the point where the quota fills are discarded
-        uncounted, so the outcome is identical to the sequential walk.
+        call, not per batch).
+
+        With ``sub_shard_size`` set, the ranking is chunked into sub-shards
+        of that size which are evaluated speculatively on ``executor``
+        (serial when none is given) and committed in strict rank order; see
+        the module docstring.  ``max_in_flight`` then applies within each
+        sub-shard.
+
+        Every mode evaluates speculatively but commits strictly in rank
+        order, so the outcome — selected set, rejection counters,
+        ``candidates_examined`` — is byte-identical to the sequential walk
+        for every ``(executor, workers, sub_shard_size, max_in_flight)``
+        combination.
         """
-        outcome = SelectionOutcome(country_code="", quota=quota)
+        if sub_shard_size is not None:
+            return self._select_subsharded(candidates, quota,
+                                           executor=executor,
+                                           sub_shard_size=sub_shard_size,
+                                           max_in_flight=max_in_flight)
+        committer = RankOrderCommitter(quota, self.threshold)
         if max_in_flight <= 1:
             for entry in candidates:
-                if outcome.filled:
+                if committer.filled:
                     break
-                self._consider(outcome, entry,
-                               self.crawler.crawl_origin(entry, self.language_code))
-            return outcome
-        run_coroutine(self._select_batched(iter(candidates), outcome, max_in_flight))
-        return outcome
+                committer.commit(self.evaluate(entry))
+            return committer.outcome
+        run_coroutine(self._select_batched(iter(candidates), committer, max_in_flight))
+        return committer.outcome
 
     async def _select_batched(self, iterator: Iterator[CruxEntry],
-                              outcome: SelectionOutcome, max_in_flight: int) -> None:
+                              committer: RankOrderCommitter,
+                              max_in_flight: int) -> None:
         """The batched walk: crawl ``max_in_flight`` candidates concurrently,
-        evaluate them in rank order, repeat until the quota fills."""
+        commit them in rank order, repeat until the quota fills."""
         fetcher = self.crawler.session.async_fetcher()
-        while not outcome.filled:
+        while not committer.filled:
             batch = list(itertools.islice(iterator, max_in_flight))
             if not batch:
                 break
@@ -139,6 +337,38 @@ class SiteSelector:
                 *(self.crawler.crawl_origin_async(entry, self.language_code, fetcher)
                   for entry in batch))
             for entry, record in zip(batch, records):
-                if outcome.filled:
+                if committer.filled:
                     break
-                self._consider(outcome, entry, record)
+                committer.commit(self._evaluation(entry, record))
+
+    def _select_subsharded(self, candidates: Iterable[CruxEntry], quota: int, *,
+                           executor: PipelineExecutor | None,
+                           sub_shard_size: int,
+                           max_in_flight: int) -> SelectionOutcome:
+        """The chunked walk: speculative sub-shards, rank-ordered merge."""
+        from repro.core.executor import SerialExecutor  # cycle-free, tiny
+
+        if sub_shard_size < 1:
+            raise ValueError(f"sub_shard_size must be positive, got {sub_shard_size}")
+        backend = executor if executor is not None else SerialExecutor()
+        entry_list = list(candidates)
+        chunks = [entry_list[start:stop]
+                  for start, stop in plan_chunks(len(entry_list), sub_shard_size)]
+        committer = RankOrderCommitter(quota, self.threshold)
+
+        def evaluate(chunk: list[CruxEntry]) -> list[CandidateEvaluation]:
+            # The filled flag only ever flips to True, so a stale read just
+            # means one sub-shard is evaluated and later discarded.
+            if committer.filled:
+                return []
+            return self.evaluate_chunk(chunk, max_in_flight=max_in_flight)
+
+        stream = backend.run_ordered(evaluate, chunks)
+        try:
+            for result in stream:
+                committer.commit_chunk(result.value)
+                if committer.filled:
+                    break  # stop consuming; pending sub-shards are cancelled
+        finally:
+            stream.close()
+        return committer.outcome

@@ -25,6 +25,7 @@ Two dispatch modes share the per-origin logic:
 from __future__ import annotations
 
 import asyncio
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -196,7 +197,8 @@ class LangCruxCrawler:
             yield record
 
     def crawl_batch(self, entries: Sequence[CruxEntry] | Iterable[CruxEntry],
-                    language_code: str, *, max_in_flight: int = 8) -> list[CrawlRecord]:
+                    language_code: str, *, max_in_flight: int = 8,
+                    window: tuple[int, int] | None = None) -> list[CrawlRecord]:
         """Crawl ``entries`` with up to ``max_in_flight`` origins in flight.
 
         Returns records in entry order; progress callbacks also fire in entry
@@ -204,9 +206,19 @@ class LangCruxCrawler:
         sequential walk requires a per-host RNG-split transport — with a
         shared transport RNG the interleaving would change each origin's
         draws.
+
+        ``window`` restricts the batch to the ``[start, stop)`` slice of
+        ``entries`` — the shape a sub-sharded selection walk hands out — so
+        callers can point several batch calls at disjoint windows of one
+        ranking without slicing it themselves.
         """
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
+        if window is not None:
+            start, stop = window
+            if start < 0 or stop < start:
+                raise ValueError(f"window must satisfy 0 <= start <= stop, got {window}")
+            entries = itertools.islice(entries, start, stop)
         entry_list = list(entries)
 
         async def batch() -> list[CrawlRecord]:

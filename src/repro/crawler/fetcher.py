@@ -32,6 +32,7 @@ before (or concurrently with) it.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import random
 import threading
 from dataclasses import dataclass
@@ -303,17 +304,24 @@ class AsyncFetcher:
 
     async def fetch_many(self, urls: Sequence[URL | str] | Iterable[URL | str], *,
                          client_country: str | None = None, via_vpn: bool = False,
-                         max_in_flight: int = 8,
-                         return_exceptions: bool = False) -> list[Response]:
+                         max_in_flight: int = 8, return_exceptions: bool = False,
+                         window: tuple[int, int] | None = None) -> list[Response]:
         """Fetch ``urls`` with at most ``max_in_flight`` requests in flight.
 
         Responses come back in input order regardless of completion order.
         With ``return_exceptions`` a failed fetch yields its
         :class:`FetchError` in place of a response instead of aborting the
-        whole batch.
+        whole batch.  ``window`` restricts the batch to the ``[start, stop)``
+        slice of ``urls`` (a sub-shard window), returning only that slice's
+        responses.
         """
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
+        if window is not None:
+            start, stop = window
+            if start < 0 or stop < start:
+                raise ValueError(f"window must satisfy 0 <= start <= stop, got {window}")
+            urls = itertools.islice(urls, start, stop)
         semaphore = asyncio.Semaphore(max_in_flight)
 
         async def bounded(url: URL | str) -> Response:

@@ -3,9 +3,21 @@
 The expensive artifact — a small LangCrUX dataset built end-to-end over the
 synthetic web — is session-scoped so that the many analysis tests reuse one
 build instead of re-crawling per test.
+
+The pipeline fixtures honour three environment knobs so CI can run the very
+same assertions over the parallel execution paths (the pipeline's output is
+byte-identical for every combination, so every downstream check must hold
+unchanged):
+
+* ``LANGCRUX_TEST_EXECUTOR`` — executor backend (``serial``/``thread``/
+  ``process``);
+* ``LANGCRUX_TEST_WORKERS`` — worker count;
+* ``LANGCRUX_TEST_SUB_SHARD_SIZE`` — intra-country sub-shard size.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -56,6 +68,22 @@ def sample_document() -> Document:
     return parse_html(SAMPLE_HTML, url="https://example.com.bd/")
 
 
+def _execution_overrides() -> dict:
+    """Executor/worker/sub-shard overrides from the environment (see module
+    docstring); empty in a default run."""
+    overrides: dict = {}
+    executor = os.environ.get("LANGCRUX_TEST_EXECUTOR")
+    if executor:
+        overrides["executor"] = executor
+    workers = os.environ.get("LANGCRUX_TEST_WORKERS")
+    if workers:
+        overrides["workers"] = int(workers)
+    sub_shard_size = os.environ.get("LANGCRUX_TEST_SUB_SHARD_SIZE")
+    if sub_shard_size:
+        overrides["sub_shard_size"] = int(sub_shard_size)
+    return overrides
+
+
 @pytest.fixture(scope="session")
 def pipeline_result() -> PipelineResult:
     """A small but complete pipeline run over four representative countries."""
@@ -64,6 +92,7 @@ def pipeline_result() -> PipelineResult:
         sites_per_country=12,
         seed=11,
         transport_failure_rate=0.05,
+        **_execution_overrides(),
     )
     return LangCrUXPipeline(config).run()
 
@@ -81,6 +110,7 @@ def small_pipeline_result() -> PipelineResult:
         sites_per_country=5,
         seed=11,
         transport_failure_rate=0.05,
+        **_execution_overrides(),
     )
     return LangCrUXPipeline(config).run()
 

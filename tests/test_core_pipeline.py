@@ -8,11 +8,20 @@ pipelines.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.core.dataset import LangCrUXDataset
+from repro.core.pipeline import (
+    LangCrUXPipeline,
+    PipelineConfig,
+    build_web_for_config,
+    execute_country_shard,
+    record_from_crawl,
+    selector_for_country,
+)
 from repro.core.elements import ELEMENT_IDS
-from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
 from repro.crawler.vpn import VantagePoint
 from repro.langid.languages import langcrux_country_codes
 
@@ -98,6 +107,78 @@ class TestPipelineDeterminism:
         first = LangCrUXPipeline(base).run().dataset
         second = LangCrUXPipeline(other).run().dataset
         assert {r.domain for r in first} != {r.domain for r in second}
+
+
+class TestDocumentCarryParity:
+    """Selection-time parses are reused for record building, byte-identically.
+
+    The 50% visible-language check parses every candidate page; selected
+    sites carry those parsed documents (with their built DocumentIndex) into
+    ``record_from_crawl``, dropping one parse+extract per selected origin.
+    Since parsing is deterministic, the records must be byte-identical to a
+    fresh-parse build — pinned here.
+    """
+
+    @pytest.fixture(scope="class")
+    def selection(self):
+        config = PipelineConfig(countries=("bd",), sites_per_country=4, seed=17,
+                                transport_failure_rate=0.05)
+        web, crux = build_web_for_config(config)
+        selector = selector_for_country(config, "bd", web)
+        outcome = selector.select(crux.iter_ranked("bd"), quota=4)
+        return config, outcome
+
+    def test_selected_sites_carry_their_parsed_documents(self, selection) -> None:
+        _, outcome = selection
+        assert outcome.selected
+        for selected in outcome.selected:
+            assert selected.documents, selected.entry.origin
+            ok_pages = [page for page in selected.record.pages
+                        if page.ok and page.html]
+            assert len(selected.documents) == len(ok_pages)
+
+    def test_records_byte_identical_with_and_without_carry(self, selection) -> None:
+        _, outcome = selection
+        for selected in outcome.selected:
+            carried = record_from_crawl(selected.record,
+                                        documents=selected.documents)
+            fresh = record_from_crawl(selected.record)
+            assert json.dumps(carried.to_dict(), ensure_ascii=False) == \
+                json.dumps(fresh.to_dict(), ensure_ascii=False)
+
+    def test_country_shard_strips_documents_after_record_build(self, selection) -> None:
+        config, _ = selection
+        shard = execute_country_shard(config, "bd",
+                                      web_and_crux=build_web_for_config(config))
+        assert shard.records
+        for selected in shard.outcome.selected:
+            assert selected.documents == ()
+
+
+class TestSubShardWorkerPayload:
+    """The sub-shard worker slims what it ships back to the parent."""
+
+    def test_rejected_candidates_ship_no_page_snapshots(self) -> None:
+        from repro.core.pipeline import SelectionSubShard, execute_selection_subshard
+
+        config = PipelineConfig(countries=("bd",), sites_per_country=50, seed=17,
+                                transport_failure_rate=0.2)
+        web_and_crux = build_web_for_config(config)
+        spec = SelectionSubShard(country_code="bd", chunk_index=0, start=0, stop=40)
+        result = execute_selection_subshard(config, spec, web_and_crux=web_and_crux)
+        assert result.evaluations
+        rejected = [evaluation for evaluation, record
+                    in zip(result.evaluations, result.records) if record is None]
+        assert rejected, "expected some rejections at a 0.2 failure rate"
+        for evaluation in rejected:
+            # Documents and page HTML are stripped; the commit verdict
+            # survives on the evaluation itself.
+            assert evaluation.documents == ()
+            assert evaluation.record.pages == []
+            assert evaluation.fetch_succeeded is not None
+        for evaluation, record in zip(result.evaluations, result.records):
+            if record is not None:
+                assert evaluation.record.pages  # selected sites keep their crawl
 
 
 class TestVantageAblation:

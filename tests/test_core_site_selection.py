@@ -6,15 +6,21 @@ import random
 
 import pytest
 
-from repro.core.site_selection import SiteSelector
+from repro.core.executor import SerialExecutor, ThreadedExecutor
+from repro.core.site_selection import (
+    CandidateEvaluation,
+    RankOrderCommitter,
+    SiteSelector,
+)
 from repro.crawler.crawler import LangCruxCrawler
 from repro.crawler.fetcher import Fetcher, SimulatedTransport
+from repro.crawler.records import CrawlRecord, PageSnapshot
 from repro.crawler.session import CrawlSession
 from repro.crawler.vpn import VPNManager, VantagePoint
-from repro.webgen.crux import build_crux_table
+from repro.webgen.crux import CruxEntry, build_crux_table
 from repro.webgen.profiles import get_profile
 from repro.webgen.server import SyntheticWeb
-from repro.webgen.sitegen import SiteGenerator
+from repro.webgen.sitegen import SiteGenerator, stable_seed
 
 
 @pytest.fixture(scope="module")
@@ -29,6 +35,21 @@ def _crawler(web, vantage=None) -> LangCruxCrawler:
     transport = SimulatedTransport(web, rng=random.Random(0))
     session = CrawlSession(fetcher=Fetcher(transport),
                            vantage=vantage or VPNManager().vantage_for("gr"))
+    return LangCruxCrawler(session)
+
+
+def _split_crawler(web) -> LangCruxCrawler:
+    """A crawler with the production per-host RNG split.
+
+    The sub-sharded equality tests need it: with one shared transport stream
+    a candidate's draws depend on how many requests preceded it, so only the
+    per-host split makes chunked and sequential walks comparable (exactly the
+    determinism precondition the pipeline establishes).
+    """
+    transport = SimulatedTransport(
+        web, rng_factory=lambda host: random.Random(stable_seed(7, "transport", "gr", host)))
+    session = CrawlSession(fetcher=Fetcher(transport),
+                           vantage=VPNManager().vantage_for("gr"))
     return LangCruxCrawler(session)
 
 
@@ -93,3 +114,186 @@ class TestSelection:
         # variant and fail the 50% check, so fewer sites qualify (the paper's
         # argument for VPN-based crawling).
         assert len(cloud_outcome.selected) < len(vpn_outcome.selected)
+
+
+# -- the sub-sharded walk ---------------------------------------------------------
+
+
+class ScriptedSelector(SiteSelector):
+    """A selector whose evaluations follow a per-origin script.
+
+    The script maps each origin to ``"accept"`` (qualifying native share),
+    ``"reject"`` (below threshold) or ``"fail"`` (fetch failure), which makes
+    the commit arithmetic of chunk-seam edge cases exact and lets the tests
+    observe exactly which candidates were evaluated.
+    """
+
+    def __init__(self, script: dict[str, str]) -> None:
+        super().__init__(crawler=None, language_code="el")  # type: ignore[arg-type]
+        self.script = script
+        self.evaluated: list[str] = []
+
+    def evaluate_chunk(self, entries, *, max_in_flight: int = 1):
+        evaluations = []
+        for entry in entries:
+            self.evaluated.append(entry.origin)
+            verdict = self.script[entry.origin]
+            if verdict == "fail":
+                page = PageSnapshot(url=f"https://{entry.origin}/",
+                                    final_url=f"https://{entry.origin}/",
+                                    status=503, error="HTTP 503")
+                share = 0.0
+            else:
+                page = PageSnapshot(url=f"https://{entry.origin}/",
+                                    final_url=f"https://{entry.origin}/",
+                                    status=200, html="<html><body>x</body></html>")
+                share = 1.0 if verdict == "accept" else 0.0
+            record = CrawlRecord(domain=entry.origin, country_code=entry.country_code,
+                                 language_code="el", rank=entry.rank, pages=[page])
+            evaluations.append(CandidateEvaluation(entry=entry, record=record,
+                                                   native_share=share))
+        return evaluations
+
+
+def _entries(verdicts: list[str]) -> tuple[list[CruxEntry], ScriptedSelector]:
+    entries = [CruxEntry(origin=f"site{rank}.gr", rank=rank, country_code="gr")
+               for rank in range(1, len(verdicts) + 1)]
+    script = {entry.origin: verdict for entry, verdict in zip(entries, verdicts)}
+    return entries, ScriptedSelector(script)
+
+
+def _executors():
+    return [SerialExecutor(), ThreadedExecutor(3)]
+
+
+class TestRankOrderCommitter:
+    def test_commit_past_quota_is_a_counted_noop(self) -> None:
+        entries, selector = _entries(["accept", "accept", "fail"])
+        evaluations = selector.evaluate_chunk(entries)
+        committer = RankOrderCommitter(quota=1, threshold=0.5)
+        accepted = committer.commit_chunk(evaluations)
+        assert [site.entry.rank for _, site in accepted] == [1]
+        assert committer.filled
+        # Discarded speculation: no counter moves past the boundary.
+        assert committer.commit(evaluations[1]) is None
+        assert committer.outcome.candidates_examined == 1
+        assert committer.outcome.rejected_fetch_failure == 0
+
+    def test_counters_mirror_the_accept_replace_rule(self) -> None:
+        entries, selector = _entries(["reject", "fail", "accept"])
+        committer = RankOrderCommitter(quota=1, threshold=0.5)
+        committer.commit_chunk(selector.evaluate_chunk(entries))
+        outcome = committer.outcome
+        assert outcome.candidates_examined == 3
+        assert outcome.rejected_below_threshold == 1
+        assert outcome.rejected_fetch_failure == 1
+        assert outcome.replacement_count == 2
+        assert outcome.country_code == "gr"
+
+
+class TestSubShardSeams:
+    """Chunk-seam edge cases of the sub-sharded walk."""
+
+    def test_quota_fills_exactly_at_subshard_boundary(self) -> None:
+        entries, selector = _entries(["accept"] * 6)
+        for executor in _executors():
+            outcome = selector.select(entries, quota=3, executor=executor,
+                                      sub_shard_size=3)
+            assert outcome.filled
+            assert [s.entry.rank for s in outcome.selected] == [1, 2, 3]
+            # The walk commits nothing past the boundary chunk.
+            assert outcome.candidates_examined == 3
+            assert outcome.replacement_count == 0
+
+    def test_quota_fills_mid_chunk_discards_chunk_tail(self) -> None:
+        entries, selector = _entries(["accept", "accept", "accept", "accept"])
+        outcome = selector.select(entries, quota=2, executor=SerialExecutor(),
+                                  sub_shard_size=3)
+        # The first chunk evaluates three candidates speculatively, but only
+        # two are committed — identical to the sequential walk's counters.
+        assert outcome.candidates_examined == 2
+        assert [s.entry.rank for s in outcome.selected] == [1, 2]
+
+    def test_fully_rejected_subshard_walks_into_the_next(self) -> None:
+        entries, selector = _entries(["reject", "fail", "reject",
+                                      "accept", "accept", "accept"])
+        for executor in _executors():
+            outcome = selector.select(entries, quota=2, executor=executor,
+                                      sub_shard_size=3)
+            assert outcome.filled
+            assert [s.entry.rank for s in outcome.selected] == [4, 5]
+            assert outcome.rejected_below_threshold == 2
+            assert outcome.rejected_fetch_failure == 1
+            assert outcome.candidates_examined == 5
+
+    def test_ranking_exhausted_mid_chunk(self) -> None:
+        entries, selector = _entries(["accept", "reject", "accept", "fail", "accept"])
+        for executor in _executors():
+            outcome = selector.select(entries, quota=10, executor=executor,
+                                      sub_shard_size=2)
+            assert not outcome.filled
+            assert len(outcome.selected) == 3
+            assert outcome.candidates_examined == 5
+            assert outcome.rejected_below_threshold == 1
+            assert outcome.rejected_fetch_failure == 1
+
+    def test_subshard_larger_than_candidate_list(self) -> None:
+        entries, selector = _entries(["accept", "reject", "accept"])
+        outcome = selector.select(entries, quota=2, executor=SerialExecutor(),
+                                  sub_shard_size=100)
+        assert outcome.filled
+        assert [s.entry.rank for s in outcome.selected] == [1, 3]
+        assert outcome.candidates_examined == 3
+
+    def test_serial_skips_subshards_past_the_quota(self) -> None:
+        # With the lazy serial backend, chunks queued after the quota fills
+        # are never evaluated at all (the filled flag short-circuits).
+        entries, selector = _entries(["accept"] * 10)
+        outcome = selector.select(entries, quota=2, executor=SerialExecutor(),
+                                  sub_shard_size=2)
+        assert outcome.filled
+        assert selector.evaluated == ["site1.gr", "site2.gr"]
+
+    def test_empty_candidate_list(self) -> None:
+        entries, selector = _entries([])
+        outcome = selector.select(entries, quota=3, executor=SerialExecutor(),
+                                  sub_shard_size=2)
+        assert not outcome.filled
+        assert outcome.candidates_examined == 0
+        assert outcome.selected == []
+
+    def test_invalid_subshard_size_rejected(self) -> None:
+        entries, selector = _entries(["accept"])
+        with pytest.raises(ValueError):
+            selector.select(entries, quota=1, sub_shard_size=0)
+
+
+class TestSubShardedMatchesSequential:
+    """Over the real synthetic web, the chunked walk equals the sequential one."""
+
+    @pytest.mark.parametrize("sub_shard_size", [1, 3, 7, 100])
+    def test_outcome_identical_for_any_chunking(self, setup, sub_shard_size) -> None:
+        sites, web, table = setup
+        sequential = SiteSelector(_split_crawler(web), "el").select(
+            table.iter_ranked("gr"), quota=12)
+        for executor in _executors():
+            chunked = SiteSelector(_split_crawler(web), "el").select(
+                table.iter_ranked("gr"), quota=12, executor=executor,
+                sub_shard_size=sub_shard_size)
+            assert chunked == sequential
+
+    def test_crawler_factory_gives_each_chunk_its_own_crawler(self, setup) -> None:
+        sites, web, table = setup
+        crawlers: list[LangCruxCrawler] = []
+
+        def factory() -> LangCruxCrawler:
+            crawlers.append(_split_crawler(web))
+            return crawlers[-1]
+
+        selector = SiteSelector(_split_crawler(web), "el", crawler_factory=factory)
+        outcome = selector.select(table.iter_ranked("gr"), quota=6,
+                                  executor=SerialExecutor(), sub_shard_size=2)
+        sequential = SiteSelector(_split_crawler(web), "el").select(
+            table.iter_ranked("gr"), quota=6)
+        assert outcome == sequential
+        assert len(crawlers) >= 3  # one per evaluated chunk

@@ -268,6 +268,39 @@ class TestBatchedCrawl:
         with pytest.raises(ValueError):
             LangCruxCrawler(_session(web)).crawl_batch([], "ko", max_in_flight=0)
 
+    def test_crawl_batch_window_crawls_only_the_slice(self, web, sites) -> None:
+        table = build_crux_table(sites)
+        entries = list(table.top("kr", 8))
+        windowed = LangCruxCrawler(_session(web)).crawl_batch(
+            entries, "ko", max_in_flight=3, window=(2, 5))
+        sliced = LangCruxCrawler(_session(web)).crawl_batch(
+            entries[2:5], "ko", max_in_flight=3)
+        assert [record.to_dict() for record in windowed] == \
+            [record.to_dict() for record in sliced]
+        assert [record.domain for record in windowed] == \
+            [entry.origin for entry in entries[2:5]]
+
+    def test_crawl_batch_window_beyond_the_end_is_empty(self, web, sites) -> None:
+        table = build_crux_table(sites)
+        entries = list(table.top("kr", 4))
+        assert LangCruxCrawler(_session(web)).crawl_batch(
+            entries, "ko", window=(10, 20)) == []
+
+    def test_crawl_batch_rejects_invalid_window(self, web) -> None:
+        crawler = LangCruxCrawler(_session(web))
+        with pytest.raises(ValueError):
+            crawler.crawl_batch([], "ko", window=(3, 1))
+        with pytest.raises(ValueError):
+            crawler.crawl_batch([], "ko", window=(-1, 2))
+
+    def test_fetch_many_window_fetches_only_the_slice(self, web) -> None:
+        domains = list(web.domains())[:6]
+        urls = [f"https://{domain}/" for domain in domains]
+        fetcher = AsyncFetcher(SyncTransportAdapter(_split_transport(web)))
+        windowed = asyncio.run(fetcher.fetch_many(
+            urls, client_country="kr", via_vpn=True, window=(1, 4)))
+        assert [response.url.host for response in windowed] == domains[1:4]
+
     def test_batched_selection_matches_sequential(self, web, sites) -> None:
         table = build_crux_table(sites)
 
