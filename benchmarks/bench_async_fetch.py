@@ -106,7 +106,14 @@ def test_batched_fetch_throughput(reporter) -> None:
         f"batched x{MAX_IN_FLIGHT}: {batched_s:.2f}s, {batched_rps:.1f} records/s "
         f"(speedup {sequential_s / batched_s:.2f}x)",
         f"target: >= {TARGET_SPEEDUP:.0f}x records/s at {MAX_IN_FLIGHT} in flight",
-    ])
+    ], data={
+        "config": {"origins": len(urls), "max_in_flight": MAX_IN_FLIGHT,
+                   "latency_ms": LATENCY_MS * SLEEP_SCALE},
+        "sequential_rps": sequential_rps,
+        "batched_rps": batched_rps,
+        "speedup": sequential_s / batched_s,
+        "target_speedup": TARGET_SPEEDUP,
+    })
 
     # Determinism: per-host RNG splits make the batched responses identical
     # to the sequential ones, interleaving notwithstanding.

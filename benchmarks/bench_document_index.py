@@ -89,7 +89,11 @@ def test_document_index_throughput(reporter) -> None:
             f"indexed {indexed_rps:.1f} rec/s (speedup {speedup:.2f}x)")
     lines.append(f"target: >= {TARGET_SPEEDUP:.0f}x audit+extraction records/s "
                  f"on the large page")
-    reporter("Scaling — naive vs indexed audit+extraction", lines)
+    reporter("Scaling — naive vs indexed audit+extraction", lines, data={
+        "config": {"page_sizes": [name for name, _ in PAGE_SIZES]},
+        "large_page_speedup": large_speedup,
+        "target_speedup": TARGET_SPEEDUP,
+    })
 
     if os.environ.get("LANGCRUX_BENCH_ASSERT_SPEEDUP", "1") != "0":
         assert large_speedup >= TARGET_SPEEDUP, (

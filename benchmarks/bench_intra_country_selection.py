@@ -121,7 +121,15 @@ def test_subsharded_selection_throughput(reporter) -> None:
         f"{subsharded_s:.2f}s, {subsharded_rps:.1f} records/s "
         f"(speedup {sequential_s / subsharded_s:.2f}x)",
         f"target: >= {TARGET_SPEEDUP:.0f}x records/s at {WORKERS} workers",
-    ])
+    ], data={
+        "config": {"candidates": CANDIDATES, "quota": QUOTA, "workers": WORKERS,
+                   "sub_shard_size": SUB_SHARD_SIZE,
+                   "latency_ms": LATENCY_MS * SLEEP_SCALE},
+        "sequential_rps": sequential_rps,
+        "subsharded_rps": subsharded_rps,
+        "speedup": sequential_s / subsharded_s,
+        "target_speedup": TARGET_SPEEDUP,
+    })
 
     # Determinism: speculative evaluation + rank-ordered commit makes the
     # sub-sharded outcome identical to the sequential walk — selected set,

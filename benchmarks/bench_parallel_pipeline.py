@@ -92,7 +92,16 @@ def test_parallel_pipeline_scaling(benchmark, reporter) -> None:
         f"target: >= {TARGET_SPEEDUP:.0f}x records/s on the process backend at "
         f"{WORKERS} workers" + ("" if cpus >= WORKERS else
                                 f" — not asserted with only {cpus} core(s)"))
-    reporter("Scaling — sequential vs parallel pipeline execution", lines)
+    reporter("Scaling — sequential vs parallel pipeline execution", lines, data={
+        "config": {"workers": WORKERS, "countries": 12,
+                   "records": len(sequential.dataset), "cpus": cpus},
+        "sequential_rps": baseline_rps,
+        "thread_rps": len(threaded.dataset) / threaded_s,
+        "process_rps": len(process_result.dataset) / process_s,
+        "thread_speedup": sequential_s / threaded_s,
+        "process_speedup": sequential_s / process_s,
+        "target_speedup": TARGET_SPEEDUP,
+    })
 
     # Determinism: every backend serializes byte-identically.
     sequential_jsonl = _dataset_jsonl(sequential)

@@ -9,10 +9,21 @@ Each harness both *benchmarks* the analysis it exercises (via the
 values the paper reports, via the ``reporter`` fixture.  The printed output
 is also appended to ``benchmarks/results/benchmark_report.txt`` so that the
 regenerated numbers survive pytest's output capturing.
+
+Machine-readable trajectory
+---------------------------
+Alongside the text report, every benchmark module that ran gets a
+``benchmarks/results/BENCH_<name>.json`` file: each ``reporter(...)`` block
+is recorded with its title and lines, and harnesses that measure throughput
+pass ``data={...}`` (records/s, speedup, config) to make the numbers
+parseable without scraping.  The files are what CI uploads as artifacts and
+what ``benchmarks/run_all.py`` summarizes, so the performance trajectory of
+the repo is comparable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Callable, Iterable
 
@@ -29,7 +40,17 @@ SITES_PER_COUNTRY = 25
 #: Seed of the benchmark web; fixed so reported numbers are reproducible.
 BENCHMARK_SEED = 2025
 
-RESULTS_PATH = Path(__file__).parent / "results" / "benchmark_report.txt"
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "benchmark_report.txt"
+
+#: Reporter blocks accumulated per benchmark module, flushed to
+#: ``BENCH_<name>.json`` files at session end.
+_JSON_BLOCKS: dict[str, list[dict]] = {}
+
+
+def _bench_name(module_name: str) -> str:
+    short = module_name.rsplit(".", 1)[-1]
+    return short[len("bench_"):] if short.startswith("bench_") else short
 
 
 @pytest.fixture(scope="session")
@@ -50,19 +71,38 @@ def dataset(pipeline_result: PipelineResult) -> LangCrUXDataset:
 
 @pytest.fixture(scope="session", autouse=True)
 def _reset_report_file() -> None:
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text("", encoding="utf-8")
+    _JSON_BLOCKS.clear()
+    yield
+    for name, blocks in sorted(_JSON_BLOCKS.items()):
+        payload = {"bench": name, "blocks": blocks}
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, ensure_ascii=False, indent=2) + "\n",
+                        encoding="utf-8")
 
 
 @pytest.fixture()
-def reporter() -> Callable[[str, Iterable[str]], None]:
-    """Print a titled block of result lines and persist it to the report file."""
+def reporter(request) -> Callable[..., None]:
+    """Print a titled block of result lines and persist it to the reports.
 
-    def _report(title: str, lines: Iterable[str]) -> None:
-        block = [f"", f"=== {title} ===", *lines]
+    ``reporter(title, lines)`` appends the block to the human-readable text
+    report; pass ``data={...}`` as well to record machine-readable numbers
+    (records/s, speedups, config) in the module's ``BENCH_<name>.json``.
+    """
+    bench = _bench_name(request.node.module.__name__)
+
+    def _report(title: str, lines: Iterable[str], *,
+                data: dict | None = None) -> None:
+        lines = list(lines)
+        block = ["", f"=== {title} ===", *lines]
         text = "\n".join(block)
         print(text)
         with RESULTS_PATH.open("a", encoding="utf-8") as handle:
             handle.write(text + "\n")
+        entry: dict = {"title": title, "lines": lines}
+        if data is not None:
+            entry["data"] = data
+        _JSON_BLOCKS.setdefault(bench, []).append(entry)
 
     return _report

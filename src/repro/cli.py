@@ -25,6 +25,13 @@ Four subcommands cover the common workflows:
 ``langcrux export``
     Export per-country and per-site summaries as JSON — the data layer of the
     paper's interactive dataset explorer.
+
+``langcrux serve``
+    Serve the synthetic web over real HTTP on a loopback socket
+    (:class:`~repro.webgen.server.LocalSiteServer`), so a separate
+    ``langcrux build --transport http --http-gateway HOST:PORT`` crawls it
+    through genuine sockets — the live-server demo of the transport
+    subsystem.
 """
 
 from __future__ import annotations
@@ -43,7 +50,12 @@ from repro.core.executor import EXECUTOR_KINDS
 from repro.core.kizuki import rescore_dataset
 from repro.core.language_mix import classify_texts
 from repro.core.mismatch import mismatch_examples, mismatch_summary
-from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+from repro.core.pipeline import (
+    LangCrUXPipeline,
+    PipelineConfig,
+    TRANSPORT_KINDS,
+    build_web_for_config,
+)
 from repro.langid.languages import langcrux_country_codes
 
 
@@ -52,6 +64,13 @@ def _positive_int(value: str) -> int:
     if count < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return count
+
+
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
+    return number
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,6 +112,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "of writing --output after the run; the file is "
                             "committed atomically and is byte-identical to the "
                             "in-memory write")
+    build.add_argument("--transport", choices=TRANSPORT_KINDS, default="simulated",
+                       help="'simulated' crawls the in-memory synthetic web; 'http' "
+                            "crawls over real sockets — point --http-gateway at a "
+                            "'langcrux serve' instance; both produce byte-identical "
+                            "datasets for the same web (default: simulated)")
+    build.add_argument("--http-gateway", default=None, metavar="HOST:PORT",
+                       help="address every origin resolves to with --transport http "
+                            "(a live LocalSiteServer); omit to connect to each "
+                            "origin's own host")
+    build.add_argument("--crawl-cache", type=Path, default=None, metavar="DIR",
+                       help="on-disk crawl cache directory: a re-run replays every "
+                            "already-fetched response from disk (zero network "
+                            "fetches on a warm cache) and yields identical output")
+    build.add_argument("--rate-limit", type=_positive_float, default=None,
+                       metavar="REQ_PER_S",
+                       help="per-host request rate enforced by the politeness layer")
+    build.add_argument("--max-per-host", type=_positive_int, default=None,
+                       help="per-host concurrent-request cap of the politeness layer")
 
     analyze = subparsers.add_parser("analyze", help="print Table 2 style statistics")
     analyze.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
@@ -118,6 +155,22 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--no-sites", action="store_true",
                         help="omit per-site rows, keep country aggregates only")
 
+    serve = subparsers.add_parser(
+        "serve", help="serve the synthetic web over real loopback HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1; keep it loopback)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind; 0 picks a free ephemeral port (default: 0)")
+    serve.add_argument("--seed", type=int, default=7, help="synthetic web seed")
+    serve.add_argument("--countries", nargs="*", default=None,
+                       help="country codes to include (default: all twelve)")
+    serve.add_argument("--sites-per-country", type=int, default=30,
+                       help="selection quota the served candidate pool is sized for "
+                            "(match the build you will run against it; default: 30)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds then exit (default: until "
+                            "interrupted)")
+
     return parser
 
 
@@ -132,6 +185,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_in_flight=args.max_in_flight,
         sub_shard_size=args.sub_shard_size,
+        transport=args.transport,
+        http_gateway=args.http_gateway,
+        crawl_cache=str(args.crawl_cache) if args.crawl_cache is not None else None,
+        rate_limit=args.rate_limit,
+        max_per_host=args.max_per_host,
     )
     if args.stream_output is not None:
         # Streaming builds don't retain records in memory: the streamed file
@@ -154,6 +212,36 @@ def _cmd_build(args: argparse.Namespace) -> int:
         print(f"  shard wall-clock: {result.total_shard_seconds():.2f}s across"
               f"{shard_note}"
               f" ({result.executor_workers} workers, {result.executor_name} executor)")
+    if result.transport_metrics is not None:
+        for line in result.transport_metrics.summary_lines():
+            print(f"  transport: {line}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.webgen.server import LocalSiteServer
+
+    countries = tuple(args.countries) if args.countries else langcrux_country_codes()
+    config = PipelineConfig(countries=countries,
+                            sites_per_country=args.sites_per_country,
+                            seed=args.seed)
+    web, _crux = build_web_for_config(config)
+    with LocalSiteServer(web, host=args.host, port=args.port) as server:
+        print(f"serving {len(web)} synthetic origins on http://{server.gateway}")
+        print(f"crawl it with: langcrux build --transport http "
+              f"--http-gateway {server.gateway} --seed {args.seed}"
+              f" --sites-per-country {args.sites_per_country}"
+              + (f" --countries {' '.join(countries)}" if args.countries else ""))
+        try:
+            if args.duration is not None:
+                _time.sleep(args.duration)
+            else:  # pragma: no cover - interactive mode
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive mode
+            pass
     return 0
 
 
@@ -249,6 +337,7 @@ def main(argv: list[str] | None = None) -> int:
         "kizuki": _cmd_kizuki,
         "report": _cmd_report,
         "export": _cmd_export,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -311,6 +311,15 @@ class ProcessExecutor(PipelineExecutor):
     done-callback blocking while it holds pool-internal state; it is
     therefore unbounded (``queue_size`` is kept for signature compatibility
     with the thread backend and validated, but has no effect here).
+
+    Shards are consumed *lazily* through a bounded submission window of
+    ``workers + 1`` outstanding tasks (enough to keep every worker busy
+    plus one queued), refilled after each yielded result.  Speculative
+    workloads exploit this: the pipeline's sub-sharded selection walk hands
+    this backend a *generator* that drops windows of already-finished
+    countries at submit time, so a filled quota stops new windows from
+    being scheduled at all — worker processes cannot observe the parent's
+    live filled-flag, but the parent-side submission point can.
     """
 
     name = "process"
@@ -325,21 +334,40 @@ class ProcessExecutor(PipelineExecutor):
 
     def run(self, fn: Callable[[Any], Any],
             shards: Sequence[Any] | Iterable[Any]) -> Iterator[ShardResult]:
-        shard_list = list(shards)
-        if not shard_list:
-            return
+        source = enumerate(shards)
         done: queue.SimpleQueue = queue.SimpleQueue()
-        pool = futures.ProcessPoolExecutor(max_workers=min(self.workers, len(shard_list)))
+        pool: futures.ProcessPoolExecutor | None = None
         pending: list[futures.Future] = []
         consumed = 0
+        in_flight = 0
+        exhausted = False
+        window = self.workers + 1
+
+        def submit_next() -> bool:
+            """Submit one shard from the source; False when exhausted."""
+            nonlocal pool, in_flight, exhausted
+            if exhausted:
+                return False
+            try:
+                index, shard = next(source)
+            except StopIteration:
+                exhausted = True
+                return False
+            if pool is None:  # first task: spin the pool up lazily
+                pool = futures.ProcessPoolExecutor(max_workers=self.workers)
+            future = pool.submit(_timed_call, fn, index, shard)
+            future.add_done_callback(done.put)
+            pending.append(future)
+            in_flight += 1
+            return True
+
         try:
-            for index, shard in enumerate(shard_list):
-                future = pool.submit(_timed_call, fn, index, shard)
-                future.add_done_callback(done.put)
-                pending.append(future)
-            for _ in range(len(shard_list)):
+            while in_flight < window and submit_next():
+                pass
+            while in_flight:
                 future = done.get()
                 consumed += 1
+                in_flight -= 1
                 try:
                     index, shard, value, duration_s, error = future.result()
                 except futures.CancelledError:  # pragma: no cover - abort path
@@ -351,16 +379,23 @@ class ProcessExecutor(PipelineExecutor):
                                         shard=shard) from error
                 yield ShardResult(index=index, shard=shard, value=value,
                                   duration_s=duration_s)
+                # Refill *after* the consumer processed the result: whatever
+                # state the consumer updates (e.g. finished countries) is
+                # visible to a lazily filtered shard source before the next
+                # submission.
+                while in_flight < window and submit_next():
+                    pass
         finally:
-            for future in pending:
-                future.cancel()
-            # Every future fires its done-callback exactly once — on
-            # completion or on cancellation — so exactly len(pending)
-            # envelopes ever enter the queue; block for the ones not yet
-            # consumed instead of sleep-polling future states.
-            for _ in range(len(pending) - consumed):
-                done.get()
-            pool.shutdown(wait=True)
+            if pool is not None:
+                for future in pending:
+                    future.cancel()
+                # Every future fires its done-callback exactly once — on
+                # completion or on cancellation — so exactly len(pending)
+                # envelopes ever enter the queue; block for the ones not yet
+                # consumed instead of sleep-polling future states.
+                for _ in range(len(pending) - consumed):
+                    done.get()
+                pool.shutdown(wait=True)
 
 
 def create_executor(kind: str = "auto", workers: int = 1, *,

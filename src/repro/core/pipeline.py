@@ -87,9 +87,16 @@ from repro.core.site_selection import (
     SiteSelector,
 )
 from repro.crawler.crawler import CrawlerConfig, LangCruxCrawler
-from repro.crawler.fetcher import Fetcher, FetcherConfig, SimulatedTransport
+from repro.crawler.fetcher import Fetcher, FetcherConfig, SimulatedTransport, SyncTransportAdapter
+from repro.crawler.metrics import TransportMetrics
 from repro.crawler.records import CrawlRecord
 from repro.crawler.session import CrawlSession
+from repro.crawler.transport import (
+    HttpAsyncTransport,
+    RetryPolicy,
+    TransportStack,
+    build_transport_stack,
+)
 from repro.crawler.vpn import DEFAULT_PROVIDERS, VantagePoint, VPNCoverageError, VPNManager
 from repro.html.dom import Document
 from repro.html.parser import parse_html
@@ -135,6 +142,26 @@ class PipelineConfig:
             every worker.  ``None`` (the default) keeps whole-country
             shards.  Any value produces the same dataset bytes: sub-shards
             are evaluated speculatively but committed in strict rank order.
+        transport: ``"simulated"`` (the in-memory synthetic web, the
+            default) or ``"http"`` — real sockets through
+            :class:`~repro.crawler.transport.HttpAsyncTransport`, typically
+            against a live :class:`~repro.webgen.server.LocalSiteServer`
+            named by ``http_gateway``.  With the same web and no failure
+            injection, both transports produce byte-identical datasets.
+        http_gateway: ``HOST:PORT`` every origin resolves to when
+            ``transport="http"`` (the loopback site server).  ``None``
+            connects to each origin's own host.
+        http_timeout_s: Socket timeout per request of the HTTP transport.
+        crawl_cache: Directory of the on-disk crawl cache
+            (:class:`~repro.crawler.transport.CachingTransport`).  ``None``
+            disables caching; with a directory, a re-run replays every
+            completed fetch from disk and only fetches what is missing.
+        rate_limit: Per-host request rate (requests/second) enforced by the
+            politeness layer; ``None`` disables rate limiting.
+        max_per_host: Per-host concurrent-request cap; ``None`` disables.
+        retry_backoff_s: Base backoff of the HTTP transport's retry layer
+            (exponential, deterministic per-host jitter).  0 retries
+            immediately — appropriate for loopback crawls.
     """
 
     countries: tuple[str, ...] = field(default_factory=langcrux_country_codes)
@@ -150,6 +177,17 @@ class PipelineConfig:
     executor: str = "auto"
     max_in_flight: int = 1
     sub_shard_size: int | None = None
+    transport: str = "simulated"
+    http_gateway: str | None = None
+    http_timeout_s: float = 10.0
+    crawl_cache: str | None = None
+    rate_limit: float | None = None
+    max_per_host: int | None = None
+    retry_backoff_s: float = 0.0
+
+
+#: Transport kinds accepted by :class:`PipelineConfig` (and the CLI).
+TRANSPORT_KINDS = ("simulated", "http")
 
 
 @dataclass
@@ -166,6 +204,7 @@ class PipelineResult:
     executor_workers: int = 1
     stream_path: Path | None = None
     streamed_records: int = 0
+    transport_metrics: TransportMetrics | None = None
 
     def qualifying_site_counts(self) -> dict[str, int]:
         """Selected sites per country (input to the selection-criteria check)."""
@@ -230,6 +269,48 @@ def _host_transport_rng(seed: int, country_code: str, host: str) -> random.Rando
     return random.Random(stable_seed(seed, "transport", country_code, host))
 
 
+def transport_stack_for_country(config: PipelineConfig, country_code: str,
+                                web: SyntheticWeb) -> TransportStack | None:
+    """The country shard's transport stack, or ``None`` for the fast path.
+
+    A plain simulated run — no HTTP transport, no crawl cache, no
+    politeness knobs — skips stack assembly entirely and keeps the
+    historical direct-transport wiring.  Anything else composes the
+    :mod:`repro.crawler.transport` layers around the configured base.
+    """
+    if config.transport not in TRANSPORT_KINDS:
+        raise ValueError(f"unknown transport {config.transport!r}; "
+                         f"expected one of {TRANSPORT_KINDS}")
+    rng_factory = functools.partial(_host_transport_rng, config.seed, country_code)
+    wants_http = config.transport == "http"
+    wants_extras = (config.crawl_cache is not None or config.rate_limit is not None
+                    or config.max_per_host is not None)
+    if not wants_http and not wants_extras:
+        return None
+    if wants_http:
+        base = HttpAsyncTransport(gateway=config.http_gateway,
+                                  timeout_s=config.http_timeout_s)
+        # The wire can genuinely fail transiently, so the stack retries with
+        # deterministic per-host jitter; the simulated base keeps retry
+        # behaviour in the fetcher (as always) so injected-failure runs stay
+        # byte-identical with and without the stack.
+        retry = RetryPolicy(backoff_base_s=config.retry_backoff_s)
+    else:
+        base = SyncTransportAdapter(SimulatedTransport(
+            web, failure_rate=config.transport_failure_rate,
+            rng_factory=rng_factory))
+        retry = None
+    return build_transport_stack(
+        base,
+        retry=retry,
+        rng_factory=rng_factory,
+        rate_per_host=config.rate_limit,
+        max_per_host=config.max_per_host,
+        user_agent=FetcherConfig().user_agent,
+        cache_dir=config.crawl_cache,
+    )
+
+
 def crawler_for_country(config: PipelineConfig, country_code: str,
                         web: SyntheticWeb,
                         vantage: VantagePoint | None = None) -> LangCruxCrawler:
@@ -241,17 +322,38 @@ def crawler_for_country(config: PipelineConfig, country_code: str,
     host (see :func:`_host_transport_rng`), so within the shard no two
     candidates share a stream either — the precondition for the batched
     selection walk being byte-identical to the sequential one.
+
+    With transport extras configured (``transport="http"``, a crawl cache,
+    politeness knobs) the session carries an assembled
+    :class:`~repro.crawler.transport.TransportStack`: the async fetch path
+    sends through it natively, the blocking path through its sync facade,
+    and :meth:`~repro.crawler.session.CrawlSession.close` releases it.
     """
-    transport = SimulatedTransport(
-        web,
-        failure_rate=config.transport_failure_rate,
-        rng_factory=functools.partial(_host_transport_rng, config.seed, country_code),
-    )
-    fetcher = Fetcher(transport, FetcherConfig())
     if vantage is None:
         vantage = vantage_for_country(config, country_code)
-    session = CrawlSession(fetcher=fetcher, vantage=vantage,
-                           respect_robots=config.respect_robots)
+    stack = transport_stack_for_country(config, country_code, web)
+    if stack is not None:
+        # When the stack carries its own retry layer (HTTP mode), it is the
+        # single retry authority: the fetcher's identical policy on top
+        # would multiply attempts against persistently failing origins
+        # (4 wire tries become 16) and skew the retry counters.
+        fetcher_config = FetcherConfig(max_retries=0) \
+            if config.transport == "http" else FetcherConfig()
+        fetcher = Fetcher(stack.sync_transport(), fetcher_config)
+        session = CrawlSession(fetcher=fetcher, vantage=vantage,
+                               respect_robots=config.respect_robots,
+                               async_transport=stack.transport,
+                               transport_stack=stack)
+    else:
+        transport = SimulatedTransport(
+            web,
+            failure_rate=config.transport_failure_rate,
+            rng_factory=functools.partial(_host_transport_rng, config.seed,
+                                          country_code),
+        )
+        fetcher = Fetcher(transport, FetcherConfig())
+        session = CrawlSession(fetcher=fetcher, vantage=vantage,
+                               respect_robots=config.respect_robots)
     crawler_config = CrawlerConfig(
         max_pages_per_site=config.max_pages_per_site,
         follow_links=config.max_pages_per_site > 1,
@@ -270,16 +372,35 @@ def selector_for_country(config: PipelineConfig, country_code: str,
                         threshold=config.language_threshold)
 
 
+def _select_country_sites(config: PipelineConfig, country_code: str,
+                          web: SyntheticWeb, crux: CruxTable,
+                          vantage: VantagePoint | None = None,
+                          ) -> tuple[SelectionOutcome, TransportMetrics | None]:
+    """Selection + crawling for one country, releasing the transport stack.
+
+    Returns the outcome together with the stack's metrics snapshot (``None``
+    on the plain simulated fast path).  The crawl session is closed before
+    returning — pooled sockets and cache manifest handles never outlive the
+    walk, on any caller's path.
+    """
+    selector = selector_for_country(config, country_code, web, vantage)
+    session = selector.crawler.session
+    try:
+        outcome = selector.select(crux.iter_ranked(country_code),
+                                  quota=config.sites_per_country,
+                                  max_in_flight=config.max_in_flight)
+        outcome.country_code = country_code
+    finally:
+        session.close()
+    stack = session.transport_stack
+    return outcome, stack.metrics if stack is not None else None
+
+
 def select_country_sites(config: PipelineConfig, country_code: str,
                          web: SyntheticWeb, crux: CruxTable,
                          vantage: VantagePoint | None = None) -> SelectionOutcome:
     """Run selection + crawling for one country (pure per-shard)."""
-    selector = selector_for_country(config, country_code, web, vantage)
-    outcome = selector.select(crux.iter_ranked(country_code),
-                              quota=config.sites_per_country,
-                              max_in_flight=config.max_in_flight)
-    outcome.country_code = country_code
-    return outcome
+    return _select_country_sites(config, country_code, web, crux, vantage)[0]
 
 
 def record_from_crawl(crawl_record: CrawlRecord,
@@ -345,6 +466,27 @@ class CountryShard:
     vantage: VantagePoint
     outcome: SelectionOutcome
     records: list[SiteRecord]
+    transport_metrics: TransportMetrics | None = None
+
+
+def slim_selection_outcome(outcome: SelectionOutcome) -> None:
+    """Drop crawl payloads from ``outcome``, keeping counters + metadata.
+
+    Every selected site's page snapshots lose their HTML (url, status,
+    served variant, latency and error survive) and any carried parsed
+    documents are dropped.  Streaming runs apply this per shard once the
+    shard's records are on disk, taking the run's resident state from
+    O(selected HTML) to O(counters) — the records themselves were already
+    dropped via ``keep_in_memory=False``.
+    """
+    outcome.selected = [
+        replace(selected,
+                documents=(),
+                record=replace(selected.record,
+                               pages=[replace(page, html="")
+                                      for page in selected.record.pages]))
+        for selected in outcome.selected
+    ]
 
 
 def execute_country_shard(config: PipelineConfig, country_code: str,
@@ -362,7 +504,8 @@ def execute_country_shard(config: PipelineConfig, country_code: str,
     """
     web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
     vantage = vantage_for_country(config, country_code)
-    outcome = select_country_sites(config, country_code, web, crux, vantage)
+    outcome, transport_metrics = _select_country_sites(config, country_code,
+                                                       web, crux, vantage)
     audit_engine = AuditEngine()  # per-shard: concurrent audits never share state
     records = [record_from_crawl(selected.record, audit_engine,
                                  documents=selected.documents or None)
@@ -373,7 +516,8 @@ def execute_country_shard(config: PipelineConfig, country_code: str,
     outcome.selected = [replace(selected, documents=())
                         for selected in outcome.selected]
     return CountryShard(country_code=country_code, vantage=vantage,
-                        outcome=outcome, records=records)
+                        outcome=outcome, records=records,
+                        transport_metrics=transport_metrics)
 
 
 # -- intra-country sub-shards --------------------------------------------------------
@@ -416,6 +560,7 @@ class SelectionSubShardResult:
     evaluations: list[CandidateEvaluation]
     records: list[SiteRecord | None]
     skipped: bool = False
+    transport_metrics: TransportMetrics | None = None
 
 
 def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
@@ -449,23 +594,30 @@ def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
                                        skipped=True)
     web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
     selector = selector_for_country(config, spec.country_code, web)
-    evaluations = selector.evaluate_window(
-        crux.iter_ranked(spec.country_code), spec.start, spec.stop,
-        max_in_flight=config.max_in_flight)
-    audit_engine = AuditEngine()  # per-sub-shard: never shared across workers
-    records: list[SiteRecord | None] = []
-    slimmed: list[CandidateEvaluation] = []
-    for evaluation in evaluations:
-        qualifies = (evaluation.fetch_succeeded
-                     and evaluation.native_share >= config.language_threshold)
-        records.append(record_from_crawl(evaluation.record, audit_engine,
-                                         documents=evaluation.documents or None)
-                       if qualifies else None)
-        slim = evaluation.without_documents()
-        if not qualifies and slim.record.pages:
-            slim = replace(slim, record=replace(slim.record, pages=[]))
-        slimmed.append(slim)
-    return SelectionSubShardResult(spec=spec, evaluations=slimmed, records=records)
+    try:
+        evaluations = selector.evaluate_window(
+            crux.iter_ranked(spec.country_code), spec.start, spec.stop,
+            max_in_flight=config.max_in_flight)
+        audit_engine = AuditEngine()  # per-sub-shard: never shared across workers
+        records: list[SiteRecord | None] = []
+        slimmed: list[CandidateEvaluation] = []
+        for evaluation in evaluations:
+            qualifies = (evaluation.fetch_succeeded
+                         and evaluation.native_share >= config.language_threshold)
+            records.append(record_from_crawl(evaluation.record, audit_engine,
+                                             documents=evaluation.documents or None)
+                           if qualifies else None)
+            slim = evaluation.without_documents()
+            if not qualifies and slim.record.pages:
+                slim = replace(slim, record=replace(slim.record, pages=[]))
+            slimmed.append(slim)
+    finally:
+        session = selector.crawler.session
+        session.close()
+    stack = session.transport_stack
+    return SelectionSubShardResult(
+        spec=spec, evaluations=slimmed, records=records,
+        transport_metrics=stack.metrics if stack is not None else None)
 
 
 @dataclass
@@ -480,6 +632,14 @@ class _CountryMergeState:
     duration_s: float = 0.0
     sub_shards_merged: int = 0
     done: bool = False
+    transport_metrics: TransportMetrics | None = None
+
+    def merge_transport(self, metrics: TransportMetrics | None) -> None:
+        if metrics is None:
+            return
+        if self.transport_metrics is None:
+            self.transport_metrics = TransportMetrics()
+        self.transport_metrics.merge(metrics)
 
 
 class LangCrUXPipeline:
@@ -528,7 +688,8 @@ class LangCrUXPipeline:
 
     def run(self, executor: PipelineExecutor | None = None, *,
             stream_to: str | Path | None = None,
-            keep_in_memory: bool = True) -> PipelineResult:
+            keep_in_memory: bool = True,
+            slim_outcomes: bool | None = None) -> PipelineResult:
         """Execute the full pipeline for every configured country.
 
         Shards are dispatched on the configured executor (or an explicit
@@ -550,12 +711,20 @@ class LangCrUXPipeline:
                 ``PipelineResult.dataset``.  Pass ``False`` (streaming runs
                 only) when the dataset is consumed from the streamed file:
                 site records are then dropped as soon as they are on disk.
-                Selection outcomes — including their crawl snapshots — are
-                still retained; trimming those too is an open ROADMAP item.
+            slim_outcomes: Whether to strip crawl payloads (page HTML,
+                carried documents) from each shard's selection outcome once
+                its records are safely accumulated/streamed, keeping only
+                counters and per-page metadata (see
+                :func:`slim_selection_outcome`).  Default (``None``): slim
+                exactly when ``keep_in_memory`` is off — a streaming run's
+                resident state then stays O(counters) instead of retaining
+                every selected page's HTML for the whole run.
         """
         if not keep_in_memory and stream_to is None:
             raise ValueError("keep_in_memory=False requires stream_to: "
                              "the records would otherwise be lost")
+        if slim_outcomes is None:
+            slim_outcomes = not keep_in_memory
         web, crux = self.build_web()
         backend = executor if executor is not None else self._executor()
         if self.config.sub_shard_size is not None:
@@ -566,6 +735,7 @@ class LangCrUXPipeline:
         outcomes: dict[str, SelectionOutcome] = {}
         vantages: dict[str, VantagePoint] = {}
         metrics: dict[str, ShardMetrics] = {}
+        transport_totals: TransportMetrics | None = None
         writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
         try:
             for shard, metric in shard_stream:
@@ -575,6 +745,12 @@ class LangCrUXPipeline:
                     dataset.extend(shard.records)
                 if writer is not None:
                     writer.write_many(shard.records)
+                if slim_outcomes:
+                    slim_selection_outcome(shard.outcome)
+                if shard.transport_metrics is not None:
+                    if transport_totals is None:
+                        transport_totals = TransportMetrics()
+                    transport_totals.merge(shard.transport_metrics)
                 metrics[shard.country_code] = metric
         except BaseException:
             if writer is not None:
@@ -595,7 +771,8 @@ class LangCrUXPipeline:
                               shard_metrics=metrics, executor_name=backend.name,
                               executor_workers=min(backend.workers, work_units),
                               stream_path=Path(stream_to) if stream_to is not None else None,
-                              streamed_records=streamed)
+                              streamed_records=streamed,
+                              transport_metrics=transport_totals)
 
     def _run_country_shards(self, backend: PipelineExecutor, web: SyntheticWeb,
                             crux: CruxTable,
@@ -649,39 +826,62 @@ class LangCrUXPipeline:
         filled: set[str] = set()
         if isinstance(backend, ProcessExecutor):
             # Workers in other processes cannot observe the live flag (and
-            # rebuild the web per process when it is config-derived).
+            # rebuild the web per process when it is config-derived), so the
+            # *parent* filters instead: the process backend consumes its
+            # work lazily through a bounded submission window, and this
+            # generator is evaluated at submit time — once a country
+            # finalizes, none of its still-unsubmitted windows are ever
+            # scheduled, bounding speculation waste to in-flight windows on
+            # every backend.
             web_and_crux = (web, crux) if self._web_supplied else None
             subshard_fn = functools.partial(execute_selection_subshard, config,
                                             web_and_crux=web_and_crux)
+            work: Sequence[SelectionSubShard] | Iterator[SelectionSubShard] = (
+                spec for spec in specs if spec.country_code not in filled)
         else:
             subshard_fn = functools.partial(execute_selection_subshard, config,
                                             web_and_crux=(web, crux),
                                             filled_countries=filled)
+            work = specs
         order = list(config.countries)
         finalized = 0
+        # Transport metrics of speculative windows that arrive after their
+        # country already finalized: the work really hit the wire, so it is
+        # folded into the next shard to finalize — per-country attribution
+        # is approximate there, but the run-level totals stay honest.
+        late_transport: list[TransportMetrics] = []
 
         def finalize(state: _CountryMergeState) -> tuple[CountryShard, ShardMetrics]:
             state.done = True
             filled.add(state.country_code)
+            for metrics in late_transport:
+                state.merge_transport(metrics)
+            late_transport.clear()
             shard = CountryShard(
                 country_code=state.country_code,
                 vantage=vantage_for_country(config, state.country_code),
                 outcome=state.committer.outcome,
-                records=state.records)
+                records=state.records,
+                transport_metrics=state.transport_metrics)
             metric = ShardMetrics(shard=state.country_code, index=state.index,
                                   duration_s=state.duration_s,
                                   records=len(state.records),
                                   sub_shards=state.sub_shards_merged)
             return shard, metric
 
-        stream = backend.run_ordered(subshard_fn, specs)
+        stream = backend.run_ordered(subshard_fn, work)
         try:
             for result in stream:
                 sub: SelectionSubShardResult = result.value
                 state = states[sub.spec.country_code]
                 if state.done:
-                    continue  # quota filled earlier; discard the speculation
+                    # Quota filled earlier; the speculation is discarded but
+                    # its network cost is still accounted for.
+                    if sub.transport_metrics is not None:
+                        late_transport.append(sub.transport_metrics)
+                    continue
                 state.duration_s += result.duration_s
+                state.merge_transport(sub.transport_metrics)
                 if not sub.skipped:
                     state.sub_shards_merged += 1
                     record_for = {evaluation.entry: record

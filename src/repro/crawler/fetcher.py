@@ -9,8 +9,11 @@ via :class:`FetchError`.  The transport itself is a tiny protocol —
 * :class:`SimulatedTransport` over :class:`repro.webgen.server.SyntheticWeb`,
   used throughout the reproduction (it also injects configurable transient
   failures so the retry path is genuinely exercised);
-* anything else a downstream user plugs in (a real HTTP client would slot in
-  here without changes elsewhere).
+* the production stack in :mod:`repro.crawler.transport` —
+  ``HttpAsyncTransport`` (real sockets, connection pooling) composed with
+  politeness, retry and on-disk crawl-cache layers — which implements the
+  async protocol below natively;
+* anything else a downstream user plugs in.
 
 A second, asynchronous stack lives alongside the blocking one:
 

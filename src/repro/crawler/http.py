@@ -170,3 +170,39 @@ class Response:
 
 #: Status codes the fetcher treats as transient and retries.
 RETRYABLE_STATUS_CODES = frozenset({429, 500, 502, 503, 504})
+
+
+# -- wire-level conventions ----------------------------------------------------------
+#
+# Real HTTP has no notion of the crawl metadata the measurement layer rides
+# on (which country the client appears from, whether the hop is VPN traffic,
+# which variant the origin chose to serve).  When the crawler talks to a
+# live :class:`repro.webgen.server.LocalSiteServer` over loopback, that
+# metadata travels in private headers; real origins simply never see or set
+# them, so the same transport works against both.
+
+#: Request header carrying the vantage country (``Request.client_country``).
+CLIENT_COUNTRY_HEADER = "x-langcrux-client-country"
+
+#: Request header flagging VPN/proxy traffic (``Request.via_vpn``), "1"/"0".
+VIA_VPN_HEADER = "x-langcrux-via-vpn"
+
+#: Response header reporting which variant the synthetic origin served.
+SERVED_VARIANT_HEADER = "x-langcrux-served-variant"
+
+
+def parse_charset(content_type: str | None, default: str = "utf-8") -> str:
+    """The ``charset`` parameter of a Content-Type header value.
+
+    Used by wire transports to decode response bodies; falls back to
+    ``default`` when the header is absent, has no charset parameter, or the
+    parameter is malformed.
+    """
+    if not content_type:
+        return default
+    for part in content_type.split(";")[1:]:
+        name, _, value = part.strip().partition("=")
+        if name.strip().lower() == "charset":
+            charset = value.strip().strip('"').strip("'")
+            return charset or default
+    return default

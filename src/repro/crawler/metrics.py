@@ -10,11 +10,80 @@ from a stored record file.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, fields
 from typing import Iterable
 
 from repro.crawler.records import CrawlRecord
 from repro.stats.summary import SummaryStats, percentile, summarize
+
+
+@dataclass
+class TransportMetrics:
+    """Operational counters of a transport stack.
+
+    Every layer of :mod:`repro.crawler.transport` increments the shared
+    instance it was built with, so one object answers the questions a crawl
+    operator asks: how many requests actually hit the network, how much was
+    served from the crawl cache, how often retries and rate limiting kicked
+    in.  Increments are lock-protected because wire transports dispatch
+    sends from worker threads.
+
+    Instances are plain picklable data, so shard workers can snapshot and
+    ship them back to the parent, which merges them via :meth:`merge`.
+    """
+
+    network_requests: int = 0
+    connections_opened: int = 0
+    connections_reused: int = 0
+    retries: int = 0
+    retry_wait_s: float = 0.0
+    rate_limit_wait_s: float = 0.0
+    robots_denied: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        return self.as_dict()
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._lock = threading.Lock()
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Increment ``counter`` by ``amount`` (thread-safe)."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def merge(self, other: "TransportMetrics") -> None:
+        """Fold another stack's counters into this one."""
+        with self._lock:
+            for spec in fields(self):
+                setattr(self, spec.name,
+                        getattr(self, spec.name) + getattr(other, spec.name))
+
+    def as_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable one-liners (used by the CLI build report)."""
+        lines = [f"network requests {self.network_requests}"
+                 f" (connections opened {self.connections_opened},"
+                 f" reused {self.connections_reused})"]
+        if self.cache_hits or self.cache_misses:
+            lines.append(f"crawl cache: {self.cache_hits} hits,"
+                         f" {self.cache_misses} misses,"
+                         f" {self.cache_stores} stored")
+        if self.retries or self.robots_denied:
+            lines.append(f"retries {self.retries}"
+                         f" (waited {self.retry_wait_s:.2f}s),"
+                         f" robots denied {self.robots_denied}")
+        return lines
 
 
 @dataclass

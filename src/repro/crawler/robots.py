@@ -7,13 +7,39 @@ parser implements the subset of the robots exclusion protocol needed to
 behave correctly when one is present:
 
 * ``User-agent`` groups, with ``*`` as fallback;
-* ``Disallow`` and ``Allow`` rules with longest-match precedence;
-* ``Crawl-delay`` as a per-host politeness hint consumed by the frontier.
+* ``Disallow`` and ``Allow`` rules with longest-match precedence, including
+  the ``*`` (any run of characters) and trailing ``$`` (end anchor) pattern
+  operators real-world robots files rely on;
+* ``Crawl-delay`` as a per-host politeness hint consumed by the frontier and
+  the transport politeness layer.
+
+:class:`RobotsCache` adds the expiry policy a long-lived crawl needs: real
+crawlers re-fetch robots.txt periodically (origins change their rules), so
+cached policies age out after ``max_age_s`` and the caller re-fetches.  The
+clock is injectable, which is how the tests — and the virtual-clock crawl
+sessions — drive expiry deterministically.
 """
 
 from __future__ import annotations
 
+import re
+import time
 from dataclasses import dataclass, field
+from typing import Callable
+
+
+def _compile_rule(pattern: str) -> re.Pattern:
+    """Compile one Allow/Disallow pattern into an anchored-prefix regex.
+
+    ``*`` matches any run of characters, a trailing ``$`` anchors the match
+    at the end of the path; everything else is literal.  The compiled regex
+    matches from the start of the path (robots rules are path prefixes).
+    """
+    anchored = pattern.endswith("$")
+    if anchored:
+        pattern = pattern[:-1]
+    parts = [re.escape(part) for part in pattern.split("*")]
+    return re.compile(".*".join(parts) + ("$" if anchored else ""))
 
 
 @dataclass
@@ -36,6 +62,9 @@ class RobotsPolicy:
 
     groups: list[RuleGroup] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._rule_cache: dict[str, re.Pattern] = {}
+
     @classmethod
     def allow_all(cls) -> "RobotsPolicy":
         """The policy used when no robots.txt is served (or it is empty)."""
@@ -49,19 +78,27 @@ class RobotsPolicy:
         wildcard = [group for group in self.groups if "*" in group.user_agents]
         return wildcard[0] if wildcard else None
 
+    def _matches(self, rule: str, path: str) -> bool:
+        compiled = self._rule_cache.get(rule)
+        if compiled is None:
+            compiled = self._rule_cache[rule] = _compile_rule(rule)
+        return compiled.match(path) is not None
+
     def can_fetch(self, user_agent: str, path: str) -> bool:
         """Whether ``user_agent`` may fetch ``path``.
 
-        Longest-match wins between Allow and Disallow; an empty Disallow
-        pattern means "allow everything" per the protocol.
+        Longest-match wins between Allow and Disallow (rule length measures
+        specificity, wildcards included, as in Google's reference
+        implementation); an empty Disallow pattern means "allow everything"
+        per the protocol.
         """
         group = self._group_for(user_agent)
         if group is None:
             return True
-        best_allow = max((len(rule) for rule in group.allows if rule and path.startswith(rule)),
-                         default=-1)
-        best_disallow = max((len(rule) for rule in group.disallows if rule and path.startswith(rule)),
-                            default=-1)
+        best_allow = max((len(rule) for rule in group.allows
+                          if rule and self._matches(rule, path)), default=-1)
+        best_disallow = max((len(rule) for rule in group.disallows
+                             if rule and self._matches(rule, path)), default=-1)
         return best_allow >= best_disallow
 
     def crawl_delay(self, user_agent: str) -> float | None:
@@ -109,3 +146,64 @@ def parse_robots_txt(content: str) -> RobotsPolicy:
             except ValueError:
                 pass
     return policy
+
+
+@dataclass
+class _CacheEntry:
+    policy: RobotsPolicy
+    fetched_at: float
+
+
+class RobotsCache:
+    """Per-host robots policies with age-based expiry.
+
+    A crawl that runs for days cannot trust a robots.txt fetched at its
+    start: origins change their rules, and the protocol expects crawlers to
+    re-fetch periodically.  Entries therefore expire ``max_age_s`` seconds
+    after they were stored — :meth:`get` returns ``None`` for an expired (or
+    absent) host, which is the caller's cue to re-fetch and :meth:`put` the
+    fresh policy.
+
+    Args:
+        max_age_s: Seconds a stored policy stays valid.  ``None`` disables
+            expiry (entries live for the cache's lifetime).
+        clock: Monotonic time source; injectable so virtual-clock sessions
+            and tests can drive expiry without sleeping.
+    """
+
+    def __init__(self, *, max_age_s: float | None = 3600.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError(f"max_age_s must be positive or None, got {max_age_s}")
+        self.max_age_s = max_age_s
+        self._clock = clock
+        self._entries: dict[str, _CacheEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, host: str) -> bool:
+        return self.get(host) is not None
+
+    def get(self, host: str) -> RobotsPolicy | None:
+        """The cached policy for ``host``, or ``None`` when absent/expired.
+
+        Expired entries are evicted on access, so a long run's cache does
+        not accumulate stale policies for hosts it never revisits.
+        """
+        entry = self._entries.get(host)
+        if entry is None:
+            return None
+        if self.max_age_s is not None and \
+                self._clock() - entry.fetched_at >= self.max_age_s:
+            del self._entries[host]
+            return None
+        return entry.policy
+
+    def put(self, host: str, policy: RobotsPolicy) -> None:
+        """Store ``policy`` for ``host``, stamped with the current clock."""
+        self._entries[host] = _CacheEntry(policy=policy, fetched_at=self._clock())
+
+    def invalidate(self, host: str) -> None:
+        """Drop the cached policy for ``host`` (no-op when absent)."""
+        self._entries.pop(host, None)

@@ -13,6 +13,18 @@ counterparts (:meth:`CrawlSession.fetch_async`,
 retry policy and same stats counters.  :meth:`CrawlSession.fetch_batch` is
 the sync facade over the async path: it issues up to ``max_in_flight``
 concurrent requests and returns responses in input order.
+
+A session's transport comes in one of two shapes:
+
+* the historical blocking one — ``fetcher.transport`` is a sync
+  ``Transport`` (the simulated web), and the async path lifts it through a
+  :class:`~repro.crawler.fetcher.SyncTransportAdapter`;
+* an async-native stack from :mod:`repro.crawler.transport` — set
+  :attr:`CrawlSession.async_transport` (typically
+  ``TransportStack.transport``) and the async path sends through it
+  directly, while the blocking ``fetcher`` drives the same stack through
+  its sync adapter.  :meth:`CrawlSession.close` releases the stack's pooled
+  connections and cache handles when one is attached.
 """
 
 from __future__ import annotations
@@ -71,6 +83,12 @@ class CrawlSession:
             (a real HTTP client would; the simulated transport does not).
             When true, batched fetches offload sends to worker threads so
             in-flight requests overlap.
+        async_transport: An async-native transport (e.g. an assembled
+            :class:`~repro.crawler.transport.TransportStack`'s outermost
+            layer).  When set, :meth:`async_fetcher` sends through it
+            directly instead of adapting ``fetcher.transport``.
+        transport_stack: The owning stack, kept so :meth:`close` can release
+            its resources (pooled connections, cache manifests).
     """
 
     fetcher: Fetcher
@@ -78,7 +96,15 @@ class CrawlSession:
     clock: VirtualClock = field(default_factory=VirtualClock)
     respect_robots: bool = True
     blocking_transport: bool = False
+    async_transport: object | None = None
+    transport_stack: object | None = None
     _robots_cache: dict[str, RobotsPolicy] = field(default_factory=dict)
+
+    def close(self) -> None:
+        """Release the attached transport stack's resources (idempotent)."""
+        stack = self.transport_stack
+        if stack is not None and hasattr(stack, "close"):
+            stack.close()
 
     # -- robots ----------------------------------------------------------------
 
@@ -126,8 +152,14 @@ class CrawlSession:
 
         Each call builds a fresh (cheap) instance so one event loop never
         outlives its fetcher; the transport, retry policy and stats dict are
-        shared with the blocking :attr:`fetcher`.
+        shared with the blocking :attr:`fetcher`.  Sessions with an
+        async-native :attr:`async_transport` send through it directly;
+        otherwise the blocking transport is lifted through a
+        :class:`~repro.crawler.fetcher.SyncTransportAdapter`.
         """
+        if self.async_transport is not None:
+            return AsyncFetcher(self.async_transport, self.fetcher.config,
+                                stats=self.fetcher.stats)
         adapter = SyncTransportAdapter(self.fetcher.transport,
                                        blocking=self.blocking_transport)
         return AsyncFetcher(adapter, self.fetcher.config, stats=self.fetcher.stats)

@@ -1,0 +1,792 @@
+"""Production HTTP transport subsystem.
+
+Everything between the crawler's :class:`~repro.crawler.fetcher.AsyncTransport`
+protocol and an actual network socket lives here, as a stack of small,
+independently testable layers that compose around any base transport::
+
+    CachingTransport          on-disk crawl cache (re-runs skip the network)
+      RetryingTransport       exponential backoff + deterministic jitter
+        PoliteTransport       per-host token bucket, concurrency cap, robots
+          InstrumentedTransport   counts what actually reaches the wire
+            HttpAsyncTransport    real HTTP/1.1 with connection pooling
+            (or SyncTransportAdapter over SimulatedTransport)
+
+* :class:`HttpAsyncTransport` is the asyncio-native wire transport: stdlib
+  ``http.client`` under :func:`asyncio.to_thread` (no third-party HTTP
+  dependency), keep-alive connection pooling, per-request timeouts, and an
+  optional *gateway* mapping that resolves every origin to one address —
+  which is how the full pipeline crawls a live loopback
+  :class:`~repro.webgen.server.LocalSiteServer` hosting thousands of
+  synthetic domains.  Redirects are passed through untouched: redirect
+  policy belongs to the fetcher, the same place it lives for the simulated
+  transport, so both paths share one implementation.
+* :class:`PoliteTransport` enforces crawl politeness *below* the fetcher:
+  a per-host token bucket (optionally tightened by the host's
+  ``Crawl-delay``), a per-host concurrency cap, and robots.txt enforcement
+  through :mod:`repro.crawler.robots` with an expiring
+  :class:`~repro.crawler.robots.RobotsCache`.
+* :class:`RetryingTransport` retries transient failures with exponential
+  backoff whose jitter draws from the same ``stable_seed(seed, "transport",
+  country, host)`` per-host RNG split the simulated transport uses, so a
+  retry schedule — like everything else in the pipeline — is a pure
+  function of the configuration.
+* :class:`CachingTransport` gives any transport an on-disk crawl cache:
+  response bodies in a content-addressed store written with the
+  temp-file/``os.replace`` pattern of
+  :class:`~repro.core.dataset.StreamingDatasetWriter`, response metadata in
+  per-writer JSONL manifests (append-only, so concurrent shard workers
+  never contend), which together make re-runs and crash-resumed runs skip
+  every already-fetched origin.
+
+:func:`build_transport_stack` assembles the layers; a shared
+:class:`~repro.crawler.metrics.TransportMetrics` instance threads through
+them so one object reports what the stack did (the pipeline aggregates them
+across shards onto the run result).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import http.client
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+import random
+
+from repro.crawler.fetcher import AsyncTransport, FetchError, Transport, run_coroutine
+from repro.crawler.http import (
+    CLIENT_COUNTRY_HEADER,
+    Headers,
+    Request,
+    Response,
+    RETRYABLE_STATUS_CODES,
+    SERVED_VARIANT_HEADER,
+    URL,
+    VIA_VPN_HEADER,
+    parse_charset,
+)
+from repro.crawler.metrics import TransportMetrics
+from repro.crawler.robots import RobotsCache, RobotsPolicy, parse_robots_txt
+
+
+class RobotsDisallowedError(FetchError):
+    """Raised when the politeness layer refuses a robots-disallowed fetch."""
+
+
+# -- the wire transport --------------------------------------------------------------
+
+
+def _default_port(scheme: str) -> int:
+    return 443 if scheme == "https" else 80
+
+
+def parse_netloc(netloc: str) -> tuple[str, int]:
+    """Split a ``host:port`` gateway address (port required)."""
+    host, _, port = netloc.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"gateway must be HOST:PORT, got {netloc!r}")
+    return host, int(port)
+
+
+class HttpAsyncTransport:
+    """A real-HTTP :class:`~repro.crawler.fetcher.AsyncTransport`.
+
+    Sends requests over actual sockets with stdlib ``http.client``,
+    offloaded to worker threads via :func:`asyncio.to_thread` so in-flight
+    requests overlap on one event loop.  Connections are pooled per
+    ``(scheme, address)`` and kept alive across requests (HTTP/1.1); a
+    stale keep-alive connection that the server closed between requests is
+    detected and retried once on a fresh connection, which is invisible to
+    callers.
+
+    Args:
+        gateway: Optional ``HOST:PORT`` (or ``(host, port)``) every request
+            connects to regardless of its URL's host — the URL host still
+            travels in the ``Host`` header.  This is the loopback-crawl
+            mode: a :class:`~repro.webgen.server.LocalSiteServer` serves
+            every synthetic domain on one address, and the transport treats
+            it as the resolver for all of them.  ``None`` connects to each
+            URL's own host (real crawling).
+        timeout_s: Socket connect/read timeout per request.
+        forward_vantage: Whether to encode ``Request.client_country`` /
+            ``Request.via_vpn`` as the private ``x-langcrux-*`` headers the
+            synthetic origin server understands.  Harmless for real
+            origins; disable to crawl without them.
+        metrics: Shared counters (connections opened/reused).
+
+    Raises:
+        FetchError: From :meth:`send`, for socket errors, timeouts and
+            malformed responses.  HTTP error *statuses* are returned as
+            normal responses — deciding what a 404 means is the caller's
+            job, exactly like the simulated transport.
+    """
+
+    def __init__(self, gateway: str | tuple[str, int] | None = None, *,
+                 timeout_s: float = 10.0, forward_vantage: bool = True,
+                 metrics: TransportMetrics | None = None) -> None:
+        if isinstance(gateway, str):
+            gateway = parse_netloc(gateway)
+        self.gateway = gateway
+        self.timeout_s = timeout_s
+        self.forward_vantage = forward_vantage
+        self.metrics = metrics
+        self._pool: dict[tuple[str, str, int], list[http.client.HTTPConnection]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- connection pool ---------------------------------------------------------
+
+    def _address_for(self, url: URL) -> tuple[str, str, int]:
+        if self.gateway is not None:
+            # The gateway terminates on loopback over plain HTTP regardless
+            # of the URL's scheme (it is the TLS-terminating proxy of this
+            # world); the logical origin still travels in the Host header.
+            host, port = self.gateway
+            return ("http", host, port)
+        return (url.scheme, url.host, url.port or _default_port(url.scheme))
+
+    def _connect(self, key: tuple[str, str, int]) -> http.client.HTTPConnection:
+        scheme, host, port = key
+        if scheme == "https":
+            return http.client.HTTPSConnection(host, port, timeout=self.timeout_s)
+        return http.client.HTTPConnection(host, port, timeout=self.timeout_s)
+
+    def _acquire(self, key: tuple[str, str, int]) -> tuple[http.client.HTTPConnection, bool]:
+        """A pooled connection for ``key`` (reused flag for metrics)."""
+        with self._lock:
+            if self._closed:
+                raise FetchError("transport is closed")
+            pooled = self._pool.get(key)
+            if pooled:
+                return pooled.pop(), True
+        connection = self._connect(key)
+        if self.metrics is not None:
+            self.metrics.add("connections_opened")
+        return connection, False
+
+    def _release(self, key: tuple[str, str, int],
+                 connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed:
+                self._pool.setdefault(key, []).append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        """Close every pooled connection; further sends raise."""
+        with self._lock:
+            self._closed = True
+            pooled = [conn for conns in self._pool.values() for conn in conns]
+            self._pool.clear()
+        for connection in pooled:
+            connection.close()
+
+    # -- sending -----------------------------------------------------------------
+
+    def _headers_for(self, request: Request) -> dict[str, str]:
+        headers = request.headers.as_dict()
+        netloc = request.url.host if request.url.port is None \
+            else f"{request.url.host}:{request.url.port}"
+        headers.setdefault("host", netloc)
+        if self.forward_vantage:
+            if request.client_country is not None:
+                headers[CLIENT_COUNTRY_HEADER] = request.client_country
+            headers[VIA_VPN_HEADER] = "1" if request.via_vpn else "0"
+        return headers
+
+    def _send_blocking(self, request: Request) -> Response:
+        key = self._address_for(request.url)
+        path = request.url.path or "/"
+        if request.url.query:
+            path = f"{path}?{request.url.query}"
+        headers = self._headers_for(request)
+        started = time.perf_counter()
+        last_error: Exception | None = None
+        # Two attempts at most: a reused keep-alive connection may have been
+        # closed server-side between requests; that one failure mode gets a
+        # silent retry on a fresh connection, anything else propagates.
+        for _ in range(2):
+            connection, reused = self._acquire(key)
+            try:
+                connection.request(request.method, path, headers=headers)
+                raw = connection.getresponse()
+                body_bytes = raw.read()
+            except (http.client.BadStatusLine, http.client.RemoteDisconnected,
+                    ConnectionResetError, BrokenPipeError) as error:
+                connection.close()
+                last_error = error
+                if reused:
+                    continue
+                raise FetchError(f"connection failed fetching {request.url}: {error}",
+                                 url=request.url) from error
+            except (http.client.HTTPException, OSError) as error:
+                connection.close()
+                raise FetchError(f"request failed fetching {request.url}: {error}",
+                                 url=request.url) from error
+            if self.metrics is not None and reused:
+                self.metrics.add("connections_reused")
+            response_headers = Headers()
+            for name, value in raw.getheaders():
+                if name in response_headers:
+                    response_headers[name] = f"{response_headers[name]}, {value}"
+                else:
+                    response_headers[name] = value
+            if raw.will_close:
+                connection.close()
+            else:
+                self._release(key, connection)
+            charset = parse_charset(response_headers.get("content-type"))
+            try:
+                body = body_bytes.decode(charset, errors="replace")
+            except LookupError:  # unknown charset label from the origin
+                body = body_bytes.decode("utf-8", errors="replace")
+            return Response(
+                url=request.url,
+                status=raw.status,
+                headers=response_headers,
+                body=body,
+                elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                served_variant=response_headers.get(SERVED_VARIANT_HEADER),
+            )
+        raise FetchError(f"connection failed fetching {request.url}: {last_error}",
+                         url=request.url) from last_error
+
+    async def send(self, request: Request) -> Response:
+        return await asyncio.to_thread(self._send_blocking, request)
+
+
+class InstrumentedTransport:
+    """Counts the sends that actually reach the wrapped transport.
+
+    Sits directly above the base transport, below the caching layer, so
+    ``metrics.network_requests`` is exactly the number of fetches the crawl
+    cache did *not* absorb — the number the cache-effectiveness acceptance
+    check pins at zero on a warm re-run.
+    """
+
+    def __init__(self, inner: AsyncTransport, metrics: TransportMetrics) -> None:
+        self.inner = inner
+        self.metrics = metrics
+
+    async def send(self, request: Request) -> Response:
+        self.metrics.add("network_requests")
+        return await self.inner.send(request)
+
+
+# -- politeness ---------------------------------------------------------------------
+
+
+class _TokenBucket:
+    """A token bucket refilled continuously at ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float]) -> None:
+        self.rate = rate
+        self.burst = max(burst, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def reserve(self) -> float:
+        """Take one token, returning how long to wait before using it."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            self._tokens -= 1.0
+            if self._tokens >= 0.0:
+                return 0.0
+            return -self._tokens / self.rate
+
+
+class PoliteTransport:
+    """Per-host politeness around any :class:`AsyncTransport`.
+
+    Three independent behaviours, each optional:
+
+    * **Rate limiting** — a token bucket per host, ``rate_per_host``
+      requests/second with a burst of ``burst``.  A host whose robots.txt
+      declares a ``Crawl-delay`` larger than the configured interval gets
+      its bucket slowed to that delay.
+    * **Concurrency caps** — at most ``max_per_host`` requests in flight
+      per host (batched crawls fetch one origin's pages sequentially, but
+      nothing stops two windows from hitting one host).
+    * **robots.txt enforcement** — fetches ``/robots.txt`` once per host
+      through the same limits, caches the parsed policy in an expiring
+      :class:`~repro.crawler.robots.RobotsCache`, and raises
+      :class:`RobotsDisallowedError` for disallowed paths.  Off by default
+      because the crawl session already enforces robots at the application
+      layer; turn it on when using the transport stack bare.
+
+    The clock and sleep hooks are injectable so tests drive waiting
+    virtually; production uses monotonic time and :func:`asyncio.sleep`.
+    """
+
+    def __init__(self, inner: AsyncTransport, *,
+                 rate_per_host: float | None = None, burst: float = 1.0,
+                 max_per_host: int | None = None,
+                 respect_robots: bool = False,
+                 robots_max_age_s: float | None = 3600.0,
+                 user_agent: str = "LangCruxBot/1.0",
+                 metrics: TransportMetrics | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], "asyncio.Future | None"] | None = None) -> None:
+        if rate_per_host is not None and rate_per_host <= 0:
+            raise ValueError(f"rate_per_host must be positive, got {rate_per_host}")
+        if max_per_host is not None and max_per_host < 1:
+            raise ValueError(f"max_per_host must be positive, got {max_per_host}")
+        self.inner = inner
+        self.rate_per_host = rate_per_host
+        self.burst = burst
+        self.max_per_host = max_per_host
+        self.respect_robots = respect_robots
+        self.user_agent = user_agent
+        self.metrics = metrics
+        self._clock = clock
+        self._sleep = sleep
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._robots = RobotsCache(max_age_s=robots_max_age_s, clock=clock)
+        # Semaphores are asyncio primitives and must not leak across event
+        # loops (each sync facade call runs its own loop), so the per-host
+        # entry records which loop it belongs to and is rebuilt whenever a
+        # different loop shows up — one live entry per host, never more.
+        self._semaphores: dict[str, tuple[int, asyncio.Semaphore]] = {}
+
+    async def _wait(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        if self.metrics is not None:
+            self.metrics.add("rate_limit_wait_s", seconds)
+        if self._sleep is not None:
+            result = self._sleep(seconds)
+            if asyncio.iscoroutine(result) or isinstance(result, asyncio.Future):
+                await result
+            return
+        await asyncio.sleep(seconds)
+
+    def _bucket_for(self, host: str) -> _TokenBucket | None:
+        if self.rate_per_host is None:
+            return None
+        bucket = self._buckets.get(host)
+        if bucket is None:
+            bucket = self._buckets[host] = _TokenBucket(self.rate_per_host,
+                                                        self.burst, self._clock)
+        return bucket
+
+    def _semaphore_for(self, host: str) -> asyncio.Semaphore | None:
+        if self.max_per_host is None:
+            return None
+        loop_key = id(asyncio.get_running_loop())
+        entry = self._semaphores.get(host)
+        if entry is None or entry[0] != loop_key:
+            entry = (loop_key, asyncio.Semaphore(self.max_per_host))
+            self._semaphores[host] = entry
+        return entry[1]
+
+    def _apply_crawl_delay(self, host: str, policy: RobotsPolicy) -> None:
+        delay = policy.crawl_delay(self.user_agent)
+        if delay is None or delay <= 0 or self.rate_per_host is None:
+            return
+        bucket = self._bucket_for(host)
+        if bucket is not None and 1.0 / delay < bucket.rate:
+            bucket.rate = 1.0 / delay
+
+    async def _through_limits(self, request: Request) -> Response:
+        host = request.url.host
+        bucket = self._bucket_for(host)
+        if bucket is not None:
+            await self._wait(bucket.reserve())
+        semaphore = self._semaphore_for(host)
+        if semaphore is None:
+            return await self.inner.send(request)
+        async with semaphore:
+            return await self.inner.send(request)
+
+    async def _policy_for(self, request: Request) -> RobotsPolicy:
+        host = request.url.host
+        policy = self._robots.get(host)
+        if policy is not None:
+            return policy
+        robots_request = Request(url=request.url.with_path("/robots.txt"),
+                                 headers=Headers({"user-agent": self.user_agent}),
+                                 client_country=request.client_country,
+                                 via_vpn=request.via_vpn)
+        try:
+            response = await self._through_limits(robots_request)
+            policy = parse_robots_txt(response.body) \
+                if response.ok and response.body else RobotsPolicy.allow_all()
+        except FetchError:
+            policy = RobotsPolicy.allow_all()
+        self._robots.put(host, policy)
+        self._apply_crawl_delay(host, policy)
+        return policy
+
+    async def send(self, request: Request) -> Response:
+        if self.respect_robots and request.url.path != "/robots.txt":
+            policy = await self._policy_for(request)
+            agent = request.headers.get("user-agent") or self.user_agent
+            if not policy.can_fetch(agent, request.url.path):
+                if self.metrics is not None:
+                    self.metrics.add("robots_denied")
+                raise RobotsDisallowedError(
+                    f"robots.txt disallows {request.url}", url=request.url)
+        return await self._through_limits(request)
+
+
+# -- retries ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff policy of :class:`RetryingTransport`.
+
+    ``backoff_base_s * 2**attempt`` seconds before retry ``attempt``
+    (0-based), capped at ``backoff_max_s``, multiplied by a jitter factor
+    drawn uniformly from ``[0.5, 1.5)``.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.5
+    backoff_max_s: float = 30.0
+    retry_statuses: frozenset[int] = RETRYABLE_STATUS_CODES
+
+    def backoff_s(self, attempt: int, rng: random.Random | None) -> float:
+        if self.backoff_base_s <= 0:
+            return 0.0
+        delay = min(self.backoff_base_s * (2 ** attempt), self.backoff_max_s)
+        if rng is not None:
+            delay *= 0.5 + rng.random()
+        return delay
+
+
+class RetryingTransport:
+    """Retries transient failures with deterministic exponential backoff.
+
+    Retryable HTTP statuses *and* transport-level :class:`FetchError`\\ s
+    (socket errors, timeouts) are retried up to ``policy.max_retries``
+    times.  The jitter RNG is split per host through ``rng_factory`` — the
+    pipeline passes the same ``stable_seed(seed, "transport", country,
+    host)`` splitter the simulated transport uses — so the retry schedule
+    of one host is a pure function of the configuration, independent of
+    what other hosts are doing on the same loop.
+    """
+
+    def __init__(self, inner: AsyncTransport, policy: RetryPolicy | None = None, *,
+                 rng_factory: Callable[[str], random.Random] | None = None,
+                 metrics: TransportMetrics | None = None,
+                 sleep: Callable[[float], "asyncio.Future | None"] | None = None) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.rng_factory = rng_factory
+        self.metrics = metrics
+        self._sleep = sleep
+        self._rngs: dict[str, random.Random] = {}
+        self._lock = threading.Lock()
+
+    def _rng_for(self, host: str) -> random.Random | None:
+        if self.rng_factory is None:
+            return None
+        with self._lock:
+            rng = self._rngs.get(host)
+            if rng is None:
+                rng = self._rngs[host] = self.rng_factory(host)
+            return rng
+
+    async def _backoff(self, attempt: int, host: str) -> None:
+        delay = self.policy.backoff_s(attempt, self._rng_for(host))
+        if self.metrics is not None:
+            self.metrics.add("retries")
+            self.metrics.add("retry_wait_s", delay)
+        if delay <= 0:
+            return
+        if self._sleep is not None:
+            result = self._sleep(delay)
+            if asyncio.iscoroutine(result) or isinstance(result, asyncio.Future):
+                await result
+            return
+        await asyncio.sleep(delay)
+
+    async def send(self, request: Request) -> Response:
+        host = request.url.host
+        for attempt in range(self.policy.max_retries + 1):
+            last_attempt = attempt == self.policy.max_retries
+            try:
+                response = await self.inner.send(request)
+            except RobotsDisallowedError:
+                raise  # a policy decision, not a transient failure
+            except FetchError:
+                if last_attempt:
+                    raise
+                await self._backoff(attempt, host)
+                continue
+            if response.status in self.policy.retry_statuses and not last_attempt:
+                await self._backoff(attempt, host)
+                continue
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+# -- the on-disk crawl cache --------------------------------------------------------
+
+
+def _cache_key(request: Request) -> str:
+    parts = (request.method, str(request.url),
+             request.client_country or "", "1" if request.via_vpn else "0")
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+class CachingTransport:
+    """An on-disk crawl cache around any :class:`AsyncTransport`.
+
+    Layout under ``cache_dir``::
+
+        objects/<sha[:2]>/<sha>        response bodies, content-addressed
+        manifest-<unique>.jsonl        response metadata, one JSON per line
+
+    Bodies are written with the temp-file + :func:`os.replace` pattern (the
+    same crash-safety idiom as
+    :class:`~repro.core.dataset.StreamingDatasetWriter`): a body file either
+    exists complete or not at all, and concurrent writers storing the same
+    content race benignly.  Manifests are append-only and *per writer* —
+    each :class:`CachingTransport` appends to its own uniquely named
+    manifest, so concurrent shard workers (threads or processes) sharing
+    one cache directory never interleave writes; loading merges every
+    ``manifest-*.jsonl`` present, skipping torn trailing lines, which is
+    what makes a crash-interrupted crawl resumable: the next run replays
+    every completed fetch from disk and only fetches what is missing.
+
+    Responses with retryable (transient) statuses are never cached, so a
+    503 cannot shadow the success a retry would have seen.
+
+    The cached entry stores everything a :class:`Response` carries —
+    status, headers, body, ``served_variant``, ``elapsed_ms`` — so a warm
+    run is byte-identical to the run that populated the cache.
+
+    With ``shared_index`` (the default) every instance in the process
+    pointing at one directory shares a single in-memory key index: the
+    manifests on disk are parsed once per process, not once per instance —
+    a sub-sharded run builds one transport stack per window, and without
+    sharing, window *k* would re-read the *k-1* manifests earlier windows
+    wrote (O(n²) over a run).  Entries written by *other* processes after
+    the first load are not observed, which is benign: an unseen entry is
+    just a miss, and the re-fetch stores idempotent content.  Pass
+    ``shared_index=False`` to force a private, freshly loaded index (the
+    persistence tests do, to exercise the disk path).
+    """
+
+    #: Per-process shared key indexes, one per resolved cache directory.
+    _SHARED_INDEXES: dict[Path, dict[str, dict]] = {}
+    _SHARED_LOCK = threading.Lock()
+
+    def __init__(self, inner: AsyncTransport, cache_dir: str | Path, *,
+                 metrics: TransportMetrics | None = None,
+                 refresh: bool = False, shared_index: bool = True) -> None:
+        self.inner = inner
+        self.cache_dir = Path(cache_dir)
+        self.metrics = metrics
+        self.refresh = refresh
+        self._objects = self.cache_dir / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        if refresh:
+            self._index: dict[str, dict] = {}
+        elif shared_index:
+            key = self.cache_dir.resolve()
+            with self._SHARED_LOCK:
+                index = self._SHARED_INDEXES.get(key)
+                if index is None:
+                    index = self._SHARED_INDEXES[key] = self._load_manifests()
+            self._index = index
+        else:
+            self._index = self._load_manifests()
+        self._manifest_handle = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- manifest persistence ----------------------------------------------------
+
+    def _load_manifests(self) -> dict[str, dict]:
+        index: dict[str, dict] = {}
+        for manifest in sorted(self.cache_dir.glob("manifest-*.jsonl")):
+            with manifest.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail of a crashed writer
+                    if isinstance(entry, dict) and "key" in entry:
+                        index[entry["key"]] = entry
+        return index
+
+    def _append_manifest(self, entry: dict) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self._manifest_handle is None:
+                descriptor, _name = tempfile.mkstemp(
+                    dir=self.cache_dir, prefix="manifest-", suffix=".jsonl")
+                self._manifest_handle = os.fdopen(descriptor, "w", encoding="utf-8")
+            self._manifest_handle.write(json.dumps(entry, ensure_ascii=False))
+            self._manifest_handle.write("\n")
+            self._manifest_handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._manifest_handle is not None:
+                self._manifest_handle.close()
+                self._manifest_handle = None
+
+    # -- the body store ----------------------------------------------------------
+
+    def _body_path(self, body_sha: str) -> Path:
+        return self._objects / body_sha[:2] / body_sha
+
+    def _store_body(self, body: str) -> str:
+        data = body.encode("utf-8")
+        body_sha = hashlib.sha256(data).hexdigest()
+        path = self._body_path(body_sha)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, partial = tempfile.mkstemp(dir=path.parent,
+                                                   prefix=f".{body_sha[:8]}.",
+                                                   suffix=".partial")
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(partial, path)
+        return body_sha
+
+    # -- the transport protocol --------------------------------------------------
+
+    def _response_from(self, request: Request, entry: dict) -> Response | None:
+        try:
+            body = self._body_path(entry["body_sha"]).read_text(encoding="utf-8")
+        except (OSError, KeyError):
+            return None  # manifest without its body: treat as a miss
+        return Response(url=request.url, status=entry["status"],
+                        headers=Headers(entry.get("headers", {})),
+                        body=body, elapsed_ms=entry.get("elapsed_ms", 0.0),
+                        served_variant=entry.get("served_variant"))
+
+    async def send(self, request: Request) -> Response:
+        key = _cache_key(request)
+        entry = self._index.get(key)
+        if entry is not None:
+            response = self._response_from(request, entry)
+            if response is not None:
+                if self.metrics is not None:
+                    self.metrics.add("cache_hits")
+                return response
+        if self.metrics is not None:
+            self.metrics.add("cache_misses")
+        response = await self.inner.send(request)
+        if response.status not in RETRYABLE_STATUS_CODES:
+            body_sha = self._store_body(response.body)
+            entry = {"key": key, "url": str(request.url),
+                     "status": response.status,
+                     "headers": response.headers.as_dict(),
+                     "body_sha": body_sha, "elapsed_ms": response.elapsed_ms,
+                     "served_variant": response.served_variant}
+            self._append_manifest(entry)
+            self._index[key] = entry
+            if self.metrics is not None:
+                self.metrics.add("cache_stores")
+        return response
+
+
+# -- composition --------------------------------------------------------------------
+
+
+class AsyncTransportSyncAdapter:
+    """Lifts an :class:`AsyncTransport` into the blocking ``Transport`` protocol.
+
+    The inverse of :class:`~repro.crawler.fetcher.SyncTransportAdapter`:
+    each ``send`` drives one event loop to completion, which lets the
+    historical blocking fetch path (``CrawlSession.fetch`` →
+    ``Fetcher.fetch``) run over an async-native stack unchanged.  Callers
+    must not already be inside a running loop — the same contract as
+    :func:`~repro.crawler.fetcher.run_coroutine`.
+    """
+
+    def __init__(self, inner: AsyncTransport) -> None:
+        self.inner = inner
+
+    def send(self, request: Request) -> Response:
+        return run_coroutine(self.inner.send(request))
+
+
+@dataclass
+class TransportStack:
+    """An assembled transport stack and the handles the pipeline needs.
+
+    Attributes:
+        transport: The outermost layer (what the fetcher sends through).
+        metrics: The shared counters every layer increments.
+        closers: Layer ``close()`` callbacks, outermost first.
+    """
+
+    transport: AsyncTransport
+    metrics: TransportMetrics
+    closers: tuple[Callable[[], None], ...] = ()
+
+    def close(self) -> None:
+        """Release pooled connections and manifest handles (idempotent)."""
+        for closer in self.closers:
+            closer()
+
+    def sync_transport(self) -> Transport:
+        """The stack as a blocking ``Transport`` (one event loop per send)."""
+        return AsyncTransportSyncAdapter(self.transport)
+
+
+def build_transport_stack(base: AsyncTransport, *,
+                          metrics: TransportMetrics | None = None,
+                          retry: RetryPolicy | None = None,
+                          rng_factory: Callable[[str], random.Random] | None = None,
+                          rate_per_host: float | None = None,
+                          burst: float = 1.0,
+                          max_per_host: int | None = None,
+                          respect_robots: bool = False,
+                          user_agent: str = "LangCruxBot/1.0",
+                          cache_dir: str | Path | None = None,
+                          refresh_cache: bool = False) -> TransportStack:
+    """Compose the transport layers around ``base``.
+
+    Bottom-up: ``base`` → instrumentation → politeness (when rate limiting,
+    concurrency caps or robots enforcement are requested) → retries (when a
+    ``retry`` policy is given) → crawl cache (when ``cache_dir`` is given).
+    The cache sits on top so a hit skips politeness waits and retries
+    entirely — a replayed fetch costs no wall-clock and no tokens.
+    """
+    stack_metrics = metrics if metrics is not None else TransportMetrics()
+    closers: list[Callable[[], None]] = []
+    base_close = getattr(base, "close", None)
+    if callable(base_close):
+        closers.append(base_close)
+    if getattr(base, "metrics", False) is None:
+        base.metrics = stack_metrics  # adopt the stack's shared counters
+    transport: AsyncTransport = InstrumentedTransport(base, stack_metrics)
+    if rate_per_host is not None or max_per_host is not None or respect_robots:
+        transport = PoliteTransport(transport, rate_per_host=rate_per_host,
+                                    burst=burst, max_per_host=max_per_host,
+                                    respect_robots=respect_robots,
+                                    user_agent=user_agent, metrics=stack_metrics)
+    if retry is not None:
+        transport = RetryingTransport(transport, retry, rng_factory=rng_factory,
+                                      metrics=stack_metrics)
+    if cache_dir is not None:
+        caching = CachingTransport(transport, cache_dir, metrics=stack_metrics,
+                                   refresh=refresh_cache)
+        closers.insert(0, caching.close)
+        transport = caching
+    return TransportStack(transport=transport, metrics=stack_metrics,
+                          closers=tuple(closers))

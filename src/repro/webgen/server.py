@@ -18,12 +18,26 @@ names to origin servers and dispatches requests.  The crawler never sees
 these classes directly — it talks to a transport adapter in
 :mod:`repro.crawler.fetcher` — so swapping in a real HTTP client would not
 change any measurement code.
+
+:class:`LocalSiteServer` takes the final step: it exposes a whole
+:class:`SyntheticWeb` over *actual* HTTP on a loopback socket, multiplexing
+every synthetic domain onto one address via the ``Host`` header (the
+crawler's :class:`~repro.crawler.transport.HttpAsyncTransport` points its
+*gateway* at it).  Crawl metadata that real HTTP has no notion of — the
+client's apparent country, the VPN flag, the served-variant label — travels
+in the private ``x-langcrux-*`` headers defined in
+:mod:`repro.crawler.http`.  This is what lets the full pipeline run over a
+real network stack, hermetically, with output byte-identical to the
+in-memory simulation.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterable, Mapping
+from urllib.parse import urlsplit
 
 from repro.webgen.sitegen import GLOBAL, LOCALIZED, SyntheticSite, stable_seed
 
@@ -159,3 +173,117 @@ class SyntheticWeb:
                                   headers={"content-type": "text/plain"})
         return server.handle(OriginRequest(path=path, client_country=client_country,
                                            via_vpn=via_vpn))
+
+
+class _SiteRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches one HTTP request into the owning server's SyntheticWeb."""
+
+    # Keep-alive responses so the crawler's connection pooling is exercised.
+    protocol_version = "HTTP/1.1"
+
+    # Nagle + delayed-ACK interact to ~40ms per keep-alive round-trip on
+    # loopback; a benchmark server must not hide that behind the workload.
+    disable_nagle_algorithm = True
+
+    # Set by LocalSiteServer when the handler class is specialised.
+    web: SyntheticWeb
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        # Imported lazily: webgen must stay importable without the crawler
+        # package (the header names live with the transport conventions).
+        from repro.crawler.http import (
+            CLIENT_COUNTRY_HEADER,
+            SERVED_VARIANT_HEADER,
+            VIA_VPN_HEADER,
+        )
+
+        host = (self.headers.get("host") or "").split(":")[0].lower()
+        path = urlsplit(self.path).path or "/"
+        response = self.web.request(
+            host,
+            path,
+            client_country=self.headers.get(CLIENT_COUNTRY_HEADER) or None,
+            via_vpn=self.headers.get(VIA_VPN_HEADER) == "1",
+        )
+        body = response.body.encode("utf-8")
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if response.served_variant is not None:
+            self.send_header(SERVED_VARIANT_HEADER, response.served_variant)
+        self.send_header("content-length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the crawl's own metrics are the observability story
+
+
+class LocalSiteServer:
+    """Serves a :class:`SyntheticWeb` over real HTTP on a loopback socket.
+
+    Every synthetic domain is multiplexed onto one ``host:port`` via the
+    ``Host`` header, so the server acts as the resolver-plus-origin for the
+    whole web — point :class:`~repro.crawler.transport.HttpAsyncTransport`'s
+    ``gateway`` at :attr:`gateway` and the crawler reaches any site through
+    genuine sockets.  Requests are handled on daemon threads
+    (``ThreadingHTTPServer``), so batched crawls with many origins in
+    flight are served concurrently.
+
+    Usable as a context manager::
+
+        with LocalSiteServer(web) as server:
+            transport = HttpAsyncTransport(gateway=server.gateway)
+            ...
+
+    Args:
+        web: The synthetic web to serve.
+        host: Interface to bind (loopback by default; keep it that way in
+            CI — the integration suite is deliberately network-free).
+        port: Port to bind; 0 picks an ephemeral free port.
+    """
+
+    def __init__(self, web: SyntheticWeb, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.web = web
+        handler = type("_BoundSiteRequestHandler", (_SiteRequestHandler,),
+                       {"web": web})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def gateway(self) -> str:
+        """The ``host:port`` address transports use as their gateway."""
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "LocalSiteServer":
+        """Serve on a background thread until :meth:`close` (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._server.serve_forever,
+                                            name="langcrux-site-server",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "LocalSiteServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

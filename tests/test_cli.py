@@ -141,3 +141,54 @@ class TestParser:
     def test_unknown_command_is_an_error(self) -> None:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestTransportFlags:
+    def test_http_build_matches_simulated_bytes(self, tmp_path: Path, capsys) -> None:
+        from repro.core.pipeline import PipelineConfig, build_web_for_config
+        from repro.webgen.server import LocalSiteServer
+
+        common = ["--sites-per-country", "3", "--countries", "il", "--seed", "31"]
+        simulated = tmp_path / "sim.jsonl"
+        assert main(["build", "--output", str(simulated)] + common) == 0
+
+        web, _ = build_web_for_config(PipelineConfig(countries=("il",),
+                                                     sites_per_country=3, seed=31))
+        with LocalSiteServer(web) as server:
+            http_path = tmp_path / "http.jsonl"
+            assert main(["build", "--output", str(http_path), "--transport", "http",
+                         "--http-gateway", server.gateway] + common) == 0
+        assert http_path.read_bytes() == simulated.read_bytes()
+        assert "transport: network requests" in capsys.readouterr().out
+
+    def test_crawl_cache_warm_run_reports_zero_network(self, tmp_path: Path,
+                                                       capsys) -> None:
+        cache = tmp_path / "cache"
+        args = ["build", "--output", str(tmp_path / "out.jsonl"),
+                "--sites-per-country", "2", "--countries", "il", "--seed", "31",
+                "--crawl-cache", str(cache)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "network requests 0" in output
+        assert "crawl cache" in output
+
+    def test_build_rejects_unknown_transport(self, tmp_path: Path) -> None:
+        with pytest.raises(SystemExit):
+            main(["build", "--output", str(tmp_path / "x.jsonl"),
+                  "--transport", "carrier-pigeon"])
+
+    def test_build_rejects_non_positive_rate_limit(self, tmp_path: Path) -> None:
+        with pytest.raises(SystemExit):
+            main(["build", "--output", str(tmp_path / "x.jsonl"),
+                  "--rate-limit", "0"])
+
+
+class TestServe:
+    def test_serve_prints_gateway_and_exits_after_duration(self, capsys) -> None:
+        assert main(["serve", "--countries", "il", "--sites-per-country", "2",
+                     "--seed", "31", "--duration", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "serving" in output and "127.0.0.1:" in output
+        assert "--transport http" in output  # the copy-paste crawl command

@@ -113,6 +113,49 @@ def _explode_in_worker(shard: str) -> str:
     raise ValueError(f"worker cannot handle {shard}")
 
 
+def _slow_echo(shard: int) -> int:
+    """Module-level so the process backend can pickle it into a worker."""
+    time.sleep(0.02)
+    return shard
+
+
+class TestProcessLazySubmission:
+    """The process backend consumes its shard source lazily.
+
+    Submission is bounded to ``workers + 1`` outstanding tasks, refilled
+    after each yielded result — which is what lets a speculative workload
+    hand the backend a live-filtered generator and have a filled quota stop
+    new windows from ever being scheduled.
+    """
+
+    def test_early_close_leaves_most_of_the_source_unconsumed(self) -> None:
+        pulled = {"count": 0}
+
+        def source():
+            for index in range(50):
+                pulled["count"] += 1
+                yield index
+
+        executor = ProcessExecutor(2)
+        stream = executor.run_ordered(_slow_echo, source())
+        taken = [next(stream).value for _ in range(3)]
+        stream.close()
+        assert taken == [0, 1, 2]
+        # Initial window (workers + 1) plus one refill per drained result,
+        # with slack for out-of-order completions — far below the 50 the
+        # eager implementation would have submitted.
+        assert pulled["count"] <= 12, (
+            f"{pulled['count']} shards pulled from the source; submission "
+            f"is not lazy")
+
+    def test_lazy_source_still_yields_everything_when_drained(self) -> None:
+        results = list(ProcessExecutor(2).run_ordered(_slow_echo, iter(range(7))))
+        assert [result.value for result in results] == list(range(7))
+
+    def test_empty_iterator_source(self) -> None:
+        assert list(ProcessExecutor(2).run(_slow_echo, iter(()))) == []
+
+
 class TestFailurePropagation:
     def test_process_backend_error_names_the_shard(self) -> None:
         # Both shards fail; whichever completes first must be named.

@@ -20,6 +20,7 @@ from repro.core.pipeline import (
     execute_country_shard,
     record_from_crawl,
     selector_for_country,
+    slim_selection_outcome,
 )
 from repro.core.elements import ELEMENT_IDS
 from repro.crawler.vpn import VantagePoint
@@ -179,6 +180,89 @@ class TestSubShardWorkerPayload:
         for evaluation, record in zip(result.evaluations, result.records):
             if record is not None:
                 assert evaluation.record.pages  # selected sites keep their crawl
+
+
+class TestSlimOutcomes:
+    """Streaming runs drop crawl payloads from selection outcomes."""
+
+    CONFIG = dict(countries=("il",), sites_per_country=3, seed=33,
+                  transport_failure_rate=0.0)
+
+    def test_slim_selection_outcome_keeps_counters_and_metadata(self) -> None:
+        config = PipelineConfig(**self.CONFIG)
+        shard = execute_country_shard(config, "il",
+                                      web_and_crux=build_web_for_config(config))
+        outcome = shard.outcome
+        before = [(s.entry, s.visible_native_share,
+                   [(p.url, p.status, p.served_variant) for p in s.record.pages])
+                  for s in outcome.selected]
+        examined = outcome.candidates_examined
+        slim_selection_outcome(outcome)
+        after = [(s.entry, s.visible_native_share,
+                  [(p.url, p.status, p.served_variant) for p in s.record.pages])
+                 for s in outcome.selected]
+        assert after == before  # metadata and counters survive
+        assert outcome.candidates_examined == examined
+        assert all(page.html == "" for selected in outcome.selected
+                   for page in selected.record.pages)
+        assert all(selected.documents == () for selected in outcome.selected)
+
+    def test_streaming_run_slims_outcomes_by_default(self, tmp_path) -> None:
+        config = PipelineConfig(**self.CONFIG)
+        result = LangCrUXPipeline(config).run(stream_to=tmp_path / "out.jsonl",
+                                              keep_in_memory=False)
+        outcome = result.selection_outcomes["il"]
+        assert outcome.selected, "selection itself must be unaffected"
+        assert all(page.html == "" for selected in outcome.selected
+                   for page in selected.record.pages)
+
+    def test_in_memory_run_keeps_crawl_snapshots(self) -> None:
+        config = PipelineConfig(**self.CONFIG)
+        result = LangCrUXPipeline(config).run()
+        outcome = result.selection_outcomes["il"]
+        assert any(page.html for selected in outcome.selected
+                   for page in selected.record.pages)
+
+    def test_explicit_slim_overrides_the_default(self) -> None:
+        config = PipelineConfig(**self.CONFIG)
+        result = LangCrUXPipeline(config).run(slim_outcomes=True)
+        assert all(page.html == "" for selected
+                   in result.selection_outcomes["il"].selected
+                   for page in selected.record.pages)
+        # The dataset is untouched either way.
+        assert len(result.dataset) == 3
+
+
+class TestProcessSpeculationBound:
+    """A filled quota stops window scheduling on the process backend too.
+
+    The process backend consumes its work lazily through a bounded
+    submission window and the pipeline hands it a generator that drops
+    windows of finalized countries, so the number of origins actually
+    crawled past the quota is bounded by the in-flight windows — not by
+    ``candidate_multiplier``.  The crawl cache gives an exact, cross-process
+    count of real fetches.
+    """
+
+    def test_filled_quota_bounds_scheduled_windows(self, tmp_path) -> None:
+        config = PipelineConfig(countries=("bd",), sites_per_country=3,
+                                candidate_multiplier=8.0, seed=13,
+                                transport_failure_rate=0.0,
+                                executor="process", workers=2, sub_shard_size=2,
+                                crawl_cache=str(tmp_path / "cache"))
+        result = LangCrUXPipeline(config).run()
+        assert len(result.dataset) == 3
+        import json as _json
+        hosts = set()
+        for manifest in (tmp_path / "cache").glob("manifest-*.jsonl"):
+            for line in manifest.read_text(encoding="utf-8").splitlines():
+                entry = _json.loads(line)
+                hosts.add(entry["url"].split("/")[2])
+        total_candidates = 24  # sites_per_country * candidate_multiplier
+        assert len(hosts) >= 3
+        assert len(hosts) <= 18, (
+            f"{len(hosts)} origins crawled of {total_candidates}: speculation "
+            f"is not bounded by the submission window")
 
 
 class TestVantageAblation:

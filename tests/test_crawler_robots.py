@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.crawler.robots import RobotsPolicy, parse_robots_txt
+import pytest
+
+from repro.crawler.robots import RobotsCache, RobotsPolicy, parse_robots_txt
 
 
 SIMPLE = """
@@ -65,3 +67,139 @@ class TestMatching:
         policy = RobotsPolicy.allow_all()
         assert policy.can_fetch("any", "/path")
         assert policy.crawl_delay("any") is None
+
+
+class TestMalformedContent:
+    """A broken robots.txt must never break the crawl."""
+
+    def test_rules_before_any_user_agent_are_ignored(self) -> None:
+        policy = parse_robots_txt("Disallow: /early/\nUser-agent: *\nDisallow: /late/")
+        assert policy.can_fetch("bot", "/early/x")
+        assert not policy.can_fetch("bot", "/late/x")
+
+    def test_binary_garbage_parses_to_allow_all(self) -> None:
+        policy = parse_robots_txt("\x00\x01\xff\nnot a directive\n::\n:")
+        assert policy.can_fetch("bot", "/anything")
+
+    def test_unknown_directives_are_skipped(self) -> None:
+        policy = parse_robots_txt(
+            "User-agent: *\nSitemap: https://x/s.xml\nNoindex: /a\nDisallow: /b/")
+        assert policy.can_fetch("bot", "/a")
+        assert not policy.can_fetch("bot", "/b/page")
+
+    def test_whitespace_and_case_are_forgiven(self) -> None:
+        policy = parse_robots_txt("  USER-AGENT :  *  \n  DISALLOW :  /x/  ")
+        assert not policy.can_fetch("bot", "/x/page")
+
+    def test_duplicate_directive_keeps_accumulating(self) -> None:
+        policy = parse_robots_txt(
+            "User-agent: *\nDisallow: /a/\nDisallow: /b/\nDisallow: /c/")
+        for path in ("/a/1", "/b/1", "/c/1"):
+            assert not policy.can_fetch("bot", path)
+
+    def test_directive_with_colon_in_value(self) -> None:
+        policy = parse_robots_txt("User-agent: *\nDisallow: /path:with:colons/")
+        assert not policy.can_fetch("bot", "/path:with:colons/x")
+
+
+class TestWildcardRules:
+    def test_star_matches_any_run_of_characters(self) -> None:
+        policy = parse_robots_txt("User-agent: *\nDisallow: /private/*/drafts/")
+        assert not policy.can_fetch("bot", "/private/alice/drafts/x")
+        assert not policy.can_fetch("bot", "/private/a/b/drafts/")
+        assert policy.can_fetch("bot", "/private/alice/published/x")
+
+    def test_star_suffix_pattern(self) -> None:
+        policy = parse_robots_txt("User-agent: *\nDisallow: /*.php")
+        assert not policy.can_fetch("bot", "/index.php")
+        assert not policy.can_fetch("bot", "/deep/dir/page.php?x=1".split("?")[0])
+        assert policy.can_fetch("bot", "/index.html")
+
+    def test_dollar_anchors_at_end(self) -> None:
+        policy = parse_robots_txt("User-agent: *\nDisallow: /*.pdf$")
+        assert not policy.can_fetch("bot", "/report.pdf")
+        assert policy.can_fetch("bot", "/report.pdf.html")
+
+    def test_literal_rules_still_match_as_prefixes(self) -> None:
+        policy = parse_robots_txt("User-agent: *\nDisallow: /private/")
+        assert not policy.can_fetch("bot", "/private/deep/path")
+        assert policy.can_fetch("bot", "/public/")
+
+    def test_regex_metacharacters_are_literal(self) -> None:
+        policy = parse_robots_txt("User-agent: *\nDisallow: /a+b(c)/")
+        assert not policy.can_fetch("bot", "/a+b(c)/x")
+        assert policy.can_fetch("bot", "/aab(c)/x")
+
+    def test_wildcard_allow_beats_shorter_disallow(self) -> None:
+        policy = parse_robots_txt(
+            "User-agent: *\nDisallow: /shop/\nAllow: /shop/*/public/")
+        assert policy.can_fetch("bot", "/shop/books/public/x")
+        assert not policy.can_fetch("bot", "/shop/books/private/x")
+
+
+class TestCrawlDelayParsing:
+    def test_fractional_and_integer_delays(self) -> None:
+        assert parse_robots_txt("User-agent: *\nCrawl-delay: 0.25").crawl_delay("b") == 0.25
+        assert parse_robots_txt("User-agent: *\nCrawl-delay: 10").crawl_delay("b") == 10.0
+
+    def test_delay_is_per_group(self) -> None:
+        policy = parse_robots_txt(
+            "User-agent: fastbot\nCrawl-delay: 1\n\nUser-agent: *\nCrawl-delay: 30")
+        assert policy.crawl_delay("FastBot/2.0") == 1.0
+        assert policy.crawl_delay("otherbot") == 30.0
+
+    def test_garbage_delay_values_are_dropped(self) -> None:
+        for value in ("soon", "", "1.2.3", "NaN seconds"):
+            policy = parse_robots_txt(f"User-agent: *\nCrawl-delay: {value}\nDisallow: /x/")
+            assert policy.crawl_delay("bot") is None
+            assert not policy.can_fetch("bot", "/x/1")  # group still parsed
+
+
+class TestRobotsCache:
+    def _cache(self, max_age: float | None = 100.0):
+        clock = {"now": 0.0}
+        cache = RobotsCache(max_age_s=max_age, clock=lambda: clock["now"])
+        return cache, clock
+
+    def test_roundtrip_within_max_age(self) -> None:
+        cache, clock = self._cache()
+        policy = parse_robots_txt("User-agent: *\nDisallow: /x/")
+        cache.put("example.com", policy)
+        clock["now"] = 99.0
+        assert cache.get("example.com") is policy
+        assert "example.com" in cache
+
+    def test_entries_expire_at_max_age(self) -> None:
+        cache, clock = self._cache()
+        cache.put("example.com", RobotsPolicy.allow_all())
+        clock["now"] = 100.0
+        assert cache.get("example.com") is None
+        assert len(cache) == 0  # expired entries are evicted, not retained
+
+    def test_refresh_restamps_the_entry(self) -> None:
+        cache, clock = self._cache()
+        cache.put("example.com", RobotsPolicy.allow_all())
+        clock["now"] = 90.0
+        cache.put("example.com", RobotsPolicy.allow_all())  # re-fetch
+        clock["now"] = 150.0  # 60s after the refresh: still fresh
+        assert cache.get("example.com") is not None
+
+    def test_none_max_age_never_expires(self) -> None:
+        cache, clock = self._cache(max_age=None)
+        cache.put("example.com", RobotsPolicy.allow_all())
+        clock["now"] = 1e9
+        assert cache.get("example.com") is not None
+
+    def test_invalidate_drops_one_host(self) -> None:
+        cache, _ = self._cache()
+        cache.put("a.com", RobotsPolicy.allow_all())
+        cache.put("b.com", RobotsPolicy.allow_all())
+        cache.invalidate("a.com")
+        cache.invalidate("never-stored.com")  # no-op
+        assert cache.get("a.com") is None
+        assert cache.get("b.com") is not None
+
+    def test_rejects_non_positive_max_age(self) -> None:
+        for bad in (0, -1.0):
+            with pytest.raises(ValueError):
+                RobotsCache(max_age_s=bad)

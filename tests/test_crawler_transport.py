@@ -1,0 +1,558 @@
+"""Tests for the production transport subsystem (repro.crawler.transport)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import random
+import threading
+
+import pytest
+
+from repro.crawler.fetcher import AsyncFetcher, FetchError, SyncTransportAdapter
+from repro.crawler.http import Headers, Request, Response, URL
+from repro.crawler.metrics import TransportMetrics
+from repro.crawler.transport import (
+    AsyncTransportSyncAdapter,
+    CachingTransport,
+    HttpAsyncTransport,
+    InstrumentedTransport,
+    PoliteTransport,
+    RetryPolicy,
+    RetryingTransport,
+    RobotsDisallowedError,
+    TransportStack,
+    build_transport_stack,
+    parse_netloc,
+)
+from repro.webgen.profiles import get_profile
+from repro.webgen.server import LocalSiteServer, SyntheticWeb
+from repro.webgen.sitegen import SiteGenerator, stable_seed
+
+
+@pytest.fixture(scope="module")
+def synthetic_web() -> SyntheticWeb:
+    # Seed 19 yields a web whose 8 origins include a root-redirecting one,
+    # so the redirect-passthrough tests always have a subject.
+    sites = SiteGenerator(get_profile("bd"), seed=19).generate_sites(8)
+    return SyntheticWeb(sites)
+
+
+@pytest.fixture(scope="module")
+def live_server(synthetic_web: SyntheticWeb):
+    with LocalSiteServer(synthetic_web) as server:
+        yield server
+
+
+def _send(transport, request: Request) -> Response:
+    return asyncio.run(transport.send(request))
+
+
+def _request(domain: str, path: str = "/", *, country: str | None = "bd",
+             via_vpn: bool = True) -> Request:
+    return Request(url=URL.parse(f"https://{domain}{path}"),
+                   client_country=country, via_vpn=via_vpn)
+
+
+class ScriptedTransport:
+    """An async transport answering from a per-URL script of responses."""
+
+    def __init__(self, script: dict[str, list[Response]] | None = None,
+                 default_status: int = 200) -> None:
+        self.script = script or {}
+        self.default_status = default_status
+        self.sent: list[Request] = []
+
+    async def send(self, request: Request) -> Response:
+        self.sent.append(request)
+        queued = self.script.get(str(request.url))
+        if queued:
+            response = queued.pop(0)
+            if isinstance(response, Exception):
+                raise response
+            return response
+        return Response(url=request.url, status=self.default_status,
+                        headers=Headers({"content-type": "text/html"}),
+                        body=f"body of {request.url}")
+
+
+class TestParseNetloc:
+    def test_parses_host_and_port(self) -> None:
+        assert parse_netloc("127.0.0.1:8321") == ("127.0.0.1", 8321)
+
+    @pytest.mark.parametrize("bad", ["localhost", ":80", "host:", "host:port"])
+    def test_rejects_malformed(self, bad: str) -> None:
+        with pytest.raises(ValueError):
+            parse_netloc(bad)
+
+
+class TestHttpAsyncTransport:
+    def test_fetches_real_bytes_identical_to_in_memory(self, synthetic_web,
+                                                       live_server) -> None:
+        domain = synthetic_web.domains()[0]
+        transport = HttpAsyncTransport(gateway=live_server.gateway)
+        try:
+            response = _send(transport, _request(domain))
+        finally:
+            transport.close()
+        reference = synthetic_web.request(domain, "/", client_country="bd",
+                                          via_vpn=True)
+        # A synthetic origin may redirect "/" → follow-up is the fetcher's
+        # job; compare whichever the in-memory dispatch returned.
+        assert response.status == reference.status
+        assert response.body == reference.body
+        assert response.served_variant == reference.served_variant
+
+    def test_vantage_headers_select_the_variant(self, synthetic_web,
+                                                live_server) -> None:
+        localizing = next(domain for domain in synthetic_web.domains()
+                          if synthetic_web.site(domain).localizes_by_ip
+                          and not synthetic_web.site(domain).blocks_vpn)
+        transport = HttpAsyncTransport(gateway=live_server.gateway)
+        try:
+            local = _send(transport, _request(localizing, country="bd"))
+            foreign = _send(transport, _request(localizing, country="jp"))
+        finally:
+            transport.close()
+        assert local.served_variant == "localized"
+        assert foreign.served_variant == "global"
+        assert local.body != foreign.body
+
+    def test_unknown_host_answers_502(self, live_server) -> None:
+        transport = HttpAsyncTransport(gateway=live_server.gateway)
+        try:
+            response = _send(transport, _request("nosuch.example"))
+        finally:
+            transport.close()
+        assert response.status == 502
+
+    def test_unknown_path_answers_404(self, synthetic_web, live_server) -> None:
+        domain = synthetic_web.domains()[0]
+        transport = HttpAsyncTransport(gateway=live_server.gateway)
+        try:
+            response = _send(transport, _request(domain, "/no/such/page"))
+        finally:
+            transport.close()
+        assert response.status == 404
+        assert not response.is_html
+
+    def test_connections_are_pooled_and_reused(self, synthetic_web,
+                                               live_server) -> None:
+        metrics = TransportMetrics()
+        transport = HttpAsyncTransport(gateway=live_server.gateway, metrics=metrics)
+        try:
+            for domain in synthetic_web.domains()[:4]:
+                _send(transport, _request(domain))
+        finally:
+            transport.close()
+        assert metrics.connections_opened == 1
+        assert metrics.connections_reused == 3
+
+    def test_redirects_pass_through_untouched(self, synthetic_web,
+                                              live_server) -> None:
+        redirecting = next(domain for domain in synthetic_web.domains()
+                           if synthetic_web.request(domain, "/").is_redirect)
+        transport = HttpAsyncTransport(gateway=live_server.gateway)
+        try:
+            response = _send(transport, _request(redirecting))
+        finally:
+            transport.close()
+        assert response.is_redirect
+        assert response.redirect_target() is not None
+
+    def test_fetcher_over_live_transport_follows_redirects(self, synthetic_web,
+                                                           live_server) -> None:
+        transport = HttpAsyncTransport(gateway=live_server.gateway)
+        fetcher = AsyncFetcher(transport)
+        try:
+            for domain in synthetic_web.domains():
+                response = asyncio.run(fetcher.fetch(
+                    f"https://{domain}/", client_country="bd", via_vpn=True))
+                assert not response.is_redirect
+        finally:
+            transport.close()
+
+    def test_connection_refused_raises_fetch_error(self) -> None:
+        transport = HttpAsyncTransport(gateway="127.0.0.1:1", timeout_s=0.5)
+        try:
+            with pytest.raises(FetchError):
+                _send(transport, _request("any.example"))
+        finally:
+            transport.close()
+
+    def test_closed_transport_refuses_sends(self, live_server) -> None:
+        transport = HttpAsyncTransport(gateway=live_server.gateway)
+        transport.close()
+        with pytest.raises(FetchError):
+            _send(transport, _request("any.example"))
+
+
+class TestPoliteTransport:
+    def test_rate_limit_spaces_requests(self) -> None:
+        clock = {"now": 0.0}
+        waits: list[float] = []
+
+        async def fake_sleep(seconds: float) -> None:
+            waits.append(seconds)
+            clock["now"] += seconds
+
+        inner = ScriptedTransport()
+        polite = PoliteTransport(inner, rate_per_host=2.0,
+                                 clock=lambda: clock["now"], sleep=fake_sleep)
+        for _ in range(3):
+            _send(polite, _request("one.example"))
+        # First request spends the burst token; the next two wait 0.5s each.
+        assert waits == pytest.approx([0.5, 0.5])
+
+    def test_rate_limit_is_per_host(self) -> None:
+        clock = {"now": 0.0}
+        waits: list[float] = []
+
+        async def fake_sleep(seconds: float) -> None:
+            waits.append(seconds)
+            clock["now"] += seconds
+
+        polite = PoliteTransport(ScriptedTransport(), rate_per_host=1.0,
+                                 clock=lambda: clock["now"], sleep=fake_sleep)
+        _send(polite, _request("one.example"))
+        _send(polite, _request("two.example"))  # different host: its own bucket
+        assert waits == []
+
+    def test_rate_limit_wait_is_metered(self) -> None:
+        clock = {"now": 0.0}
+
+        async def fake_sleep(seconds: float) -> None:
+            clock["now"] += seconds
+
+        metrics = TransportMetrics()
+        polite = PoliteTransport(ScriptedTransport(), rate_per_host=4.0,
+                                 metrics=metrics, clock=lambda: clock["now"],
+                                 sleep=fake_sleep)
+        for _ in range(5):
+            _send(polite, _request("one.example"))
+        assert metrics.rate_limit_wait_s == pytest.approx(1.0)
+
+    def test_max_per_host_caps_concurrency(self) -> None:
+        peak = {"now": 0, "max": 0}
+        lock = threading.Lock()
+
+        class SlowTransport:
+            async def send(self, request: Request) -> Response:
+                with lock:
+                    peak["now"] += 1
+                    peak["max"] = max(peak["max"], peak["now"])
+                await asyncio.sleep(0.01)
+                with lock:
+                    peak["now"] -= 1
+                return Response(url=request.url, status=200)
+
+        polite = PoliteTransport(SlowTransport(), max_per_host=2)
+        url = URL.parse("https://one.example/")
+
+        async def burst() -> None:
+            await asyncio.gather(*(polite.send(Request(url=url)) for _ in range(8)))
+
+        asyncio.run(burst())
+        assert peak["max"] <= 2
+
+    def test_semaphores_stay_bounded_across_event_loops(self) -> None:
+        # The sync facade runs one event loop per send; per-host entries are
+        # rebuilt for the current loop, never accumulated per loop.
+        polite = PoliteTransport(ScriptedTransport(), max_per_host=2)
+        for _ in range(20):
+            _send(polite, _request("one.example"))
+            _send(polite, _request("two.example"))
+        assert len(polite._semaphores) == 2
+
+    def test_robots_disallow_raises_and_counts(self) -> None:
+        robots = Response(url=URL.parse("https://one.example/robots.txt"),
+                          status=200, body="User-agent: *\nDisallow: /private/")
+        inner = ScriptedTransport({"https://one.example/robots.txt": [robots]})
+        metrics = TransportMetrics()
+        polite = PoliteTransport(inner, respect_robots=True, metrics=metrics)
+        assert _send(polite, _request("one.example", "/public")).status == 200
+        with pytest.raises(RobotsDisallowedError):
+            _send(polite, _request("one.example", "/private/x"))
+        assert metrics.robots_denied == 1
+        # robots.txt was fetched exactly once; the policy is cached.
+        assert sum(1 for request in inner.sent
+                   if request.url.path == "/robots.txt") == 1
+
+    def test_robots_cache_expires_and_refetches(self) -> None:
+        clock = {"now": 0.0}
+        allowing = Response(url=URL.parse("https://one.example/robots.txt"),
+                            status=200, body="User-agent: *\nDisallow:")
+        blocking = Response(url=URL.parse("https://one.example/robots.txt"),
+                            status=200, body="User-agent: *\nDisallow: /")
+        inner = ScriptedTransport(
+            {"https://one.example/robots.txt": [allowing, blocking]})
+        polite = PoliteTransport(inner, respect_robots=True,
+                                 robots_max_age_s=10.0,
+                                 clock=lambda: clock["now"])
+        assert _send(polite, _request("one.example", "/page")).status == 200
+        clock["now"] = 11.0  # past max age: the next send re-fetches robots
+        with pytest.raises(RobotsDisallowedError):
+            _send(polite, _request("one.example", "/page"))
+        assert sum(1 for request in inner.sent
+                   if request.url.path == "/robots.txt") == 2
+
+    def test_crawl_delay_tightens_the_bucket(self) -> None:
+        clock = {"now": 0.0}
+        waits: list[float] = []
+
+        async def fake_sleep(seconds: float) -> None:
+            waits.append(seconds)
+            clock["now"] += seconds
+
+        robots = Response(url=URL.parse("https://one.example/robots.txt"),
+                          status=200,
+                          body="User-agent: *\nDisallow:\nCrawl-delay: 4")
+        inner = ScriptedTransport({"https://one.example/robots.txt": [robots]})
+        polite = PoliteTransport(inner, rate_per_host=10.0, respect_robots=True,
+                                 clock=lambda: clock["now"], sleep=fake_sleep)
+        _send(polite, _request("one.example", "/a"))
+        _send(polite, _request("one.example", "/b"))
+        # The second page fetch waits ~4s (crawl-delay), not 0.1s (rate).
+        assert waits, "expected the crawl-delay to throttle the second fetch"
+        assert max(waits) == pytest.approx(4.0, rel=0.2)
+
+
+class TestRetryingTransport:
+    def _rng_factory(self, seed: int = 5):
+        return lambda host: random.Random(stable_seed(seed, "transport", "bd", host))
+
+    def test_retries_transient_status_then_succeeds(self) -> None:
+        url = "https://one.example/"
+        flaky = [Response(url=URL.parse(url), status=503),
+                 Response(url=URL.parse(url), status=200, body="ok")]
+        inner = ScriptedTransport({url: flaky})
+        metrics = TransportMetrics()
+        retrying = RetryingTransport(inner, RetryPolicy(backoff_base_s=0.0),
+                                     metrics=metrics)
+        response = _send(retrying, _request("one.example"))
+        assert response.status == 200
+        assert metrics.retries == 1
+
+    def test_exhausted_retries_return_last_response(self) -> None:
+        url = "https://one.example/"
+        inner = ScriptedTransport(
+            {url: [Response(url=URL.parse(url), status=503) for _ in range(10)]})
+        retrying = RetryingTransport(inner, RetryPolicy(max_retries=2,
+                                                        backoff_base_s=0.0))
+        assert _send(retrying, _request("one.example")).status == 503
+        assert len(inner.sent) == 3  # initial + 2 retries
+
+    def test_fetch_errors_are_retried(self) -> None:
+        url = "https://one.example/"
+        inner = ScriptedTransport(
+            {url: [FetchError("boom"),
+                   Response(url=URL.parse(url), status=200)]})
+        retrying = RetryingTransport(inner, RetryPolicy(backoff_base_s=0.0))
+        assert _send(retrying, _request("one.example")).status == 200
+
+    def test_robots_denial_is_not_retried(self) -> None:
+        url = "https://one.example/"
+        inner = ScriptedTransport({url: [RobotsDisallowedError("no")]})
+        retrying = RetryingTransport(inner, RetryPolicy(backoff_base_s=0.0))
+        with pytest.raises(RobotsDisallowedError):
+            _send(retrying, _request("one.example"))
+        assert len(inner.sent) == 1
+
+    def test_backoff_jitter_is_deterministic_per_host(self) -> None:
+        def schedule() -> list[float]:
+            url = "https://one.example/"
+            inner = ScriptedTransport(
+                {url: [Response(url=URL.parse(url), status=503)
+                       for _ in range(4)]})
+            waits: list[float] = []
+
+            async def fake_sleep(seconds: float) -> None:
+                waits.append(seconds)
+
+            retrying = RetryingTransport(
+                inner, RetryPolicy(max_retries=3, backoff_base_s=0.25),
+                rng_factory=self._rng_factory(), sleep=fake_sleep)
+            _send(retrying, _request("one.example"))
+            return waits
+
+        first, second = schedule(), schedule()
+        assert first == second  # same stable_seed split → same jitter draws
+        assert len(first) == 3
+        # Exponential shape with jitter in [0.5, 1.5) of the base schedule.
+        for attempt, wait in enumerate(first):
+            base = 0.25 * (2 ** attempt)
+            assert base * 0.5 <= wait < base * 1.5
+
+
+class TestCachingTransport:
+    def test_miss_stores_then_hit_replays(self, tmp_path) -> None:
+        inner = ScriptedTransport()
+        metrics = TransportMetrics()
+        caching = CachingTransport(inner, tmp_path, metrics=metrics)
+        first = _send(caching, _request("one.example"))
+        second = _send(caching, _request("one.example"))
+        caching.close()
+        assert (first.status, first.body) == (second.status, second.body)
+        assert len(inner.sent) == 1
+        assert (metrics.cache_misses, metrics.cache_hits,
+                metrics.cache_stores) == (1, 1, 1)
+
+    def test_cache_persists_across_instances(self, tmp_path) -> None:
+        writer_inner = ScriptedTransport()
+        writer = CachingTransport(writer_inner, tmp_path)
+        response = _send(writer, _request("one.example"))
+        writer.close()
+
+        # shared_index=False forces a fresh manifest load from disk — this
+        # is the cross-process persistence path, exercised in-process.
+        reader_inner = ScriptedTransport(default_status=500)
+        reader = CachingTransport(reader_inner, tmp_path, shared_index=False)
+        replayed = _send(reader, _request("one.example"))
+        reader.close()
+        assert replayed.body == response.body
+        assert reader_inner.sent == []  # pure replay, no network
+
+    def test_key_includes_vantage(self, tmp_path) -> None:
+        inner = ScriptedTransport()
+        caching = CachingTransport(inner, tmp_path)
+        _send(caching, _request("one.example", country="bd"))
+        _send(caching, _request("one.example", country="jp"))
+        _send(caching, _request("one.example", country="bd", via_vpn=False))
+        caching.close()
+        assert len(inner.sent) == 3  # three distinct cache keys
+
+    def test_transient_statuses_are_not_cached(self, tmp_path) -> None:
+        url = "https://one.example/"
+        inner = ScriptedTransport(
+            {url: [Response(url=URL.parse(url), status=503),
+                   Response(url=URL.parse(url), status=200, body="ok")]})
+        caching = CachingTransport(inner, tmp_path)
+        assert _send(caching, _request("one.example")).status == 503
+        assert _send(caching, _request("one.example")).status == 200
+        assert _send(caching, _request("one.example")).status == 200  # hit
+        caching.close()
+        assert len(inner.sent) == 2
+
+    def test_torn_manifest_lines_are_skipped(self, tmp_path) -> None:
+        writer = CachingTransport(ScriptedTransport(), tmp_path)
+        _send(writer, _request("one.example"))
+        writer.close()
+        manifest = next(tmp_path.glob("manifest-*.jsonl"))
+        with manifest.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "truncated entr')  # crash mid-append
+        reader_inner = ScriptedTransport()
+        reader = CachingTransport(reader_inner, tmp_path, shared_index=False)
+        assert _send(reader, _request("one.example")).status == 200
+        assert reader_inner.sent == []  # the intact entry survived
+        _send(reader, _request("two.example"))  # the torn one is just a miss
+        reader.close()
+
+    def test_missing_body_object_degrades_to_miss(self, tmp_path) -> None:
+        writer = CachingTransport(ScriptedTransport(), tmp_path)
+        _send(writer, _request("one.example"))
+        writer.close()
+        for body_file in (tmp_path / "objects").rglob("*"):
+            if body_file.is_file():
+                body_file.unlink()
+        reader_inner = ScriptedTransport()
+        reader = CachingTransport(reader_inner, tmp_path, shared_index=False)
+        assert _send(reader, _request("one.example")).status == 200
+        reader.close()
+        assert len(reader_inner.sent) == 1  # re-fetched, not crashed
+
+    def test_concurrent_writers_share_one_directory(self, tmp_path) -> None:
+        first = CachingTransport(ScriptedTransport(), tmp_path)
+        second = CachingTransport(ScriptedTransport(), tmp_path)
+        _send(first, _request("one.example"))
+        _send(second, _request("two.example"))
+        first.close()
+        second.close()
+        reader_inner = ScriptedTransport()
+        reader = CachingTransport(reader_inner, tmp_path, shared_index=False)
+        _send(reader, _request("one.example"))
+        _send(reader, _request("two.example"))
+        reader.close()
+        assert reader_inner.sent == []  # both manifests were merged
+
+    def test_shared_index_loads_manifests_once_per_directory(self, tmp_path,
+                                                             monkeypatch) -> None:
+        writer = CachingTransport(ScriptedTransport(), tmp_path)
+        _send(writer, _request("one.example"))
+        writer.close()
+        loads = {"count": 0}
+        original = CachingTransport._load_manifests
+
+        def counting_load(self):
+            loads["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(CachingTransport, "_load_manifests", counting_load)
+        # Many instances over one directory — the sub-sharded pipeline's
+        # shape — must not re-parse the manifests per instance.
+        for _ in range(5):
+            reader = CachingTransport(ScriptedTransport(), tmp_path)
+            assert _send(reader, _request("one.example")).status == 200
+            reader.close()
+        assert loads["count"] == 0  # the writer's load populated the share
+
+
+class TestComposition:
+    def test_build_transport_stack_counts_network_requests(self, tmp_path) -> None:
+        stack = build_transport_stack(ScriptedTransport(), cache_dir=tmp_path,
+                                      rate_per_host=None)
+        _send(stack.transport, _request("one.example"))
+        _send(stack.transport, _request("one.example"))
+        stack.close()
+        assert stack.metrics.network_requests == 1
+        assert stack.metrics.cache_hits == 1
+
+    def test_sync_adapter_drives_the_async_stack(self) -> None:
+        stack = build_transport_stack(ScriptedTransport())
+        sync = stack.sync_transport()
+        response = sync.send(_request("one.example"))
+        assert response.status == 200
+        assert stack.metrics.network_requests == 1
+
+    def test_stack_over_simulated_transport(self, synthetic_web, tmp_path) -> None:
+        from repro.crawler.fetcher import SimulatedTransport
+
+        base = SyncTransportAdapter(SimulatedTransport(synthetic_web))
+        stack = build_transport_stack(base, cache_dir=tmp_path)
+        domain = synthetic_web.domains()[0]
+        cold = _send(stack.transport, _request(domain))
+        warm = _send(stack.transport, _request(domain))
+        stack.close()
+        assert cold.body == warm.body
+        assert stack.metrics.network_requests == 1
+
+    def test_close_is_idempotent(self, tmp_path) -> None:
+        stack = build_transport_stack(ScriptedTransport(), cache_dir=tmp_path)
+        stack.close()
+        stack.close()
+
+
+class TestTransportMetrics:
+    def test_merge_sums_counters(self) -> None:
+        one, two = TransportMetrics(), TransportMetrics()
+        one.add("network_requests")
+        one.add("retry_wait_s", 1.5)
+        two.add("network_requests", 2)
+        two.add("cache_hits", 3)
+        one.merge(two)
+        assert one.network_requests == 3
+        assert one.cache_hits == 3
+        assert one.retry_wait_s == pytest.approx(1.5)
+
+    def test_pickles_across_process_boundaries(self) -> None:
+        metrics = TransportMetrics()
+        metrics.add("network_requests", 7)
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone.network_requests == 7
+        clone.add("network_requests")  # the lock was rebuilt
+        assert clone.network_requests == 8
+
+    def test_summary_lines_mention_cache(self) -> None:
+        metrics = TransportMetrics()
+        metrics.add("cache_hits", 5)
+        assert any("5 hits" in line for line in metrics.summary_lines())

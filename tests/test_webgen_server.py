@@ -107,3 +107,88 @@ class TestBlockingAndErrors:
         assert response.location.endswith("/home")
         follow = server.handle(OriginRequest(path="/home", client_country="bd"))
         assert follow.ok
+
+
+class TestLocalSiteServer:
+    """The synthetic web served over real loopback HTTP."""
+
+    @pytest.fixture(scope="class")
+    def served(self, web):
+        from repro.webgen.server import LocalSiteServer
+
+        with LocalSiteServer(web) as server:
+            yield server
+
+    def _get(self, served, host: str, path: str = "/", *,
+             country: str | None = None, via_vpn: bool = False):
+        import http.client
+
+        from repro.crawler.http import CLIENT_COUNTRY_HEADER, VIA_VPN_HEADER
+
+        connection = http.client.HTTPConnection(served.host, served.port, timeout=5)
+        headers = {"host": host, VIA_VPN_HEADER: "1" if via_vpn else "0"}
+        if country is not None:
+            headers[CLIENT_COUNTRY_HEADER] = country
+        try:
+            connection.request("GET", path, headers=headers)
+            response = connection.getresponse()
+            return response.status, dict((k.lower(), v) for k, v
+                                         in response.getheaders()), response.read()
+        finally:
+            connection.close()
+
+    def test_serves_the_same_bytes_as_in_memory_dispatch(self, served, web) -> None:
+        domain = web.domains()[0]
+        reference = web.request(domain, "/", client_country="bd", via_vpn=False)
+        status, headers, body = self._get(served, domain, country="bd")
+        assert status == reference.status
+        if reference.ok:
+            assert body.decode("utf-8") == reference.body
+
+    def test_served_variant_travels_in_the_private_header(self, served, web) -> None:
+        from repro.crawler.http import SERVED_VARIANT_HEADER
+
+        localizing = next(domain for domain in web.domains()
+                          if web.site(domain).localizes_by_ip
+                          and not web.site(domain).blocks_vpn)
+        _, local_headers, _ = self._get(served, localizing, country="bd")
+        _, foreign_headers, _ = self._get(served, localizing, country="jp")
+        assert local_headers[SERVED_VARIANT_HEADER] == "localized"
+        assert foreign_headers[SERVED_VARIANT_HEADER] == "global"
+
+    def test_vpn_blocking_origin_answers_403_over_the_wire(self, served, web) -> None:
+        blocking = next((domain for domain in web.domains()
+                         if web.site(domain).blocks_vpn), None)
+        if blocking is None:
+            pytest.skip("no VPN-blocking site in this sample")
+        status, _, _ = self._get(served, blocking, country="bd", via_vpn=True)
+        assert status == 403
+        status, _, _ = self._get(served, blocking, country="bd", via_vpn=False)
+        assert status in (200, 302)
+
+    def test_unknown_host_and_path(self, served, web) -> None:
+        assert self._get(served, "nosuch.example")[0] == 502
+        domain = web.domains()[0]
+        assert self._get(served, domain, "/definitely/missing")[0] == 404
+
+    def test_robots_txt_passthrough(self, served, web) -> None:
+        with_robots = next((domain for domain in web.domains()
+                            if web.site(domain).robots_txt is not None), None)
+        if with_robots is not None:
+            status, _, body = self._get(served, with_robots, "/robots.txt")
+            assert status == 200
+            assert body.decode("utf-8") == web.site(with_robots).robots_txt
+        without = next(domain for domain in web.domains()
+                       if web.site(domain).robots_txt is None)
+        assert self._get(served, without, "/robots.txt")[0] == 404
+
+    def test_gateway_address_is_loopback(self, served) -> None:
+        assert served.host == "127.0.0.1"
+        assert served.gateway == f"127.0.0.1:{served.port}"
+
+    def test_close_is_idempotent(self, web) -> None:
+        from repro.webgen.server import LocalSiteServer
+
+        server = LocalSiteServer(web).start()
+        server.close()
+        server.close()
