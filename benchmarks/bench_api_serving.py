@@ -1,0 +1,172 @@
+"""Serving — the analytics API under concurrent load, cold vs warm cache.
+
+The serving layer's production claim is that a built dataset, loaded once
+into :class:`~repro.api.aggregates.DatasetAggregates`, answers analytics
+queries at interactive rates — and that the response cache turns repeat
+traffic into pure socket + hash work.  This harness benchmarks a real
+:class:`~repro.api.server.AnalyticsServer` over loopback HTTP the way the
+transport benchmark drives :class:`LocalSiteServer`:
+
+* a **cold wave**: a mixed workload of distinct endpoint+parameter
+  combinations, every request a cache miss that aggregates and renders;
+* a **warm wave**: the same workload repeated, every request a cache hit —
+  verified via ``/stats`` to have triggered **zero** re-aggregation;
+* a **revalidation wave**: the same workload with ``If-None-Match``, every
+  response a bodyless ``304``.
+
+All three waves run from concurrent keep-alive clients.  Warm bodies must
+be byte-identical to cold bodies; the warm wave must not lose to the cold
+one.  Set ``LANGCRUX_BENCH_ASSERT_SPEEDUP=0`` to demote the throughput
+target to a report-only line (CI does this; parity is always asserted).
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api.server import AnalyticsServer
+
+CLIENT_THREADS = 8
+MAX_WORKERS = 8
+WARM_ROUNDS = 3
+
+#: The warm cache skips aggregation and rendering entirely, so it must at
+#: least match the cold path even on a loopback where both are fast.
+TARGET_SPEEDUP = 1.0
+
+
+def _workload(countries: tuple[str, ...]) -> list[str]:
+    """A mixed query set: every URL is a distinct cache entry."""
+    urls = ["/health", "/analyze", "/explorer?sites=0", "/explorer/countries",
+            "/explorer/sites"]
+    urls += [f"/mismatch?examples={examples}" for examples in range(8)]
+    urls += [f"/mismatch?threshold={threshold}" for threshold in (5.0, 10.0, 20.0)]
+    urls += [f"/kizuki?countries={country}" for country in countries]
+    urls += [f"/kizuki?countries={a},{b}"
+             for a, b in zip(countries, countries[1:])]
+    return urls
+
+
+def _run_wave(gateway: str, urls: list[str], *, rounds: int = 1,
+              etags: dict[str, str] | None = None) -> tuple[float, dict[str, bytes], list[int]]:
+    """Fetch ``urls`` (x ``rounds``) from concurrent keep-alive clients.
+
+    Returns (elapsed seconds, body per url, all statuses).  Each client
+    walks a stride of the workload so concurrent requests collide on
+    overlapping cache entries, like real traffic does.
+    """
+    host, _, port = gateway.rpartition(":")
+
+    def client_walk(worker: int) -> list[tuple[str, int, bytes]]:
+        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        results = []
+        try:
+            for _ in range(rounds):
+                for url in urls[worker::CLIENT_THREADS]:
+                    headers = {}
+                    if etags is not None:
+                        headers["If-None-Match"] = etags[url]
+                    connection.request("GET", url, headers=headers)
+                    response = connection.getresponse()
+                    results.append((url, response.status, response.read()))
+        finally:
+            connection.close()
+        return results
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        per_client = list(pool.map(client_walk, range(CLIENT_THREADS)))
+    elapsed = time.perf_counter() - started
+
+    bodies: dict[str, bytes] = {}
+    statuses: list[int] = []
+    for results in per_client:
+        for url, status, body in results:
+            bodies[url] = body
+            statuses.append(status)
+    return elapsed, bodies, statuses
+
+
+def _stats(gateway: str) -> dict:
+    import json
+
+    host, _, port = gateway.rpartition(":")
+    connection = http.client.HTTPConnection(host, int(port), timeout=30)
+    try:
+        connection.request("GET", "/stats")
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def test_api_serving_throughput(reporter, dataset, tmp_path) -> None:
+    dataset_path = tmp_path / "langcrux.jsonl"
+    dataset.save_jsonl(dataset_path)
+    urls = _workload(dataset.countries())
+
+    with AnalyticsServer(dataset_path, max_workers=MAX_WORKERS,
+                         cache_size=4 * len(urls)) as server:
+        cold_s, cold_bodies, cold_statuses = _run_wave(server.gateway, urls)
+        aggregations_after_cold = _stats(server.gateway)["aggregations"]
+
+        warm_s, warm_bodies, warm_statuses = _run_wave(server.gateway, urls,
+                                                       rounds=WARM_ROUNDS)
+        aggregations_after_warm = _stats(server.gateway)["aggregations"]
+
+        # Revalidation: ask for what we already hold; expect empty 304s.
+        service = server.service
+        etags = {url: service.handle(url.split("?")[0],
+                                     dict(part.split("=") for part in
+                                          url.split("?")[1].split("&"))
+                                     if "?" in url else {}).etag
+                 for url in urls}
+        reval_s, reval_bodies, reval_statuses = _run_wave(
+            server.gateway, urls, rounds=WARM_ROUNDS, etags=etags)
+
+    cold_requests = len(urls)
+    warm_requests = len(urls) * WARM_ROUNDS
+    cold_rps = cold_requests / cold_s
+    warm_rps = warm_requests / warm_s
+    reval_rps = warm_requests / reval_s
+    cold_bytes = sum(len(body) for body in cold_bodies.values())
+
+    reporter("Serving — analytics API under concurrent load", [
+        f"dataset: {len(dataset)} sites, {len(dataset.countries())} countries; "
+        f"workload: {len(urls)} distinct queries, {CLIENT_THREADS} clients, "
+        f"{MAX_WORKERS} worker slots",
+        f"cold (every request aggregates): {cold_s:.2f}s, {cold_rps:.1f} req/s "
+        f"({cold_bytes / 1024:.0f} KiB of JSON)",
+        f"warm ({WARM_ROUNDS} rounds, all cache hits): {warm_s:.2f}s, "
+        f"{warm_rps:.1f} req/s (speedup {warm_rps / cold_rps:.2f}x, "
+        f"{aggregations_after_warm - aggregations_after_cold} re-aggregations)",
+        f"revalidation (If-None-Match, empty 304s): {reval_s:.2f}s, "
+        f"{reval_rps:.1f} req/s",
+    ], data={
+        "config": {"sites": len(dataset), "distinct_queries": len(urls),
+                   "client_threads": CLIENT_THREADS, "max_workers": MAX_WORKERS,
+                   "warm_rounds": WARM_ROUNDS},
+        "cold_rps": cold_rps,
+        "warm_rps": warm_rps,
+        "revalidation_rps": reval_rps,
+        "warm_speedup": warm_rps / cold_rps,
+        "warm_reaggregations": aggregations_after_warm - aggregations_after_cold,
+        "target_speedup": TARGET_SPEEDUP,
+    })
+
+    # Correctness under load: every wave answered everything, warm bytes are
+    # the cold bytes, revalidation sent no bodies at all.
+    assert cold_statuses == [200] * cold_requests
+    assert warm_statuses == [200] * warm_requests
+    assert warm_bodies == cold_bodies
+    assert reval_statuses == [304] * warm_requests
+    assert all(body == b"" for body in reval_bodies.values())
+    # The warm wave was served from cache alone.
+    assert aggregations_after_warm == aggregations_after_cold
+
+    if os.environ.get("LANGCRUX_BENCH_ASSERT_SPEEDUP", "1") != "0":
+        assert warm_rps >= TARGET_SPEEDUP * cold_rps, (
+            f"warm cache reached {warm_rps / cold_rps:.2f}x of the cold rate, "
+            f"expected >= {TARGET_SPEEDUP}x")

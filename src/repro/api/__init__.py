@@ -1,0 +1,31 @@
+"""The ``langcrux api`` serving layer.
+
+A built dataset is the expensive artifact; this package makes it cheap to
+query.  :class:`~repro.api.aggregates.DatasetAggregates` streams a dataset's
+JSONL once into indexed in-memory rollups (per-country, per-rule,
+per-language) built on the incremental aggregation cores of
+:mod:`repro.core`, and :class:`~repro.api.server.AnalyticsServer` serves
+``analyze`` / ``mismatch`` / ``kizuki`` / explorer queries over them as JSON
+endpoints — with response caching keyed on (endpoint, params, dataset
+fingerprint), strong ETags with ``If-None-Match`` → 304 revalidation, and
+bounded worker concurrency.  The JSON bodies are byte-identical to the CLI's
+``--json`` reports and to ``langcrux export``, pinned by the service-level
+test suite.
+"""
+
+from repro.api.aggregates import DatasetAggregates, DatasetLoadError, render_json
+from repro.api.cache import CachedResponse, ResponseCache, etag_matches, make_etag
+from repro.api.server import AnalyticsServer, AnalyticsService, ApiError
+
+__all__ = [
+    "AnalyticsServer",
+    "AnalyticsService",
+    "ApiError",
+    "CachedResponse",
+    "DatasetAggregates",
+    "DatasetLoadError",
+    "ResponseCache",
+    "etag_matches",
+    "make_etag",
+    "render_json",
+]

@@ -1,0 +1,299 @@
+"""In-memory analytics aggregates over a built dataset.
+
+The serving layer must answer ``analyze`` / ``mismatch`` / ``kizuki`` /
+explorer queries without re-reading or re-scanning the dataset per request.
+:class:`DatasetAggregates` therefore streams the JSONL exactly once at load
+time, folding every record into the incremental aggregation cores factored
+out of :mod:`repro.core`:
+
+* :class:`~repro.core.analysis.ElementStatsAccumulator` — Table 2 rows;
+* :class:`~repro.core.analysis.DiscardCounter` — per-country Appendix H
+  filter rates (Figure 3);
+* :class:`~repro.core.language_mix.LanguageMixAccumulator` — per-country
+  native/English/mixed rollups (Figure 4);
+* :class:`~repro.core.mismatch.MismatchAccumulator` — Figure 5/8 points and
+  Table 5 examples;
+* :class:`~repro.core.kizuki.RescoreAccumulator` — Figure 6 re-scoring for
+  every country, queryable per request for any country combination;
+
+plus the per-site explorer rows of :func:`repro.report.export.site_summary`.
+Each payload builder then assembles its JSON purely from these rollups, so a
+request costs serialization, never aggregation.
+
+A SHA-256 fingerprint over the records' canonical JSONL bytes is maintained
+during the same pass.  It identifies the dataset *content* (formatting and
+blank lines do not matter) and keys the response cache and the strong ETags:
+reloading a changed file yields a new fingerprint, which invalidates every
+cached response at once.
+
+The payloads are shared verbatim with the CLI's ``--json`` reports
+(``langcrux analyze/mismatch/kizuki --json``) and mirror ``langcrux export``
+byte-for-byte, which is what the parity suite pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.core.analysis import DiscardCounter, ElementStatsAccumulator
+from repro.core.dataset import SiteRecord
+from repro.core.kizuki import RescoreAccumulator
+from repro.core.language_mix import LanguageMixAccumulator
+from repro.core.mismatch import MismatchAccumulator
+from repro.langid.languages import get_pair
+from repro.report.export import site_summary
+
+#: Default country selection of the ``kizuki`` endpoint and CLI subcommand.
+DEFAULT_KIZUKI_COUNTRIES: tuple[str, ...] = ("bd", "th")
+
+
+class DatasetLoadError(Exception):
+    """A dataset file could not be loaded into aggregates.
+
+    Raised with a message naming the file and, for corrupt records, the line
+    number — the serving layer's contract is that a truncated or damaged
+    shard surfaces a clear error instead of a half-loaded dataset.
+    """
+
+
+def render_json(payload: Any) -> str:
+    """Canonical JSON serialization shared by the API and the CLI reports.
+
+    One serializer (UTF-8 text, two-space indent, no ASCII escaping — the
+    same settings as :func:`repro.report.export.write_dataset_summary`) is
+    what makes "byte-identical to the CLI report" a testable property.
+    """
+    return json.dumps(payload, ensure_ascii=False, indent=2)
+
+
+class DatasetAggregates:
+    """Indexed in-memory rollups over one built dataset (see module docs)."""
+
+    def __init__(self, *, source: str | None = None) -> None:
+        self.source = source
+        self._digest = hashlib.sha256()
+        self._records = 0
+        self._skipped = 0
+        self._elements = ElementStatsAccumulator()
+        self._discards: dict[str, DiscardCounter] = {}
+        self._mixes: dict[str, LanguageMixAccumulator] = {}
+        self._informative_counts: dict[str, int] = {}
+        self._mismatch = MismatchAccumulator()
+        self._rescore = RescoreAccumulator()
+        self._languages: dict[str, str] = {}
+        self._country_counts: dict[str, int] = {}
+        self._site_rows: list[dict[str, Any]] = []
+        self._sites_by_domain: dict[str, dict[str, Any]] = {}
+
+    # -- loading ---------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path, *, skip_corrupt: bool = False) -> "DatasetAggregates":
+        """Stream a JSONL dataset into aggregates in a single pass.
+
+        Args:
+            path: The dataset file written by ``langcrux build``.
+            skip_corrupt: Skip undecodable/malformed lines (counting them in
+                :attr:`skipped_records`) instead of raising — the salvage
+                path for the intact prefix of a torn partial file, mirroring
+                ``LangCrUXDataset.load_jsonl(skip_corrupt=True)``.
+
+        Raises:
+            DatasetLoadError: When the file cannot be opened, or a record
+                line is corrupt and ``skip_corrupt`` is false.
+        """
+        path = Path(path)
+        aggregates = cls(source=str(path))
+        try:
+            handle = path.open("r", encoding="utf-8")
+        except OSError as exc:
+            raise DatasetLoadError(f"cannot open dataset {path}: {exc}") from exc
+        with handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    payload = json.loads(stripped)
+                    if not isinstance(payload, dict):
+                        raise ValueError("record line is not a JSON object")
+                    record = SiteRecord.from_dict(payload)
+                except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                    if skip_corrupt:
+                        aggregates._skipped += 1
+                        continue
+                    raise DatasetLoadError(
+                        f"corrupt dataset record at {path}:{line_number}: {exc}") from exc
+                aggregates.add(record)
+        return aggregates
+
+    @classmethod
+    def from_records(cls, records: Iterable[SiteRecord], *,
+                     source: str | None = None) -> "DatasetAggregates":
+        """Build aggregates from in-memory records (tests, pipelines).
+
+        The fingerprint is computed over the records' canonical JSONL lines,
+        so it equals :meth:`load` of a file ``save_jsonl`` wrote from the
+        same records.
+        """
+        aggregates = cls(source=source)
+        for record in records:
+            aggregates.add(record)
+        return aggregates
+
+    def add(self, record: SiteRecord) -> None:
+        """Fold one record into every rollup (and the content fingerprint)."""
+        line = json.dumps(record.to_dict(), ensure_ascii=False)
+        self._digest.update(line.encode("utf-8"))
+        self._digest.update(b"\n")
+        self._records += 1
+        country = record.country_code
+        self._country_counts[country] = self._country_counts.get(country, 0) + 1
+        self._languages.setdefault(country, record.language_code)
+        self._elements.add(record)
+        self._discards.setdefault(country, DiscardCounter()).add_many(
+            record.accessibility_texts())
+        informative = record.informative_texts()
+        self._informative_counts[country] = (
+            self._informative_counts.get(country, 0) + len(informative))
+        self._mixes.setdefault(
+            country, LanguageMixAccumulator(record.language_code)).add_many(informative)
+        self._mismatch.add(record)
+        self._rescore.add(record)
+        row = site_summary(record)
+        self._site_rows.append(row)
+        self._sites_by_domain[row["domain"]] = row
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSONL content accumulated so far."""
+        return self._digest.hexdigest()
+
+    @property
+    def site_count(self) -> int:
+        return self._records
+
+    @property
+    def skipped_records(self) -> int:
+        """Corrupt lines skipped at load time (``skip_corrupt=True`` only)."""
+        return self._skipped
+
+    def countries(self) -> tuple[str, ...]:
+        return tuple(sorted(self._country_counts))
+
+    # -- payload builders --------------------------------------------------------
+
+    def analyze_payload(self) -> dict[str, Any]:
+        """The ``langcrux analyze`` report as a JSON document.
+
+        Element statistics (Table 2), per-country uninformative-text rates
+        and per-country language mixes of informative accessibility texts —
+        the same numbers the text report prints.
+        """
+        mix_by_country: dict[str, dict[str, float]] = {}
+        for country in self.countries():
+            if not self._informative_counts.get(country):
+                continue
+            mix_by_country[country] = self._mixes[country].summary().proportions()
+        return {
+            "sites": self._records,
+            "countries": list(self.countries()),
+            "element_statistics": {
+                element_id: row.as_dict()
+                for element_id, row in self._elements.rows().items()
+            },
+            "uninformative_rate_by_country": {
+                country: self._discards[country].discard_rate()
+                for country in self.countries()
+            },
+            "language_mix_by_country": mix_by_country,
+        }
+
+    def mismatch_payload(self, *, examples: int = 5,
+                         threshold_pct: float = 10.0) -> dict[str, Any]:
+        """The ``langcrux mismatch`` report as a JSON document."""
+        return {
+            "threshold_pct": threshold_pct,
+            "low_native_fraction_by_country":
+                self._mismatch.summary(threshold_pct=threshold_pct),
+            "examples": [
+                {
+                    "domain": example.domain,
+                    "country": example.country_code,
+                    "visible_native_pct": example.visible_native_pct,
+                    "accessibility_native_pct": example.accessibility_native_pct,
+                    "sample_alt_texts": list(example.sample_alt_texts),
+                }
+                for example in self._mismatch.examples(limit=examples)
+            ],
+        }
+
+    def kizuki_payload(self, countries: Sequence[str] = DEFAULT_KIZUKI_COUNTRIES
+                       ) -> dict[str, Any]:
+        """The ``langcrux kizuki`` report for ``countries`` as a JSON document."""
+        summary = self._rescore.summary(tuple(countries))
+        return {
+            "countries": list(countries),
+            "sites": summary.sites,
+            "score_above_90": {
+                "original": summary.fraction_above(90, new=False),
+                "kizuki": summary.fraction_above(90, new=True),
+            },
+            "score_perfect": {
+                "original": summary.fraction_perfect(new=False),
+                "kizuki": summary.fraction_perfect(new=True),
+            },
+        }
+
+    def country_payload(self, country_code: str) -> dict[str, Any]:
+        """One country's explorer aggregates.
+
+        Field-for-field the shape of :func:`repro.report.export.country_summary`
+        — the parity suite pins the full explorer document byte-identical to
+        ``langcrux export``.
+        """
+        if self._languages.get(country_code) and self._informative_counts.get(country_code):
+            mix = self._mixes[country_code].summary().proportions()
+        else:
+            mix = {"native": 0.0, "english": 0.0, "mixed": 0.0}
+        pair = get_pair(country_code)
+        discards = self._discards.get(country_code)
+        return {
+            "country": country_code,
+            "country_name": pair.country_name,
+            "language": pair.language.code,
+            "language_name": pair.language.name,
+            "sites": self._country_counts.get(country_code, 0),
+            "informative_text_language_mix": mix,
+            "uninformative_text_rate": discards.discard_rate() if discards else 0.0,
+            "low_native_accessibility_fraction":
+                self._mismatch.low_native_fraction(country_code),
+        }
+
+    def explorer_payload(self, *, include_sites: bool = True) -> dict[str, Any]:
+        """The full explorer document (``langcrux export``'s JSON)."""
+        payload: dict[str, Any] = {
+            "schema_version": 1,
+            "site_count": self._records,
+            "countries": [self.country_payload(country) for country in self.countries()],
+            "element_statistics": {
+                element_id: row.as_dict()
+                for element_id, row in self._elements.rows().items() if row.sites
+            },
+        }
+        if include_sites:
+            payload["sites"] = list(self._site_rows)
+        return payload
+
+    def sites_payload(self) -> dict[str, Any]:
+        """All per-site explorer rows."""
+        return {"site_count": self._records, "sites": list(self._site_rows)}
+
+    def site_payload(self, domain: str) -> dict[str, Any] | None:
+        """One site's explorer row, or ``None`` when the domain is unknown."""
+        return self._sites_by_domain.get(domain)

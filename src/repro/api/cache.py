@@ -1,0 +1,107 @@
+"""Response caching and ETags for the analytics API.
+
+The crawl side of the repo caches *requests* (the on-disk
+:class:`~repro.crawler.transport.CachingTransport`); the serving side applies
+the same pattern in reverse to *responses*: a bounded LRU of rendered JSON
+bodies keyed on ``(endpoint, params, dataset fingerprint)``.  Keys embed the
+dataset fingerprint, so a reload of a changed file can never serve stale
+bytes — every old entry simply stops being reachable and ages out of the
+LRU.
+
+ETags are strong and content-addressed (a SHA-256 prefix of the body), which
+makes ``If-None-Match`` revalidation exact: equal bytes, equal tag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+
+def make_etag(body: bytes) -> str:
+    """Strong, content-addressed ETag for a response body (quoted form)."""
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+def etag_matches(if_none_match: str, etag: str) -> bool:
+    """Whether an ``If-None-Match`` header value matches ``etag``.
+
+    Handles the ``*`` wildcard and comma-separated candidate lists; weak
+    validators (``W/"..."``) compare by their opaque tag, the weak comparison
+    RFC 9110 prescribes for ``If-None-Match``.
+    """
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class CachedResponse:
+    """A rendered response body plus its strong ETag."""
+
+    body: bytes
+    etag: str
+
+
+class ResponseCache:
+    """Bounded, thread-safe LRU cache of rendered responses."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, CachedResponse] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(endpoint: str, params: Mapping[str, str], fingerprint: str) -> Hashable:
+        """The cache key for one request against one dataset generation."""
+        return (endpoint, tuple(sorted(params.items())), fingerprint)
+
+    def get(self, key: Hashable) -> CachedResponse | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, response: CachedResponse) -> None:
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,464 @@
+"""The ``langcrux api`` HTTP analytics service.
+
+:class:`AnalyticsService` owns the loaded :class:`DatasetAggregates`, the
+route table and the response cache; :class:`AnalyticsServer` exposes it over
+real loopback HTTP, reusing the :class:`~repro.webgen.server.LocalSiteServer`
+idioms (``ThreadingHTTPServer`` with daemon threads, HTTP/1.1 keep-alive,
+Nagle off, a handler class specialised per server instance, ``gateway``
+addressing, context-manager lifecycle) — plus what a query service needs on
+top:
+
+* **bounded worker concurrency** — a semaphore caps how many requests are
+  being handled at once, independent of how many connections are open;
+* **response caching** — bodies are rendered once per (endpoint, params,
+  dataset fingerprint) and served from the LRU afterwards;
+* **strong ETags** — every cacheable response carries a content-addressed
+  ETag, and ``If-None-Match`` revalidation answers ``304`` with an empty
+  body;
+* **reload on change** — the dataset file's (mtime, size) stamp is checked
+  per request; a changed file is re-streamed into fresh aggregates whose new
+  fingerprint invalidates the whole cache at once;
+* **structured errors** — unknown endpoints/domains and bad query parameters
+  answer JSON ``{"error": {...}}`` documents, never HTML tracebacks, and a
+  client that disconnects mid-response costs nothing but its own request.
+
+Endpoints (all ``GET``):
+
+========================  ====================================================
+``/`` or ``/health``      service + dataset metadata
+``/analyze``              Table 2 statistics, filter rates, language mixes
+``/mismatch``             Figure 5 fractions + Table 5 examples
+                          (``?examples=N&threshold=P``)
+``/kizuki``               Figure 6 re-scoring (``?countries=bd,th``)
+``/explorer``             full explorer document (``?sites=0`` omits rows)
+``/explorer/countries``   per-country aggregates only
+``/explorer/sites``       per-site rows only
+``/explorer/site/<dom>``  one site's row
+``/stats``                serving metrics (requests, cache, aggregations)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.api.aggregates import (
+    DEFAULT_KIZUKI_COUNTRIES,
+    DatasetAggregates,
+    DatasetLoadError,
+    render_json,
+)
+from repro.api.cache import CachedResponse, ResponseCache, etag_matches, make_etag
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Response header reporting whether the body came from the response cache.
+CACHE_STATE_HEADER = "x-langcrux-cache"
+
+#: The route table: path -> (builder name, cacheable).  ``/explorer/site/*``
+#: is matched by prefix; ``/stats`` changes per request and is never cached.
+ENDPOINTS: tuple[str, ...] = (
+    "/", "/health", "/analyze", "/mismatch", "/kizuki", "/explorer",
+    "/explorer/countries", "/explorer/sites", "/explorer/site/<domain>", "/stats",
+)
+
+
+class ApiError(Exception):
+    """A structured HTTP error, answered as a JSON ``{"error": ...}`` document."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+    def payload(self) -> dict[str, Any]:
+        return {"error": {"status": self.status, "message": self.message}}
+
+
+class ApiResponse:
+    """One rendered response: status, body bytes, ETag and cache provenance."""
+
+    __slots__ = ("status", "body", "etag", "cache_state")
+
+    def __init__(self, status: int, body: bytes, etag: str | None = None,
+                 cache_state: str | None = None) -> None:
+        self.status = status
+        self.body = body
+        self.etag = etag
+        self.cache_state = cache_state
+
+
+def _int_param(params: Mapping[str, str], name: str, default: int,
+               *, minimum: int = 0) -> int:
+    value = params.get(name)
+    if value is None:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ApiError(400, f"query parameter {name!r} must be an integer, got {value!r}")
+    if parsed < minimum:
+        raise ApiError(400, f"query parameter {name!r} must be >= {minimum}, got {parsed}")
+    return parsed
+
+
+def _float_param(params: Mapping[str, str], name: str, default: float) -> float:
+    value = params.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ApiError(400, f"query parameter {name!r} must be a number, got {value!r}")
+
+
+def _bool_param(params: Mapping[str, str], name: str, default: bool) -> bool:
+    value = params.get(name)
+    if value is None:
+        return default
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ApiError(400, f"query parameter {name!r} must be a boolean flag, got {value!r}")
+
+
+def _countries_param(params: Mapping[str, str], name: str,
+                     default: tuple[str, ...]) -> tuple[str, ...]:
+    value = params.get(name)
+    if value is None:
+        return default
+    countries = tuple(part.strip().lower() for part in value.split(",") if part.strip())
+    if not countries:
+        raise ApiError(400, f"query parameter {name!r} must name at least one country")
+    return countries
+
+
+class AnalyticsService:
+    """Dataset loading, change detection, routing and response caching.
+
+    Thread-safe: many handler threads call :meth:`handle` concurrently.
+    Payload building runs outside the service lock (so slow renders overlap);
+    the lock guards the aggregates swap on reload and the counters.
+    """
+
+    def __init__(self, dataset_path: str | Path, *, cache_size: int = 256,
+                 skip_corrupt: bool = False, auto_reload: bool = True) -> None:
+        self.path = Path(dataset_path)
+        self.skip_corrupt = skip_corrupt
+        self.auto_reload = auto_reload
+        self.cache = ResponseCache(cache_size)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._aggregations = 0
+        self._loads = 0
+        self._file_stamp = self._stamp()
+        self._aggregates = self._load()
+
+    # -- dataset lifecycle -------------------------------------------------------
+
+    @property
+    def aggregates(self) -> DatasetAggregates:
+        """The currently served aggregates (a consistent snapshot)."""
+        return self._aggregates
+
+    def _stamp(self) -> tuple[int, int]:
+        try:
+            stat = self.path.stat()
+        except OSError as exc:
+            raise DatasetLoadError(f"cannot stat dataset {self.path}: {exc}") from exc
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _load(self) -> DatasetAggregates:
+        aggregates = DatasetAggregates.load(self.path, skip_corrupt=self.skip_corrupt)
+        self._loads += 1
+        return aggregates
+
+    def maybe_reload(self) -> bool:
+        """Re-stream the dataset when the file changed; returns whether it did.
+
+        A dataset that disappeared (deleted mid-serve, e.g. between a
+        build's atomic replaces) keeps the loaded aggregates serving — the
+        next successful stat with a changed stamp triggers the reload.
+        """
+        if not self.auto_reload:
+            return False
+        try:
+            stamp = self._stamp()
+        except DatasetLoadError:
+            return False
+        with self._lock:
+            if stamp == self._file_stamp:
+                return False
+            self._aggregates = self._load()
+            self._file_stamp = stamp
+            return True
+
+    def reset_cache(self) -> None:
+        """Drop every cached response (benchmark cold-path helper)."""
+        self.cache.clear()
+
+    # -- request handling --------------------------------------------------------
+
+    def handle(self, path: str, params: Mapping[str, str]) -> ApiResponse:
+        """Answer one request; raises :class:`ApiError` for structured failures."""
+        with self._lock:
+            self._requests += 1
+        self.maybe_reload()
+        aggregates = self._aggregates
+        builder, cacheable = self._route(path)
+        key = None
+        if cacheable:
+            key = ResponseCache.key(path, params, aggregates.fingerprint)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return ApiResponse(200, cached.body, cached.etag, "hit")
+        payload = builder(aggregates, params)
+        body = render_json(payload).encode("utf-8")
+        etag = make_etag(body)
+        if key is not None:
+            with self._lock:
+                self._aggregations += 1
+            self.cache.put(key, CachedResponse(body, etag))
+            return ApiResponse(200, body, etag, "miss")
+        return ApiResponse(200, body, etag, None)
+
+    def _route(self, path: str) -> tuple[Callable[[DatasetAggregates, Mapping[str, str]],
+                                                  dict[str, Any]], bool]:
+        routes: dict[str, tuple[Callable[..., dict[str, Any]], bool]] = {
+            "/": (self._build_health, True),
+            "/health": (self._build_health, True),
+            "/analyze": (self._build_analyze, True),
+            "/mismatch": (self._build_mismatch, True),
+            "/kizuki": (self._build_kizuki, True),
+            "/explorer": (self._build_explorer, True),
+            "/explorer/countries": (self._build_explorer_countries, True),
+            "/explorer/sites": (self._build_explorer_sites, True),
+            "/stats": (self._build_stats, False),
+        }
+        route = routes.get(path)
+        if route is not None:
+            return route
+        if path.startswith("/explorer/site/"):
+            domain = path[len("/explorer/site/"):]
+            return (lambda aggregates, params: self._build_site(aggregates, domain)), True
+        raise ApiError(404, f"unknown endpoint {path!r}; available: "
+                            + " ".join(ENDPOINTS))
+
+    # -- endpoint builders -------------------------------------------------------
+
+    def _build_health(self, aggregates: DatasetAggregates,
+                      params: Mapping[str, str]) -> dict[str, Any]:
+        return {
+            "service": "langcrux-api",
+            "dataset": {
+                "path": str(self.path),
+                "fingerprint": aggregates.fingerprint,
+                "sites": aggregates.site_count,
+                "countries": list(aggregates.countries()),
+                "skipped_records": aggregates.skipped_records,
+            },
+            "endpoints": list(ENDPOINTS),
+        }
+
+    def _build_analyze(self, aggregates: DatasetAggregates,
+                       params: Mapping[str, str]) -> dict[str, Any]:
+        return aggregates.analyze_payload()
+
+    def _build_mismatch(self, aggregates: DatasetAggregates,
+                        params: Mapping[str, str]) -> dict[str, Any]:
+        return aggregates.mismatch_payload(
+            examples=_int_param(params, "examples", 5),
+            threshold_pct=_float_param(params, "threshold", 10.0),
+        )
+
+    def _build_kizuki(self, aggregates: DatasetAggregates,
+                      params: Mapping[str, str]) -> dict[str, Any]:
+        countries = _countries_param(params, "countries", DEFAULT_KIZUKI_COUNTRIES)
+        return aggregates.kizuki_payload(countries)
+
+    def _build_explorer(self, aggregates: DatasetAggregates,
+                        params: Mapping[str, str]) -> dict[str, Any]:
+        return aggregates.explorer_payload(
+            include_sites=_bool_param(params, "sites", True))
+
+    def _build_explorer_countries(self, aggregates: DatasetAggregates,
+                                  params: Mapping[str, str]) -> dict[str, Any]:
+        return {"countries": [aggregates.country_payload(country)
+                              for country in aggregates.countries()]}
+
+    def _build_explorer_sites(self, aggregates: DatasetAggregates,
+                              params: Mapping[str, str]) -> dict[str, Any]:
+        return aggregates.sites_payload()
+
+    def _build_site(self, aggregates: DatasetAggregates, domain: str) -> dict[str, Any]:
+        row = aggregates.site_payload(domain)
+        if row is None:
+            raise ApiError(404, f"unknown domain {domain!r} in dataset")
+        return row
+
+    def _build_stats(self, aggregates: DatasetAggregates,
+                     params: Mapping[str, str]) -> dict[str, Any]:
+        with self._lock:
+            requests = self._requests
+            aggregations = self._aggregations
+            loads = self._loads
+        return {
+            "requests": requests,
+            "aggregations": aggregations,
+            "dataset_loads": loads,
+            "cache": self.cache.stats(),
+            "dataset": {
+                "path": str(self.path),
+                "fingerprint": aggregates.fingerprint,
+                "sites": aggregates.site_count,
+            },
+        }
+
+
+class _ApiRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches one HTTP request into the bound :class:`AnalyticsService`."""
+
+    # Keep-alive responses: analytics clients issue many small queries over
+    # one connection, exactly like the crawler against LocalSiteServer.
+    protocol_version = "HTTP/1.1"
+
+    # Nagle + delayed-ACK cost ~40ms per keep-alive round-trip on loopback;
+    # a serving benchmark must not hide that behind the workload.
+    disable_nagle_algorithm = True
+
+    # Bound by AnalyticsServer when the handler class is specialised.
+    service: AnalyticsService
+    slots: "threading.BoundedSemaphore"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self.slots.acquire()
+        try:
+            self._respond()
+        except (BrokenPipeError, ConnectionResetError):
+            # The client went away mid-response: drop the connection, keep
+            # the worker — the semaphore release below is what guarantees a
+            # disconnecting client can never wedge a slot.
+            self.close_connection = True
+        finally:
+            self.slots.release()
+
+    def _respond(self) -> None:
+        split = urlsplit(self.path)
+        params = dict(parse_qsl(split.query, keep_blank_values=True))
+        try:
+            response = self.service.handle(split.path or "/", params)
+        except ApiError as error:
+            self._send(error.status, render_json(error.payload()).encode("utf-8"))
+            return
+        except Exception as error:  # noqa: BLE001 - a broken route must answer, not kill the worker
+            fallback = ApiError(500, f"internal error: {error}")
+            self._send(500, render_json(fallback.payload()).encode("utf-8"))
+            return
+        if response.etag is not None:
+            if_none_match = self.headers.get("if-none-match")
+            if if_none_match and etag_matches(if_none_match, response.etag):
+                self._send(304, b"", etag=response.etag, cache_state=response.cache_state)
+                return
+        self._send(response.status, response.body, etag=response.etag,
+                   cache_state=response.cache_state)
+
+    def _send(self, status: int, body: bytes, *, etag: str | None = None,
+              cache_state: str | None = None) -> None:
+        self.send_response(status)
+        if status != 304:
+            self.send_header("content-type", JSON_CONTENT_TYPE)
+        if etag is not None:
+            self.send_header("etag", etag)
+        if cache_state is not None:
+            self.send_header(CACHE_STATE_HEADER, cache_state)
+        self.send_header("content-length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # /stats is the observability story
+
+
+class AnalyticsServer:
+    """Serves an :class:`AnalyticsService` over loopback HTTP.
+
+    Usable as a context manager, exactly like
+    :class:`~repro.webgen.server.LocalSiteServer`::
+
+        with AnalyticsServer("langcrux.jsonl") as server:
+            urlopen(f"http://{server.gateway}/analyze")
+
+    Args:
+        dataset: A dataset JSONL path, or an already-built
+            :class:`AnalyticsService` to serve.
+        host: Interface to bind (loopback by default; keep it that way).
+        port: Port to bind; 0 picks an ephemeral free port.
+        max_workers: Upper bound on concurrently handled requests.
+        cache_size: Response cache entries (ignored when ``dataset`` is a
+            service).
+        skip_corrupt: Skip corrupt dataset lines at load instead of failing.
+        auto_reload: Watch the dataset file and re-stream it on change.
+    """
+
+    def __init__(self, dataset: str | Path | AnalyticsService, *,
+                 host: str = "127.0.0.1", port: int = 0, max_workers: int = 8,
+                 cache_size: int = 256, skip_corrupt: bool = False,
+                 auto_reload: bool = True) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if isinstance(dataset, AnalyticsService):
+            self.service = dataset
+        else:
+            self.service = AnalyticsService(dataset, cache_size=cache_size,
+                                            skip_corrupt=skip_corrupt,
+                                            auto_reload=auto_reload)
+        self.max_workers = max_workers
+        handler = type("_BoundApiRequestHandler", (_ApiRequestHandler,),
+                       {"service": self.service,
+                        "slots": threading.BoundedSemaphore(max_workers)})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def gateway(self) -> str:
+        """The ``host:port`` address clients connect to."""
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "AnalyticsServer":
+        """Serve on a background thread until :meth:`close` (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._server.serve_forever,
+                                            name="langcrux-api-server",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "AnalyticsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -32,6 +32,17 @@ Four subcommands cover the common workflows:
     ``langcrux build --transport http --http-gateway HOST:PORT`` crawls it
     through genuine sockets — the live-server demo of the transport
     subsystem.
+
+``langcrux api``
+    Serve a built dataset as a JSON analytics API
+    (:class:`~repro.api.server.AnalyticsServer`): the dataset is streamed
+    once into in-memory aggregates and ``/analyze``, ``/mismatch``,
+    ``/kizuki`` and the explorer endpoints answer from them — with response
+    caching, ETag revalidation and bounded worker concurrency.
+
+The ``analyze`` / ``mismatch`` / ``kizuki`` subcommands also take ``--json``
+to emit the exact JSON document the API serves for the same dataset; the
+parity test suite pins the two byte-identical.
 """
 
 from __future__ import annotations
@@ -133,15 +144,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = subparsers.add_parser("analyze", help="print Table 2 style statistics")
     analyze.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as JSON (byte-identical to the API's "
+                              "/analyze endpoint)")
 
     mismatch = subparsers.add_parser("mismatch", help="print the mismatch summary and examples")
     mismatch.add_argument("dataset", type=Path)
     mismatch.add_argument("--examples", type=int, default=5, help="number of examples to print")
+    mismatch.add_argument("--json", action="store_true",
+                          help="emit the report as JSON (byte-identical to the API's "
+                               "/mismatch endpoint)")
 
     kizuki = subparsers.add_parser("kizuki", help="re-score with the language-aware audit")
     kizuki.add_argument("dataset", type=Path)
     kizuki.add_argument("--countries", nargs="*", default=["bd", "th"],
                         help="countries to re-score (default: bd th)")
+    kizuki.add_argument("--json", action="store_true",
+                        help="emit the report as JSON (byte-identical to the API's "
+                             "/kizuki endpoint)")
 
     report = subparsers.add_parser("report", help="render tables and figures to a text report")
     report.add_argument("dataset", type=Path)
@@ -170,6 +190,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for this many seconds then exit (default: until "
                             "interrupted)")
+
+    api = subparsers.add_parser(
+        "api", help="serve a built dataset as a JSON analytics API")
+    api.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
+    api.add_argument("--host", default="127.0.0.1",
+                     help="interface to bind (default: 127.0.0.1; keep it loopback)")
+    api.add_argument("--port", type=int, default=0,
+                     help="port to bind; 0 picks a free ephemeral port (default: 0)")
+    api.add_argument("--max-workers", type=_positive_int, default=8,
+                     help="concurrently handled requests (default: 8)")
+    api.add_argument("--cache-size", type=_positive_int, default=256,
+                     help="response cache entries (default: 256)")
+    api.add_argument("--skip-corrupt", action="store_true",
+                     help="skip corrupt dataset lines at load instead of failing")
+    api.add_argument("--no-reload", action="store_true",
+                     help="don't watch the dataset file for changes")
+    api.add_argument("--duration", type=float, default=None,
+                     help="serve for this many seconds then exit (default: until "
+                          "interrupted)")
 
     return parser
 
@@ -245,7 +284,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_aggregates(path: Path):
+    """Load a dataset into API aggregates, exiting 2 on a corrupt file."""
+    from repro.api.aggregates import DatasetAggregates, DatasetLoadError
+
+    try:
+        return DatasetAggregates.load(path)
+    except DatasetLoadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.api.aggregates import render_json
+
+        print(render_json(_load_aggregates(args.dataset).analyze_payload()))
+        return 0
     dataset = LangCrUXDataset.load_jsonl(args.dataset)
     print(f"dataset: {len(dataset)} sites across {len(dataset.countries())} countries")
     print()
@@ -274,6 +329,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_mismatch(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.api.aggregates import render_json
+
+        print(render_json(_load_aggregates(args.dataset)
+                          .mismatch_payload(examples=args.examples)))
+        return 0
     dataset = LangCrUXDataset.load_jsonl(args.dataset)
     print("fraction of sites with <10% native accessibility text:")
     for country, fraction in sorted(mismatch_summary(dataset).items()):
@@ -293,6 +354,12 @@ def _cmd_mismatch(args: argparse.Namespace) -> int:
 
 
 def _cmd_kizuki(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.api.aggregates import render_json
+
+        payload = _load_aggregates(args.dataset).kizuki_payload(tuple(args.countries))
+        print(render_json(payload))
+        return 0 if payload["sites"] else 1
     dataset = LangCrUXDataset.load_jsonl(args.dataset)
     summary = rescore_dataset(dataset, tuple(args.countries))
     if summary.sites == 0:
@@ -303,6 +370,40 @@ def _cmd_kizuki(args: argparse.Namespace) -> int:
           f"  {summary.fraction_above(90, new=True) * 100:5.1f}%")
     print(f"  score = 100: {summary.fraction_perfect(new=False) * 100:5.1f}%  ->"
           f"  {summary.fraction_perfect(new=True) * 100:5.1f}%")
+    return 0
+
+
+def _cmd_api(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.api.aggregates import DatasetLoadError
+    from repro.api.server import AnalyticsServer
+
+    try:
+        server = AnalyticsServer(args.dataset, host=args.host, port=args.port,
+                                 max_workers=args.max_workers,
+                                 cache_size=args.cache_size,
+                                 skip_corrupt=args.skip_corrupt,
+                                 auto_reload=not args.no_reload)
+    except DatasetLoadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with server:
+        aggregates = server.service.aggregates
+        print(f"serving {aggregates.site_count} sites"
+              f" ({len(aggregates.countries())} countries)"
+              f" from {args.dataset} on http://{server.gateway}")
+        if aggregates.skipped_records:
+            print(f"  skipped {aggregates.skipped_records} corrupt records at load")
+        print(f"  try: curl http://{server.gateway}/analyze")
+        try:
+            if args.duration is not None:
+                _time.sleep(args.duration)
+            else:  # pragma: no cover - interactive mode
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive mode
+            pass
     return 0
 
 
@@ -338,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "export": _cmd_export,
         "serve": _cmd_serve,
+        "api": _cmd_api,
     }
     return handlers[args.command](args)
 

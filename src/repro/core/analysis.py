@@ -58,6 +58,54 @@ class ElementStatisticsRow:
         }
 
 
+class ElementStatsAccumulator:
+    """Streaming core of Table 2 (:func:`element_statistics`).
+
+    Records are fed one at a time with :meth:`add`; :meth:`rows` produces the
+    same :class:`ElementStatisticsRow` values the batch helper computes.  A
+    consumer that sees a dataset record by record — the serving layer's
+    loader streaming JSONL shards — therefore shares one implementation with
+    the one-shot reports.
+    """
+
+    def __init__(self, element_ids: Iterable[str] = ELEMENT_IDS) -> None:
+        self.element_ids = tuple(element_ids)
+        self._sites = {eid: 0 for eid in self.element_ids}
+        self._missing_pcts: dict[str, list[float]] = {eid: [] for eid in self.element_ids}
+        self._empty_pcts: dict[str, list[float]] = {eid: [] for eid in self.element_ids}
+        self._lengths: dict[str, list[float]] = {eid: [] for eid in self.element_ids}
+        self._words: dict[str, list[float]] = {eid: [] for eid in self.element_ids}
+
+    def add(self, record: SiteRecord) -> None:
+        """Fold one site record into the per-element samples."""
+        for element_id in self.element_ids:
+            observation = record.element(element_id)
+            if observation.total == 0:
+                continue
+            self._sites[element_id] += 1
+            self._missing_pcts[element_id].append(observation.missing_pct)
+            self._empty_pcts[element_id].append(observation.empty_pct)
+            lengths = self._lengths[element_id]
+            words = self._words[element_id]
+            for text in observation.texts:
+                lengths.append(len(text))
+                words.append(word_count(text))
+
+    def rows(self) -> dict[str, ElementStatisticsRow]:
+        """The Table 2 rows for everything accumulated so far."""
+        return {
+            element_id: ElementStatisticsRow(
+                element_id=element_id,
+                sites=self._sites[element_id],
+                missing_pct=summarize(self._missing_pcts[element_id]),
+                empty_pct=summarize(self._empty_pcts[element_id]),
+                text_length=summarize(self._lengths[element_id]),
+                word_count=summarize(self._words[element_id]),
+            )
+            for element_id in self.element_ids
+        }
+
+
 def element_statistics(dataset: LangCrUXDataset | Iterable[SiteRecord],
                        element_ids: Iterable[str] = ELEMENT_IDS) -> dict[str, ElementStatisticsRow]:
     """Compute Table 2 over a dataset.
@@ -67,45 +115,57 @@ def element_statistics(dataset: LangCrUXDataset | Iterable[SiteRecord],
     percentage); text length and word count are summarised over individual
     texts, which is what produces the extreme maxima the paper reports.
     """
-    records = list(dataset)
-    rows: dict[str, ElementStatisticsRow] = {}
-    for element_id in element_ids:
-        missing_pcts: list[float] = []
-        empty_pcts: list[float] = []
-        lengths: list[float] = []
-        words: list[float] = []
-        sites = 0
-        for record in records:
-            observation = record.element(element_id)
-            if observation.total == 0:
-                continue
-            sites += 1
-            missing_pcts.append(observation.missing_pct)
-            empty_pcts.append(observation.empty_pct)
-            for text in observation.texts:
-                lengths.append(len(text))
-                words.append(word_count(text))
-        rows[element_id] = ElementStatisticsRow(
-            element_id=element_id,
-            sites=sites,
-            missing_pct=summarize(missing_pcts),
-            empty_pct=summarize(empty_pcts),
-            text_length=summarize(lengths),
-            word_count=summarize(words),
-        )
-    return rows
+    accumulator = ElementStatsAccumulator(element_ids)
+    for record in dataset:
+        accumulator.add(record)
+    return accumulator.rows()
+
+
+class DiscardCounter:
+    """Streaming counter behind the Figure 3/9 filter breakdowns.
+
+    Texts go through the Appendix H filter one at a time; percentages and
+    the total discard rate come out exactly as the batch helpers report
+    them (category insertion order is first-encounter order, matching a
+    single pass over the same texts).
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.counts: dict[DiscardCategory, int] = {}
+
+    def add(self, text: str) -> None:
+        self.total += 1
+        result = classify_text(text)
+        if result.category is not None:
+            self.counts[result.category] = self.counts.get(result.category, 0) + 1
+
+    def add_many(self, texts: Iterable[str]) -> None:
+        for text in texts:
+            self.add(text)
+
+    def percentages(self) -> dict[DiscardCategory, float]:
+        """Share discarded per category, as percentages of all texts."""
+        if not self.total:
+            return {}
+        return {category: 100.0 * count / self.total
+                for category, count in self.counts.items()}
+
+    def discard_rate(self) -> float:
+        """Total discarded share (0–1).
+
+        Computed as the sum of the per-category percentages divided by 100,
+        the exact arithmetic of :func:`uninformative_rate_by_country`, so the
+        streaming and batch paths agree to the last bit.
+        """
+        return sum(self.percentages().values()) / 100.0
 
 
 def _category_percentages(texts: list[str]) -> dict[DiscardCategory, float]:
     """Share of ``texts`` discarded per category, as percentages of all texts."""
-    if not texts:
-        return {}
-    counts: dict[DiscardCategory, int] = {}
-    for text in texts:
-        result = classify_text(text)
-        if result.category is not None:
-            counts[result.category] = counts.get(result.category, 0) + 1
-    return {category: 100.0 * count / len(texts) for category, count in counts.items()}
+    counter = DiscardCounter()
+    counter.add_many(texts)
+    return counter.percentages()
 
 
 def filter_breakdown_by_country(dataset: LangCrUXDataset) -> dict[str, dict[DiscardCategory, float]]:

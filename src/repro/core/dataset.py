@@ -238,17 +238,18 @@ class LangCrUXDataset:
         return len(self._records)
 
     @classmethod
-    def load_jsonl(cls, path: str | Path, *, skip_corrupt: bool = False) -> "LangCrUXDataset":
-        """Load a dataset previously written by :meth:`save_jsonl`.
+    def iter_jsonl(cls, path: str | Path, *, skip_corrupt: bool = False) -> Iterator[SiteRecord]:
+        """Yield records from a JSONL file one line at a time.
+
+        This is the streaming complement of :meth:`load_jsonl`: consumers
+        that fold records into incremental aggregates (the serving layer's
+        loader) never need the whole dataset in memory at once.
 
         Args:
             path: The JSONL file to read.
             skip_corrupt: Skip lines that are not valid JSON instead of
-                raising.  Use this to salvage the intact prefix of a partial
-                file left behind by a crashed streaming run (only its last
-                line can be torn; committed datasets are always complete).
+                raising.
         """
-        dataset = cls()
         with Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -260,8 +261,20 @@ class LangCrUXDataset:
                     if skip_corrupt:
                         continue
                     raise
-                dataset.add(SiteRecord.from_dict(payload))
-        return dataset
+                yield SiteRecord.from_dict(payload)
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path, *, skip_corrupt: bool = False) -> "LangCrUXDataset":
+        """Load a dataset previously written by :meth:`save_jsonl`.
+
+        Args:
+            path: The JSONL file to read.
+            skip_corrupt: Skip lines that are not valid JSON instead of
+                raising.  Use this to salvage the intact prefix of a partial
+                file left behind by a crashed streaming run (only its last
+                line can be torn; committed datasets are always complete).
+        """
+        return cls(cls.iter_jsonl(path, skip_corrupt=skip_corrupt))
 
 
 class StreamingDatasetWriter:

@@ -329,6 +329,50 @@ class RescoreSummary:
         return sum(1 for score in scores if score >= 100.0 - 1e-9) / len(scores)
 
 
+class RescoreAccumulator:
+    """Streaming core of the Figure 6 re-scoring (:func:`rescore_dataset`).
+
+    Records are re-scored as they arrive (one pass, e.g. while a dataset's
+    JSONL shards stream in) and the per-country score lists are retained, so
+    one accumulation can answer a :class:`RescoreSummary` for *any* country
+    combination afterwards — the serving layer's ``kizuki`` endpoint
+    parameterizes on countries per request.
+    """
+
+    def __init__(self, *, config: KizukiConfig | None = None,
+                 exclude_original_failures: bool = True) -> None:
+        self.config = config
+        self.exclude_original_failures = exclude_original_failures
+        self._kizuki_by_language: dict[str, Kizuki] = {}
+        self._old_scores: dict[str, list[float]] = {}
+        self._new_scores: dict[str, list[float]] = {}
+
+    def add(self, record: SiteRecord) -> bool:
+        """Re-score one record; returns whether it was eligible."""
+        if self.exclude_original_failures and not record.audit_passed("image-alt"):
+            return False
+        kizuki = self._kizuki_by_language.setdefault(
+            record.language_code, Kizuki(record.language_code, self.config))
+        old, new = kizuki.rescore_record(record)
+        self._old_scores.setdefault(record.country_code, []).append(old)
+        self._new_scores.setdefault(record.country_code, []).append(new)
+        return True
+
+    def countries(self) -> tuple[str, ...]:
+        """Countries that contributed at least one eligible site."""
+        return tuple(sorted(self._old_scores))
+
+    def summary(self, country_codes: tuple[str, ...] = ("bd", "th")) -> RescoreSummary:
+        """The :class:`RescoreSummary` for ``country_codes``, in that order."""
+        old_scores: list[float] = []
+        new_scores: list[float] = []
+        for country in country_codes:
+            old_scores.extend(self._old_scores.get(country, ()))
+            new_scores.extend(self._new_scores.get(country, ()))
+        return RescoreSummary(sites=len(old_scores), old_scores=tuple(old_scores),
+                              new_scores=tuple(new_scores))
+
+
 def rescore_dataset(dataset: LangCrUXDataset, country_codes: tuple[str, ...] = ("bd", "th"),
                     *, config: KizukiConfig | None = None,
                     exclude_original_failures: bool = True) -> RescoreSummary:
@@ -339,17 +383,9 @@ def rescore_dataset(dataset: LangCrUXDataset, country_codes: tuple[str, ...] = (
     ``exclude_original_failures`` is true, so the comparison isolates the
     effect of the language-aware check.
     """
-    old_scores: list[float] = []
-    new_scores: list[float] = []
-    kizuki_by_language: dict[str, Kizuki] = {}
-    for country in country_codes:
+    accumulator = RescoreAccumulator(config=config,
+                                     exclude_original_failures=exclude_original_failures)
+    for country in dict.fromkeys(country_codes):
         for record in dataset.for_country(country):
-            if exclude_original_failures and not record.audit_passed("image-alt"):
-                continue
-            kizuki = kizuki_by_language.setdefault(
-                record.language_code, Kizuki(record.language_code, config))
-            old, new = kizuki.rescore_record(record)
-            old_scores.append(old)
-            new_scores.append(new)
-    return RescoreSummary(sites=len(old_scores), old_scores=tuple(old_scores),
-                          new_scores=tuple(new_scores))
+            accumulator.add(record)
+    return accumulator.summary(country_codes)

@@ -65,12 +65,39 @@ class LanguageMixSummary:
         )
 
 
+class LanguageMixAccumulator:
+    """Streaming counterpart of :func:`classify_texts`.
+
+    Texts arrive one at a time (e.g. per record while a dataset streams in)
+    and the running counter yields the same :class:`LanguageMixSummary` a
+    one-shot classification of all texts would — per-text classification is
+    independent, so accumulation order cannot change the outcome.
+    """
+
+    def __init__(self, language: Language | str) -> None:
+        self.language = get_language(language) if isinstance(language, str) else language
+        self._counter: Counter[TextLanguageClass] = Counter()
+
+    def add(self, text: str) -> None:
+        self._counter[classify_text_language(text, self.language)] += 1
+
+    def add_many(self, texts: Iterable[str]) -> None:
+        for text in texts:
+            self.add(text)
+
+    @property
+    def texts_seen(self) -> int:
+        return sum(self._counter.values())
+
+    def summary(self) -> LanguageMixSummary:
+        return LanguageMixSummary.from_counter(self._counter)
+
+
 def classify_texts(texts: Iterable[str], language: Language | str) -> LanguageMixSummary:
     """Classify each text and aggregate the counts."""
-    counter: Counter[TextLanguageClass] = Counter()
-    for text in texts:
-        counter[classify_text_language(text, language)] += 1
-    return LanguageMixSummary.from_counter(counter)
+    accumulator = LanguageMixAccumulator(language)
+    accumulator.add_many(texts)
+    return accumulator.summary()
 
 
 def native_share_of_text(text: str, language: Language | str) -> LanguageShare:

@@ -130,6 +130,85 @@ class MismatchExample:
     sample_alt_texts: tuple[str, ...]
 
 
+class MismatchAccumulator:
+    """Streaming core of the Section 4 mismatch analyses.
+
+    One pass over the records (e.g. while a dataset's JSONL shards stream
+    in) retains the per-country scatter points of Figure 8 and, when
+    ``collect_examples`` is set, the qualifying Table 5 examples — after
+    which :meth:`summary` answers the Figure 5 headline metric for *any*
+    threshold and :meth:`examples` any limit, without touching the records
+    again.  Batch helpers below are thin wrappers, so the streaming and
+    one-shot paths cannot drift.
+    """
+
+    def __init__(self, *, min_visible_native_pct: float = 90.0,
+                 max_accessibility_native_pct: float = 10.0,
+                 samples_per_site: int = 3, collect_examples: bool = True) -> None:
+        self.min_visible_native_pct = min_visible_native_pct
+        self.max_accessibility_native_pct = max_accessibility_native_pct
+        self.samples_per_site = samples_per_site
+        self.collect_examples = collect_examples
+        self._points: dict[str, list[SiteLanguagePoint]] = {}
+        self._examples: list[MismatchExample] = []
+
+    def add(self, record: SiteRecord) -> None:
+        """Fold one site record into the per-country points (and examples)."""
+        point = site_language_point(record)
+        self._points.setdefault(record.country_code, []).append(point)
+        if self.collect_examples:
+            self._maybe_example(record, point)
+
+    def _maybe_example(self, record: SiteRecord, point: SiteLanguagePoint) -> None:
+        if point.visible_native_pct < self.min_visible_native_pct:
+            return
+        if point.accessibility_native_pct > self.max_accessibility_native_pct:
+            return
+        informative_alts = [text for text in record.element("image-alt").texts
+                            if classify_text(text).informative]
+        english_alts = [text for text in informative_alts
+                        if classify_text_language(text, record.language_code)
+                        is TextLanguageClass.ENGLISH]
+        if not english_alts:
+            return
+        self._examples.append(MismatchExample(
+            domain=record.domain,
+            country_code=record.country_code,
+            visible_native_pct=point.visible_native_pct,
+            accessibility_native_pct=point.accessibility_native_pct,
+            sample_alt_texts=tuple(english_alts[:self.samples_per_site]),
+        ))
+
+    # -- queries over the accumulated state -----------------------------------
+
+    def countries(self) -> tuple[str, ...]:
+        return tuple(sorted(self._points))
+
+    def points(self, country_code: str) -> tuple[SiteLanguagePoint, ...]:
+        return tuple(self._points.get(country_code, ()))
+
+    @property
+    def example_count(self) -> int:
+        return len(self._examples)
+
+    def examples(self, *, limit: int = 10) -> list[MismatchExample]:
+        """The first ``limit`` qualifying examples, in record order."""
+        return list(self._examples[:limit])
+
+    def low_native_fraction(self, country_code: str, *, threshold_pct: float = 10.0) -> float:
+        """Fraction of a country's sites below ``threshold_pct`` native."""
+        points = self._points.get(country_code, [])
+        if not points:
+            return 0.0
+        low = sum(1 for point in points if point.accessibility_native_pct < threshold_pct)
+        return low / len(points)
+
+    def summary(self, *, threshold_pct: float = 10.0) -> dict[str, float]:
+        """Per-country low-native fractions over everything accumulated."""
+        return {country: self.low_native_fraction(country, threshold_pct=threshold_pct)
+                for country in self.countries()}
+
+
 def mismatch_examples(dataset: LangCrUXDataset, *, min_visible_native_pct: float = 90.0,
                       max_accessibility_native_pct: float = 10.0,
                       samples_per_site: int = 3, limit: int = 10) -> list[MismatchExample]:
@@ -140,35 +219,21 @@ def mismatch_examples(dataset: LangCrUXDataset, *, min_visible_native_pct: float
     sampled alt texts must be informative (post-filtering) so that the
     examples show genuine English descriptions rather than placeholders.
     """
-    examples: list[MismatchExample] = []
+    accumulator = MismatchAccumulator(
+        min_visible_native_pct=min_visible_native_pct,
+        max_accessibility_native_pct=max_accessibility_native_pct,
+        samples_per_site=samples_per_site,
+    )
     for record in dataset:
-        point = site_language_point(record)
-        if point.visible_native_pct < min_visible_native_pct:
-            continue
-        if point.accessibility_native_pct > max_accessibility_native_pct:
-            continue
-        informative_alts = [text for text in record.element("image-alt").texts
-                            if classify_text(text).informative]
-        english_alts = [text for text in informative_alts
-                        if classify_text_language(text, record.language_code)
-                        is TextLanguageClass.ENGLISH]
-        if not english_alts:
-            continue
-        examples.append(MismatchExample(
-            domain=record.domain,
-            country_code=record.country_code,
-            visible_native_pct=point.visible_native_pct,
-            accessibility_native_pct=point.accessibility_native_pct,
-            sample_alt_texts=tuple(english_alts[:samples_per_site]),
-        ))
-        if len(examples) >= limit:
+        accumulator.add(record)
+        if accumulator.example_count >= limit:
             break
-    return examples
+    return accumulator.examples(limit=limit)
 
 
 def mismatch_summary(dataset: LangCrUXDataset, *, threshold_pct: float = 10.0) -> dict[str, float]:
     """Per-country low-native-accessibility fractions, for quick reporting."""
-    return {
-        country: low_native_accessibility_fraction(dataset, country, threshold_pct=threshold_pct)
-        for country in dataset.countries()
-    }
+    accumulator = MismatchAccumulator(collect_examples=False)
+    for record in dataset:
+        accumulator.add(record)
+    return accumulator.summary(threshold_pct=threshold_pct)

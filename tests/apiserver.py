@@ -1,0 +1,126 @@
+"""Service-level test harness for the analytics API.
+
+Every API test talks to a *real* :class:`~repro.api.server.AnalyticsServer`
+on a loopback socket — the suite exercises genuine HTTP (status lines,
+headers, keep-alive connections, concurrent sockets), not handler internals.
+This module is the shared plumbing:
+
+* :func:`build_dataset` — run the pipeline once and save a small dataset
+  JSONL to serve;
+* :func:`serve` — boot an :class:`AnalyticsServer` on an ephemeral loopback
+  port as a context manager that always tears the server down;
+* :class:`ApiClient` — a minimal keep-alive HTTP client returning the raw
+  ``(status, headers, body)`` of every exchange, including the 304/404/400
+  responses ``urllib`` would turn into exceptions.
+
+It is imported as a plain module (``import apiserver``) by the API test
+files and the conftest fixtures.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.api.server import AnalyticsServer
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+
+
+def build_dataset(path: str | Path, *, countries: tuple[str, ...] = ("bd", "th"),
+                  sites_per_country: int = 5, seed: int = 11) -> Path:
+    """Build a small dataset end-to-end and save it as JSONL at ``path``."""
+    config = PipelineConfig(countries=countries, sites_per_country=sites_per_country,
+                            seed=seed, transport_failure_rate=0.05)
+    result = LangCrUXPipeline(config).run()
+    path = Path(path)
+    result.dataset.save_jsonl(path)
+    return path
+
+
+@contextmanager
+def serve(dataset_path: str | Path, **server_kwargs: Any) -> Iterator[AnalyticsServer]:
+    """Boot an analytics server for ``dataset_path``; always tears it down."""
+    with AnalyticsServer(dataset_path, **server_kwargs) as server:
+        yield server
+
+
+@dataclass(frozen=True)
+class ApiReply:
+    """One HTTP exchange: status, lower-cased headers, raw body bytes."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def etag(self) -> str | None:
+        return self.headers.get("etag")
+
+    @property
+    def cache_state(self) -> str | None:
+        return self.headers.get("x-langcrux-cache")
+
+
+class ApiClient:
+    """A keep-alive HTTP client against one server's gateway.
+
+    Unlike ``urllib``, non-2xx statuses come back as ordinary
+    :class:`ApiReply` values — the suite asserts on 304s and structured
+    404/400 bodies constantly.  The underlying connection is reused across
+    requests (HTTP/1.1 keep-alive) and transparently re-established if the
+    server closed it.
+    """
+
+    def __init__(self, gateway: str, *, timeout: float = 10.0) -> None:
+        host, _, port = gateway.rpartition(":")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    def get(self, path: str, *, headers: Mapping[str, str] | None = None) -> ApiReply:
+        for attempt in (1, 2):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+            try:
+                self._connection.request("GET", path, headers=dict(headers or {}))
+                response = self._connection.getresponse()
+                body = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A keep-alive connection the server dropped between
+                # requests; retry exactly once on a fresh connection.
+                self.close()
+                if attempt == 2:
+                    raise
+                continue
+            return ApiReply(
+                status=response.status,
+                headers={key.lower(): value for key, value in response.getheaders()},
+                body=body,
+            )
+        raise AssertionError("unreachable")
+
+    def json(self, path: str) -> Any:
+        """GET ``path`` expecting a 200 JSON document."""
+        reply = self.get(path)
+        assert reply.status == 200, f"GET {path} -> {reply.status}: {reply.body!r}"
+        return reply.json()
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ApiClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -124,3 +124,37 @@ def small_dataset(pipeline_result: PipelineResult) -> LangCrUXDataset:
 def bd_sites() -> list[SyntheticSite]:
     """A deterministic batch of Bangladeshi candidate sites."""
     return SiteGenerator(get_profile("bd"), seed=5).generate_sites(20)
+
+
+# -- analytics API (see tests/apiserver.py) -------------------------------------
+
+
+@pytest.fixture(scope="session")
+def api_dataset_path(tmp_path_factory, small_pipeline_result: PipelineResult):
+    """The small pipeline dataset saved as JSONL for the serving-layer suite."""
+    path = tmp_path_factory.mktemp("api") / "langcrux.jsonl"
+    small_pipeline_result.dataset.save_jsonl(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def api_server(api_dataset_path):
+    """One analytics server shared by the read-only API tests.
+
+    Tests that mutate serving state (reload-on-change, corrupt datasets,
+    disconnects against a single worker) boot their own server via
+    ``apiserver.serve`` instead.
+    """
+    import apiserver
+
+    with apiserver.serve(api_dataset_path, max_workers=4) as server:
+        yield server
+
+
+@pytest.fixture
+def api_client(api_server):
+    """A fresh keep-alive client against the shared server."""
+    import apiserver
+
+    with apiserver.ApiClient(api_server.gateway) as client:
+        yield client

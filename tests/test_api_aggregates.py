@@ -1,0 +1,212 @@
+"""Tests for the in-memory analytics aggregates (repro.api.aggregates).
+
+The serving layer's core claim is that one streaming pass over the JSONL
+yields exactly the numbers the batch analysis functions compute from a fully
+loaded dataset.  This file pins that equivalence payload by payload, plus
+the content fingerprint and the load-time fault handling the cache and the
+fault-injection HTTP tests build on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.aggregates import DatasetAggregates, DatasetLoadError, render_json
+from repro.core.analysis import element_statistics, uninformative_rate_by_country
+from repro.core.dataset import LangCrUXDataset
+from repro.core.kizuki import rescore_dataset
+from repro.core.language_mix import classify_texts
+from repro.core.mismatch import mismatch_examples, mismatch_summary
+from repro.report.export import export_dataset_summary
+
+
+@pytest.fixture(scope="module")
+def dataset(api_dataset_path: Path) -> LangCrUXDataset:
+    return LangCrUXDataset.load_jsonl(api_dataset_path)
+
+
+@pytest.fixture(scope="module")
+def aggregates(api_dataset_path: Path) -> DatasetAggregates:
+    return DatasetAggregates.load(api_dataset_path)
+
+
+class TestFingerprint:
+    def test_load_and_from_records_agree(self, api_dataset_path: Path,
+                                         dataset: LangCrUXDataset,
+                                         aggregates: DatasetAggregates) -> None:
+        rebuilt = DatasetAggregates.from_records(dataset)
+        assert rebuilt.fingerprint == aggregates.fingerprint
+        assert rebuilt.site_count == aggregates.site_count
+
+    def test_fingerprint_is_content_defined(self, api_dataset_path: Path,
+                                            aggregates: DatasetAggregates,
+                                            tmp_path: Path) -> None:
+        # Blank lines are formatting, not content.
+        padded = tmp_path / "padded.jsonl"
+        padded.write_text(
+            api_dataset_path.read_text(encoding="utf-8").replace("\n", "\n\n"),
+            encoding="utf-8")
+        assert DatasetAggregates.load(padded).fingerprint == aggregates.fingerprint
+
+    def test_different_records_different_fingerprint(self, api_dataset_path: Path,
+                                                     aggregates: DatasetAggregates,
+                                                     tmp_path: Path) -> None:
+        lines = api_dataset_path.read_text(encoding="utf-8").splitlines()
+        shorter = tmp_path / "shorter.jsonl"
+        shorter.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        assert DatasetAggregates.load(shorter).fingerprint != aggregates.fingerprint
+
+    def test_empty_dataset_has_a_fingerprint(self, tmp_path: Path) -> None:
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        loaded = DatasetAggregates.load(empty)
+        assert loaded.site_count == 0
+        assert loaded.fingerprint  # the hash of zero bytes, stable
+
+
+class TestLoadFaults:
+    def test_missing_file_raises_clear_error(self, tmp_path: Path) -> None:
+        with pytest.raises(DatasetLoadError, match="cannot open dataset"):
+            DatasetAggregates.load(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line_names_file_and_line(self, api_dataset_path: Path,
+                                              tmp_path: Path) -> None:
+        corrupt = tmp_path / "corrupt.jsonl"
+        lines = api_dataset_path.read_text(encoding="utf-8").splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # torn mid-record
+        corrupt.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(DatasetLoadError, match=r"corrupt dataset record at .*:3"):
+            DatasetAggregates.load(corrupt)
+
+    def test_non_object_line_is_corrupt(self, tmp_path: Path) -> None:
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('["not", "an", "object"]\n', encoding="utf-8")
+        with pytest.raises(DatasetLoadError, match="corrupt dataset record"):
+            DatasetAggregates.load(bad)
+
+    def test_skip_corrupt_salvages_intact_records(self, api_dataset_path: Path,
+                                                  tmp_path: Path) -> None:
+        lines = api_dataset_path.read_text(encoding="utf-8").splitlines()
+        corrupt = tmp_path / "torn.jsonl"
+        corrupt.write_text("\n".join(lines[:-1]) + "\nnot json{{{\n", encoding="utf-8")
+        salvaged = DatasetAggregates.load(corrupt, skip_corrupt=True)
+        assert salvaged.site_count == len(lines) - 1
+        assert salvaged.skipped_records == 1
+
+
+class TestAnalyzeParity:
+    """The analyze payload equals the batch analysis of the same dataset."""
+
+    def test_element_statistics(self, dataset: LangCrUXDataset,
+                                aggregates: DatasetAggregates) -> None:
+        expected = {eid: row.as_dict()
+                    for eid, row in element_statistics(dataset).items()}
+        assert aggregates.analyze_payload()["element_statistics"] == expected
+
+    def test_uninformative_rates(self, dataset: LangCrUXDataset,
+                                 aggregates: DatasetAggregates) -> None:
+        assert (aggregates.analyze_payload()["uninformative_rate_by_country"]
+                == uninformative_rate_by_country(dataset))
+
+    def test_language_mix(self, dataset: LangCrUXDataset,
+                          aggregates: DatasetAggregates) -> None:
+        expected: dict[str, dict[str, float]] = {}
+        for country in dataset.countries():
+            texts: list[str] = []
+            language = None
+            for record in dataset.for_country(country):
+                texts.extend(record.informative_texts())
+                language = record.language_code
+            if texts and language:
+                expected[country] = classify_texts(texts, language).proportions()
+        assert aggregates.analyze_payload()["language_mix_by_country"] == expected
+
+    def test_header_fields(self, dataset: LangCrUXDataset,
+                           aggregates: DatasetAggregates) -> None:
+        payload = aggregates.analyze_payload()
+        assert payload["sites"] == len(dataset)
+        assert tuple(payload["countries"]) == dataset.countries()
+
+
+class TestMismatchParity:
+    def test_summary(self, dataset: LangCrUXDataset,
+                     aggregates: DatasetAggregates) -> None:
+        assert (aggregates.mismatch_payload()["low_native_fraction_by_country"]
+                == mismatch_summary(dataset))
+
+    def test_examples(self, dataset: LangCrUXDataset,
+                      aggregates: DatasetAggregates) -> None:
+        expected = mismatch_examples(dataset, limit=3)
+        got = aggregates.mismatch_payload(examples=3)["examples"]
+        assert len(got) == len(expected)
+        for example, row in zip(expected, got):
+            assert row["domain"] == example.domain
+            assert row["country"] == example.country_code
+            assert row["sample_alt_texts"] == list(example.sample_alt_texts)
+
+    def test_examples_zero(self, aggregates: DatasetAggregates) -> None:
+        assert aggregates.mismatch_payload(examples=0)["examples"] == []
+
+
+class TestKizukiParity:
+    def test_default_countries(self, dataset: LangCrUXDataset,
+                               aggregates: DatasetAggregates) -> None:
+        summary = rescore_dataset(dataset, ("bd", "th"))
+        payload = aggregates.kizuki_payload(("bd", "th"))
+        assert payload["sites"] == summary.sites
+        assert payload["score_above_90"]["original"] == summary.fraction_above(90, new=False)
+        assert payload["score_above_90"]["kizuki"] == summary.fraction_above(90, new=True)
+        assert payload["score_perfect"]["original"] == summary.fraction_perfect(new=False)
+        assert payload["score_perfect"]["kizuki"] == summary.fraction_perfect(new=True)
+
+    def test_single_country_subset(self, dataset: LangCrUXDataset,
+                                   aggregates: DatasetAggregates) -> None:
+        summary = rescore_dataset(dataset, ("bd",))
+        assert aggregates.kizuki_payload(("bd",))["sites"] == summary.sites
+
+    def test_unknown_country_scores_nothing(self, aggregates: DatasetAggregates) -> None:
+        assert aggregates.kizuki_payload(("zz",))["sites"] == 0
+
+
+class TestExplorerParity:
+    def test_full_document_bytes(self, dataset: LangCrUXDataset,
+                                 aggregates: DatasetAggregates) -> None:
+        expected = render_json(export_dataset_summary(dataset))
+        assert render_json(aggregates.explorer_payload()) == expected
+
+    def test_without_sites_bytes(self, dataset: LangCrUXDataset,
+                                 aggregates: DatasetAggregates) -> None:
+        expected = render_json(export_dataset_summary(dataset, include_sites=False))
+        assert render_json(aggregates.explorer_payload(include_sites=False)) == expected
+
+    def test_site_rows_preserve_dataset_order(self, dataset: LangCrUXDataset,
+                                              aggregates: DatasetAggregates) -> None:
+        rows = aggregates.sites_payload()["sites"]
+        assert [row["domain"] for row in rows] == [r.domain for r in dataset]
+
+    def test_site_lookup(self, dataset: LangCrUXDataset,
+                         aggregates: DatasetAggregates) -> None:
+        domain = dataset.records[0].domain
+        row = aggregates.site_payload(domain)
+        assert row is not None and row["domain"] == domain
+        assert aggregates.site_payload("unknown.example") is None
+
+
+class TestRenderJson:
+    def test_matches_export_serialization(self, tmp_path: Path,
+                                          dataset: LangCrUXDataset) -> None:
+        from repro.report.export import write_dataset_summary
+
+        path = write_dataset_summary(dataset, tmp_path / "summary.json")
+        assert path.read_text(encoding="utf-8") == render_json(
+            export_dataset_summary(dataset))
+
+    def test_no_ascii_escaping(self) -> None:
+        assert render_json({"text": "দৈনিক"}) == '{\n  "text": "দৈনিক"\n}'
+
+    def test_round_trips(self, aggregates: DatasetAggregates) -> None:
+        payload = aggregates.analyze_payload()
+        assert json.loads(render_json(payload)) == payload

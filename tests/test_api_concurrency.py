@@ -1,0 +1,139 @@
+"""Concurrency tests for the analytics API.
+
+The server's contract under parallel load: many clients hammering mixed
+endpoints get exactly the bytes a serial client gets, the warm cache serves
+them without re-running any aggregation, and bounded workers mean load is
+queued, never dropped.  Each test drives a real server through genuinely
+concurrent sockets.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import apiserver
+
+MIXED_ENDPOINTS = (
+    "/analyze",
+    "/mismatch",
+    "/mismatch?examples=2",
+    "/kizuki",
+    "/kizuki?countries=bd",
+    "/explorer",
+    "/explorer/countries",
+    "/explorer/sites",
+    "/health",
+)
+
+
+def _serial_baseline(gateway: str) -> dict[str, bytes]:
+    with apiserver.ApiClient(gateway) as client:
+        return {path: client.get(path).body for path in MIXED_ENDPOINTS}
+
+
+class TestParallelEqualsSerial:
+    def test_hammering_threads_get_the_serial_bytes(self, api_server) -> None:
+        baseline = _serial_baseline(api_server.gateway)
+
+        def hammer(worker: int) -> list[tuple[str, bytes]]:
+            got = []
+            with apiserver.ApiClient(api_server.gateway) as client:
+                for round_number in range(3):
+                    # Stagger the walk so workers collide on different paths.
+                    for offset in range(len(MIXED_ENDPOINTS)):
+                        path = MIXED_ENDPOINTS[
+                            (worker + round_number + offset) % len(MIXED_ENDPOINTS)]
+                        got.append((path, client.get(path).body))
+            return got
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(hammer, range(8)))
+        for worker_results in results:
+            for path, body in worker_results:
+                assert body == baseline[path], f"diverging body for {path}"
+
+    def test_cold_cache_race_yields_one_consistent_body(self,
+                                                        api_dataset_path: Path) -> None:
+        """Concurrent first requests against an empty cache must agree."""
+        with apiserver.serve(api_dataset_path, max_workers=8) as server:
+            def fetch(_: int) -> bytes:
+                with apiserver.ApiClient(server.gateway) as client:
+                    return client.get("/explorer").body
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                bodies = set(pool.map(fetch, range(8)))
+            assert len(bodies) == 1
+
+
+class TestWarmCacheServesWithoutAggregation:
+    def test_no_reaggregation_under_load(self, api_dataset_path: Path) -> None:
+        with apiserver.serve(api_dataset_path, max_workers=4) as server, \
+                apiserver.ApiClient(server.gateway) as primer:
+            for path in MIXED_ENDPOINTS:
+                primer.get(path)  # prime every cache entry
+            warm = primer.json("/stats")["aggregations"]
+
+            def hammer(worker: int) -> int:
+                hits = 0
+                with apiserver.ApiClient(server.gateway) as client:
+                    for path in MIXED_ENDPOINTS:
+                        if client.get(path).cache_state == "hit":
+                            hits += 1
+                return hits
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                hits = sum(pool.map(hammer, range(6)))
+            assert hits == 6 * len(MIXED_ENDPOINTS)  # every request a cache hit
+            assert primer.json("/stats")["aggregations"] == warm
+
+    def test_revalidation_under_load_stays_empty(self, api_server) -> None:
+        with apiserver.ApiClient(api_server.gateway) as client:
+            etag = client.get("/explorer").etag
+
+        def revalidate(_: int) -> tuple[int, bytes]:
+            with apiserver.ApiClient(api_server.gateway) as client:
+                reply = client.get("/explorer", headers={"If-None-Match": etag})
+                return reply.status, reply.body
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            replies = list(pool.map(revalidate, range(12)))
+        assert all(reply == (304, b"") for reply in replies)
+
+
+class TestBoundedWorkers:
+    def test_more_clients_than_workers_all_get_answers(self,
+                                                       api_dataset_path: Path) -> None:
+        """16 clients against 2 worker slots: queued, not refused."""
+        with apiserver.serve(api_dataset_path, max_workers=2) as server:
+            def fetch(_: int) -> int:
+                with apiserver.ApiClient(server.gateway) as client:
+                    return client.get("/analyze").status
+
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                statuses = list(pool.map(fetch, range(16)))
+            assert statuses == [200] * 16
+
+
+class TestInvalidationUnderConcurrency:
+    def test_fingerprint_change_swaps_every_client_at_once(self, api_dataset_path: Path,
+                                                           tmp_path: Path) -> None:
+        lines = api_dataset_path.read_text(encoding="utf-8").splitlines(keepends=True)
+        dataset = tmp_path / "live.jsonl"
+        dataset.write_text("".join(lines), encoding="utf-8")
+        with apiserver.serve(dataset, max_workers=4) as server:
+            with apiserver.ApiClient(server.gateway) as client:
+                old_etag = client.get("/analyze").etag
+            dataset.write_text("".join(lines[:-2]), encoding="utf-8")
+
+            def fetch(_: int) -> tuple[str, bytes]:
+                with apiserver.ApiClient(server.gateway) as client:
+                    reply = client.get("/analyze")
+                    return reply.etag, reply.body
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                replies = list(pool.map(fetch, range(6)))
+            etags = {etag for etag, _ in replies}
+            bodies = {body for _, body in replies}
+            assert len(etags) == 1 and len(bodies) == 1
+            assert old_etag not in etags  # nobody saw stale bytes

@@ -1,0 +1,79 @@
+"""Byte-parity between the API endpoints and the CLI reports.
+
+ISSUE item: every API endpoint's JSON must be *byte-identical* to the
+corresponding CLI output on the same dataset — ``/analyze`` vs
+``langcrux analyze --json``, ``/mismatch`` vs ``langcrux mismatch --json``,
+``/kizuki`` vs ``langcrux kizuki --json`` and ``/explorer`` vs
+``langcrux export``.  One shared payload builder plus one shared serializer
+is the mechanism; these tests are the pin.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def cli_json(api_dataset_path: Path, capsys):
+    """Run a CLI subcommand and return its stdout bytes (one trailing newline)."""
+
+    def run(*argv: str) -> bytes:
+        main([argv[0], str(api_dataset_path), *argv[1:]])
+        return capsys.readouterr().out.encode("utf-8")
+
+    return run
+
+
+def _api_body(api_client, path: str) -> bytes:
+    reply = api_client.get(path)
+    assert reply.status == 200
+    return reply.body
+
+
+class TestEndpointParity:
+    def test_analyze(self, api_client, cli_json) -> None:
+        assert cli_json("analyze", "--json") == _api_body(api_client, "/analyze") + b"\n"
+
+    def test_mismatch(self, api_client, cli_json) -> None:
+        assert cli_json("mismatch", "--json") == _api_body(api_client, "/mismatch") + b"\n"
+
+    def test_mismatch_examples_param(self, api_client, cli_json) -> None:
+        assert cli_json("mismatch", "--json", "--examples", "2") == \
+            _api_body(api_client, "/mismatch?examples=2") + b"\n"
+
+    def test_kizuki(self, api_client, cli_json) -> None:
+        assert cli_json("kizuki", "--json") == _api_body(api_client, "/kizuki") + b"\n"
+
+    def test_kizuki_countries_param(self, api_client, cli_json) -> None:
+        assert cli_json("kizuki", "--json", "--countries", "bd") == \
+            _api_body(api_client, "/kizuki?countries=bd") + b"\n"
+
+
+class TestExplorerParity:
+    """``/explorer`` serves exactly the file ``langcrux export`` writes."""
+
+    def test_full_document(self, api_client, api_dataset_path: Path,
+                           tmp_path: Path) -> None:
+        out = tmp_path / "summary.json"
+        assert main(["export", str(api_dataset_path), "--output", str(out)]) == 0
+        assert out.read_bytes() == _api_body(api_client, "/explorer")
+
+    def test_without_sites(self, api_client, api_dataset_path: Path,
+                           tmp_path: Path) -> None:
+        out = tmp_path / "summary.json"
+        assert main(["export", str(api_dataset_path), "--output", str(out),
+                     "--no-sites"]) == 0
+        assert out.read_bytes() == _api_body(api_client, "/explorer?sites=0")
+
+
+class TestParityAfterCacheWarmup:
+    def test_cached_bytes_equal_cli_bytes(self, api_client, cli_json) -> None:
+        cold = _api_body(api_client, "/analyze")
+        warm_reply = api_client.get("/analyze")
+        assert warm_reply.cache_state == "hit"
+        assert warm_reply.body == cold
+        assert cli_json("analyze", "--json") == warm_reply.body + b"\n"

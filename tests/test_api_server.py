@@ -1,0 +1,245 @@
+"""Service-level tests for the analytics HTTP server (repro.api.server).
+
+Everything here goes over real loopback sockets via the
+:mod:`apiserver` harness: endpoint behaviour, ETag revalidation, structured
+errors, reload-on-change and the fault-injection paths of ISSUE item 4
+(corrupt datasets at load, client disconnects mid-response).
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+import pytest
+
+import apiserver
+from repro.api.aggregates import DatasetLoadError
+from repro.api.server import AnalyticsServer, AnalyticsService, ApiError
+
+
+class TestEndpoints:
+    def test_health_describes_the_dataset(self, api_server, api_client) -> None:
+        for path in ("/", "/health"):
+            doc = api_client.json(path)
+            assert doc["service"] == "langcrux-api"
+            assert doc["dataset"]["sites"] == api_server.service.aggregates.site_count
+            assert doc["dataset"]["fingerprint"] == \
+                api_server.service.aggregates.fingerprint
+            assert "/analyze" in doc["endpoints"]
+
+    def test_every_endpoint_serves_json_with_an_etag(self, api_client) -> None:
+        for path in ("/analyze", "/mismatch", "/kizuki", "/explorer",
+                     "/explorer/countries", "/explorer/sites"):
+            reply = api_client.get(path)
+            assert reply.status == 200
+            assert reply.headers["content-type"].startswith("application/json")
+            assert reply.etag and reply.etag.startswith('"')
+            assert reply.json()  # a non-empty JSON document
+
+    def test_site_endpoint(self, api_server, api_client) -> None:
+        domain = api_server.service.aggregates.sites_payload()["sites"][0]["domain"]
+        doc = api_client.json(f"/explorer/site/{domain}")
+        assert doc["domain"] == domain
+
+    def test_explorer_sites_flag(self, api_client) -> None:
+        assert "sites" in api_client.json("/explorer")
+        assert "sites" not in api_client.json("/explorer?sites=0")
+        assert "sites" in api_client.json("/explorer?sites=true")
+
+    def test_mismatch_examples_param(self, api_client) -> None:
+        assert api_client.json("/mismatch?examples=0")["examples"] == []
+        default = api_client.json("/mismatch")
+        assert len(default["examples"]) <= 5
+
+    def test_kizuki_countries_param(self, api_client) -> None:
+        default = api_client.json("/kizuki")
+        assert default["countries"] == ["bd", "th"]
+        subset = api_client.json("/kizuki?countries=bd")
+        assert subset["countries"] == ["bd"]
+        assert subset["sites"] <= default["sites"]
+
+    def test_stats_reports_serving_counters(self, api_client) -> None:
+        before = api_client.json("/stats")
+        api_client.json("/analyze")
+        after = api_client.json("/stats")
+        assert after["requests"] > before["requests"]
+        assert after["dataset_loads"] >= 1
+        assert set(after["cache"]) == {"entries", "max_entries", "hits",
+                                       "misses", "evictions"}
+
+
+class TestCachingAndETags:
+    def test_second_request_is_a_cache_hit(self, api_client) -> None:
+        first = api_client.get("/analyze")
+        second = api_client.get("/analyze")
+        assert second.cache_state == "hit"
+        assert second.body == first.body
+        assert second.etag == first.etag
+
+    def test_distinct_params_cache_separately(self, api_client) -> None:
+        one = api_client.get("/kizuki?countries=bd")
+        two = api_client.get("/kizuki?countries=bd,th")
+        assert one.etag != two.etag  # the bodies echo the country selection
+        assert api_client.get("/kizuki?countries=bd").cache_state == "hit"
+        assert api_client.get("/kizuki?countries=bd,th").cache_state == "hit"
+
+    def test_if_none_match_revalidates_to_304(self, api_client) -> None:
+        etag = api_client.get("/analyze").etag
+        reply = api_client.get("/analyze", headers={"If-None-Match": etag})
+        assert reply.status == 304
+        assert reply.body == b""
+        assert reply.etag == etag
+
+    def test_stale_etag_gets_the_full_body(self, api_client) -> None:
+        reply = api_client.get("/analyze", headers={"If-None-Match": '"stale"'})
+        assert reply.status == 200
+        assert reply.body
+
+    def test_wildcard_and_candidate_lists_match(self, api_client) -> None:
+        etag = api_client.get("/analyze").etag
+        for header in ("*", f'"nope", {etag}', f"W/{etag}"):
+            assert api_client.get("/analyze",
+                                  headers={"If-None-Match": header}).status == 304
+
+    def test_stats_is_never_cached(self, api_client) -> None:
+        reply = api_client.get("/stats")
+        assert reply.cache_state is None
+
+
+class TestStructuredErrors:
+    def test_unknown_endpoint_is_json_404(self, api_client) -> None:
+        reply = api_client.get("/frobnicate")
+        assert reply.status == 404
+        error = reply.json()["error"]
+        assert error["status"] == 404
+        assert "/analyze" in error["message"]  # the 404 lists what exists
+
+    def test_unknown_domain_is_json_404(self, api_client) -> None:
+        reply = api_client.get("/explorer/site/unknown.example")
+        assert reply.status == 404
+        assert "unknown.example" in reply.json()["error"]["message"]
+
+    @pytest.mark.parametrize("path", [
+        "/mismatch?examples=zebra",
+        "/mismatch?examples=-1",
+        "/mismatch?threshold=high",
+        "/explorer?sites=maybe",
+        "/kizuki?countries=",
+    ])
+    def test_bad_query_parameters_are_json_400(self, api_client, path: str) -> None:
+        reply = api_client.get(path)
+        assert reply.status == 400
+        assert reply.json()["error"]["status"] == 400
+
+    def test_api_error_payload_shape(self) -> None:
+        error = ApiError(418, "teapot")
+        assert error.payload() == {"error": {"status": 418, "message": "teapot"}}
+
+
+class TestReloadOnChange:
+    def test_changed_file_reloads_and_invalidates(self, api_dataset_path: Path,
+                                                  tmp_path: Path) -> None:
+        lines = api_dataset_path.read_text(encoding="utf-8").splitlines(keepends=True)
+        dataset = tmp_path / "live.jsonl"
+        dataset.write_text("".join(lines), encoding="utf-8")
+        with apiserver.serve(dataset, max_workers=2) as server, \
+                apiserver.ApiClient(server.gateway) as client:
+            before = client.get("/analyze")
+            assert client.json("/health")["dataset"]["sites"] == len(lines)
+
+            dataset.write_text("".join(lines[:-2]), encoding="utf-8")
+            after = client.get("/analyze")
+            assert client.json("/health")["dataset"]["sites"] == len(lines) - 2
+            assert after.cache_state == "miss"  # old cache entries unreachable
+            assert after.etag != before.etag
+            assert client.json("/stats")["dataset_loads"] == 2
+
+    def test_deleted_file_keeps_serving_loaded_aggregates(self, api_dataset_path: Path,
+                                                          tmp_path: Path) -> None:
+        dataset = tmp_path / "vanishing.jsonl"
+        dataset.write_text(api_dataset_path.read_text(encoding="utf-8"),
+                           encoding="utf-8")
+        with apiserver.serve(dataset, max_workers=2) as server, \
+                apiserver.ApiClient(server.gateway) as client:
+            sites = client.json("/health")["dataset"]["sites"]
+            dataset.unlink()
+            assert client.json("/health")["dataset"]["sites"] == sites
+
+    def test_no_reload_flag_pins_the_loaded_dataset(self, api_dataset_path: Path,
+                                                    tmp_path: Path) -> None:
+        lines = api_dataset_path.read_text(encoding="utf-8").splitlines(keepends=True)
+        dataset = tmp_path / "pinned.jsonl"
+        dataset.write_text("".join(lines), encoding="utf-8")
+        with apiserver.serve(dataset, max_workers=2, auto_reload=False) as server, \
+                apiserver.ApiClient(server.gateway) as client:
+            dataset.write_text("".join(lines[:-2]), encoding="utf-8")
+            assert client.json("/health")["dataset"]["sites"] == len(lines)
+
+
+class TestLoadFaults:
+    def test_corrupt_dataset_fails_boot_with_a_clear_error(self, api_dataset_path: Path,
+                                                           tmp_path: Path) -> None:
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text(api_dataset_path.read_text(encoding="utf-8")
+                           + "truncated{{{\n", encoding="utf-8")
+        with pytest.raises(DatasetLoadError, match="corrupt dataset record"):
+            AnalyticsServer(corrupt)
+
+    def test_skip_corrupt_serves_the_intact_records(self, api_dataset_path: Path,
+                                                    tmp_path: Path) -> None:
+        intact = api_dataset_path.read_text(encoding="utf-8").splitlines()
+        corrupt = tmp_path / "torn.jsonl"
+        corrupt.write_text("\n".join(intact) + "\ntruncated{{{\n", encoding="utf-8")
+        with apiserver.serve(corrupt, skip_corrupt=True) as server, \
+                apiserver.ApiClient(server.gateway) as client:
+            doc = client.json("/health")["dataset"]
+            assert doc["sites"] == len(intact)
+            assert doc["skipped_records"] == 1
+
+    def test_missing_dataset_fails_boot(self, tmp_path: Path) -> None:
+        with pytest.raises(DatasetLoadError, match="cannot stat dataset"):
+            AnalyticsService(tmp_path / "nope.jsonl")
+
+
+class TestDisconnects:
+    def test_disconnecting_clients_never_wedge_the_single_worker(
+            self, api_dataset_path: Path) -> None:
+        """A client that vanishes mid-response must release its worker slot.
+
+        With ``max_workers=1`` a leaked slot deadlocks the whole server, so
+        surviving several abrupt disconnects and still answering proves the
+        semaphore is released on the error path.
+        """
+        with apiserver.serve(api_dataset_path, max_workers=1) as server:
+            for _ in range(5):
+                raw = socket.create_connection((server.host, server.port), timeout=5)
+                raw.sendall(b"GET /explorer HTTP/1.1\r\n"
+                            b"Host: api\r\n\r\n")
+                raw.close()  # go away before (or while) the body is written
+            with apiserver.ApiClient(server.gateway) as client:
+                for _ in range(3):
+                    assert client.json("/analyze")["sites"] > 0
+
+
+class TestLifecycle:
+    def test_gateway_is_loopback(self, api_server) -> None:
+        assert api_server.host == "127.0.0.1"
+        assert api_server.gateway == f"127.0.0.1:{api_server.port}"
+
+    def test_close_is_idempotent(self, api_dataset_path: Path) -> None:
+        server = AnalyticsServer(api_dataset_path).start()
+        server.close()
+        server.close()
+
+    def test_rejects_nonsensical_worker_counts(self, api_dataset_path: Path) -> None:
+        with pytest.raises(ValueError):
+            AnalyticsServer(api_dataset_path, max_workers=0)
+
+    def test_server_accepts_a_prebuilt_service(self, api_dataset_path: Path) -> None:
+        service = AnalyticsService(api_dataset_path)
+        with AnalyticsServer(service) as server:
+            assert server.service is service
+            with apiserver.ApiClient(server.gateway) as client:
+                assert client.json("/health")["dataset"]["sites"] == \
+                    service.aggregates.site_count

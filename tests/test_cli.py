@@ -94,6 +94,42 @@ class TestMismatch:
         assert "bd:" in output and "th:" in output
 
 
+class TestJsonReports:
+    """--json emits the API's JSON documents (parity pinned in test_api_parity)."""
+
+    def test_analyze_json(self, built_dataset_path: Path, capsys) -> None:
+        import json
+        assert main(["analyze", str(built_dataset_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sites"] == 10
+        assert "element_statistics" in payload
+
+    def test_mismatch_json_respects_examples(self, built_dataset_path: Path,
+                                             capsys) -> None:
+        import json
+        assert main(["mismatch", str(built_dataset_path), "--json",
+                     "--examples", "0"]) == 0
+        assert json.loads(capsys.readouterr().out)["examples"] == []
+
+    def test_kizuki_json(self, built_dataset_path: Path, capsys) -> None:
+        import json
+        exit_code = main(["kizuki", str(built_dataset_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["countries"] == ["bd", "th"]
+        assert exit_code == (0 if payload["sites"] else 1)
+
+    def test_json_rejects_corrupt_dataset(self, built_dataset_path: Path,
+                                          tmp_path: Path, capsys) -> None:
+        import pytest as _pytest
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text(built_dataset_path.read_text(encoding="utf-8")
+                           + "torn{{{\n", encoding="utf-8")
+        with _pytest.raises(SystemExit) as excinfo:
+            main(["analyze", str(corrupt), "--json"])
+        assert excinfo.value.code == 2
+        assert "corrupt dataset record" in capsys.readouterr().err
+
+
 class TestKizuki:
     def test_kizuki_rescoring_printed(self, built_dataset_path: Path, capsys) -> None:
         exit_code = main(["kizuki", str(built_dataset_path), "--countries", "bd", "th"])
@@ -192,3 +228,31 @@ class TestServe:
         output = capsys.readouterr().out
         assert "serving" in output and "127.0.0.1:" in output
         assert "--transport http" in output  # the copy-paste crawl command
+
+
+class TestApi:
+    def test_api_serves_and_exits_after_duration(self, built_dataset_path: Path,
+                                                 capsys) -> None:
+        assert main(["api", str(built_dataset_path), "--duration", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "serving 10 sites" in output and "127.0.0.1:" in output
+        assert "/analyze" in output  # the copy-paste curl command
+
+    def test_api_rejects_missing_dataset(self, tmp_path: Path, capsys) -> None:
+        assert main(["api", str(tmp_path / "nope.jsonl"), "--duration", "0"]) == 2
+        assert "cannot stat dataset" in capsys.readouterr().err
+
+    def test_api_skip_corrupt_reports_salvage(self, built_dataset_path: Path,
+                                              tmp_path: Path, capsys) -> None:
+        corrupt = tmp_path / "torn.jsonl"
+        corrupt.write_text(built_dataset_path.read_text(encoding="utf-8")
+                           + "torn{{{\n", encoding="utf-8")
+        assert main(["api", str(corrupt), "--duration", "0"]) == 2
+        assert "corrupt dataset record" in capsys.readouterr().err
+        assert main(["api", str(corrupt), "--skip-corrupt", "--duration", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "skipped 1 corrupt records" in output
+
+    def test_api_rejects_non_positive_workers(self, built_dataset_path: Path) -> None:
+        with pytest.raises(SystemExit):
+            main(["api", str(built_dataset_path), "--max-workers", "0"])
