@@ -30,14 +30,18 @@ RESULTS_DIR = BENCH_DIR / "results"
 #: data keys surfaced in the summary table, in display order.
 HEADLINE_KEYS = ("sequential_rps", "batched_rps", "thread_rps", "process_rps",
                  "subsharded_rps", "cached_rps", "speedup", "thread_speedup",
-                 "process_speedup", "large_page_speedup", "target_speedup")
+                 "process_speedup", "large_page_speedup", "script_speedup",
+                 "ngram_speedup", "profile_overhead_pct", "target_speedup")
 
 
 def run_benchmarks(selected: list[str]) -> int:
     import pytest
 
+    # Pass bench files explicitly: there is no pytest config renaming the
+    # collection pattern, so a bare directory target would collect nothing
+    # (``bench_*.py`` does not match the default ``test_*.py``).
     targets = [str(BENCH_DIR / name) for name in selected] if selected \
-        else [str(BENCH_DIR)]
+        else sorted(str(path) for path in BENCH_DIR.glob("bench_*.py"))
     return pytest.main(["-q", *targets])
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro import perf
 from repro.audit.report import AuditReport
 from repro.audit.rules import ALL_RULES
 from repro.audit.rules.base import AuditRule
@@ -62,10 +63,13 @@ class AuditEngine:
             # ride through what is supposed to be the naive reference path.
             naive_source = document if isinstance(document, Document) else document.document
             context = NaiveDocumentAccessor(naive_source)
-        report = AuditReport(url=context.url)
-        for rule in self.rules:
-            report.add(rule.evaluate(context))
-        return report
+        with perf.stage("audit"):
+            perf.count("audit.documents")
+            report = AuditReport(url=context.url)
+            for rule in self.rules:
+                with perf.stage("audit." + rule.rule_id):
+                    report.add(rule.evaluate(context))
+            return report
 
     def audit_html(self, markup: str, url: str | None = None) -> AuditReport:
         """Parse ``markup`` and audit the resulting document."""

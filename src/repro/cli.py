@@ -141,6 +141,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-host request rate enforced by the politeness layer")
     build.add_argument("--max-per-host", type=_positive_int, default=None,
                        help="per-host concurrent-request cap of the politeness layer")
+    build.add_argument("--profile", action="store_true",
+                       help="collect per-stage timings and op counters in every "
+                            "shard worker and print the per-stage table after the "
+                            "build; the dataset bytes are identical either way")
+    build.add_argument("--profile-dump", type=Path, default=None, metavar="PATH",
+                       help="additionally run the build under cProfile and dump "
+                            "the stats to PATH (inspect with pstats or snakeviz); "
+                            "implies --profile")
 
     analyze = subparsers.add_parser("analyze", help="print Table 2 style statistics")
     analyze.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
@@ -229,15 +237,29 @@ def _cmd_build(args: argparse.Namespace) -> int:
         crawl_cache=str(args.crawl_cache) if args.crawl_cache is not None else None,
         rate_limit=args.rate_limit,
         max_per_host=args.max_per_host,
+        profile=args.profile or args.profile_dump is not None,
     )
+
+    def _run():
+        if args.stream_output is not None:
+            # Streaming builds don't retain records in memory: the streamed
+            # file is the dataset, and the analysis subcommands load from
+            # disk anyway.
+            return LangCrUXPipeline(config).run(stream_to=args.stream_output,
+                                                keep_in_memory=False)
+        return LangCrUXPipeline(config).run()
+
+    if args.profile_dump is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(_run)
+        profiler.dump_stats(args.profile_dump)
+    else:
+        result = _run()
     if args.stream_output is not None:
-        # Streaming builds don't retain records in memory: the streamed file
-        # is the dataset, and the analysis subcommands load from disk anyway.
-        result = LangCrUXPipeline(config).run(stream_to=args.stream_output,
-                                              keep_in_memory=False)
         print(f"streamed {result.streamed_records} site records to {args.stream_output}")
     else:
-        result = LangCrUXPipeline(config).run()
         count = result.dataset.save_jsonl(args.output)
         print(f"wrote {count} site records to {args.output}")
     for country, outcome in sorted(result.selection_outcomes.items()):
@@ -254,6 +276,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if result.transport_metrics is not None:
         for line in result.transport_metrics.summary_lines():
             print(f"  transport: {line}")
+    if result.perf_metrics is not None:
+        print(f"  perf: {result.perf_metrics.summary_line()}")
+        for line in result.perf_metrics.table_lines():
+            print(f"  {line}")
+    if args.profile_dump is not None:
+        print(f"  wrote cProfile stats to {args.profile_dump}")
     return 0
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.core.elements import ELEMENT_IDS
 from repro.html.dom import Document, Element
 from repro.html.index import DocumentAccessor, NaiveDocumentAccessor, ensure_index
@@ -131,6 +132,12 @@ def extract_page(document: Document | str, url: str | None = None, *,
     """
     if isinstance(document, str):
         document = parse_html(document, url=url)
+    with perf.stage("extract"):
+        return _extract_page_indexed(document, url, use_index=use_index)
+
+
+def _extract_page_indexed(document: Document, url: str | None, *,
+                          use_index: bool) -> PageExtraction:
     context = ensure_index(document) if use_index else NaiveDocumentAccessor(document)
 
     extraction = PageExtraction(

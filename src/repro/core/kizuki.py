@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.audit.engine import AuditEngine
 from repro.audit.report import AuditReport, ElementOutcome, RuleResult
 from repro.audit.rules import get_rule
@@ -240,10 +241,11 @@ class Kizuki:
         :class:`~repro.html.index.DocumentIndex`, so the base-vs-extended
         double audit traverses the page once instead of twice.
         """
-        context = ensure_index(document)
-        old = lighthouse_score(self._base_engine.audit_document(context))
-        new = lighthouse_score(self.audit_document(context), proportional=False)
-        return old, new
+        with perf.stage("kizuki"):
+            context = ensure_index(document)
+            old = lighthouse_score(self._base_engine.audit_document(context))
+            new = lighthouse_score(self.audit_document(context), proportional=False)
+            return old, new
 
     # -- dataset-level API (Figure 6) ------------------------------------------------
 
@@ -286,6 +288,10 @@ class Kizuki:
         so that a single mismatching image degrades rather than zeroes the
         category — the proportional scoring choice documented in DESIGN.md.
         """
+        with perf.stage("kizuki"):
+            return self._rescore_record(record)
+
+    def _rescore_record(self, record: SiteRecord) -> tuple[float, float]:
         weights = DEFAULT_WEIGHTS
         total_weight = 0.0
         old_achieved = 0.0

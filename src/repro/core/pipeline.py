@@ -69,6 +69,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro import perf
 from repro.audit.engine import AuditEngine
 from repro.core.dataset import LangCrUXDataset, SiteRecord, StreamingDatasetWriter
 from repro.core.executor import (
@@ -162,6 +163,11 @@ class PipelineConfig:
         retry_backoff_s: Base backoff of the HTTP transport's retry layer
             (exponential, deterministic per-host jitter).  0 retries
             immediately — appropriate for loopback crawls.
+        profile: Collect per-stage timings and op counters
+            (:class:`~repro.perf.PerfCounters`) in every shard worker and
+            aggregate them onto ``PipelineResult.perf_metrics``.  Profiling
+            only observes the run — the produced dataset bytes are identical
+            with and without it.
     """
 
     countries: tuple[str, ...] = field(default_factory=langcrux_country_codes)
@@ -184,6 +190,7 @@ class PipelineConfig:
     rate_limit: float | None = None
     max_per_host: int | None = None
     retry_backoff_s: float = 0.0
+    profile: bool = False
 
 
 #: Transport kinds accepted by :class:`PipelineConfig` (and the CLI).
@@ -205,6 +212,7 @@ class PipelineResult:
     stream_path: Path | None = None
     streamed_records: int = 0
     transport_metrics: TransportMetrics | None = None
+    perf_metrics: perf.PerfCounters | None = None
 
     def qualifying_site_counts(self) -> dict[str, int]:
         """Selected sites per country (input to the selection-criteria check)."""
@@ -427,35 +435,37 @@ def record_from_crawl(crawl_record: CrawlRecord,
             Skips the re-parse; since parsing is deterministic, the produced
             record is byte-identical either way.
     """
-    engine = audit_engine if audit_engine is not None else AuditEngine()
-    if documents is None:
-        documents = [parse_html(page.html, url=page.final_url)
-                     for page in crawl_record.pages if page.ok and page.html]
-    else:
-        documents = list(documents)
-    extraction = merge_extractions(
-        [extract_page(document, use_index=use_index) for document in documents])
-    audit: dict[str, dict] = {}
-    if documents:
-        report = engine.audit_document(documents[0], use_index=use_index)
-        audit = {
-            rule_id: {
-                "applicable": result.applicable,
-                "passed": result.passed,
-                "score": result.score,
+    with perf.stage("record"):
+        perf.count("record.sites")
+        engine = audit_engine if audit_engine is not None else AuditEngine()
+        if documents is None:
+            documents = [parse_html(page.html, url=page.final_url)
+                         for page in crawl_record.pages if page.ok and page.html]
+        else:
+            documents = list(documents)
+        extraction = merge_extractions(
+            [extract_page(document, use_index=use_index) for document in documents])
+        audit: dict[str, dict] = {}
+        if documents:
+            report = engine.audit_document(documents[0], use_index=use_index)
+            audit = {
+                rule_id: {
+                    "applicable": result.applicable,
+                    "passed": result.passed,
+                    "score": result.score,
+                }
+                for rule_id, result in report.results.items()
             }
-            for rule_id, result in report.results.items()
-        }
-    homepage = crawl_record.homepage
-    return SiteRecord.from_extraction(
-        extraction,
-        domain=crawl_record.domain,
-        country_code=crawl_record.country_code,
-        language_code=crawl_record.language_code,
-        rank=crawl_record.rank,
-        served_variant=homepage.served_variant if homepage else None,
-        audit=audit,
-    )
+        homepage = crawl_record.homepage
+        return SiteRecord.from_extraction(
+            extraction,
+            domain=crawl_record.domain,
+            country_code=crawl_record.country_code,
+            language_code=crawl_record.language_code,
+            rank=crawl_record.rank,
+            served_variant=homepage.served_variant if homepage else None,
+            audit=audit,
+        )
 
 
 @dataclass
@@ -467,6 +477,7 @@ class CountryShard:
     outcome: SelectionOutcome
     records: list[SiteRecord]
     transport_metrics: TransportMetrics | None = None
+    perf_metrics: perf.PerfCounters | None = None
 
 
 def slim_selection_outcome(outcome: SelectionOutcome) -> None:
@@ -504,12 +515,17 @@ def execute_country_shard(config: PipelineConfig, country_code: str,
     """
     web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
     vantage = vantage_for_country(config, country_code)
-    outcome, transport_metrics = _select_country_sites(config, country_code,
-                                                       web, crux, vantage)
-    audit_engine = AuditEngine()  # per-shard: concurrent audits never share state
-    records = [record_from_crawl(selected.record, audit_engine,
-                                 documents=selected.documents or None)
-               for selected in outcome.selected]
+    # The collector activates only after web/vantage setup so that counters
+    # cover the same work on every backend (process workers regenerate the
+    # web in-process; thread workers receive it prebuilt).
+    perf_counters = perf.PerfCounters() if config.profile else None
+    with perf.collecting(perf_counters):
+        outcome, transport_metrics = _select_country_sites(config, country_code,
+                                                           web, crux, vantage)
+        audit_engine = AuditEngine()  # per-shard: concurrent audits never share state
+        records = [record_from_crawl(selected.record, audit_engine,
+                                     documents=selected.documents or None)
+                   for selected in outcome.selected]
     # Selected sites carried their validation-time parsed documents into the
     # record build above; strip them now so the returned shard stays light
     # (and picklable without shipping DOM trees back from process workers).
@@ -517,7 +533,8 @@ def execute_country_shard(config: PipelineConfig, country_code: str,
                         for selected in outcome.selected]
     return CountryShard(country_code=country_code, vantage=vantage,
                         outcome=outcome, records=records,
-                        transport_metrics=transport_metrics)
+                        transport_metrics=transport_metrics,
+                        perf_metrics=perf_counters)
 
 
 # -- intra-country sub-shards --------------------------------------------------------
@@ -561,6 +578,7 @@ class SelectionSubShardResult:
     records: list[SiteRecord | None]
     skipped: bool = False
     transport_metrics: TransportMetrics | None = None
+    perf_metrics: perf.PerfCounters | None = None
 
 
 def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
@@ -594,30 +612,33 @@ def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
                                        skipped=True)
     web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
     selector = selector_for_country(config, spec.country_code, web)
+    perf_counters = perf.PerfCounters() if config.profile else None
     try:
-        evaluations = selector.evaluate_window(
-            crux.iter_ranked(spec.country_code), spec.start, spec.stop,
-            max_in_flight=config.max_in_flight)
-        audit_engine = AuditEngine()  # per-sub-shard: never shared across workers
-        records: list[SiteRecord | None] = []
-        slimmed: list[CandidateEvaluation] = []
-        for evaluation in evaluations:
-            qualifies = (evaluation.fetch_succeeded
-                         and evaluation.native_share >= config.language_threshold)
-            records.append(record_from_crawl(evaluation.record, audit_engine,
-                                             documents=evaluation.documents or None)
-                           if qualifies else None)
-            slim = evaluation.without_documents()
-            if not qualifies and slim.record.pages:
-                slim = replace(slim, record=replace(slim.record, pages=[]))
-            slimmed.append(slim)
+        with perf.collecting(perf_counters):
+            evaluations = selector.evaluate_window(
+                crux.iter_ranked(spec.country_code), spec.start, spec.stop,
+                max_in_flight=config.max_in_flight)
+            audit_engine = AuditEngine()  # per-sub-shard: never shared across workers
+            records: list[SiteRecord | None] = []
+            slimmed: list[CandidateEvaluation] = []
+            for evaluation in evaluations:
+                qualifies = (evaluation.fetch_succeeded
+                             and evaluation.native_share >= config.language_threshold)
+                records.append(record_from_crawl(evaluation.record, audit_engine,
+                                                 documents=evaluation.documents or None)
+                               if qualifies else None)
+                slim = evaluation.without_documents()
+                if not qualifies and slim.record.pages:
+                    slim = replace(slim, record=replace(slim.record, pages=[]))
+                slimmed.append(slim)
     finally:
         session = selector.crawler.session
         session.close()
     stack = session.transport_stack
     return SelectionSubShardResult(
         spec=spec, evaluations=slimmed, records=records,
-        transport_metrics=stack.metrics if stack is not None else None)
+        transport_metrics=stack.metrics if stack is not None else None,
+        perf_metrics=perf_counters)
 
 
 @dataclass
@@ -633,6 +654,7 @@ class _CountryMergeState:
     sub_shards_merged: int = 0
     done: bool = False
     transport_metrics: TransportMetrics | None = None
+    perf_metrics: perf.PerfCounters | None = None
 
     def merge_transport(self, metrics: TransportMetrics | None) -> None:
         if metrics is None:
@@ -640,6 +662,13 @@ class _CountryMergeState:
         if self.transport_metrics is None:
             self.transport_metrics = TransportMetrics()
         self.transport_metrics.merge(metrics)
+
+    def merge_perf(self, counters: perf.PerfCounters | None) -> None:
+        if counters is None:
+            return
+        if self.perf_metrics is None:
+            self.perf_metrics = perf.PerfCounters()
+        self.perf_metrics.merge(counters)
 
 
 class LangCrUXPipeline:
@@ -736,6 +765,7 @@ class LangCrUXPipeline:
         vantages: dict[str, VantagePoint] = {}
         metrics: dict[str, ShardMetrics] = {}
         transport_totals: TransportMetrics | None = None
+        perf_totals: perf.PerfCounters | None = None
         writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
         try:
             for shard, metric in shard_stream:
@@ -751,6 +781,10 @@ class LangCrUXPipeline:
                     if transport_totals is None:
                         transport_totals = TransportMetrics()
                     transport_totals.merge(shard.transport_metrics)
+                if shard.perf_metrics is not None:
+                    if perf_totals is None:
+                        perf_totals = perf.PerfCounters()
+                    perf_totals.merge(shard.perf_metrics)
                 metrics[shard.country_code] = metric
         except BaseException:
             if writer is not None:
@@ -772,7 +806,8 @@ class LangCrUXPipeline:
                               executor_workers=min(backend.workers, work_units),
                               stream_path=Path(stream_to) if stream_to is not None else None,
                               streamed_records=streamed,
-                              transport_metrics=transport_totals)
+                              transport_metrics=transport_totals,
+                              perf_metrics=perf_totals)
 
     def _run_country_shards(self, backend: PipelineExecutor, web: SyntheticWeb,
                             crux: CruxTable,
@@ -845,11 +880,13 @@ class LangCrUXPipeline:
             work = specs
         order = list(config.countries)
         finalized = 0
-        # Transport metrics of speculative windows that arrive after their
-        # country already finalized: the work really hit the wire, so it is
-        # folded into the next shard to finalize — per-country attribution
-        # is approximate there, but the run-level totals stay honest.
+        # Transport/perf metrics of speculative windows that arrive after
+        # their country already finalized: the work really happened, so it
+        # is folded into the next shard to finalize — per-country
+        # attribution is approximate there, but the run-level totals stay
+        # honest.
         late_transport: list[TransportMetrics] = []
+        late_perf: list[perf.PerfCounters] = []
 
         def finalize(state: _CountryMergeState) -> tuple[CountryShard, ShardMetrics]:
             state.done = True
@@ -857,12 +894,16 @@ class LangCrUXPipeline:
             for metrics in late_transport:
                 state.merge_transport(metrics)
             late_transport.clear()
+            for counters in late_perf:
+                state.merge_perf(counters)
+            late_perf.clear()
             shard = CountryShard(
                 country_code=state.country_code,
                 vantage=vantage_for_country(config, state.country_code),
                 outcome=state.committer.outcome,
                 records=state.records,
-                transport_metrics=state.transport_metrics)
+                transport_metrics=state.transport_metrics,
+                perf_metrics=state.perf_metrics)
             metric = ShardMetrics(shard=state.country_code, index=state.index,
                                   duration_s=state.duration_s,
                                   records=len(state.records),
@@ -876,12 +917,15 @@ class LangCrUXPipeline:
                 state = states[sub.spec.country_code]
                 if state.done:
                     # Quota filled earlier; the speculation is discarded but
-                    # its network cost is still accounted for.
+                    # its cost is still accounted for.
                     if sub.transport_metrics is not None:
                         late_transport.append(sub.transport_metrics)
+                    if sub.perf_metrics is not None:
+                        late_perf.append(sub.perf_metrics)
                     continue
                 state.duration_s += result.duration_s
                 state.merge_transport(sub.transport_metrics)
+                state.merge_perf(sub.perf_metrics)
                 if not sub.skipped:
                     state.sub_shards_merged += 1
                     record_for = {evaluation.entry: record

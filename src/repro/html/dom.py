@@ -67,7 +67,10 @@ class Element(Node):
     def __init__(self, tag: str, attributes: Mapping[str, str] | None = None) -> None:
         super().__init__()
         self.tag = tag.lower()
-        self.attributes: dict[str, str] = {k.lower(): v for k, v in (attributes or {}).items()}
+        # Attribute-less elements dominate parsed trees; skip the lowercasing
+        # comprehension (and the intermediate mapping) for them.
+        self.attributes: dict[str, str] = (
+            {k.lower(): v for k, v in attributes.items()} if attributes else {})
         self.children: list[Node] = []
         #: Mutation counter of the tree rooted here.  Every :meth:`set` /
         #: :meth:`append` anywhere in a tree bumps the counter on that tree's
@@ -341,8 +344,11 @@ class Document:
 
         if (self._document_index is None
                 or self._document_index_version != self.root.tree_version):
+            from repro import perf
+
             version = self.root.tree_version
-            self._document_index = DocumentIndex(self)
+            with perf.stage("index"):
+                self._document_index = DocumentIndex(self)
             self._document_index_version = version
         return self._document_index
 

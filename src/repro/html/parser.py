@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from html.parser import HTMLParser
 
+from repro import perf
 from repro.html.dom import Document, Element, TextNode, VOID_TAGS
 
 
@@ -68,14 +69,18 @@ class _TreeBuilder(HTMLParser):
 
     def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
         tag = tag.lower()
-        attributes = {name: (value if value is not None else "") for name, value in attrs}
+        # Attribute-less tags (the common case on text-heavy pages) skip the
+        # dict build entirely; Element treats ``None`` as "no attributes".
+        attributes = ({name: (value if value is not None else "") for name, value in attrs}
+                      if attrs else None)
 
         if tag == "html":
             # Merge attributes (notably ``lang``) onto the synthesised root
             # instead of nesting a second <html> element.
             self._saw_explicit_html = True
-            for name, value in attributes.items():
-                self.root.set(name, value)
+            if attributes:
+                for name, value in attributes.items():
+                    self.root.set(name, value)
             return
 
         if tag in _SELF_CLOSING_SIBLINGS and self._current.tag == tag:
@@ -87,7 +92,8 @@ class _TreeBuilder(HTMLParser):
         tag = tag.lower()
         if tag == "html":
             return
-        attributes = {name: (value if value is not None else "") for name, value in attrs}
+        attributes = ({name: (value if value is not None else "") for name, value in attrs}
+                      if attrs else None)
         element = Element(tag, attributes)
         self._current._append_raw(element)
 
@@ -105,6 +111,18 @@ class _TreeBuilder(HTMLParser):
         # Inside <script>/<style>, keep the text attached (so that the
         # visibility rules can skip it) but never interpret it as markup;
         # HTMLParser already handles CDATA content modes for these tags.
+        #
+        # Adjacent character-data runs (e.g. text split around a dropped
+        # comment or an unconverted entity) coalesce into the previous text
+        # node: all text consumers concatenate sibling text nodes without a
+        # separator, so merging is byte-identical while keeping the tree (and
+        # the per-node bookkeeping downstream) smaller.
+        children = self._current.children
+        if children:
+            last = children[-1]
+            if type(last) is TextNode:
+                last.text += data
+                return
         self._current._append_raw(TextNode(data))
 
     def handle_comment(self, data: str) -> None:
@@ -157,8 +175,11 @@ def parse_html(markup: str, url: str | None = None) -> Document:
     Returns:
         The parsed document with guaranteed ``<head>`` and ``<body>``.
     """
-    builder = _TreeBuilder()
-    builder.feed(markup)
-    builder.close()
-    _ensure_head_and_body(builder.root)
-    return Document(root=builder.root, url=url)
+    with perf.stage("parse"):
+        perf.count("parse.documents")
+        perf.count("parse.chars", len(markup))
+        builder = _TreeBuilder()
+        builder.feed(markup)
+        builder.close()
+        _ensure_head_and_body(builder.root)
+        return Document(root=builder.root, url=url)

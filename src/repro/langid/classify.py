@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.langid.detector import LanguageShare, ScriptDetector
+from repro.langid.detector import LanguageShare, cached_detector
 from repro.langid.languages import Language
 
 
@@ -80,7 +80,7 @@ def classify_text_language(text: str, language: Language | str,
     This is the per-string primitive behind Figure 4 (language distribution
     of informative accessibility texts) and behind the Kizuki audit check.
     """
-    share = ScriptDetector(language).share(text)
+    share = cached_detector(language).share(text)
     return classify_share(share, thresholds)
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.langid.languages import Language, get_language
 from repro.langid.scripts import (
     Script,
@@ -99,28 +100,33 @@ class ScriptDetector:
         specific characters (e.g. Urdu characters on an Arabic-target page),
         that portion is attributed to ``other``.
         """
-        counts = script_histogram(text, textual_only=True)
-        total = sum(counts.values())
-        if total == 0:
-            return LanguageShare(0.0, 0.0, 0.0, 0)
+        with perf.stage("langid"):
+            perf.count("langid.texts")
+            perf.count("langid.chars", len(text))
+            counts = script_histogram(text, textual_only=True)
+            total = sum(counts.values())
+            if total == 0:
+                return LanguageShare(0.0, 0.0, 0.0, 0)
 
-        native_chars = sum(counts.get(script, 0) for script in self._native_scripts)
+            native_chars = sum(counts.get(script, 0) for script in self._native_scripts)
 
-        if self._specific and native_chars:
-            # The target shares its script with a sibling language; require
-            # evidence of the target's specific characters, otherwise split
-            # the shared-script mass off to "other".
-            if not any(char in self._specific for char in text):
-                native_chars = 0
+            if self._specific and native_chars:
+                # The target shares its script with a sibling language; require
+                # evidence of the target's specific characters, otherwise split
+                # the shared-script mass off to "other".  frozenset.isdisjoint
+                # iterates the text in C, replacing the per-char membership
+                # generator the naive version used.
+                if self._specific.isdisjoint(text):
+                    native_chars = 0
 
-        english_chars = counts.get(Script.LATIN, 0) if self.latin_is_english else 0
-        other_chars = total - native_chars - english_chars
-        return LanguageShare(
-            native=native_chars / total,
-            english=english_chars / total,
-            other=max(other_chars, 0) / total,
-            textual_chars=total,
-        )
+            english_chars = counts.get(Script.LATIN, 0) if self.latin_is_english else 0
+            other_chars = total - native_chars - english_chars
+            return LanguageShare(
+                native=native_chars / total,
+                english=english_chars / total,
+                other=max(other_chars, 0) / total,
+                textual_chars=total,
+            )
 
     def native_share(self, text: str) -> float:
         """Shortcut for ``share(text).native``."""
@@ -139,9 +145,26 @@ class ScriptDetector:
         return share.native >= threshold
 
 
+# Detectors are stateless and cheap, but not free: construction resolves the
+# language and builds the native-script set.  The per-string classification
+# helpers below run once per accessibility text, so they share one detector
+# per (language, latin_is_english) instead of constructing a fresh one.
+_DETECTOR_CACHE: dict[tuple[Language | str, bool], ScriptDetector] = {}
+
+
+def cached_detector(language: Language | str, *, latin_is_english: bool = True) -> ScriptDetector:
+    """A shared :class:`ScriptDetector` for ``language`` (stateless, reusable)."""
+    key = (language, latin_is_english)
+    detector = _DETECTOR_CACHE.get(key)
+    if detector is None:
+        detector = ScriptDetector(language, latin_is_english=latin_is_english)
+        _DETECTOR_CACHE[key] = detector
+    return detector
+
+
 def detect_language_mix(text: str, language: Language | str) -> LanguageShare:
     """Convenience wrapper: language share of ``text`` for ``language``."""
-    return ScriptDetector(language).share(text)
+    return cached_detector(language).share(text)
 
 
 def dominant_language_code(text: str, candidates: list[Language]) -> str | None:

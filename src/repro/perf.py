@@ -1,0 +1,222 @@
+"""Hot-path profiling and instrumentation.
+
+The post-fetch pipeline stages (parse, DocumentIndex build, extraction, audit
+rules, langid scoring, Kizuki, record build) are pure-Python CPU work; knowing
+where the time goes is a prerequisite for optimising them.  This module
+provides a lightweight stage timer / op counter facility modeled on
+:class:`repro.crawler.metrics.TransportMetrics`:
+
+* :class:`PerfCounters` — the accumulator.  Thread-safe, picklable (shard
+  workers snapshot one and ship it back to the parent like transport
+  metrics), mergeable via :meth:`PerfCounters.merge`.
+* :func:`collecting` — context manager that installs a collector for the
+  current thread.  Instrumented code records into whatever collector is
+  active; with none installed the instrumentation reduces to one attribute
+  lookup and a ``None`` check per stage entry (near-zero overhead, which is
+  why profiling can stay compiled into the hot paths).
+* :func:`stage` / :func:`count` — the instrumentation points used throughout
+  ``repro.html``, ``repro.langid``, ``repro.audit`` and ``repro.core``.
+
+Collection is thread-local on purpose: shard workers on the thread/process
+executors each run their post-fetch stages on their own thread, so per-shard
+collectors never observe each other's work and per-shard totals stay
+deterministic.
+
+Stages nest (e.g. ``record`` encloses ``extract`` which encloses ``index``),
+so stage times are inclusive and do not sum to wall-clock time; the table
+orders stages by total time which is what matters for finding hot spots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class StageStat:
+    """Aggregate of one named stage: call count and total seconds."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def avg_ms(self) -> float:
+        return (self.seconds / self.calls) * 1000.0 if self.calls else 0.0
+
+
+@dataclass
+class PerfCounters:
+    """Per-stage timers and named op counters.
+
+    Instances are plain picklable data (the lock is dropped on pickling and
+    recreated on restore, mirroring ``TransportMetrics``), so shard workers
+    can snapshot and ship them back to the parent, which merges them via
+    :meth:`merge`.
+    """
+
+    stages: dict[str, StageStat] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        return {"stages": self.stages, "counters": self.counters}
+
+    def __setstate__(self, state: dict) -> None:
+        self.stages = state["stages"]
+        self.counters = state["counters"]
+        self._lock = threading.Lock()
+
+    # -- accumulation ----------------------------------------------------------
+
+    def add_stage(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record ``calls`` invocations of ``name`` totalling ``seconds``."""
+        with self._lock:
+            stat = self.stages.get(name)
+            if stat is None:
+                stat = self.stages[name] = StageStat()
+            stat.calls += calls
+            stat.seconds += seconds
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment op counter ``name`` by ``amount`` (thread-safe)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another collector's stages and counters into this one."""
+        with self._lock:
+            for name, stat in other.stages.items():
+                mine = self.stages.get(name)
+                if mine is None:
+                    self.stages[name] = StageStat(stat.calls, stat.seconds)
+                else:
+                    mine.calls += stat.calls
+                    mine.seconds += stat.seconds
+            for name, value in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- derived / reporting ---------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.stages and not self.counters
+
+    def total_seconds(self) -> float:
+        """Sum of stage times (inclusive; nested stages double-count)."""
+        return sum(stat.seconds for stat in self.stages.values())
+
+    def stage_calls(self) -> dict[str, int]:
+        """Deterministic {stage: calls} snapshot (seconds excluded)."""
+        return {name: self.stages[name].calls for name in sorted(self.stages)}
+
+    def as_dict(self) -> dict:
+        return {
+            "stages": {name: {"calls": stat.calls, "seconds": stat.seconds}
+                       for name, stat in sorted(self.stages.items())},
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def summary_line(self) -> str:
+        """One-line per-stage timing summary, hottest stage first."""
+        if not self.stages:
+            return "no stages recorded"
+        ranked = sorted(self.stages.items(), key=lambda item: (-item[1].seconds, item[0]))
+        parts = [f"{name} {stat.seconds:.3f}s/{stat.calls}" for name, stat in ranked]
+        return " ".join(parts)
+
+    def table_lines(self) -> list[str]:
+        """Per-stage table plus a counters line (used by ``build --profile``)."""
+        lines = [f"{'stage':<28}{'calls':>10}{'total s':>12}{'avg ms':>10}"]
+        ranked = sorted(self.stages.items(), key=lambda item: (-item[1].seconds, item[0]))
+        for name, stat in ranked:
+            lines.append(f"{name:<28}{stat.calls:>10}{stat.seconds:>12.4f}{stat.avg_ms:>10.3f}")
+        if self.counters:
+            pairs = " ".join(f"{name}={value}" for name, value in sorted(self.counters.items()))
+            lines.append(f"counters: {pairs}")
+        return lines
+
+
+# -- thread-local collection ---------------------------------------------------
+
+_local = threading.local()
+
+
+def active() -> PerfCounters | None:
+    """The collector installed for the current thread, or ``None``."""
+    return getattr(_local, "collector", None)
+
+
+@contextmanager
+def collecting(collector: PerfCounters | None) -> Iterator[PerfCounters | None]:
+    """Install ``collector`` for the current thread for the duration.
+
+    Passing ``None`` is an explicit no-op, which lets callers write one
+    ``with perf.collecting(counters_or_none):`` regardless of whether
+    profiling is enabled.  Nested use restores the previous collector.
+    """
+    if collector is None:
+        yield None
+        return
+    previous = getattr(_local, "collector", None)
+    _local.collector = collector
+    try:
+        yield collector
+    finally:
+        _local.collector = previous
+
+
+class _NullTimer:
+    """Shared no-op context manager returned when no collector is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class StageTimer:
+    """Times one ``with`` block and records it into a collector."""
+
+    __slots__ = ("_name", "_collector", "_started")
+
+    def __init__(self, name: str, collector: PerfCounters) -> None:
+        self._name = name
+        self._collector = collector
+
+    def __enter__(self) -> "StageTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._collector.add_stage(self._name, time.perf_counter() - self._started)
+
+
+def stage(name: str):
+    """Context manager timing ``name`` into the active collector.
+
+    With no collector installed this returns a shared no-op timer, so the
+    disabled cost is one thread-local lookup per stage entry.
+    """
+    collector = getattr(_local, "collector", None)
+    if collector is None:
+        return _NULL_TIMER
+    return StageTimer(name, collector)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment op counter ``name`` on the active collector, if any."""
+    collector = getattr(_local, "collector", None)
+    if collector is not None:
+        collector.count(name, amount)

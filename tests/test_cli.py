@@ -48,6 +48,40 @@ class TestBuild:
         assert path.read_bytes() == built_dataset_path.read_bytes()
         assert "shard wall-clock" in capsys.readouterr().out
 
+    def test_build_profile_prints_stage_table(self, built_dataset_path: Path,
+                                              tmp_path: Path, capsys) -> None:
+        path = tmp_path / "profiled.jsonl"
+        exit_code = main([
+            "build", "--output", str(path), "--sites-per-country", "5",
+            "--countries", "bd", "th", "--seed", "17", "--profile",
+        ])
+        assert exit_code == 0
+        # Profiling must not change the dataset bytes.
+        assert path.read_bytes() == built_dataset_path.read_bytes()
+        captured = capsys.readouterr().out
+        assert "perf:" in captured
+        header = next(line for line in captured.splitlines()
+                      if line.strip().startswith("stage"))
+        assert "calls" in header and "total s" in header
+        parse_row = next(line for line in captured.splitlines()
+                         if line.strip().startswith("parse "))
+        assert int(parse_row.split()[1]) > 0
+
+    def test_build_profile_dump_writes_cprofile_stats(self, tmp_path: Path,
+                                                      capsys) -> None:
+        import pstats
+
+        dump = tmp_path / "build.prof"
+        exit_code = main([
+            "build", "--output", str(tmp_path / "out.jsonl"),
+            "--sites-per-country", "2", "--countries", "il", "--seed", "4",
+            "--profile-dump", str(dump),
+        ])
+        assert exit_code == 0
+        assert "perf:" in capsys.readouterr().out  # --profile-dump implies --profile
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
+
     def test_build_rejects_unknown_executor(self, tmp_path: Path) -> None:
         with pytest.raises(SystemExit):
             main(["build", "--output", str(tmp_path / "x.jsonl"),
