@@ -51,6 +51,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import perf
 from repro.core.analysis import (
     element_statistics,
     filter_breakdown_by_country,
@@ -259,6 +260,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
         result = _run()
     if args.stream_output is not None:
         print(f"streamed {result.streamed_records} site records to {args.stream_output}")
+        memory = perf.memory_gauges()
+        peak_rss_kb = memory.get("mem.peak_rss_kb")
+        if peak_rss_kb is not None:
+            print(f"  peak RSS: {peak_rss_kb / 1024.0:.1f} MiB")
+        if result.time_to_first_record_s is not None:
+            print(f"  first record on disk after {result.time_to_first_record_s:.3f}s"
+                  f" (record-buffer high-water {result.record_buffer_peak})")
     else:
         count = result.dataset.save_jsonl(args.output)
         print(f"wrote {count} site records to {args.output}")

@@ -295,12 +295,39 @@ class StreamingDatasetWriter:
     shards as they finish produces exactly the file an in-memory run would
     have saved afterwards.
 
+    Sections
+    --------
+    Writers that stream one logical group at a time — the pipeline streams
+    per-country record runs, window by window — can wrap each group in
+    :meth:`begin_section` / :meth:`end_section`.  Sections are a write-order
+    contract, not a file format: they add no bytes, they merely assert that
+    a group's records land contiguously (sections cannot interleave) and
+    that the writer never *commits* mid-group — :meth:`close` refuses while
+    a section is open, so a crash or bug between a section's windows can
+    only ever abandon the partial file, never publish a dataset with a
+    half-written group.  With ``fsync="section"`` each :meth:`end_section`
+    additionally flushes and fsyncs the partial file, bounding how much a
+    host crash can lose to the current section.
+
     Usable as a context manager: commits on clean exit, discards the partial
     file when the block raises.
+
+    Args:
+        path: The destination JSONL path.
+        fsync: Durability policy — ``"commit"`` (the default) fsyncs once
+            before the atomic rename; ``"section"`` additionally fsyncs
+            every completed section.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    #: Accepted ``fsync`` policies.
+    FSYNC_POLICIES = ("commit", "section")
+
+    def __init__(self, path: str | Path, *, fsync: str = "commit") -> None:
+        if fsync not in self.FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {fsync!r}; "
+                             f"expected one of {self.FSYNC_POLICIES}")
         self.path = Path(path)
+        self.fsync = fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, partial_name = tempfile.mkstemp(
             dir=self.path.parent, prefix=f".{self.path.name}.", suffix=".partial")
@@ -308,6 +335,9 @@ class StreamingDatasetWriter:
         self._handle = os.fdopen(descriptor, "w", encoding="utf-8")
         self._count = 0
         self._closed = False
+        self._section: str | None = None
+        self._section_count = 0
+        self._sections_committed = 0
 
     @property
     def count(self) -> int:
@@ -318,6 +348,51 @@ class StreamingDatasetWriter:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def current_section(self) -> str | None:
+        """Name of the open section, or ``None`` between sections."""
+        return self._section
+
+    @property
+    def sections_committed(self) -> int:
+        """How many sections have completed via :meth:`end_section`."""
+        return self._sections_committed
+
+    def begin_section(self, name: str) -> None:
+        """Open a named section; its records must land contiguously.
+
+        Raises:
+            ValueError: When the writer is closed or a section is already
+                open (sections cannot nest or interleave).
+        """
+        if self._closed:
+            raise ValueError("writer is closed")
+        if self._section is not None:
+            raise ValueError(f"section {self._section!r} is still open; "
+                             f"cannot begin {name!r}")
+        self._section = name
+        self._section_count = 0
+
+    def end_section(self) -> int:
+        """Close the open section; returns how many records it wrote.
+
+        With ``fsync="section"`` the partial file is flushed and fsynced, so
+        everything up to and including this section survives a host crash.
+
+        Raises:
+            ValueError: When no section is open.
+        """
+        if self._section is None:
+            raise ValueError("no section is open")
+        written = self._section_count
+        self._section = None
+        self._section_count = 0
+        self._sections_committed += 1
+        if self.fsync == "section":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        return written
+
     def write(self, record: SiteRecord) -> None:
         """Append one record to the partial file."""
         if self._closed:
@@ -325,6 +400,8 @@ class StreamingDatasetWriter:
         self._handle.write(json.dumps(record.to_dict(), ensure_ascii=False))
         self._handle.write("\n")
         self._count += 1
+        if self._section is not None:
+            self._section_count += 1
 
     def write_many(self, records: Iterable[SiteRecord]) -> int:
         """Append ``records``; returns how many were written by this call."""
@@ -335,9 +412,19 @@ class StreamingDatasetWriter:
         return written
 
     def close(self) -> int:
-        """Commit the partial file onto the final path; returns the count."""
+        """Commit the partial file onto the final path; returns the count.
+
+        Raises:
+            ValueError: When a section is still open — committing would
+                publish a dataset whose last group is only partially
+                written; callers must :meth:`end_section` (or :meth:`abort`)
+                first.
+        """
         if self._closed:
             return self._count
+        if self._section is not None:
+            raise ValueError(f"section {self._section!r} is still open; "
+                             f"refusing to commit a partial section")
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._handle.close()

@@ -48,11 +48,20 @@ dominated by one large country scale past one worker.
 Within a shard (or sub-shard), ``PipelineConfig.max_in_flight`` controls the
 async batched fetch layer as before.
 
-Across shards, :meth:`LangCrUXPipeline.run` can stream finished shards
-straight to disk through
-:class:`~repro.core.dataset.StreamingDatasetWriter` (``stream_to``),
-preserving the ordered-merge guarantee (countries always finalize in
-configured order, sub-sharded or not).
+Across shards, :meth:`LangCrUXPipeline.run` can stream records straight to
+disk through :class:`~repro.core.dataset.StreamingDatasetWriter`
+(``stream_to``), preserving the ordered-merge guarantee (countries always
+finalize in configured order, sub-sharded or not).  Streaming is *windowed*:
+a sub-sharded run commits records to the writer per committed window — the
+rank-order merge already serializes them — inside a per-country writer
+section, and with ``keep_in_memory=False`` each record leaves memory the
+moment it is on disk, with its selection outcome slimmed window by window.
+Peak resident state is then proportional to in-flight windows
+(``workers × sub_shard_size`` pages plus the executor's bounded reorder
+buffer), not to ``sites_per_country``; time-to-first-record, the
+record-buffer high-water mark and the process's peak RSS are tracked on
+:class:`PipelineResult` and — under ``profile=True`` — as ``max``-merged
+gauges on ``PipelineResult.perf_metrics``.
 
 The result object keeps the intermediate artifacts (ranking, selection
 outcomes, per-shard timing metrics) because several benchmark harnesses
@@ -65,6 +74,7 @@ from __future__ import annotations
 import functools
 import itertools
 import random
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -84,6 +94,7 @@ from repro.core.extraction import extract_page, merge_extractions
 from repro.core.site_selection import (
     CandidateEvaluation,
     RankOrderCommitter,
+    SelectedSite,
     SelectionOutcome,
     SiteSelector,
 )
@@ -199,7 +210,15 @@ TRANSPORT_KINDS = ("simulated", "http")
 
 @dataclass
 class PipelineResult:
-    """Everything a pipeline run produces."""
+    """Everything a pipeline run produces.
+
+    ``time_to_first_record_s`` and ``record_buffer_peak`` describe the
+    record flow of the run: how long until the first site record was
+    committed (to the stream writer when streaming, to the in-memory
+    dataset otherwise), and the largest batch of records that was ever
+    resident awaiting commit — window-sized under windowed streaming,
+    country-sized under whole-country shards.
+    """
 
     dataset: LangCrUXDataset
     crux_table: CruxTable
@@ -213,6 +232,8 @@ class PipelineResult:
     streamed_records: int = 0
     transport_metrics: TransportMetrics | None = None
     perf_metrics: perf.PerfCounters | None = None
+    time_to_first_record_s: float | None = None
+    record_buffer_peak: int = 0
 
     def qualifying_site_counts(self) -> dict[str, int]:
         """Selected sites per country (input to the selection-criteria check)."""
@@ -480,24 +501,28 @@ class CountryShard:
     perf_metrics: perf.PerfCounters | None = None
 
 
+def _slim_selected_site(selected: SelectedSite) -> SelectedSite:
+    """A copy of ``selected`` with crawl payloads dropped (see below)."""
+    return replace(selected,
+                   documents=(),
+                   record=replace(selected.record,
+                                  pages=[replace(page, html="")
+                                         for page in selected.record.pages]))
+
+
 def slim_selection_outcome(outcome: SelectionOutcome) -> None:
     """Drop crawl payloads from ``outcome``, keeping counters + metadata.
 
     Every selected site's page snapshots lose their HTML (url, status,
     served variant, latency and error survive) and any carried parsed
-    documents are dropped.  Streaming runs apply this per shard once the
-    shard's records are on disk, taking the run's resident state from
-    O(selected HTML) to O(counters) — the records themselves were already
-    dropped via ``keep_in_memory=False``.
+    documents are dropped.  Streaming runs apply this as records reach disk
+    — per committed *window* on the sub-sharded path, per shard otherwise —
+    taking the run's resident state from O(selected HTML) to O(counters);
+    the records themselves were already dropped via
+    ``keep_in_memory=False``.
     """
-    outcome.selected = [
-        replace(selected,
-                documents=(),
-                record=replace(selected.record,
-                               pages=[replace(page, html="")
-                                      for page in selected.record.pages]))
-        for selected in outcome.selected
-    ]
+    outcome.selected = [_slim_selected_site(selected)
+                        for selected in outcome.selected]
 
 
 def execute_country_shard(config: PipelineConfig, country_code: str,
@@ -531,6 +556,12 @@ def execute_country_shard(config: PipelineConfig, country_code: str,
     # (and picklable without shipping DOM trees back from process workers).
     outcome.selected = [replace(selected, documents=())
                         for selected in outcome.selected]
+    # Evict the generated page HTML of every origin this shard could have
+    # crawled: the crawl is over, payloads live on the records, and a shared
+    # web must not grow with origins visited (regeneration is seeded).
+    for entry in crux.entries(country_code):
+        if entry.origin in web:
+            web.site(entry.origin).clear_page_cache()
     return CountryShard(country_code=country_code, vantage=vantage,
                         outcome=outcome, records=records,
                         transport_metrics=transport_metrics,
@@ -634,6 +665,13 @@ def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
     finally:
         session = selector.crawler.session
         session.close()
+    # The window's crawl is over and every retained payload now lives on the
+    # evaluations/records above; evict the synthetic origins' generated page
+    # HTML so the (possibly shared) web does not grow with every origin
+    # visited.  Regeneration is seeded, so a late refetch is byte-identical.
+    for entry in crux.entries(spec.country_code)[spec.start:spec.stop]:
+        if entry.origin in web:
+            web.site(entry.origin).clear_page_cache()
     stack = session.transport_stack
     return SelectionSubShardResult(
         spec=spec, evaluations=slimmed, records=records,
@@ -643,13 +681,19 @@ def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
 
 @dataclass
 class _CountryMergeState:
-    """Accumulator for one country while its sub-shards stream in."""
+    """Accumulator for one country while its sub-shards stream in.
+
+    Holds no site records: accepted records are committed to the run's
+    :class:`_RecordSink` the moment their window commits, so the state
+    carries only counters and metrics — the memory contract of windowed
+    streaming.
+    """
 
     country_code: str
     index: int
     committer: RankOrderCommitter
     remaining_chunks: int
-    records: list[SiteRecord] = field(default_factory=list)
+    records_committed: int = 0
     duration_s: float = 0.0
     sub_shards_merged: int = 0
     done: bool = False
@@ -669,6 +713,88 @@ class _CountryMergeState:
         if self.perf_metrics is None:
             self.perf_metrics = perf.PerfCounters()
         self.perf_metrics.merge(counters)
+
+
+@dataclass
+class _RunTotals:
+    """Run-level transport/perf aggregation.
+
+    Per-country shards merge their metrics here, and the sub-sharded merge
+    loop folds the cost of *late* speculative windows — windows whose
+    country had already finalized when their result arrived, including
+    windows still in flight when the last country finalized — directly into
+    these totals, so ``PipelineResult.transport_metrics`` /
+    ``perf_metrics`` account for every window that actually ran.
+    """
+
+    transport: TransportMetrics | None = None
+    perf: perf.PerfCounters | None = None
+
+    def merge_transport(self, metrics: TransportMetrics | None) -> None:
+        if metrics is None:
+            return
+        if self.transport is None:
+            self.transport = TransportMetrics()
+        self.transport.merge(metrics)
+
+    def merge_perf(self, counters: perf.PerfCounters | None) -> None:
+        if counters is None:
+            return
+        if self.perf is None:
+            self.perf = perf.PerfCounters()
+        self.perf.merge(counters)
+
+
+class _RecordSink:
+    """Routes committed site records to disk and/or memory as they commit.
+
+    One sink serves a whole run.  Windowed streaming hands it one window's
+    records at a time; whole-country shards hand it a country's records at
+    once.  The sink opens a writer *section* per country lazily on the
+    country's first record and closes it via :meth:`finish_country`, so a
+    country's lines land contiguously no matter how many windows they
+    arrive in, and the writer refuses to commit while a country is
+    half-written.
+
+    It also observes the record flow: ``committed`` (total records),
+    ``first_record_s`` (time from sink creation to the first committed
+    record) and ``buffer_peak`` (the largest batch ever resident awaiting
+    commit — the record-buffer high-water mark surfaced as the
+    ``stream.buffer_peak_records`` gauge).
+    """
+
+    def __init__(self, writer: StreamingDatasetWriter | None,
+                 dataset: LangCrUXDataset | None) -> None:
+        self.writer = writer
+        self.dataset = dataset
+        self.committed = 0
+        self.buffer_peak = 0
+        self.first_record_s: float | None = None
+        self._started = time.perf_counter()
+        self._open_country: str | None = None
+
+    def commit(self, country_code: str, records: Sequence[SiteRecord]) -> None:
+        """Commit a rank-contiguous batch of ``country_code`` records."""
+        if not records:
+            return
+        if self.first_record_s is None:
+            self.first_record_s = time.perf_counter() - self._started
+        if len(records) > self.buffer_peak:
+            self.buffer_peak = len(records)
+        if self.writer is not None:
+            if self._open_country != country_code:
+                self.writer.begin_section(country_code)
+                self._open_country = country_code
+            self.writer.write_many(records)
+        if self.dataset is not None:
+            self.dataset.extend(records)
+        self.committed += len(records)
+
+    def finish_country(self, country_code: str) -> None:
+        """Close the country's writer section, if one was opened."""
+        if self.writer is not None and self._open_country == country_code:
+            self.writer.end_section()
+            self._open_country = None
 
 
 class LangCrUXPipeline:
@@ -729,13 +855,16 @@ class LangCrUXPipeline:
 
         Args:
             executor: Overrides the configured execution backend.
-            stream_to: Stream each shard's records to this JSONL path as the
-                shard completes, through an atomically-committed
-                :class:`~repro.core.dataset.StreamingDatasetWriter`.  Since
-                shards arrive already merged in submission order, the
-                streamed file is byte-identical to ``save_jsonl`` of the
-                in-memory dataset; a failed run leaves the destination
-                untouched.
+            stream_to: Stream records to this JSONL path as they commit,
+                through an atomically-committed
+                :class:`~repro.core.dataset.StreamingDatasetWriter`.  On a
+                sub-sharded run records reach the writer per committed
+                *window* — first bytes land while the first country is
+                still crawling — inside per-country writer sections;
+                otherwise per country shard.  Either way commit order
+                matches the sequential merge order, so the streamed file is
+                byte-identical to ``save_jsonl`` of the in-memory dataset;
+                a failed run leaves the destination untouched.
             keep_in_memory: Whether to also accumulate the records on
                 ``PipelineResult.dataset``.  Pass ``False`` (streaming runs
                 only) when the dataset is consumed from the streamed file:
@@ -756,41 +885,38 @@ class LangCrUXPipeline:
             slim_outcomes = not keep_in_memory
         web, crux = self.build_web()
         backend = executor if executor is not None else self._executor()
-        if self.config.sub_shard_size is not None:
-            shard_stream = self._run_subsharded(backend, web, crux)
-        else:
-            shard_stream = self._run_country_shards(backend, web, crux)
         dataset = LangCrUXDataset()
+        writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
+        sink = _RecordSink(writer, dataset if keep_in_memory else None)
+        totals = _RunTotals()
+        if self.config.sub_shard_size is not None:
+            shard_stream = self._run_subsharded(backend, web, crux, sink, totals,
+                                                slim_records=slim_outcomes)
+        else:
+            shard_stream = self._run_country_shards(backend, web, crux, sink)
         outcomes: dict[str, SelectionOutcome] = {}
         vantages: dict[str, VantagePoint] = {}
         metrics: dict[str, ShardMetrics] = {}
-        transport_totals: TransportMetrics | None = None
-        perf_totals: perf.PerfCounters | None = None
-        writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
         try:
             for shard, metric in shard_stream:
                 vantages[shard.country_code] = shard.vantage
                 outcomes[shard.country_code] = shard.outcome
-                if keep_in_memory:
-                    dataset.extend(shard.records)
-                if writer is not None:
-                    writer.write_many(shard.records)
                 if slim_outcomes:
                     slim_selection_outcome(shard.outcome)
-                if shard.transport_metrics is not None:
-                    if transport_totals is None:
-                        transport_totals = TransportMetrics()
-                    transport_totals.merge(shard.transport_metrics)
-                if shard.perf_metrics is not None:
-                    if perf_totals is None:
-                        perf_totals = perf.PerfCounters()
-                    perf_totals.merge(shard.perf_metrics)
+                totals.merge_transport(shard.transport_metrics)
+                totals.merge_perf(shard.perf_metrics)
                 metrics[shard.country_code] = metric
         except BaseException:
             if writer is not None:
                 writer.abort()
             raise
         streamed = writer.close() if writer is not None else 0
+        if totals.perf is not None:
+            for name, value in perf.memory_gauges().items():
+                totals.perf.gauge(name, value)
+            if sink.first_record_s is not None:
+                totals.perf.gauge("stream.first_record_s", sink.first_record_s)
+            totals.perf.gauge("stream.buffer_peak_records", float(sink.buffer_peak))
         # Usable workers are capped by the number of work units: countries,
         # or sub-shard windows when the walk is sub-sharded (the whole point
         # of sub-sharding is that this cap exceeds the country count).
@@ -806,13 +932,20 @@ class LangCrUXPipeline:
                               executor_workers=min(backend.workers, work_units),
                               stream_path=Path(stream_to) if stream_to is not None else None,
                               streamed_records=streamed,
-                              transport_metrics=transport_totals,
-                              perf_metrics=perf_totals)
+                              transport_metrics=totals.transport,
+                              perf_metrics=totals.perf,
+                              time_to_first_record_s=sink.first_record_s,
+                              record_buffer_peak=sink.buffer_peak)
 
     def _run_country_shards(self, backend: PipelineExecutor, web: SyntheticWeb,
-                            crux: CruxTable,
+                            crux: CruxTable, sink: _RecordSink,
                             ) -> Iterator[tuple[CountryShard, ShardMetrics]]:
-        """Dispatch whole-country shards, yielding them in configured order."""
+        """Dispatch whole-country shards, yielding them in configured order.
+
+        Each shard's records are handed to ``sink`` (and dropped from the
+        shard) before the shard is yielded, so the caller's loop never
+        holds record payloads.
+        """
         # Process workers rebuild the (lazily generated) web from the config
         # instead of receiving a pickled copy — unless the web was supplied
         # explicitly and cannot be derived from the config.
@@ -823,12 +956,17 @@ class LangCrUXPipeline:
                                          web_and_crux=(web, crux))
         for result in backend.run_ordered(shard_fn, list(self.config.countries)):
             shard: CountryShard = result.value
-            yield shard, ShardMetrics(shard=shard.country_code, index=result.index,
-                                      duration_s=result.duration_s,
-                                      records=len(shard.records))
+            metric = ShardMetrics(shard=shard.country_code, index=result.index,
+                                  duration_s=result.duration_s,
+                                  records=len(shard.records))
+            sink.commit(shard.country_code, shard.records)
+            sink.finish_country(shard.country_code)
+            shard.records = []
+            yield shard, metric
 
     def _run_subsharded(self, backend: PipelineExecutor, web: SyntheticWeb,
-                        crux: CruxTable,
+                        crux: CruxTable, sink: _RecordSink, totals: _RunTotals,
+                        *, slim_records: bool,
                         ) -> Iterator[tuple[CountryShard, ShardMetrics]]:
         """Dispatch intra-country sub-shards and reassemble country shards.
 
@@ -840,7 +978,18 @@ class LangCrUXPipeline:
         order — as soon as its quota fills or its ranking exhausts; its
         remaining sub-shards are skipped via the shared filled flag or
         discarded on arrival.  Once every country has finalized, the
-        executor stream is closed, cancelling pending speculative windows.
+        executor stream is drained (folding the cost of still-in-flight
+        speculative windows into ``totals``) and closed.
+
+        Records flow through ``sink`` per *committed window*: each batch of
+        newly accepted records is committed the moment its window merges,
+        and — with ``slim_records`` — the matching slice of
+        ``outcome.selected`` is slimmed in the same step, so resident state
+        is bounded by in-flight windows instead of whole countries.
+        Speculative results for non-frontier countries cannot pile up
+        either: the thread backend's bounded result queue and the process
+        backend's bounded lazy submission window cap undelivered results at
+        O(workers + queue) windows.
         """
         config = self.config
         assert config.sub_shard_size is not None
@@ -880,33 +1029,21 @@ class LangCrUXPipeline:
             work = specs
         order = list(config.countries)
         finalized = 0
-        # Transport/perf metrics of speculative windows that arrive after
-        # their country already finalized: the work really happened, so it
-        # is folded into the next shard to finalize — per-country
-        # attribution is approximate there, but the run-level totals stay
-        # honest.
-        late_transport: list[TransportMetrics] = []
-        late_perf: list[perf.PerfCounters] = []
 
         def finalize(state: _CountryMergeState) -> tuple[CountryShard, ShardMetrics]:
             state.done = True
             filled.add(state.country_code)
-            for metrics in late_transport:
-                state.merge_transport(metrics)
-            late_transport.clear()
-            for counters in late_perf:
-                state.merge_perf(counters)
-            late_perf.clear()
+            sink.finish_country(state.country_code)
             shard = CountryShard(
                 country_code=state.country_code,
                 vantage=vantage_for_country(config, state.country_code),
                 outcome=state.committer.outcome,
-                records=state.records,
+                records=[],
                 transport_metrics=state.transport_metrics,
                 perf_metrics=state.perf_metrics)
             metric = ShardMetrics(shard=state.country_code, index=state.index,
                                   duration_s=state.duration_s,
-                                  records=len(state.records),
+                                  records=state.records_committed,
                                   sub_shards=state.sub_shards_merged)
             return shard, metric
 
@@ -917,11 +1054,9 @@ class LangCrUXPipeline:
                 state = states[sub.spec.country_code]
                 if state.done:
                     # Quota filled earlier; the speculation is discarded but
-                    # its cost is still accounted for.
-                    if sub.transport_metrics is not None:
-                        late_transport.append(sub.transport_metrics)
-                    if sub.perf_metrics is not None:
-                        late_perf.append(sub.perf_metrics)
+                    # its cost still lands in the run-level totals.
+                    totals.merge_transport(sub.transport_metrics)
+                    totals.merge_perf(sub.perf_metrics)
                     continue
                 state.duration_s += result.duration_s
                 state.merge_transport(sub.transport_metrics)
@@ -931,14 +1066,30 @@ class LangCrUXPipeline:
                     record_for = {evaluation.entry: record
                                   for evaluation, record
                                   in zip(sub.evaluations, sub.records)}
-                    for evaluation, _site in state.committer.commit_chunk(
-                            sub.evaluations):
+                    accepted = state.committer.commit_chunk(sub.evaluations)
+                    window_records: list[SiteRecord] = []
+                    for evaluation, _site in accepted:
                         # Workers build records for exactly the candidates
                         # the committer accepts (same succeeded + threshold
                         # rule).
                         record = record_for[evaluation.entry]
                         assert record is not None
-                        state.records.append(record)
+                        window_records.append(record)
+                    if window_records:
+                        # Rank-order commit serializes windows and countries
+                        # finalize in submission order, so committing here —
+                        # mid-country — still writes the stream in exactly
+                        # the sequential byte order.
+                        sink.commit(state.country_code, window_records)
+                        state.records_committed += len(window_records)
+                    if slim_records and accepted:
+                        # Slim the just-committed slice of the outcome now
+                        # that its records are safely on disk, instead of
+                        # waiting for the whole country.
+                        selected = state.committer.outcome.selected
+                        for i in range(len(selected) - len(accepted),
+                                       len(selected)):
+                            selected[i] = _slim_selected_site(selected[i])
                 state.remaining_chunks -= 1
                 # Finalize the frontier of completed countries in configured
                 # order; zero-window countries finalize when reached.
@@ -951,7 +1102,17 @@ class LangCrUXPipeline:
                         yield finalize(frontier)
                     finalized += 1
                 if finalized == len(order):
-                    break  # cancel whatever speculative windows remain
+                    # Every country is final; what remains in the stream is
+                    # speculative windows already in flight.  Drain them so
+                    # their transport/perf cost reaches the run totals
+                    # (queued-but-unstarted windows short-circuit as cheap
+                    # ``skipped`` results or are never submitted at all),
+                    # then close, which cancels nothing still pending.
+                    for result in stream:
+                        late: SelectionSubShardResult = result.value
+                        totals.merge_transport(late.transport_metrics)
+                        totals.merge_perf(late.perf_metrics)
+                    break
         finally:
             stream.close()
         # Countries with no sub-shards at all (empty rankings) never appear

@@ -14,8 +14,16 @@ provides a lightweight stage timer / op counter facility modeled on
   active; with none installed the instrumentation reduces to one attribute
   lookup and a ``None`` check per stage entry (near-zero overhead, which is
   why profiling can stay compiled into the hot paths).
-* :func:`stage` / :func:`count` — the instrumentation points used throughout
-  ``repro.html``, ``repro.langid``, ``repro.audit`` and ``repro.core``.
+* :func:`stage` / :func:`count` / :func:`gauge` — the instrumentation points
+  used throughout ``repro.html``, ``repro.langid``, ``repro.audit`` and
+  ``repro.core``.
+
+Counters sum when merged; **gauges** merge by ``max`` and capture level-style
+observations where the run-wide peak is the interesting number — peak
+resident set size, the record-buffer high-water mark of a streaming run,
+time-to-first-record.  :func:`memory_gauges` samples the process's memory
+peaks (``resource.getrusage`` RSS for self and children, plus the
+``tracemalloc`` peak when tracing is active) in that shape.
 
 Collection is thread-local on purpose: shard workers on the thread/process
 executors each run their post-fetch stages on their own thread, so per-shard
@@ -29,6 +37,7 @@ orders stages by total time which is what matters for finding hot spots.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -50,26 +59,30 @@ class StageStat:
 
 @dataclass
 class PerfCounters:
-    """Per-stage timers and named op counters.
+    """Per-stage timers, named op counters and peak gauges.
 
     Instances are plain picklable data (the lock is dropped on pickling and
     recreated on restore, mirroring ``TransportMetrics``), so shard workers
     can snapshot and ship them back to the parent, which merges them via
-    :meth:`merge`.
+    :meth:`merge`.  Stage times and counters *sum* across merges; gauges
+    merge by ``max`` — they record the highest level any contributor saw.
     """
 
     stages: dict[str, StageStat] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
 
     def __getstate__(self) -> dict:
-        return {"stages": self.stages, "counters": self.counters}
+        return {"stages": self.stages, "counters": self.counters,
+                "gauges": self.gauges}
 
     def __setstate__(self, state: dict) -> None:
         self.stages = state["stages"]
         self.counters = state["counters"]
+        self.gauges = state.get("gauges", {})
         self._lock = threading.Lock()
 
     # -- accumulation ----------------------------------------------------------
@@ -88,8 +101,19 @@ class PerfCounters:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0) + amount
 
+    def gauge(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if higher (thread-safe).
+
+        Gauges are high-water marks: setting a lower value than the current
+        one is a no-op, and merging keeps the maximum of both sides.
+        """
+        with self._lock:
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = value
+
     def merge(self, other: "PerfCounters") -> None:
-        """Fold another collector's stages and counters into this one."""
+        """Fold another collector's stages, counters and gauges into this one."""
         with self._lock:
             for name, stat in other.stages.items():
                 mine = self.stages.get(name)
@@ -100,12 +124,16 @@ class PerfCounters:
                     mine.seconds += stat.seconds
             for name, value in other.counters.items():
                 self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in other.gauges.items():
+                current = self.gauges.get(name)
+                if current is None or value > current:
+                    self.gauges[name] = value
 
     # -- derived / reporting ---------------------------------------------------
 
     @property
     def is_empty(self) -> bool:
-        return not self.stages and not self.counters
+        return not self.stages and not self.counters and not self.gauges
 
     def total_seconds(self) -> float:
         """Sum of stage times (inclusive; nested stages double-count)."""
@@ -120,6 +148,7 @@ class PerfCounters:
             "stages": {name: {"calls": stat.calls, "seconds": stat.seconds}
                        for name, stat in sorted(self.stages.items())},
             "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
         }
 
     def summary_line(self) -> str:
@@ -139,6 +168,9 @@ class PerfCounters:
         if self.counters:
             pairs = " ".join(f"{name}={value}" for name, value in sorted(self.counters.items()))
             lines.append(f"counters: {pairs}")
+        if self.gauges:
+            pairs = " ".join(f"{name}={value:g}" for name, value in sorted(self.gauges.items()))
+            lines.append(f"gauges: {pairs}")
         return lines
 
 
@@ -220,3 +252,42 @@ def count(name: str, amount: int = 1) -> None:
     collector = getattr(_local, "collector", None)
     if collector is not None:
         collector.count(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Raise gauge ``name`` on the active collector, if any."""
+    collector = getattr(_local, "collector", None)
+    if collector is not None:
+        collector.gauge(name, value)
+
+
+# -- memory gauges --------------------------------------------------------------
+
+
+def memory_gauges() -> dict[str, float]:
+    """Sample the process's peak-memory gauges.
+
+    Returns ``mem.peak_rss_kb`` (the process's lifetime peak resident set
+    size) and ``mem.peak_rss_children_kb`` (the largest peak among reaped
+    child processes — the process-executor workers) from
+    ``resource.getrusage``, plus ``mem.tracemalloc_peak_kb`` when
+    ``tracemalloc`` is tracing (the resettable Python-heap peak the memory
+    benchmark compares across runs).  On platforms without ``resource`` the
+    RSS gauges are omitted.
+    """
+    gauges: dict[str, float] = {}
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        resource = None
+    if resource is not None:
+        # ru_maxrss is kilobytes on Linux, bytes on macOS; normalise to KiB.
+        scale = 1024.0 if sys.platform == "darwin" else 1.0
+        gauges["mem.peak_rss_kb"] = \
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / scale
+        gauges["mem.peak_rss_children_kb"] = \
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / scale
+    import tracemalloc
+    if tracemalloc.is_tracing():
+        gauges["mem.tracemalloc_peak_kb"] = tracemalloc.get_traced_memory()[1] / 1024.0
+    return gauges

@@ -189,6 +189,17 @@ class SyntheticSite:
             self._page_cache[cache_key] = generator.generate_html(url=url)
         return self._page_cache[cache_key]
 
+    def clear_page_cache(self) -> None:
+        """Drop the cached page HTML; pages regenerate on demand.
+
+        Generation is seeded per ``(path, variant)``, so a regenerated page
+        is byte-identical to the evicted one — eviction is purely a memory
+        release.  The pipeline calls this once a site's crawl window is
+        merged: a crawled site is never fetched again, so keeping its pages
+        would grow the web's resident size with every origin visited.
+        """
+        self._page_cache.clear()
+
 
 class SiteGenerator:
     """Generates the sites of one country according to its profile."""

@@ -103,7 +103,32 @@ class TestBuild:
         ])
         assert exit_code == 0
         assert path.read_bytes() == built_dataset_path.read_bytes()
-        assert "streamed 10 site records" in capsys.readouterr().out
+        captured = capsys.readouterr().out
+        assert "streamed 10 site records" in captured
+        assert "peak RSS:" in captured
+        assert "first record on disk after" in captured
+        assert "record-buffer high-water" in captured
+
+    def test_build_windowed_stream_reports_summary(self, built_dataset_path: Path,
+                                                   tmp_path: Path, capsys) -> None:
+        # Sub-sharded streaming build: records hit the writer per window,
+        # and the summary still reports stream path, count and memory.
+        path = tmp_path / "streamed.jsonl"
+        exit_code = main([
+            "build", "--stream-output", str(path), "--sites-per-country", "5",
+            "--countries", "bd", "th", "--seed", "17", "--workers", "2",
+            "--sub-shard-size", "2",
+        ])
+        assert exit_code == 0
+        assert path.read_bytes() == built_dataset_path.read_bytes()
+        captured = capsys.readouterr().out
+        assert f"streamed 10 site records to {path}" in captured
+        assert "peak RSS:" in captured
+        high_water_line = next(line for line in captured.splitlines()
+                               if "record-buffer high-water" in line)
+        # Windowed commits: the buffer high-water mark is bounded by the
+        # window size, not the country quota.
+        assert int(high_water_line.rstrip(")").split()[-1]) <= 2
 
     def test_build_rejects_non_positive_max_in_flight(self, tmp_path: Path) -> None:
         with pytest.raises(SystemExit):

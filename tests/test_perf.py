@@ -57,6 +57,60 @@ class TestPerfCounters:
         assert left.stages["audit"].calls == 1
         assert left.counters["ops"] == 3
 
+    def test_gauges_keep_the_maximum(self) -> None:
+        counters = perf.PerfCounters()
+        counters.gauge("mem.peak_rss_kb", 100.0)
+        counters.gauge("mem.peak_rss_kb", 50.0)   # lower: no-op
+        counters.gauge("mem.peak_rss_kb", 250.0)
+        assert counters.gauges == {"mem.peak_rss_kb": 250.0}
+        assert not counters.is_empty
+
+    def test_merge_takes_gauge_maximum(self) -> None:
+        left = perf.PerfCounters()
+        left.gauge("mem.peak_rss_kb", 100.0)
+        left.gauge("stream.buffer_peak_records", 8.0)
+        right = perf.PerfCounters()
+        right.gauge("mem.peak_rss_kb", 300.0)
+        right.gauge("stream.first_record_s", 0.5)
+        left.merge(right)
+        assert left.gauges == {"mem.peak_rss_kb": 300.0,
+                               "stream.buffer_peak_records": 8.0,
+                               "stream.first_record_s": 0.5}
+
+    def test_gauge_reporting_surfaces(self) -> None:
+        counters = perf.PerfCounters()
+        counters.add_stage("parse", 0.2)
+        counters.gauge("mem.peak_rss_kb", 1024.0)
+        assert counters.as_dict()["gauges"] == {"mem.peak_rss_kb": 1024.0}
+        assert counters.table_lines()[-1] == "gauges: mem.peak_rss_kb=1024"
+        restored = pickle.loads(pickle.dumps(counters))
+        assert restored.gauges == {"mem.peak_rss_kb": 1024.0}
+
+    def test_unpickling_pre_gauge_payload(self) -> None:
+        # Older pickled snapshots carry no "gauges" key; restore must not
+        # choke on them (mixed-version process pools).
+        counters = perf.PerfCounters()
+        counters.count("ops", 1)
+        state = counters.__getstate__()
+        del state["gauges"]
+        restored = perf.PerfCounters()
+        restored.__setstate__(state)
+        assert restored.gauges == {}
+        restored.gauge("mem.peak_rss_kb", 1.0)
+        assert restored.gauges == {"mem.peak_rss_kb": 1.0}
+
+    def test_module_gauge_dispatches_to_active_collector(self) -> None:
+        counters = perf.PerfCounters()
+        perf.gauge("mem.peak_rss_kb", 7.0)  # no collector: dropped
+        with perf.collecting(counters):
+            perf.gauge("mem.peak_rss_kb", 9.0)
+        assert counters.gauges == {"mem.peak_rss_kb": 9.0}
+
+    def test_memory_gauges_sample_positive_rss(self) -> None:
+        gauges = perf.memory_gauges()
+        assert gauges["mem.peak_rss_kb"] > 0
+        assert "mem.peak_rss_children_kb" in gauges
+
     def test_pickle_round_trip(self) -> None:
         counters = perf.PerfCounters()
         counters.add_stage("langid", 0.125)

@@ -93,13 +93,21 @@ class TestSubShardedSelectionProperties:
     @given(
         quota=st.integers(min_value=1, max_value=4),
         sub_shard_size=st.integers(min_value=1, max_value=6),
+        max_in_flight=st.sampled_from([1, 2, 4]),
+        executor=st.sampled_from(["serial", "thread"]),
+        workers=st.sampled_from([1, 4]),
     )
-    @settings(max_examples=6, deadline=None)
+    @settings(max_examples=8, deadline=None)
     def test_streamed_output_matches_in_memory(self, quota, sub_shard_size,
+                                               max_in_flight, executor, workers,
                                                tmp_dir) -> None:
+        # Windowed streaming commits records per sub-shard window; the
+        # streamed bytes must still equal the sequential in-memory build for
+        # every executor/worker/window/in-flight combination.
         _, expected_bytes = _baseline(quota, tmp_dir)
-        config = PipelineConfig(sites_per_country=quota, workers=4,
-                                executor="thread", sub_shard_size=sub_shard_size,
+        config = PipelineConfig(sites_per_country=quota, workers=workers,
+                                executor=executor, sub_shard_size=sub_shard_size,
+                                max_in_flight=max_in_flight,
                                 **BASE_CONFIG)
         stream_path = tmp_dir / "streamed.jsonl"
         LangCrUXPipeline(config).run(stream_to=stream_path, keep_in_memory=False)
@@ -119,6 +127,21 @@ class TestSubShardedProcessBackend:
         result = LangCrUXPipeline(config).run()
         assert result.selection_outcomes == expected_outcomes
         assert _jsonl_bytes(result, tmp_dir) == expected_bytes
+
+    def test_streamed_output_matches_in_memory(self, tmp_dir) -> None:
+        # Windowed streaming over the process backend with records dropped
+        # from memory as they land on disk — the CI streaming-parity shape.
+        quota = 4
+        _, expected_bytes = _baseline(quota, tmp_dir)
+        config = PipelineConfig(sites_per_country=quota, workers=4,
+                                executor="process", sub_shard_size=3,
+                                max_in_flight=2, **BASE_CONFIG)
+        stream_path = tmp_dir / "streamed_process.jsonl"
+        result = LangCrUXPipeline(config).run(stream_to=stream_path,
+                                              keep_in_memory=False)
+        assert stream_path.read_bytes() == expected_bytes
+        assert len(result.dataset) == 0
+        assert result.streamed_records == expected_bytes.count(b"\n")
 
     def test_explicit_executor_instance_is_honoured(self, tmp_dir) -> None:
         quota = 3

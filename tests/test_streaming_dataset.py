@@ -119,6 +119,10 @@ class TestStreamingDatasetWriter:
         assert writer.close() == 1
         assert writer.close() == 1
 
+    def test_unknown_fsync_policy_rejected(self, tmp_path) -> None:
+        with pytest.raises(ValueError, match="fsync policy"):
+            StreamingDatasetWriter(tmp_path / "data.jsonl", fsync="always")
+
     def test_save_jsonl_is_atomic_under_serialization_failure(self, tmp_path,
                                                               monkeypatch) -> None:
         path = tmp_path / "data.jsonl"
@@ -131,6 +135,80 @@ class TestStreamingDatasetWriter:
         with pytest.raises(RuntimeError):
             LangCrUXDataset([exploding]).save_jsonl(path)
         assert path.read_bytes() == before
+
+
+class TestWriterSections:
+    """The per-country section protocol: a write-order contract, no bytes."""
+
+    def test_sections_add_no_bytes(self, tmp_path) -> None:
+        records = [_record(i) for i in range(4)]
+        plain, sectioned = tmp_path / "plain.jsonl", tmp_path / "sectioned.jsonl"
+        with StreamingDatasetWriter(plain) as writer:
+            writer.write_many(records)
+        writer = StreamingDatasetWriter(sectioned)
+        writer.begin_section("bd")
+        assert writer.current_section == "bd"
+        writer.write_many(records[:3])
+        assert writer.end_section() == 3
+        writer.begin_section("th")
+        writer.write(records[3])
+        assert writer.end_section() == 1
+        assert writer.sections_committed == 2
+        writer.close()
+        assert sectioned.read_bytes() == plain.read_bytes()
+
+    def test_sections_cannot_nest(self, tmp_path) -> None:
+        writer = StreamingDatasetWriter(tmp_path / "data.jsonl")
+        writer.begin_section("bd")
+        with pytest.raises(ValueError, match="still open"):
+            writer.begin_section("th")
+        writer.abort()
+
+    def test_end_without_begin_rejected(self, tmp_path) -> None:
+        writer = StreamingDatasetWriter(tmp_path / "data.jsonl")
+        with pytest.raises(ValueError, match="no section"):
+            writer.end_section()
+        writer.abort()
+
+    def test_close_refuses_open_section(self, tmp_path) -> None:
+        # Crash-mid-country safety: a half-written group must never be
+        # published.  Abort (the crash path) still discards cleanly.
+        path = tmp_path / "data.jsonl"
+        writer = StreamingDatasetWriter(path)
+        writer.begin_section("bd")
+        writer.write(_record(0))
+        with pytest.raises(ValueError, match="partial section"):
+            writer.close()
+        writer.abort()
+        assert not path.exists()
+        assert not writer.partial_path.exists()
+
+    def test_exception_in_section_discards_partial(self, tmp_path) -> None:
+        path = tmp_path / "data.jsonl"
+        with pytest.raises(RuntimeError):
+            with StreamingDatasetWriter(path) as writer:
+                writer.begin_section("bd")
+                writer.write(_record(0))
+                raise RuntimeError("crash mid-section")
+        assert not path.exists()
+        assert not writer.partial_path.exists()
+
+    def test_section_fsync_policy_syncs_each_section(self, tmp_path,
+                                                     monkeypatch) -> None:
+        import os as os_module
+
+        synced: list[int] = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr("repro.core.dataset.os.fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd))[1])
+        with StreamingDatasetWriter(tmp_path / "data.jsonl",
+                                    fsync="section") as writer:
+            for name in ("bd", "th"):
+                writer.begin_section(name)
+                writer.write(_record(0))
+                writer.end_section()
+        # Two section syncs plus the commit-time sync in close().
+        assert len(synced) == 3
 
 
 PARITY_CONFIG = dict(countries=("bd", "th"), sites_per_country=4, seed=13,
@@ -151,7 +229,10 @@ class TestStreamingPipelineParity:
         dict(workers=3, executor="thread"),
         dict(workers=2, executor="thread", max_in_flight=5),
         dict(workers=2, executor="process", max_in_flight=3),
-    ], ids=["serial-batched", "thread", "thread-batched", "process-batched"])
+        dict(sub_shard_size=3),
+        dict(workers=3, executor="thread", sub_shard_size=2),
+    ], ids=["serial-batched", "thread", "thread-batched", "process-batched",
+            "serial-windowed", "thread-windowed"])
     def test_streamed_output_is_byte_identical(self, overrides, sequential_bytes,
                                                tmp_path) -> None:
         stream_path = tmp_path / "streamed.jsonl"
@@ -190,6 +271,50 @@ class TestStreamingPipelineParity:
             LangCrUXPipeline(PipelineConfig(**PARITY_CONFIG)).run(stream_to=stream_path)
         assert not stream_path.exists()
         assert not list(tmp_path.glob(".*.partial"))
+
+    def test_crash_between_window_commits_recovers_byte_identical(
+            self, sequential_bytes, tmp_path, monkeypatch) -> None:
+        """Kill a windowed streaming run mid-country, re-run, assert parity.
+
+        The crash lands *between* window commits (after the first window's
+        records reached the writer, inside an open country section), so the
+        abort path must discard the half-written country rather than
+        publish it.  The second run replays from the on-disk crawl cache
+        warmed by the first attempt and must produce exactly the sequential
+        bytes.
+        """
+        from repro.core import pipeline as pipeline_module
+
+        cache_dir = tmp_path / "cache"
+        config = PipelineConfig(**PARITY_CONFIG, sub_shard_size=2,
+                                crawl_cache=str(cache_dir))
+        stream_path = tmp_path / "streamed.jsonl"
+
+        real_subshard = pipeline_module.execute_selection_subshard
+        completed = []
+
+        def crashing_subshard(config, spec, **kwargs):
+            result = real_subshard(config, spec, **kwargs)
+            completed.append(spec)
+            if len(completed) == 2:
+                raise KeyboardInterrupt("simulated kill between window commits")
+            return result
+
+        monkeypatch.setattr(pipeline_module, "execute_selection_subshard",
+                            crashing_subshard)
+        with pytest.raises(BaseException):
+            LangCrUXPipeline(config).run(stream_to=stream_path,
+                                         keep_in_memory=False)
+        assert not stream_path.exists()
+        assert not list(tmp_path.glob(".*.partial"))
+        assert cache_dir.exists()  # first attempt warmed the crawl cache
+
+        monkeypatch.setattr(pipeline_module, "execute_selection_subshard",
+                            real_subshard)
+        result = LangCrUXPipeline(config).run(stream_to=stream_path,
+                                              keep_in_memory=False)
+        assert stream_path.read_bytes() == sequential_bytes
+        assert result.transport_metrics.cache_hits > 0  # the replay was cached
 
     @given(
         workers=st.integers(min_value=1, max_value=4),
