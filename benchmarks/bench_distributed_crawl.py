@@ -1,0 +1,113 @@
+"""Distributed crawl — worker scaling and warm-cache replay (`repro.dist`).
+
+ROADMAP item 1: the file-based work-queue coordinator partitions per-country
+sub-shard windows across independent worker *processes* sharing one crawl
+cache, then merges results in rank order — byte-identical to the single-host
+build.  This harness measures what that buys:
+
+* **worker scaling** — cold-cache builds at 1, 2 and 4 local workers
+  (records/s end to end, coordinator + workers);
+* **warm-cache replay** — the same build again over the warmed shared
+  cache, where every fetch replays from disk (the kill-and-resume recovery
+  path: a re-issued window costs replay, not wire time).
+
+Every build's output is asserted byte-identical to the sequential
+single-host reference, and every warm run is asserted to replay stored
+responses from the cache (fewer wire requests than cold; failed fetches
+are never stored, so persistently-failing origins legitimately re-fetch) —
+those are correctness claims, enforced regardless of
+``LANGCRUX_BENCH_ASSERT_SPEEDUP``.  Throughput numbers are report-only at
+this scale: process spawn + polling overhead dominates a synthetic crawl
+this small, so the interesting signal is the warm/cold ratio and that
+scaling does not *regress* the bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+from repro.dist import dist_build
+
+BENCHMARK_SEED = 2025
+
+SITES_PER_COUNTRY = 8
+SUB_SHARD_SIZE = 2
+COUNTRIES = ("bd", "th")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _config(cache_dir: str | None) -> PipelineConfig:
+    return PipelineConfig(countries=COUNTRIES,
+                          sites_per_country=SITES_PER_COUNTRY,
+                          seed=BENCHMARK_SEED, sub_shard_size=SUB_SHARD_SIZE,
+                          crawl_cache=cache_dir)
+
+
+def test_distributed_crawl_scaling(reporter, tmp_path_factory) -> None:
+    # Spawned workers must import `repro` regardless of the invoking cwd.
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    os.environ["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    try:
+        _run_harness(reporter, tmp_path_factory.mktemp("dist"))
+    finally:
+        os.environ["PYTHONPATH"] = existing
+
+
+def _run_harness(reporter, root: Path) -> None:
+    reference_path = root / "single-host.jsonl"
+    started = time.perf_counter()
+    LangCrUXPipeline(_config(None)).run(stream_to=reference_path,
+                                        keep_in_memory=False)
+    single_host_s = time.perf_counter() - started
+    reference = reference_path.read_bytes()
+    records = reference.count(b"\n")
+
+    lines = [f"single-host reference: {records} records "
+             f"in {single_host_s:.2f}s ({records / single_host_s:.1f} rec/s)"]
+    data: dict = {"config": {"countries": list(COUNTRIES),
+                             "sites_per_country": SITES_PER_COUNTRY,
+                             "sub_shard_size": SUB_SHARD_SIZE,
+                             "records": records},
+                  "single_host_s": single_host_s,
+                  "workers": {}}
+    for workers in WORKER_COUNTS:
+        cache_dir = root / f"cache-{workers}w"
+        rates: dict[str, float] = {}
+        wire: dict[str, int] = {}
+        for phase in ("cold", "warm"):
+            out = root / f"dist-{workers}w-{phase}.jsonl"
+            started = time.perf_counter()
+            result = dist_build(_config(str(cache_dir)),
+                                root / f"queue-{workers}w-{phase}", out,
+                                workers=workers, lease_timeout_s=30.0)
+            elapsed = time.perf_counter() - started
+            rates[phase] = records / elapsed
+            transport = result.transport_metrics
+            assert transport is not None
+            wire[phase] = transport.network_requests
+            assert out.read_bytes() == reference, (
+                f"{workers}-worker {phase} build diverged from single-host bytes")
+            assert result.windows_reissued == 0
+            if phase == "warm":
+                # Only uncacheable responses (failed fetches are never
+                # stored) may touch the wire again; everything that was
+                # stored must replay from disk.
+                assert transport.cache_hits > 0
+                assert transport.network_requests < wire["cold"], (
+                    "warm-cache build refetched stored responses")
+        lines.append(f"  {workers} worker(s): cold {rates['cold']:6.1f} rec/s "
+                     f"({wire['cold']} wire), warm {rates['warm']:6.1f} rec/s "
+                     f"({wire['warm']} wire, "
+                     f"{rates['warm'] / rates['cold']:.2f}x replay speed)")
+        data["workers"][workers] = {"cold_records_per_s": rates["cold"],
+                                    "warm_records_per_s": rates["warm"],
+                                    "cold_network_requests": wire["cold"],
+                                    "warm_network_requests": wire["warm"]}
+    lines.append("every build byte-identical to the single-host reference; "
+                 "warm builds replayed every stored response from disk")
+    reporter("Distributed crawl — worker scaling, warm vs cold cache", lines,
+             data=data)

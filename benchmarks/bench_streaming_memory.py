@@ -177,3 +177,33 @@ def _run_harness(reporter) -> None:
             assert ratio["buffered"] >= MIN_BUFFERED_RATIO, (
                 f"{executor}: buffered peak grew only {ratio['buffered']:.2f}x — "
                 f"the baseline no longer buffers, rescale the harness")
+
+
+def test_speculation_stays_window_bounded(reporter) -> None:
+    """An absurd ``max_in_flight`` must not regrow an O(ranking) term.
+
+    Distributed workers hand every window a large ``max_in_flight`` (each
+    worker owns a whole window's speculation), so the windowed walk must
+    materialize only the window itself — pinned by the
+    ``sel.window_entries_peak`` gauge, which records the largest entry list
+    any window evaluation ever held.  This bound is deterministic, so it is
+    asserted regardless of ``LANGCRUX_BENCH_ASSERT_SPEEDUP``.
+    """
+    import tempfile
+
+    config = _config(BASE_QUOTA, sub_shard_size=SUB_SHARD_SIZE,
+                     max_in_flight=100_000, profile=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        result = LangCrUXPipeline(config).run(
+            stream_to=os.path.join(tmp, "speculative.jsonl"),
+            keep_in_memory=False)
+    peak = result.perf_metrics.gauges.get("sel.window_entries_peak")
+    assert peak is not None, "profiled run recorded no window-entries gauge"
+    assert peak <= SUB_SHARD_SIZE, (
+        f"a window materialized {peak:.0f} entries under deep speculation, "
+        f"expected <= sub_shard_size ({SUB_SHARD_SIZE})")
+    reporter("Memory — speculation bound under huge max_in_flight",
+             [f"max_in_flight 100000, sub_shard_size {SUB_SHARD_SIZE}: "
+              f"window entries peak {peak:.0f} (bound {SUB_SHARD_SIZE})"],
+             data={"max_in_flight": 100_000, "sub_shard_size": SUB_SHARD_SIZE,
+                   "window_entries_peak": peak})

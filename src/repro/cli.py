@@ -33,6 +33,19 @@ Four subcommands cover the common workflows:
     through genuine sockets — the live-server demo of the transport
     subsystem.
 
+``langcrux dist-build``
+    Build a dataset with a file-based work-queue coordinator and N
+    independent worker processes sharing one crawl cache
+    (:mod:`repro.dist`).  The default role plans the build, spawns
+    ``--workers`` local workers and merges their window results in rank
+    order — byte-identical output to a single-host ``build``; ``--role
+    worker`` joins an existing queue directory (multi-host mode: start
+    workers on any machine that shares the queue and cache directories).
+
+``langcrux cache-compact``
+    Fold a crawl cache's accumulated per-writer manifests into one
+    compacted manifest and sweep orphaned body files.
+
 ``langcrux api``
     Serve a built dataset as a JSON analytics API
     (:class:`~repro.api.server.AnalyticsServer`): the dataset is streamed
@@ -150,6 +163,61 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="additionally run the build under cProfile and dump "
                             "the stats to PATH (inspect with pstats or snakeviz); "
                             "implies --profile")
+
+    dist = subparsers.add_parser(
+        "dist-build",
+        help="build a dataset with a work-queue coordinator + worker processes")
+    dist.add_argument("--queue-dir", type=Path, required=True, metavar="DIR",
+                      help="shared queue directory (the only coordination "
+                           "channel; put it on a shared mount for multi-host)")
+    dist.add_argument("--role", choices=("coordinator", "worker"),
+                      default="coordinator",
+                      help="'coordinator' plans, spawns --workers local workers "
+                           "and merges; 'worker' joins an existing queue "
+                           "(default: coordinator)")
+    dist.add_argument("--output", type=Path, default=Path("langcrux.jsonl"),
+                      help="output JSONL path (default: langcrux.jsonl)")
+    dist.add_argument("--workers", type=int, default=2,
+                      help="local worker processes to spawn; 0 spawns none — "
+                           "start workers elsewhere with --role worker "
+                           "(default: 2)")
+    dist.add_argument("--sites-per-country", type=int, default=30,
+                      help="selection quota per country (default: 30)")
+    dist.add_argument("--countries", nargs="*", default=None,
+                      help="country codes to include (default: all twelve)")
+    dist.add_argument("--seed", type=int, default=7, help="synthetic web seed")
+    dist.add_argument("--no-vpn", action="store_true",
+                      help="crawl from a cloud vantage instead of country VPN exits")
+    dist.add_argument("--sub-shard-size", type=_positive_int, default=10,
+                      help="candidates per window — the unit of distribution "
+                           "(default: 10)")
+    dist.add_argument("--max-in-flight", type=_positive_int, default=1,
+                      help="concurrent candidate fetches within each window "
+                           "(default: 1)")
+    dist.add_argument("--transport", choices=TRANSPORT_KINDS, default="simulated",
+                      help="'simulated' or 'http' (see 'build'; default: simulated)")
+    dist.add_argument("--http-gateway", default=None, metavar="HOST:PORT",
+                      help="address every origin resolves to with --transport http")
+    dist.add_argument("--crawl-cache", type=Path, default=None, metavar="DIR",
+                      help="shared crawl-cache directory; re-issued windows "
+                           "replay completed fetches from it "
+                           "(default: QUEUE_DIR/crawl-cache)")
+    dist.add_argument("--lease-timeout", type=_positive_float, default=10.0,
+                      metavar="SECONDS",
+                      help="heartbeat age after which a worker's window lease "
+                           "is considered dead and re-issued (default: 10)")
+    dist.add_argument("--profile", action="store_true",
+                      help="collect per-worker stage timings/counters and "
+                           "coordinator queue counters; print the merged table")
+
+    compact = subparsers.add_parser(
+        "cache-compact",
+        help="fold a crawl cache's manifests into one and sweep orphaned bodies")
+    compact.add_argument("cache_dir", type=Path, metavar="DIR",
+                         help="crawl-cache directory to compact (no readers or "
+                              "writers may be active)")
+    compact.add_argument("--no-sweep", action="store_true",
+                         help="fold manifests only; keep unreferenced body files")
 
     analyze = subparsers.add_parser("analyze", help="print Table 2 style statistics")
     analyze.add_argument("dataset", type=Path, help="dataset JSONL produced by 'build'")
@@ -290,6 +358,71 @@ def _cmd_build(args: argparse.Namespace) -> int:
             print(f"  {line}")
     if args.profile_dump is not None:
         print(f"  wrote cProfile stats to {args.profile_dump}")
+    return 0
+
+
+def _cmd_dist_build(args: argparse.Namespace) -> int:
+    from repro.dist import Coordinator, CrawlWorker, DistBuildError
+
+    if args.role == "worker":
+        stats = CrawlWorker(str(args.queue_dir)).run()
+        print(f"worker {stats.worker}: {stats.windows_executed} windows"
+              f" ({stats.claim_conflicts} claim conflicts,"
+              f" {stats.idle_s:.1f}s idle)")
+        return 0
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    countries = tuple(args.countries) if args.countries else langcrux_country_codes()
+    crawl_cache = args.crawl_cache if args.crawl_cache is not None \
+        else args.queue_dir / "crawl-cache"
+    config = PipelineConfig(
+        countries=countries,
+        sites_per_country=args.sites_per_country,
+        seed=args.seed,
+        use_vpn=not args.no_vpn,
+        max_in_flight=args.max_in_flight,
+        sub_shard_size=args.sub_shard_size,
+        transport=args.transport,
+        http_gateway=args.http_gateway,
+        crawl_cache=str(crawl_cache),
+        profile=args.profile,
+    )
+    coordinator = Coordinator(config, args.queue_dir, args.output,
+                              workers=args.workers,
+                              lease_timeout_s=args.lease_timeout)
+    try:
+        result = coordinator.run()
+    except DistBuildError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"streamed {result.streamed_records} site records to {args.output}")
+    for country, outcome in sorted(result.selection_outcomes.items()):
+        print(f"  {country}: selected {len(outcome.selected)}/{outcome.quota}"
+              f" (replaced {outcome.replacement_count},"
+              f" examined {outcome.candidates_examined})")
+    print(f"  windows: {result.windows_merged}/{result.windows_planned} merged,"
+          f" {result.windows_reissued} re-issued, {result.results_torn} torn"
+          f" ({result.workers_spawned} workers spawned,"
+          f" {result.worker_restarts} restarts)")
+    if result.transport_metrics is not None:
+        for line in result.transport_metrics.summary_lines():
+            print(f"  transport: {line}")
+    if result.perf_metrics is not None:
+        for line in result.perf_metrics.table_lines():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_cache_compact(args: argparse.Namespace) -> int:
+    from repro.crawler.transport import compact_cache
+
+    if not args.cache_dir.is_dir():
+        print(f"error: {args.cache_dir} is not a directory", file=sys.stderr)
+        return 2
+    stats = compact_cache(args.cache_dir, sweep_orphans=not args.no_sweep)
+    for line in stats.summary_lines():
+        print(line)
     return 0
 
 
@@ -469,6 +602,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "build": _cmd_build,
+        "dist-build": _cmd_dist_build,
+        "cache-compact": _cmd_cache_compact,
         "analyze": _cmd_analyze,
         "mismatch": _cmd_mismatch,
         "kizuki": _cmd_kizuki,

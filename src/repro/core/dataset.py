@@ -411,6 +411,22 @@ class StreamingDatasetWriter:
             written += 1
         return written
 
+    def write_serialized(self, line: str) -> None:
+        """Append one pre-serialized record line (no trailing newline).
+
+        The distributed coordinator merges record lines that worker
+        processes already serialized with the exact :meth:`write` format;
+        appending them verbatim keeps the merged file byte-identical to a
+        single-host build without re-parsing every record.
+        """
+        if self._closed:
+            raise ValueError("writer is closed")
+        self._handle.write(line)
+        self._handle.write("\n")
+        self._count += 1
+        if self._section is not None:
+            self._section_count += 1
+
     def close(self) -> int:
         """Commit the partial file onto the final path; returns the count.
 

@@ -168,6 +168,11 @@ class PipelineConfig:
             (:class:`~repro.crawler.transport.CachingTransport`).  ``None``
             disables caching; with a directory, a re-run replays every
             completed fetch from disk and only fetches what is missing.
+        cache_fsync: Manifest durability policy of the crawl cache —
+            ``"close"`` (the default) fsyncs each writer's manifest once on
+            close; ``"entry"`` fsyncs every append, which distributed
+            workers use so a window declared complete cannot lose manifest
+            lines to a later crash.
         rate_limit: Per-host request rate (requests/second) enforced by the
             politeness layer; ``None`` disables rate limiting.
         max_per_host: Per-host concurrent-request cap; ``None`` disables.
@@ -198,6 +203,7 @@ class PipelineConfig:
     http_gateway: str | None = None
     http_timeout_s: float = 10.0
     crawl_cache: str | None = None
+    cache_fsync: str = "close"
     rate_limit: float | None = None
     max_per_host: int | None = None
     retry_backoff_s: float = 0.0
@@ -337,6 +343,7 @@ def transport_stack_for_country(config: PipelineConfig, country_code: str,
         max_per_host=config.max_per_host,
         user_agent=FetcherConfig().user_agent,
         cache_dir=config.crawl_cache,
+        cache_fsync=config.cache_fsync,
     )
 
 
@@ -588,6 +595,27 @@ class SelectionSubShard:
     stop: int
 
 
+def plan_selection_windows(config: PipelineConfig,
+                           crux: CruxTable) -> list[SelectionSubShard]:
+    """Every sub-shard window of a run, in country-major rank order (pure).
+
+    This is *the* deterministic work split: both the in-process sub-sharded
+    merge loop and the distributed coordinator plan from it, so a window's
+    identity — and therefore its evaluation result — is a function of the
+    config alone, never of who executes it.
+    """
+    if config.sub_shard_size is None:
+        raise ValueError("plan_selection_windows requires sub_shard_size")
+    specs: list[SelectionSubShard] = []
+    for country in config.countries:
+        specs.extend(
+            SelectionSubShard(country_code=country, chunk_index=chunk_index,
+                              start=start, stop=stop)
+            for chunk_index, (start, stop)
+            in enumerate(plan_chunks(crux.size(country), config.sub_shard_size)))
+    return specs
+
+
 @dataclass
 class SelectionSubShardResult:
     """The speculative output of one sub-shard.
@@ -684,7 +712,7 @@ class _CountryMergeState:
     """Accumulator for one country while its sub-shards stream in.
 
     Holds no site records: accepted records are committed to the run's
-    :class:`_RecordSink` the moment their window commits, so the state
+    :class:`RecordSink` the moment their window commits, so the state
     carries only counters and metrics — the memory contract of windowed
     streaming.
     """
@@ -745,16 +773,17 @@ class _RunTotals:
         self.perf.merge(counters)
 
 
-class _RecordSink:
+class RecordSink:
     """Routes committed site records to disk and/or memory as they commit.
 
     One sink serves a whole run.  Windowed streaming hands it one window's
     records at a time; whole-country shards hand it a country's records at
-    once.  The sink opens a writer *section* per country lazily on the
-    country's first record and closes it via :meth:`finish_country`, so a
-    country's lines land contiguously no matter how many windows they
-    arrive in, and the writer refuses to commit while a country is
-    half-written.
+    once; the distributed coordinator hands it pre-serialized record lines
+    decoded from worker result files (:meth:`commit_serialized`).  The sink
+    opens a writer *section* per country lazily on the country's first
+    record and closes it via :meth:`finish_country`, so a country's lines
+    land contiguously no matter how many windows they arrive in, and the
+    writer refuses to commit while a country is half-written.
 
     It also observes the record flow: ``committed`` (total records),
     ``first_record_s`` (time from sink creation to the first committed
@@ -777,24 +806,52 @@ class _RecordSink:
         """Commit a rank-contiguous batch of ``country_code`` records."""
         if not records:
             return
-        if self.first_record_s is None:
-            self.first_record_s = time.perf_counter() - self._started
-        if len(records) > self.buffer_peak:
-            self.buffer_peak = len(records)
+        self._observe(len(records))
         if self.writer is not None:
-            if self._open_country != country_code:
-                self.writer.begin_section(country_code)
-                self._open_country = country_code
+            self._enter_section(country_code)
             self.writer.write_many(records)
         if self.dataset is not None:
             self.dataset.extend(records)
         self.committed += len(records)
+
+    def commit_serialized(self, country_code: str, lines: Sequence[str]) -> None:
+        """Commit pre-serialized record lines (no in-memory accumulation).
+
+        Distributed workers serialize each accepted record exactly as
+        :meth:`StreamingDatasetWriter.write` would, so the coordinator can
+        merge them into the stream verbatim — byte-identical to a
+        single-host build without reconstructing :class:`SiteRecord`\\ s.
+        """
+        if not lines:
+            return
+        if self.writer is None:
+            raise ValueError("commit_serialized requires a stream writer")
+        self._observe(len(lines))
+        self._enter_section(country_code)
+        for line in lines:
+            self.writer.write_serialized(line)
+        self.committed += len(lines)
+
+    def _observe(self, batch: int) -> None:
+        if self.first_record_s is None:
+            self.first_record_s = time.perf_counter() - self._started
+        if batch > self.buffer_peak:
+            self.buffer_peak = batch
+
+    def _enter_section(self, country_code: str) -> None:
+        if self._open_country != country_code:
+            self.writer.begin_section(country_code)
+            self._open_country = country_code
 
     def finish_country(self, country_code: str) -> None:
         """Close the country's writer section, if one was opened."""
         if self.writer is not None and self._open_country == country_code:
             self.writer.end_section()
             self._open_country = None
+
+
+#: Backwards-compatible private alias (the sink predates the dist package).
+_RecordSink = RecordSink
 
 
 class LangCrUXPipeline:
@@ -887,7 +944,7 @@ class LangCrUXPipeline:
         backend = executor if executor is not None else self._executor()
         dataset = LangCrUXDataset()
         writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
-        sink = _RecordSink(writer, dataset if keep_in_memory else None)
+        sink = RecordSink(writer, dataset if keep_in_memory else None)
         totals = _RunTotals()
         if self.config.sub_shard_size is not None:
             shard_stream = self._run_subsharded(backend, web, crux, sink, totals,
@@ -938,7 +995,7 @@ class LangCrUXPipeline:
                               record_buffer_peak=sink.buffer_peak)
 
     def _run_country_shards(self, backend: PipelineExecutor, web: SyntheticWeb,
-                            crux: CruxTable, sink: _RecordSink,
+                            crux: CruxTable, sink: RecordSink,
                             ) -> Iterator[tuple[CountryShard, ShardMetrics]]:
         """Dispatch whole-country shards, yielding them in configured order.
 
@@ -965,7 +1022,7 @@ class LangCrUXPipeline:
             yield shard, metric
 
     def _run_subsharded(self, backend: PipelineExecutor, web: SyntheticWeb,
-                        crux: CruxTable, sink: _RecordSink, totals: _RunTotals,
+                        crux: CruxTable, sink: RecordSink, totals: _RunTotals,
                         *, slim_records: bool,
                         ) -> Iterator[tuple[CountryShard, ShardMetrics]]:
         """Dispatch intra-country sub-shards and reassemble country shards.
@@ -993,20 +1050,17 @@ class LangCrUXPipeline:
         """
         config = self.config
         assert config.sub_shard_size is not None
-        specs: list[SelectionSubShard] = []
+        specs = plan_selection_windows(config, crux)
         states: dict[str, _CountryMergeState] = {}
         for position, country in enumerate(config.countries):
-            windows = plan_chunks(crux.size(country), config.sub_shard_size)
             states[country] = _CountryMergeState(
                 country_code=country, index=position,
                 committer=RankOrderCommitter(config.sites_per_country,
                                              config.language_threshold,
                                              country_code=country),
-                remaining_chunks=len(windows))
-            specs.extend(
-                SelectionSubShard(country_code=country, chunk_index=chunk_index,
-                                  start=start, stop=stop)
-                for chunk_index, (start, stop) in enumerate(windows))
+                remaining_chunks=0)
+        for spec in specs:
+            states[spec.country_code].remaining_chunks += 1
         filled: set[str] = set()
         if isinstance(backend, ProcessExecutor):
             # Workers in other processes cannot observe the live flag (and

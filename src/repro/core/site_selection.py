@@ -55,6 +55,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro import perf
 from repro.core.executor import PipelineExecutor, plan_chunks
 from repro.crawler.crawler import LangCruxCrawler
 from repro.crawler.fetcher import run_coroutine
@@ -268,16 +269,17 @@ class SiteSelector:
 
     def evaluate_window(self, candidates: Iterable[CruxEntry], start: int, stop: int,
                         *, max_in_flight: int = 1) -> list[CandidateEvaluation]:
-        """Evaluate the rank window ``[start, stop)`` of ``candidates``."""
-        if max_in_flight > 1:
-            entry_list = list(candidates)
-            records = self._chunk_crawler().crawl_batch(
-                entry_list, self.language_code, max_in_flight=max_in_flight,
-                window=(start, stop))
-            return [self._evaluation(entry, record)
-                    for entry, record in zip(entry_list[start:stop], records)]
-        return self.evaluate_chunk(itertools.islice(candidates, start, stop),
-                                   max_in_flight=max_in_flight)
+        """Evaluate the rank window ``[start, stop)`` of ``candidates``.
+
+        Only the window itself is ever materialized: resident entry state
+        is O(stop - start) regardless of ``max_in_flight``, so deeply
+        speculative workers (distributed crawls hand every worker a large
+        ``max_in_flight``) cannot regrow an O(ranking) memory term per
+        window.  The ``sel.window_entries_peak`` gauge pins that bound.
+        """
+        entry_list = list(itertools.islice(candidates, start, stop))
+        perf.gauge("sel.window_entries_peak", float(len(entry_list)))
+        return self.evaluate_chunk(entry_list, max_in_flight=max_in_flight)
 
     # -- the walks ----------------------------------------------------------------
 

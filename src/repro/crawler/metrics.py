@@ -43,6 +43,7 @@ class TransportMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    cache_rescans: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()

@@ -542,6 +542,83 @@ def _cache_key(request: Request) -> str:
     return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
 
+class _ManifestIndex:
+    """A key → entry view over a cache directory's manifests.
+
+    Loading parses every ``manifest-*.jsonl`` once; :meth:`refresh_and_get`
+    then picks up *growth* — manifests appended (or newly created) by other
+    writers, including other processes — by re-reading only the bytes past
+    each file's consumed offset.  Only complete lines are consumed: a
+    concurrently flushed half-line stays pending and is read once its
+    newline lands, so a rescan can never mis-parse a torn tail that a later
+    rescan would have understood.
+
+    One instance is shared per (process, directory) by
+    :class:`CachingTransport`; all access is serialized on an internal
+    lock, so concurrent transports (thread-backend windows) can share it.
+    """
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.cache_dir = cache_dir
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict] = {}
+        self._offsets: dict[str, int] = {}
+        with self._lock:
+            self._scan_locked()
+
+    def get(self, key: str) -> dict | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, entry: dict) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    def refresh_and_get(self, key: str) -> dict | None:
+        """Rescan the directory for manifest growth, then look up ``key``."""
+        with self._lock:
+            self._scan_locked()
+            return self._entries.get(key)
+
+    def snapshot(self) -> dict[str, dict]:
+        """A copy of the merged index (used by :func:`compact_cache`)."""
+        with self._lock:
+            return dict(self._entries)
+
+    def _scan_locked(self) -> None:
+        for manifest in sorted(self.cache_dir.glob("manifest-*.jsonl")):
+            name = manifest.name
+            offset = self._offsets.get(name, 0)
+            try:
+                size = manifest.stat().st_size
+            except OSError:
+                continue  # deleted between glob and stat (e.g. compaction)
+            if size < offset:
+                offset = 0  # truncated/replaced (compaction); re-read it all
+            if size <= offset:
+                continue
+            try:
+                with manifest.open("rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+            except OSError:
+                continue
+            complete = data.rfind(b"\n")
+            if complete < 0:
+                continue  # nothing but a torn tail so far
+            self._offsets[name] = offset + complete + 1
+            for line in data[:complete].split(b"\n"):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue  # torn interior line of a crashed writer
+                if isinstance(entry, dict) and "key" in entry:
+                    self._entries[entry["key"]] = entry
+
+
 class CachingTransport:
     """An on-disk crawl cache around any :class:`AsyncTransport`.
 
@@ -570,62 +647,90 @@ class CachingTransport:
     run is byte-identical to the run that populated the cache.
 
     With ``shared_index`` (the default) every instance in the process
-    pointing at one directory shares a single in-memory key index: the
-    manifests on disk are parsed once per process, not once per instance —
-    a sub-sharded run builds one transport stack per window, and without
-    sharing, window *k* would re-read the *k-1* manifests earlier windows
-    wrote (O(n²) over a run).  Entries written by *other* processes after
-    the first load are not observed, which is benign: an unseen entry is
-    just a miss, and the re-fetch stores idempotent content.  Pass
-    ``shared_index=False`` to force a private, freshly loaded index (the
-    persistence tests do, to exercise the disk path).
+    pointing at one directory shares a single in-memory
+    :class:`_ManifestIndex`: the manifests on disk are parsed once per
+    process, not once per instance — a sub-sharded run builds one transport
+    stack per window, and without sharing, window *k* would re-read the
+    *k-1* manifests earlier windows wrote (O(n²) over a run).  Before
+    declaring a *miss* the index rescans the directory for manifest growth,
+    so entries appended by other writers — thread-backend siblings and,
+    crucially, other worker *processes* of a distributed crawl — are
+    observed without restarting the process; only a genuinely-new fetch
+    pays the network.  Pass ``shared_index=False`` for a private index
+    (same rescan behaviour, no cross-instance sharing — the persistence
+    tests use it to exercise the disk path).
+
+    ``fsync`` sets the manifest durability policy, mirroring
+    :class:`~repro.core.dataset.StreamingDatasetWriter`'s knob: ``"close"``
+    (the default) fsyncs the manifest once when the transport closes, so a
+    crash mid-run can persist content-addressed bodies whose manifest lines
+    were lost (warm re-runs re-fetch them; ``cache-compact`` sweeps them);
+    ``"entry"`` fsyncs after every append, bounding the loss to the torn
+    tail line — what distributed workers use, since their windows are
+    declared complete while the process keeps running.
     """
 
-    #: Per-process shared key indexes, one per resolved cache directory.
-    _SHARED_INDEXES: dict[Path, dict[str, dict]] = {}
+    #: Accepted manifest ``fsync`` policies.
+    FSYNC_POLICIES = ("close", "entry")
+
+    #: Per-process shared manifest indexes, one per resolved cache directory.
+    _SHARED_INDEXES: dict[Path, _ManifestIndex] = {}
     _SHARED_LOCK = threading.Lock()
 
     def __init__(self, inner: AsyncTransport, cache_dir: str | Path, *,
                  metrics: TransportMetrics | None = None,
-                 refresh: bool = False, shared_index: bool = True) -> None:
+                 refresh: bool = False, shared_index: bool = True,
+                 fsync: str = "close") -> None:
+        if fsync not in self.FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {fsync!r}; "
+                             f"expected one of {self.FSYNC_POLICIES}")
         self.inner = inner
         self.cache_dir = Path(cache_dir)
         self.metrics = metrics
         self.refresh = refresh
+        self.fsync = fsync
         self._objects = self.cache_dir / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
         if refresh:
-            self._index: dict[str, dict] = {}
+            # A refreshing transport deliberately ignores what is on disk
+            # (and remembers only its own stores, privately).
+            self._manifests: _ManifestIndex | None = None
+            self._own_entries: dict[str, dict] = {}
         elif shared_index:
             key = self.cache_dir.resolve()
             with self._SHARED_LOCK:
                 index = self._SHARED_INDEXES.get(key)
                 if index is None:
-                    index = self._SHARED_INDEXES[key] = self._load_manifests()
-            self._index = index
+                    index = self._SHARED_INDEXES[key] = _ManifestIndex(self.cache_dir)
+            self._manifests = index
+            self._own_entries = {}
         else:
-            self._index = self._load_manifests()
+            self._manifests = _ManifestIndex(self.cache_dir)
+            self._own_entries = {}
         self._manifest_handle = None
         self._lock = threading.Lock()
         self._closed = False
 
     # -- manifest persistence ----------------------------------------------------
 
-    def _load_manifests(self) -> dict[str, dict]:
-        index: dict[str, dict] = {}
-        for manifest in sorted(self.cache_dir.glob("manifest-*.jsonl")):
-            with manifest.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn tail of a crashed writer
-                    if isinstance(entry, dict) and "key" in entry:
-                        index[entry["key"]] = entry
-        return index
+    def _lookup(self, key: str) -> dict | None:
+        if self._manifests is None:
+            return self._own_entries.get(key)
+        return self._manifests.get(key)
+
+    def _lookup_rescan(self, key: str) -> dict | None:
+        """Second-chance lookup: rescan the directory before a real miss."""
+        if self._manifests is None:
+            return None
+        if self.metrics is not None:
+            self.metrics.add("cache_rescans")
+        return self._manifests.refresh_and_get(key)
+
+    def _remember(self, key: str, entry: dict) -> None:
+        if self._manifests is None:
+            self._own_entries[key] = entry
+        else:
+            self._manifests.put(key, entry)
 
     def _append_manifest(self, entry: dict) -> None:
         with self._lock:
@@ -638,11 +743,15 @@ class CachingTransport:
             self._manifest_handle.write(json.dumps(entry, ensure_ascii=False))
             self._manifest_handle.write("\n")
             self._manifest_handle.flush()
+            if self.fsync == "entry":
+                os.fsync(self._manifest_handle.fileno())
 
     def close(self) -> None:
         with self._lock:
             self._closed = True
             if self._manifest_handle is not None:
+                self._manifest_handle.flush()
+                os.fsync(self._manifest_handle.fileno())
                 self._manifest_handle.close()
                 self._manifest_handle = None
 
@@ -679,7 +788,13 @@ class CachingTransport:
 
     async def send(self, request: Request) -> Response:
         key = _cache_key(request)
-        entry = self._index.get(key)
+        entry = self._lookup(key)
+        if entry is None:
+            # Another writer — a sibling thread's transport, or another
+            # *process* sharing the cache directory — may have appended a
+            # manifest since the last scan; re-reading a few file tails is
+            # far cheaper than re-fetching, so check before declaring a miss.
+            entry = self._lookup_rescan(key)
         if entry is not None:
             response = self._response_from(request, entry)
             if response is not None:
@@ -697,10 +812,91 @@ class CachingTransport:
                      "body_sha": body_sha, "elapsed_ms": response.elapsed_ms,
                      "served_variant": response.served_variant}
             self._append_manifest(entry)
-            self._index[key] = entry
+            self._remember(key, entry)
             if self.metrics is not None:
                 self.metrics.add("cache_stores")
         return response
+
+
+# -- cache maintenance --------------------------------------------------------------
+
+
+#: Name of the folded manifest :func:`compact_cache` produces.
+COMPACTED_MANIFEST = "manifest-00-compacted.jsonl"
+
+
+@dataclass
+class CacheCompactionStats:
+    """What one :func:`compact_cache` pass did."""
+
+    manifests_folded: int = 0
+    entries: int = 0
+    orphan_bodies_removed: int = 0
+    bytes_reclaimed: int = 0
+
+    def summary_lines(self) -> list[str]:
+        return [f"folded {self.manifests_folded} manifests into 1 "
+                f"({self.entries} entries)",
+                f"swept {self.orphan_bodies_removed} orphaned bodies "
+                f"({self.bytes_reclaimed} bytes reclaimed)"]
+
+
+def compact_cache(cache_dir: str | Path, *,
+                  sweep_orphans: bool = True) -> CacheCompactionStats:
+    """Fold every per-writer manifest into one; optionally sweep orphans.
+
+    A long-lived or distributed crawl leaves one ``manifest-*.jsonl`` per
+    writer (every transport stack of every window of every worker process),
+    so the load path re-parses an ever-growing file set.  Compaction merges
+    them — same last-file-wins semantics as loading — into a single
+    deterministic (key-sorted) manifest written with the temp-file +
+    ``os.replace`` + fsync pattern, then deletes the originals; a crash in
+    between leaves duplicates that load idempotently.
+
+    With ``sweep_orphans`` the content-addressed body store is swept too:
+    any body (or abandoned ``.partial`` temp) not referenced by the merged
+    index is deleted.  Orphans are what a crash between a body store and
+    its manifest fsync leaves behind — persisted payloads no manifest line
+    claims, which warm re-runs would silently re-fetch forever.
+
+    This is an *offline* maintenance operation: run it when no writer is
+    actively storing into the directory, or a just-stored body whose
+    manifest line is still in flight could be swept as an orphan.
+    """
+    cache_dir = Path(cache_dir)
+    index = _ManifestIndex(cache_dir)
+    entries = index.snapshot()
+    target = cache_dir / COMPACTED_MANIFEST
+    originals = [path for path in sorted(cache_dir.glob("manifest-*.jsonl"))
+                 if path != target]
+    stats = CacheCompactionStats(manifests_folded=len(originals) + int(target.exists()),
+                                 entries=len(entries))
+    descriptor, partial = tempfile.mkstemp(dir=cache_dir, prefix=".compact-",
+                                           suffix=".partial")
+    with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+        for key in sorted(entries):
+            handle.write(json.dumps(entries[key], ensure_ascii=False))
+            handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(partial, target)
+    for path in originals:
+        path.unlink(missing_ok=True)
+    if sweep_orphans:
+        referenced = {entry.get("body_sha") for entry in entries.values()}
+        objects = cache_dir / "objects"
+        if objects.is_dir():
+            for path in sorted(objects.glob("*/*")):
+                if not path.is_file() or path.name in referenced:
+                    continue
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue
+                stats.orphan_bodies_removed += 1
+                stats.bytes_reclaimed += size
+    return stats
 
 
 # -- composition --------------------------------------------------------------------
@@ -758,7 +954,8 @@ def build_transport_stack(base: AsyncTransport, *,
                           respect_robots: bool = False,
                           user_agent: str = "LangCruxBot/1.0",
                           cache_dir: str | Path | None = None,
-                          refresh_cache: bool = False) -> TransportStack:
+                          refresh_cache: bool = False,
+                          cache_fsync: str = "close") -> TransportStack:
     """Compose the transport layers around ``base``.
 
     Bottom-up: ``base`` → instrumentation → politeness (when rate limiting,
@@ -785,7 +982,7 @@ def build_transport_stack(base: AsyncTransport, *,
                                       metrics=stack_metrics)
     if cache_dir is not None:
         caching = CachingTransport(transport, cache_dir, metrics=stack_metrics,
-                                   refresh=refresh_cache)
+                                   refresh=refresh_cache, fsync=cache_fsync)
         closers.insert(0, caching.close)
         transport = caching
     return TransportStack(transport=transport, metrics=stack_metrics,

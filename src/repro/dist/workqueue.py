@@ -1,0 +1,322 @@
+"""The on-disk coordination protocol of a distributed crawl.
+
+A *queue directory* — any directory every participant can reach (local
+disk for ``--workers N``, a shared mount for multi-host) — is the only
+channel between the coordinator and its workers.  Layout::
+
+    queue-dir/
+      build.json                 # serialized PipelineConfig + format version
+      windows/window-00042.json  # one planned SelectionSubShard per file
+      leases/window-00042.json   # claim marker: {worker, claimed_at}
+      results/window-00042.json  # committed window result (atomic)
+      markers/filled-<country>   # country quota filled; skip its windows
+      markers/done               # run over; workers exit
+
+Protocol rules, each load-bearing for crash safety:
+
+* **Claims** are ``O_CREAT | O_EXCL`` creations of the lease file — the
+  filesystem arbitrates racing workers.  The claim holder touches the
+  lease file (``os.utime``) on a heartbeat; a lease whose mtime age
+  exceeds the coordinator's timeout is *stale* (its worker was SIGKILLed
+  or hung) and is reaped, which re-opens the window for claiming.
+* **Results** are committed via temp-file + ``os.replace`` into the same
+  directory, so a result file either exists completely or not at all;
+  readers treat unparseable results (a torn write by a non-conforming
+  writer, or partial disk) as absent and delete them.  Duplicate
+  completions are harmless: window evaluation is pure, so both writers
+  produce identical payloads and the second ``os.replace`` is a no-op in
+  effect — this is what makes re-issued windows idempotent.
+* **Markers** are empty files; creation is idempotent.  ``build.json`` is
+  written *after* the window files, so a worker that sees it sees the
+  whole plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.pipeline import PipelineConfig, SelectionSubShard
+
+#: Bumped when the queue-dir layout or result payload shape changes;
+#: participants refuse to join a queue speaking a different version.
+QUEUE_FORMAT = 1
+
+_WINDOW_PREFIX = "window-"
+
+
+def write_json_atomic(path: Path, payload: dict, *, fsync: bool = True) -> None:
+    """Write ``payload`` as JSON so that ``path`` is never observed torn.
+
+    The bytes go to a temp file in the destination directory first (same
+    filesystem, so the final ``os.replace`` is atomic), optionally fsynced
+    so a committed file cannot lose its tail to a crash.
+    """
+    descriptor, partial = tempfile.mkstemp(dir=path.parent,
+                                           prefix=f".{path.name}.",
+                                           suffix=".partial")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, ensure_ascii=False, separators=(",", ":"))
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(partial, path)
+    except BaseException:
+        try:
+            os.unlink(partial)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> dict | None:
+    """Read a JSON object from ``path``; ``None`` when missing or torn."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def config_to_dict(config: PipelineConfig) -> dict:
+    """Serialize a :class:`PipelineConfig` for ``build.json``.
+
+    Normalized to JSON-native types (the countries tuple becomes a list)
+    so a payload compares equal before and after the disk round trip.
+    """
+    payload = dataclasses.asdict(config)
+    payload["countries"] = list(payload["countries"])
+    return payload
+
+
+def config_from_dict(payload: dict) -> PipelineConfig:
+    """Rebuild a :class:`PipelineConfig` from :func:`config_to_dict` output.
+
+    Unknown keys are ignored so a queue written by a slightly newer build
+    (new config knob with a default) still loads; the format version guards
+    real incompatibilities.
+    """
+    names = {field.name for field in dataclasses.fields(PipelineConfig)}
+    kwargs = {key: value for key, value in payload.items() if key in names}
+    if "countries" in kwargs:
+        kwargs["countries"] = tuple(kwargs["countries"])
+    return PipelineConfig(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class QueuedWindow:
+    """One planned window with its queue identity.
+
+    ``index`` is the window's position in :func:`plan_selection_windows`
+    order — country-major, rank-ascending — so sorting window files by name
+    recovers the exact merge order on every participant.
+    """
+
+    index: int
+    spec: SelectionSubShard
+
+    @property
+    def window_id(self) -> str:
+        return f"{_WINDOW_PREFIX}{self.index:05d}"
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, **dataclasses.asdict(self.spec)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueuedWindow":
+        return cls(index=payload["index"],
+                   spec=SelectionSubShard(country_code=payload["country_code"],
+                                          chunk_index=payload["chunk_index"],
+                                          start=payload["start"],
+                                          stop=payload["stop"]))
+
+
+@dataclasses.dataclass
+class Lease:
+    """A held claim on one window (see :meth:`WorkQueue.try_claim`)."""
+
+    path: Path
+    worker: str
+
+    def heartbeat(self) -> bool:
+        """Refresh the lease's mtime; ``False`` if it was reaped meanwhile."""
+        try:
+            os.utime(self.path)
+        except OSError:
+            return False
+        return True
+
+    def release(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+class WorkQueue:
+    """One participant's handle on a queue directory.
+
+    Stateless apart from the resolved paths: every query goes to the
+    filesystem, so any number of processes (coordinator included) can hold
+    a handle on the same directory concurrently.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.build_path = self.root / "build.json"
+        self.windows_dir = self.root / "windows"
+        self.leases_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        self.markers_dir = self.root / "markers"
+
+    # -- coordinator side -------------------------------------------------------
+
+    def initialize(self, config: PipelineConfig,
+                   specs: list[SelectionSubShard]) -> list[QueuedWindow]:
+        """Lay out the queue for a build and publish its plan.
+
+        Window files land first and ``build.json`` last, so its existence
+        signals a complete plan.  Re-initializing an existing queue with
+        the *same* config is allowed and keeps prior results — results are
+        pure functions of (config, window), so a crashed coordinator's
+        results are warm work, not hazards.  A different config raises:
+        stale results would silently corrupt the merge.
+        """
+        existing = read_json(self.build_path)
+        if existing is not None:
+            if (existing.get("format") != QUEUE_FORMAT
+                    or existing.get("config") != config_to_dict(config)):
+                raise ValueError(
+                    f"queue dir {self.root} already holds a different build; "
+                    "use a fresh --queue-dir (or delete this one)")
+        for directory in (self.root, self.windows_dir, self.leases_dir,
+                          self.results_dir, self.markers_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        # A leftover done marker from a previous (crashed or finished) run
+        # of the same config would make fresh workers exit immediately.
+        try:
+            (self.markers_dir / "done").unlink()
+        except OSError:
+            pass
+        windows = [QueuedWindow(index=index, spec=spec)
+                   for index, spec in enumerate(specs)]
+        for window in windows:
+            write_json_atomic(self.windows_dir / f"{window.window_id}.json",
+                              window.to_dict(), fsync=False)
+        write_json_atomic(self.build_path,
+                          {"format": QUEUE_FORMAT, "config": config_to_dict(config)})
+        return windows
+
+    def reap_stale_leases(self, timeout_s: float) -> list[str]:
+        """Remove leases whose heartbeat stopped; returns their window ids.
+
+        A reaped lease re-opens its window for claiming — the recovery
+        path for SIGKILLed/hung workers.  Safe against the races inherent
+        in the protocol: if the original worker was merely slow and still
+        commits its result, the duplicate evaluation is byte-identical
+        (window purity) and result commits are idempotent.
+        """
+        now = time.time()
+        reaped: list[str] = []
+        try:
+            leases = sorted(self.leases_dir.iterdir())
+        except OSError:
+            return reaped
+        for path in leases:
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:  # released/reaped concurrently
+                continue
+            if age <= timeout_s:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            reaped.append(path.stem)
+        return reaped
+
+    def mark_filled(self, country_code: str) -> None:
+        (self.markers_dir / f"filled-{country_code}").touch()
+
+    def mark_done(self) -> None:
+        self.markers_dir.mkdir(parents=True, exist_ok=True)
+        (self.markers_dir / "done").touch()
+
+    # -- worker side ------------------------------------------------------------
+
+    def wait_for_build(self, *, timeout_s: float = 60.0,
+                       poll_interval_s: float = 0.05) -> PipelineConfig:
+        """Block until ``build.json`` appears; returns the build's config."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = read_json(self.build_path)
+            if payload is not None:
+                if payload.get("format") != QUEUE_FORMAT:
+                    raise ValueError(
+                        f"queue format {payload.get('format')!r} != {QUEUE_FORMAT}")
+                return config_from_dict(payload.get("config", {}))
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"no build.json in {self.root} "
+                                   f"after {timeout_s:.0f}s")
+            time.sleep(poll_interval_s)
+
+    def load_windows(self) -> list[QueuedWindow]:
+        """The planned windows, in plan (merge) order."""
+        windows = []
+        for path in sorted(self.windows_dir.glob(f"{_WINDOW_PREFIX}*.json")):
+            payload = read_json(path)
+            if payload is not None:
+                windows.append(QueuedWindow.from_dict(payload))
+        return windows
+
+    def try_claim(self, window_id: str, worker: str) -> Lease | None:
+        """Attempt to claim a window; ``None`` if someone else holds it.
+
+        ``O_CREAT | O_EXCL`` makes the filesystem the arbiter: exactly one
+        of any number of racing claimants wins.
+        """
+        path = self.lease_path(window_id)
+        try:
+            descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump({"worker": worker, "claimed_at": time.time()}, handle)
+        return Lease(path=path, worker=worker)
+
+    def commit_result(self, window_id: str, payload: dict) -> None:
+        """Atomically publish a window's result (idempotent, crash-safe)."""
+        write_json_atomic(self.result_path(window_id), payload)
+
+    # -- shared queries ---------------------------------------------------------
+
+    def lease_path(self, window_id: str) -> Path:
+        return self.leases_dir / f"{window_id}.json"
+
+    def result_path(self, window_id: str) -> Path:
+        return self.results_dir / f"{window_id}.json"
+
+    def read_result(self, window_id: str) -> dict | None:
+        """The committed result payload, or ``None`` when absent/torn."""
+        return read_json(self.result_path(window_id))
+
+    def filled_countries(self) -> set[str]:
+        try:
+            names = [path.name for path in self.markers_dir.iterdir()]
+        except OSError:
+            return set()
+        return {name[len("filled-"):] for name in names
+                if name.startswith("filled-")}
+
+    def is_done(self) -> bool:
+        return (self.markers_dir / "done").exists()

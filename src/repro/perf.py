@@ -151,6 +151,24 @@ class PerfCounters:
             "gauges": dict(sorted(self.gauges.items())),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerfCounters":
+        """Rebuild a collector from :meth:`as_dict` output.
+
+        The JSON round trip is what lets distributed workers ship their
+        per-window counters home through window-result files; the
+        coordinator merges the rebuilt collectors exactly as the process
+        executor merges pickled ones.
+        """
+        counters = cls(
+            stages={name: StageStat(calls=stat.get("calls", 0),
+                                    seconds=stat.get("seconds", 0.0))
+                    for name, stat in payload.get("stages", {}).items()},
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+        )
+        return counters
+
     def summary_line(self) -> str:
         """One-line per-stage timing summary, hottest stage first."""
         if not self.stages:

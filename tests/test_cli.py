@@ -228,6 +228,57 @@ class TestExport:
         assert "sites" not in payload
 
 
+class TestDistBuild:
+    @pytest.fixture(autouse=True)
+    def worker_pythonpath(self, monkeypatch) -> None:
+        """Spawned workers must import `repro` regardless of pytest's cwd."""
+        import os
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        existing = os.environ.get("PYTHONPATH", "")
+        monkeypatch.setenv(
+            "PYTHONPATH", str(src) + (os.pathsep + existing if existing else ""))
+
+    def test_dist_build_matches_single_host_bytes(self, tmp_path: Path,
+                                                  capsys) -> None:
+        single = tmp_path / "single.jsonl"
+        assert main(["build", "--output", str(single), "--sites-per-country",
+                     "3", "--countries", "bd", "--seed", "29",
+                     "--sub-shard-size", "2"]) == 0
+        dist = tmp_path / "dist.jsonl"
+        exit_code = main(["dist-build", "--queue-dir", str(tmp_path / "queue"),
+                          "--output", str(dist), "--workers", "2",
+                          "--sites-per-country", "3", "--countries", "bd",
+                          "--seed", "29", "--sub-shard-size", "2"])
+        assert exit_code == 0
+        assert dist.read_bytes() == single.read_bytes()
+        captured = capsys.readouterr().out
+        assert "streamed 3 site records" in captured
+        assert "re-issued" in captured
+
+    def test_cache_compact_after_dist_build(self, tmp_path: Path,
+                                            capsys) -> None:
+        queue_dir = tmp_path / "queue"
+        assert main(["dist-build", "--queue-dir", str(queue_dir),
+                     "--output", str(tmp_path / "dist.jsonl"),
+                     "--workers", "2", "--sites-per-country", "3",
+                     "--countries", "bd", "--seed", "29",
+                     "--sub-shard-size", "2"]) == 0
+        capsys.readouterr()
+        # Two workers → at least one manifest each; compaction folds them.
+        assert main(["cache-compact", str(queue_dir / "crawl-cache")]) == 0
+        captured = capsys.readouterr().out
+        assert "manifests" in captured
+        # Idempotent: a second pass folds the single compacted manifest.
+        assert main(["cache-compact", str(queue_dir / "crawl-cache"),
+                     "--no-sweep"]) == 0
+
+    def test_cache_compact_rejects_missing_directory(self, tmp_path: Path,
+                                                     capsys) -> None:
+        assert main(["cache-compact", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_is_an_error(self) -> None:
         with pytest.raises(SystemExit):

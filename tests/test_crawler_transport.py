@@ -477,24 +477,117 @@ class TestCachingTransport:
 
     def test_shared_index_loads_manifests_once_per_directory(self, tmp_path,
                                                              monkeypatch) -> None:
+        from repro.crawler.transport import _ManifestIndex
+
         writer = CachingTransport(ScriptedTransport(), tmp_path)
         _send(writer, _request("one.example"))
         writer.close()
-        loads = {"count": 0}
-        original = CachingTransport._load_manifests
+        scans = {"count": 0}
+        original = _ManifestIndex._scan_locked
 
-        def counting_load(self):
-            loads["count"] += 1
+        def counting_scan(self):
+            scans["count"] += 1
             return original(self)
 
-        monkeypatch.setattr(CachingTransport, "_load_manifests", counting_load)
+        monkeypatch.setattr(_ManifestIndex, "_scan_locked", counting_scan)
         # Many instances over one directory — the sub-sharded pipeline's
-        # shape — must not re-parse the manifests per instance.
+        # shape — must not re-parse the manifests per instance, and a cache
+        # *hit* must not trigger a rescan either.
         for _ in range(5):
             reader = CachingTransport(ScriptedTransport(), tmp_path)
             assert _send(reader, _request("one.example")).status == 200
             reader.close()
-        assert loads["count"] == 0  # the writer's load populated the share
+        assert scans["count"] == 0  # the writer's load populated the share
+
+    def test_shared_index_observes_manifests_appended_by_other_writers(
+            self, tmp_path) -> None:
+        # Two transports over one cache directory: the first send populates
+        # the per-process shared index for the directory; a manifest that
+        # appears *afterwards* (here written externally, as another worker
+        # process would) must be picked up before declaring a miss.
+        first = CachingTransport(ScriptedTransport(), tmp_path)
+        _send(first, _request("one.example"))
+        first.close()
+        foreign_inner = ScriptedTransport(script={"https://two.example/": [
+            Response(url=URL.parse("https://two.example/"), status=200,
+                     headers=Headers({"content-type": "text/html"}),
+                     body="<html>foreign</html>")]})
+        foreign = CachingTransport(foreign_inner, tmp_path, shared_index=False)
+        _send(foreign, _request("two.example"))
+        foreign.close()
+        reader_inner = ScriptedTransport()
+        reader = CachingTransport(reader_inner, tmp_path)
+        response = _send(reader, _request("two.example"))
+        reader.close()
+        assert response.status == 200
+        assert "foreign" in response.body
+        assert reader_inner.sent == []  # served from the rescanned manifest
+
+    def test_rescan_picks_up_lines_appended_to_an_existing_manifest(
+            self, tmp_path) -> None:
+        # Growth of an already-scanned manifest file (append, not a new
+        # file) must be observed too — directory mtime alone would miss it.
+        writer = CachingTransport(ScriptedTransport(), tmp_path)
+        _send(writer, _request("one.example"))
+        reader_inner = ScriptedTransport()
+        reader = CachingTransport(reader_inner, tmp_path, shared_index=False)
+        assert _send(reader, _request("one.example")).status == 200
+        _send(writer, _request("two.example"))  # appends to the same manifest
+        writer.close()
+        assert _send(reader, _request("two.example")).status == 200
+        reader.close()
+        assert reader_inner.sent == []
+
+    def test_manifest_fsync_policies(self, tmp_path) -> None:
+        with pytest.raises(ValueError):
+            CachingTransport(ScriptedTransport(), tmp_path, fsync="always")
+        entry_synced = CachingTransport(ScriptedTransport(), tmp_path,
+                                        fsync="entry", shared_index=False)
+        _send(entry_synced, _request("one.example"))
+        # The line must be durable (at least flushed) before close.
+        manifests = list(tmp_path.glob("manifest-*.jsonl"))
+        assert len(manifests) == 1
+        assert "one.example" in manifests[0].read_text(encoding="utf-8")
+        entry_synced.close()
+
+    def test_compact_cache_folds_manifests_and_sweeps_orphans(self, tmp_path) -> None:
+        from repro.crawler.transport import COMPACTED_MANIFEST, compact_cache
+
+        for domain in ("one.example", "two.example", "three.example"):
+            writer = CachingTransport(ScriptedTransport(), tmp_path,
+                                      shared_index=False)
+            _send(writer, _request(domain))
+            writer.close()
+        assert len(list(tmp_path.glob("manifest-*.jsonl"))) == 3
+        # An orphaned body: persisted content no manifest line references —
+        # what a crash between body store and manifest fsync leaves behind.
+        orphan_dir = tmp_path / "objects" / "ff"
+        orphan_dir.mkdir(parents=True, exist_ok=True)
+        orphan = orphan_dir / ("ff" + "0" * 62)
+        orphan.write_text("orphaned body", encoding="utf-8")
+
+        stats = compact_cache(tmp_path)
+        assert stats.manifests_folded == 3
+        assert stats.entries == 3
+        assert stats.orphan_bodies_removed == 1
+        assert stats.bytes_reclaimed == len("orphaned body")
+        assert not orphan.exists()
+        manifests = list(tmp_path.glob("manifest-*.jsonl"))
+        assert [path.name for path in manifests] == [COMPACTED_MANIFEST]
+
+        # The compacted cache still serves every entry, from disk.
+        reader_inner = ScriptedTransport()
+        reader = CachingTransport(reader_inner, tmp_path, shared_index=False)
+        for domain in ("one.example", "two.example", "three.example"):
+            assert _send(reader, _request(domain)).status == 200
+        reader.close()
+        assert reader_inner.sent == []
+
+        # Compaction is idempotent (and keeps serving after a second pass).
+        again = compact_cache(tmp_path)
+        assert again.manifests_folded == 1
+        assert again.entries == 3
+        assert again.orphan_bodies_removed == 0
 
 
 class TestComposition:
