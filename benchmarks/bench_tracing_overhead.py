@@ -1,0 +1,93 @@
+"""Tracing overhead — the cost of running a build with spans enabled.
+
+The observability PR wires :mod:`repro.obs.trace` through every pipeline
+stage, transport request and dataset commit.  Its contract is twofold:
+
+* **byte parity** — the dataset JSONL of a traced build is identical to
+  an untraced build of the same config (all telemetry is out-of-band);
+* **bounded overhead** — with the default 1ms write threshold for
+  perf-hook spans, the traced build's wall clock stays within a few
+  percent of the untraced one.
+
+This harness runs full (small) builds with and without a trace
+directory, interleaved and best-of-N to shed GC pressure and machine
+noise, asserts the bytes match unconditionally, and reports the
+wall-clock overhead plus the span volume the traced runs produced.
+
+Set ``LANGCRUX_BENCH_ASSERT_SPEEDUP=0`` to demote the overhead gate to a
+report-only line (CI does this: shared runners are too noisy for
+wall-clock gates) — byte parity is always asserted.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from repro.core.pipeline import LangCrUXPipeline, PipelineConfig
+from repro.obs import trace as obs_trace
+from repro.obs.tree import assemble_trace, load_trace_records
+
+#: Maximum traced/untraced wall-clock overhead, in percent (the PR's
+#: acceptance bound; measured locally well below it, the margin absorbs
+#: machine noise).
+MAX_OVERHEAD_PCT = 5.0
+
+ROUNDS = 3
+
+
+def _config(trace_dir: str | None = None) -> PipelineConfig:
+    return PipelineConfig(countries=("bd", "th"), sites_per_country=16,
+                          seed=2025, trace_dir=trace_dir)
+
+
+def _timed_build(config: PipelineConfig, out_path) -> float:
+    gc.collect()
+    started = time.perf_counter()
+    LangCrUXPipeline(config).run(stream_to=out_path, keep_in_memory=False)
+    elapsed = time.perf_counter() - started
+    # A traced run closes its own tracer, but be explicit: the next round
+    # must never inherit this round's writer.
+    obs_trace.disable()
+    return elapsed
+
+
+def test_tracing_overhead_and_byte_parity(reporter, tmp_path) -> None:
+    _timed_build(_config(), tmp_path / "warmup.jsonl")  # warm-up
+
+    plain_s = traced_s = float("inf")
+    plain_path = tmp_path / "plain.jsonl"
+    span_counts = []
+    for round_index in range(ROUNDS):
+        trace_dir = tmp_path / f"trace-{round_index}"
+        traced_path = tmp_path / f"traced-{round_index}.jsonl"
+        traced_s = min(traced_s, _timed_build(
+            _config(trace_dir=str(trace_dir)), traced_path))
+        plain_s = min(plain_s, _timed_build(_config(), plain_path))
+
+        # Byte parity is the invariant, not a perf target: always asserted.
+        assert traced_path.read_bytes() == plain_path.read_bytes()
+        tree = assemble_trace(load_trace_records(trace_dir))
+        assert tree is not None and tree.span_count > 0
+        span_counts.append(tree.span_count)
+
+    overhead_pct = (traced_s / plain_s - 1.0) * 100.0
+    reporter("Tracing overhead — traced vs untraced full build", [
+        f"untraced {plain_s * 1000.0:.1f}ms, traced {traced_s * 1000.0:.1f}ms "
+        f"(overhead {overhead_pct:+.1f}%)",
+        f"byte parity: OK across {ROUNDS} interleaved rounds",
+        f"spans per traced build: {span_counts}",
+    ], data={
+        "config": {"countries": ["bd", "th"], "sites_per_country": 16,
+                   "rounds": ROUNDS},
+        "untraced_s": plain_s,
+        "traced_s": traced_s,
+        "tracing_overhead_pct": overhead_pct,
+        "spans_per_build": span_counts,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+    })
+    if os.environ.get("LANGCRUX_BENCH_ASSERT_SPEEDUP", "1") != "0":
+        assert overhead_pct <= MAX_OVERHEAD_PCT, (
+            f"tracing overhead {overhead_pct:+.1f}% exceeds "
+            f"{MAX_OVERHEAD_PCT:.1f}%")

@@ -35,12 +35,14 @@ Endpoints (all ``GET``):
 ``/explorer/sites``       per-site rows only
 ``/explorer/site/<dom>``  one site's row
 ``/stats``                serving metrics (requests, cache, aggregations)
+``/metrics``              the same story in Prometheus text exposition format
 ========================  ====================================================
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -53,18 +55,28 @@ from repro.api.aggregates import (
     render_json,
 )
 from repro.api.cache import CachedResponse, ResponseCache, etag_matches, make_etag
+from repro.obs.log import get_logger
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from repro.obs.trace import new_trace_id
 
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
 #: Response header reporting whether the body came from the response cache.
 CACHE_STATE_HEADER = "x-langcrux-cache"
 
+#: Request/response header carrying a trace id: echoed back when the client
+#: sent one, generated otherwise, and stamped into the access log either way.
+TRACE_HEADER = "x-langcrux-trace"
+
 #: The route table: path -> (builder name, cacheable).  ``/explorer/site/*``
 #: is matched by prefix; ``/stats`` changes per request and is never cached.
 ENDPOINTS: tuple[str, ...] = (
     "/", "/health", "/analyze", "/mismatch", "/kizuki", "/explorer",
-    "/explorer/countries", "/explorer/sites", "/explorer/site/<domain>", "/stats",
+    "/explorer/countries", "/explorer/sites", "/explorer/site/<domain>",
+    "/stats", "/metrics",
 )
+
+LOG = get_logger("api.access")
 
 
 class ApiError(Exception):
@@ -80,16 +92,22 @@ class ApiError(Exception):
 
 
 class ApiResponse:
-    """One rendered response: status, body bytes, ETag and cache provenance."""
+    """One rendered response: status, body bytes, ETag and cache provenance.
 
-    __slots__ = ("status", "body", "etag", "cache_state")
+    ``content_type`` is ``None`` for the JSON default; ``/metrics`` is the
+    one route that answers a different media type.
+    """
+
+    __slots__ = ("status", "body", "etag", "cache_state", "content_type")
 
     def __init__(self, status: int, body: bytes, etag: str | None = None,
-                 cache_state: str | None = None) -> None:
+                 cache_state: str | None = None,
+                 content_type: str | None = None) -> None:
         self.status = status
         self.body = body
         self.etag = etag
         self.cache_state = cache_state
+        self.content_type = content_type
 
 
 def _int_param(params: Mapping[str, str], name: str, default: int,
@@ -157,6 +175,34 @@ class AnalyticsService:
         self._requests = 0
         self._aggregations = 0
         self._loads = 0
+        self._inflight = 0
+        self._max_workers: int | None = None  # bound by AnalyticsServer
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "langcrux_api_requests_total",
+            "HTTP requests handled, by endpoint and status.",
+            ("endpoint", "status"))
+        self._request_seconds = self.metrics.histogram(
+            "langcrux_api_request_seconds",
+            "Request handling latency in seconds, by endpoint.",
+            ("endpoint",))
+        self._cache_total = self.metrics.counter(
+            "langcrux_api_cache_total",
+            "Response cache lookups, by state (hit/miss).",
+            ("state",))
+        self.metrics.gauge(
+            "langcrux_api_inflight_requests",
+            "Requests currently being handled.",
+            lambda: self._inflight)
+        self.metrics.gauge(
+            "langcrux_api_worker_saturation",
+            "In-flight requests over the worker cap (0..1).",
+            lambda: (self._inflight / self._max_workers
+                     if self._max_workers else 0.0))
+        self.metrics.gauge(
+            "langcrux_api_dataset_loads",
+            "Times the dataset was (re)streamed into aggregates.",
+            lambda: self._loads)
         self._file_stamp = self._stamp()
         self._aggregates = self._load()
 
@@ -205,10 +251,54 @@ class AnalyticsService:
 
     # -- request handling --------------------------------------------------------
 
+    def request_started(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def normalize_endpoint(self, path: str) -> str:
+        """Collapse a request path onto its route for metric labels.
+
+        Per-domain paths share one label value — a scraper must see a
+        bounded label set, not one series per domain in the dataset.
+        """
+        if path in ("/", "/health", "/analyze", "/mismatch", "/kizuki",
+                    "/explorer", "/explorer/countries", "/explorer/sites",
+                    "/stats", "/metrics"):
+            return path
+        if path.startswith("/explorer/site/"):
+            return "/explorer/site/:domain"
+        return "unknown"
+
+    def observe_request(self, path: str, status: int, duration_s: float,
+                        cache_state: str | None, *, trace: str | None = None,
+                        method: str = "GET") -> None:
+        """Record one finished request into the metrics and the access log."""
+        endpoint = self.normalize_endpoint(path)
+        self._requests_total.inc(endpoint=endpoint, status=str(status))
+        self._request_seconds.observe(duration_s, endpoint=endpoint)
+        if cache_state is not None:
+            self._cache_total.inc(state=cache_state)
+        fields = {"method": method, "path": path, "status": status,
+                  "duration_ms": round(duration_s * 1000.0, 3)}
+        if trace is not None:
+            fields["trace"] = trace
+        if cache_state is not None:
+            fields["cache"] = cache_state
+        LOG.info("request", **fields)
+
     def handle(self, path: str, params: Mapping[str, str]) -> ApiResponse:
         """Answer one request; raises :class:`ApiError` for structured failures."""
         with self._lock:
             self._requests += 1
+        if path == "/metrics":
+            # A scrape reads the service, it must not mutate it: no
+            # reload check, no response cache, no ETag.
+            return ApiResponse(200, self.metrics.render().encode("utf-8"),
+                               content_type=PROMETHEUS_CONTENT_TYPE)
         self.maybe_reload()
         aggregates = self._aggregates
         builder, cacheable = self._route(path)
@@ -338,6 +428,7 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self.slots.acquire()
+        self.service.request_started()
         try:
             self._respond()
         except (BrokenPipeError, ConnectionResetError):
@@ -346,44 +437,66 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
             # disconnecting client can never wedge a slot.
             self.close_connection = True
         finally:
+            self.service.request_finished()
             self.slots.release()
 
     def _respond(self) -> None:
         split = urlsplit(self.path)
         params = dict(parse_qsl(split.query, keep_blank_values=True))
+        path = split.path or "/"
+        trace = self.headers.get(TRACE_HEADER) or new_trace_id()
+        started = time.perf_counter()
+        status = 500
+        cache_state = None
         try:
-            response = self.service.handle(split.path or "/", params)
-        except ApiError as error:
-            self._send(error.status, render_json(error.payload()).encode("utf-8"))
-            return
-        except Exception as error:  # noqa: BLE001 - a broken route must answer, not kill the worker
-            fallback = ApiError(500, f"internal error: {error}")
-            self._send(500, render_json(fallback.payload()).encode("utf-8"))
-            return
-        if response.etag is not None:
-            if_none_match = self.headers.get("if-none-match")
-            if if_none_match and etag_matches(if_none_match, response.etag):
-                self._send(304, b"", etag=response.etag, cache_state=response.cache_state)
+            try:
+                response = self.service.handle(path, params)
+            except ApiError as error:
+                status = error.status
+                self._send(status, render_json(error.payload()).encode("utf-8"),
+                           trace=trace)
                 return
-        self._send(response.status, response.body, etag=response.etag,
-                   cache_state=response.cache_state)
+            except Exception as error:  # noqa: BLE001 - a broken route must answer, not kill the worker
+                fallback = ApiError(500, f"internal error: {error}")
+                self._send(500, render_json(fallback.payload()).encode("utf-8"),
+                           trace=trace)
+                return
+            cache_state = response.cache_state
+            if response.etag is not None:
+                if_none_match = self.headers.get("if-none-match")
+                if if_none_match and etag_matches(if_none_match, response.etag):
+                    status = 304
+                    self._send(304, b"", etag=response.etag,
+                               cache_state=cache_state, trace=trace)
+                    return
+            status = response.status
+            self._send(status, response.body, etag=response.etag,
+                       cache_state=cache_state,
+                       content_type=response.content_type, trace=trace)
+        finally:
+            self.service.observe_request(
+                path, status, time.perf_counter() - started, cache_state,
+                trace=trace, method=self.command)
 
     def _send(self, status: int, body: bytes, *, etag: str | None = None,
-              cache_state: str | None = None) -> None:
+              cache_state: str | None = None, content_type: str | None = None,
+              trace: str | None = None) -> None:
         self.send_response(status)
         if status != 304:
-            self.send_header("content-type", JSON_CONTENT_TYPE)
+            self.send_header("content-type", content_type or JSON_CONTENT_TYPE)
         if etag is not None:
             self.send_header("etag", etag)
         if cache_state is not None:
             self.send_header(CACHE_STATE_HEADER, cache_state)
+        if trace is not None:
+            self.send_header(TRACE_HEADER, trace)
         self.send_header("content-length", str(len(body)))
         self.end_headers()
         if body:
             self.wfile.write(body)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # /stats is the observability story
+        pass  # structured access logs come from AnalyticsService.observe_request
 
 
 class AnalyticsServer:
@@ -420,6 +533,7 @@ class AnalyticsServer:
                                             skip_corrupt=skip_corrupt,
                                             auto_reload=auto_reload)
         self.max_workers = max_workers
+        self.service._max_workers = max_workers  # saturation gauge denominator
         handler = type("_BoundApiRequestHandler", (_ApiRequestHandler,),
                        {"service": self.service,
                         "slots": threading.BoundedSemaphore(max_workers)})

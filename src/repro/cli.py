@@ -51,7 +51,20 @@ Four subcommands cover the common workflows:
     (:class:`~repro.api.server.AnalyticsServer`): the dataset is streamed
     once into in-memory aggregates and ``/analyze``, ``/mismatch``,
     ``/kizuki`` and the explorer endpoints answer from them — with response
-    caching, ETag revalidation and bounded worker concurrency.
+    caching, ETag revalidation, bounded worker concurrency, structured
+    access logs and a Prometheus ``/metrics`` exposition.
+
+``langcrux trace``
+    Reassemble the per-process trace files a traced run (``build
+    --trace-dir`` / ``dist-build --trace``) wrote into one span tree —
+    coordinator and workers joined by trace-id propagation — and print it
+    with per-span durations plus the critical path (:mod:`repro.obs.tree`).
+
+``langcrux status``
+    Read the heartbeat snapshots the participants of a (possibly still
+    running) build drop next to their queue/trace directory and print a
+    fleet table: liveness by snapshot age, windows claimed/committed,
+    records streamed, cache hit rate, peak RSS (:mod:`repro.obs.status`).
 
 The ``analyze`` / ``mismatch`` / ``kizuki`` subcommands also take ``--json``
 to emit the exact JSON document the API serves for the same dataset; the
@@ -61,6 +74,7 @@ parity test suite pins the two byte-identical.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -82,6 +96,9 @@ from repro.core.pipeline import (
     build_web_for_config,
 )
 from repro.langid.languages import langcrux_country_codes
+from repro.obs.log import get_logger
+
+LOG = get_logger("cli")
 
 
 def _positive_int(value: str) -> int:
@@ -163,6 +180,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="additionally run the build under cProfile and dump "
                             "the stats to PATH (inspect with pstats or snakeviz); "
                             "implies --profile")
+    build.add_argument("--trace-dir", type=Path, default=None, metavar="DIR",
+                       help="write structured span/event trace files (one JSONL "
+                            "per process) and live status snapshots under DIR; "
+                            "inspect with 'langcrux trace DIR'; the dataset "
+                            "bytes are identical either way")
 
     dist = subparsers.add_parser(
         "dist-build",
@@ -209,6 +231,31 @@ def _build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--profile", action="store_true",
                       help="collect per-worker stage timings/counters and "
                            "coordinator queue counters; print the merged table")
+    dist.add_argument("--trace", action="store_true",
+                      help="trace the build: the coordinator stamps a trace id "
+                           "into build.json, every worker joins it, and "
+                           "QUEUE_DIR/trace holds one span file per process "
+                           "(see 'langcrux trace')")
+    dist.add_argument("--trace-dir", type=Path, default=None, metavar="DIR",
+                      help="where traced runs write their span files "
+                           "(default: QUEUE_DIR/trace; implies --trace)")
+
+    trace = subparsers.add_parser(
+        "trace", help="reassemble a traced run's span files into one tree")
+    trace.add_argument("trace_dir", type=Path, metavar="DIR",
+                       help="a trace directory, or a directory containing one "
+                            "(e.g. a dist-build --trace queue dir)")
+    trace.add_argument("--min-ms", type=float, default=0.0,
+                       help="hide non-root spans shorter than this many "
+                            "milliseconds (default: 0, show everything)")
+    trace.add_argument("--depth", type=int, default=None,
+                       help="maximum tree depth to print (default: unlimited)")
+
+    status = subparsers.add_parser(
+        "status", help="show live heartbeat status of a (running) build")
+    status.add_argument("--queue-dir", type=Path, required=True, metavar="DIR",
+                        help="the run's queue or trace directory (wherever its "
+                             "status/ snapshots land)")
 
     compact = subparsers.add_parser(
         "cache-compact",
@@ -307,6 +354,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         rate_limit=args.rate_limit,
         max_per_host=args.max_per_host,
         profile=args.profile or args.profile_dump is not None,
+        trace_dir=str(args.trace_dir) if args.trace_dir is not None else None,
     )
 
     def _run():
@@ -358,6 +406,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
             print(f"  {line}")
     if args.profile_dump is not None:
         print(f"  wrote cProfile stats to {args.profile_dump}")
+    if args.trace_dir is not None:
+        print(f"  trace written under {args.trace_dir}"
+              f" (inspect with: langcrux trace {args.trace_dir})")
     return 0
 
 
@@ -371,11 +422,14 @@ def _cmd_dist_build(args: argparse.Namespace) -> int:
               f" {stats.idle_s:.1f}s idle)")
         return 0
     if args.workers < 0:
-        print("error: --workers must be >= 0", file=sys.stderr)
+        LOG.error("--workers must be >= 0", workers=args.workers)
         return 2
     countries = tuple(args.countries) if args.countries else langcrux_country_codes()
     crawl_cache = args.crawl_cache if args.crawl_cache is not None \
         else args.queue_dir / "crawl-cache"
+    trace_dir = args.trace_dir
+    if trace_dir is None and args.trace:
+        trace_dir = args.queue_dir / "trace"
     config = PipelineConfig(
         countries=countries,
         sites_per_country=args.sites_per_country,
@@ -387,6 +441,7 @@ def _cmd_dist_build(args: argparse.Namespace) -> int:
         http_gateway=args.http_gateway,
         crawl_cache=str(crawl_cache),
         profile=args.profile,
+        trace_dir=str(trace_dir) if trace_dir is not None else None,
     )
     coordinator = Coordinator(config, args.queue_dir, args.output,
                               workers=args.workers,
@@ -394,7 +449,7 @@ def _cmd_dist_build(args: argparse.Namespace) -> int:
     try:
         result = coordinator.run()
     except DistBuildError as error:
-        print(f"error: {error}", file=sys.stderr)
+        LOG.error(f"distributed build failed: {error}")
         return 1
     print(f"streamed {result.streamed_records} site records to {args.output}")
     for country, outcome in sorted(result.selection_outcomes.items()):
@@ -418,7 +473,7 @@ def _cmd_cache_compact(args: argparse.Namespace) -> int:
     from repro.crawler.transport import compact_cache
 
     if not args.cache_dir.is_dir():
-        print(f"error: {args.cache_dir} is not a directory", file=sys.stderr)
+        LOG.error(f"{args.cache_dir} is not a directory")
         return 2
     stats = compact_cache(args.cache_dir, sweep_orphans=not args.no_sweep)
     for line in stats.summary_lines():
@@ -460,7 +515,7 @@ def _load_aggregates(path: Path):
     try:
         return DatasetAggregates.load(path)
     except DatasetLoadError as error:
-        print(f"error: {error}", file=sys.stderr)
+        LOG.error(str(error))
         raise SystemExit(2)
 
 
@@ -555,7 +610,7 @@ def _cmd_api(args: argparse.Namespace) -> int:
                                  skip_corrupt=args.skip_corrupt,
                                  auto_reload=not args.no_reload)
     except DatasetLoadError as error:
-        print(f"error: {error}", file=sys.stderr)
+        LOG.error(str(error))
         return 2
     with server:
         aggregates = server.service.aggregates
@@ -574,6 +629,37 @@ def _cmd_api(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:  # pragma: no cover - interactive mode
             pass
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tree import assemble_trace, load_trace_records
+
+    if not args.trace_dir.is_dir():
+        LOG.error(f"{args.trace_dir} is not a directory")
+        return 2
+    records = load_trace_records(args.trace_dir)
+    tree = assemble_trace(records)
+    if tree is None or tree.span_count == 0:
+        LOG.error(f"no trace records under {args.trace_dir}"
+                  " (was the run started with --trace / --trace-dir?)")
+        return 1
+    for line in tree.render_lines(min_duration_s=args.min_ms / 1000.0,
+                                  max_depth=args.depth):
+        print(line)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs.status import queue_progress, read_statuses, render_status_lines
+
+    if not args.queue_dir.is_dir():
+        LOG.error(f"{args.queue_dir} is not a directory")
+        return 2
+    snapshots = read_statuses(args.queue_dir)
+    progress = queue_progress(args.queue_dir)
+    for line in render_status_lines(snapshots, progress=progress):
+        print(line)
+    return 0 if snapshots or progress is not None else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -611,8 +697,17 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "serve": _cmd_serve,
         "api": _cmd_api,
+        "trace": _cmd_trace,
+        "status": _cmd_status,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # `langcrux <cmd> | head` closed the pipe mid-print; redirect
+        # stdout at the devnull so the interpreter's shutdown flush does
+        # not raise a second time, and exit as the consumer intended.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - direct execution convenience

@@ -113,6 +113,8 @@ from repro.crawler.vpn import DEFAULT_PROVIDERS, VantagePoint, VPNCoverageError,
 from repro.html.dom import Document
 from repro.html.parser import parse_html
 from repro.langid.languages import get_pair, langcrux_country_codes
+from repro.obs import trace as obs_trace
+from repro.obs.status import StatusReporter
 from repro.webgen.crux import CruxTable, build_crux_table
 from repro.webgen.server import SyntheticWeb
 from repro.webgen.sitegen import SiteGenerator, SyntheticSite, stable_seed
@@ -184,6 +186,16 @@ class PipelineConfig:
             aggregate them onto ``PipelineResult.perf_metrics``.  Profiling
             only observes the run — the produced dataset bytes are identical
             with and without it.
+        trace_dir: Directory for :mod:`repro.obs.trace` span/event JSONL
+            files (and ``status/`` heartbeats).  ``None`` disables tracing.
+            Tracing, like profiling, is strictly out-of-band: dataset bytes
+            are identical with and without it.
+        trace_id: The run's trace id.  Normally left ``None`` (the process
+            that starts the build allocates one and stamps it here so
+            every worker — thread, process-pool or distributed — joins the
+            same trace); set explicitly to adopt an external trace.
+        trace_parent: Span id the run's spans nest under — the build root
+            span, propagated to workers through pickling or ``build.json``.
     """
 
     countries: tuple[str, ...] = field(default_factory=langcrux_country_codes)
@@ -208,6 +220,9 @@ class PipelineConfig:
     max_per_host: int | None = None
     retry_backoff_s: float = 0.0
     profile: bool = False
+    trace_dir: str | None = None
+    trace_id: str | None = None
+    trace_parent: str | None = None
 
 
 #: Transport kinds accepted by :class:`PipelineConfig` (and the CLI).
@@ -287,6 +302,20 @@ def _cached_web(config: PipelineConfig) -> tuple[SyntheticWeb, CruxTable]:
     if fingerprint not in _WEB_CACHE:
         _WEB_CACHE[fingerprint] = build_web_for_config(config)
     return _WEB_CACHE[fingerprint]
+
+
+def _ensure_tracing(config: PipelineConfig):
+    """Join the run's trace in this process, or ``None`` when untraced.
+
+    The per-process idempotence of :func:`repro.obs.trace.ensure` makes
+    this safe to call from every shard/window entry point: the first call
+    in a worker process opens its trace file parented under the build's
+    ``trace_parent``; later calls are a lock and two comparisons.
+    """
+    if config.trace_dir is None:
+        return None
+    return obs_trace.ensure(config.trace_dir, trace_id=config.trace_id,
+                            parent_span_id=config.trace_parent)
 
 
 def vantage_for_country(config: PipelineConfig, country_code: str) -> VantagePoint:
@@ -422,10 +451,12 @@ def _select_country_sites(config: PipelineConfig, country_code: str,
     selector = selector_for_country(config, country_code, web, vantage)
     session = selector.crawler.session
     try:
-        outcome = selector.select(crux.iter_ranked(country_code),
-                                  quota=config.sites_per_country,
-                                  max_in_flight=config.max_in_flight)
-        outcome.country_code = country_code
+        with obs_trace.span("select", {"country": country_code,
+                                       "quota": config.sites_per_country}):
+            outcome = selector.select(crux.iter_ranked(country_code),
+                                      quota=config.sites_per_country,
+                                      max_in_flight=config.max_in_flight)
+            outcome.country_code = country_code
     finally:
         session.close()
     stack = session.transport_stack
@@ -547,11 +578,13 @@ def execute_country_shard(config: PipelineConfig, country_code: str,
     """
     web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
     vantage = vantage_for_country(config, country_code)
+    _ensure_tracing(config)
     # The collector activates only after web/vantage setup so that counters
     # cover the same work on every backend (process workers regenerate the
     # web in-process; thread workers receive it prebuilt).
     perf_counters = perf.PerfCounters() if config.profile else None
-    with perf.collecting(perf_counters):
+    with obs_trace.span("shard", {"country": country_code}), \
+            perf.collecting(perf_counters):
         outcome, transport_metrics = _select_country_sites(config, country_code,
                                                            web, crux, vantage)
         audit_engine = AuditEngine()  # per-shard: concurrent audits never share state
@@ -630,6 +663,11 @@ class SelectionSubShardResult:
     (``None`` otherwise).  A ``skipped`` result carries no evaluations: the
     worker observed that the country's quota had already filled and
     short-circuited.
+
+    ``trace_span`` carries the window span's identity (trace id, span id,
+    parent span id) when the evaluating process traced the window — the
+    parentage stamp that lets ``langcrux trace`` join a distributed
+    worker's spans into the coordinator's tree.
     """
 
     spec: SelectionSubShard
@@ -638,6 +676,7 @@ class SelectionSubShardResult:
     skipped: bool = False
     transport_metrics: TransportMetrics | None = None
     perf_metrics: perf.PerfCounters | None = None
+    trace_span: dict | None = None
 
 
 def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
@@ -667,44 +706,63 @@ def execute_selection_subshard(config: PipelineConfig, spec: SelectionSubShard,
             regardless.
     """
     if filled_countries is not None and spec.country_code in filled_countries:
+        obs_trace.event("window.skipped", {"country": spec.country_code,
+                                           "chunk": spec.chunk_index})
         return SelectionSubShardResult(spec=spec, evaluations=[], records=[],
                                        skipped=True)
     web, crux = web_and_crux if web_and_crux is not None else _cached_web(config)
+    tracer = _ensure_tracing(config)
+    window_span = tracer.start_span(
+        "window", {"country": spec.country_code, "chunk": spec.chunk_index,
+                   "start": spec.start, "stop": spec.stop}) \
+        if tracer is not None else None
     selector = selector_for_country(config, spec.country_code, web)
     perf_counters = perf.PerfCounters() if config.profile else None
     try:
-        with perf.collecting(perf_counters):
-            evaluations = selector.evaluate_window(
-                crux.iter_ranked(spec.country_code), spec.start, spec.stop,
-                max_in_flight=config.max_in_flight)
-            audit_engine = AuditEngine()  # per-sub-shard: never shared across workers
-            records: list[SiteRecord | None] = []
-            slimmed: list[CandidateEvaluation] = []
-            for evaluation in evaluations:
-                qualifies = (evaluation.fetch_succeeded
-                             and evaluation.native_share >= config.language_threshold)
-                records.append(record_from_crawl(evaluation.record, audit_engine,
-                                                 documents=evaluation.documents or None)
-                               if qualifies else None)
-                slim = evaluation.without_documents()
-                if not qualifies and slim.record.pages:
-                    slim = replace(slim, record=replace(slim.record, pages=[]))
-                slimmed.append(slim)
+        try:
+            with perf.collecting(perf_counters):
+                evaluations = selector.evaluate_window(
+                    crux.iter_ranked(spec.country_code), spec.start, spec.stop,
+                    max_in_flight=config.max_in_flight)
+                audit_engine = AuditEngine()  # per-sub-shard: never shared across workers
+                records: list[SiteRecord | None] = []
+                slimmed: list[CandidateEvaluation] = []
+                for evaluation in evaluations:
+                    qualifies = (evaluation.fetch_succeeded
+                                 and evaluation.native_share >= config.language_threshold)
+                    records.append(record_from_crawl(evaluation.record, audit_engine,
+                                                     documents=evaluation.documents or None)
+                                   if qualifies else None)
+                    slim = evaluation.without_documents()
+                    if not qualifies and slim.record.pages:
+                        slim = replace(slim, record=replace(slim.record, pages=[]))
+                    slimmed.append(slim)
+        finally:
+            session = selector.crawler.session
+            session.close()
+        # The window's crawl is over and every retained payload now lives on the
+        # evaluations/records above; evict the synthetic origins' generated page
+        # HTML so the (possibly shared) web does not grow with every origin
+        # visited.  Regeneration is seeded, so a late refetch is byte-identical.
+        for entry in crux.entries(spec.country_code)[spec.start:spec.stop]:
+            if entry.origin in web:
+                web.site(entry.origin).clear_page_cache()
+        stack = session.transport_stack
+        return SelectionSubShardResult(
+            spec=spec, evaluations=slimmed, records=records,
+            transport_metrics=stack.metrics if stack is not None else None,
+            perf_metrics=perf_counters,
+            trace_span=({"trace": tracer.trace_id,
+                         "span": window_span.span_id,
+                         "parent": window_span.parent_id}
+                        if window_span is not None else None))
     finally:
-        session = selector.crawler.session
-        session.close()
-    # The window's crawl is over and every retained payload now lives on the
-    # evaluations/records above; evict the synthetic origins' generated page
-    # HTML so the (possibly shared) web does not grow with every origin
-    # visited.  Regeneration is seeded, so a late refetch is byte-identical.
-    for entry in crux.entries(spec.country_code)[spec.start:spec.stop]:
-        if entry.origin in web:
-            web.site(entry.origin).clear_page_cache()
-    stack = session.transport_stack
-    return SelectionSubShardResult(
-        spec=spec, evaluations=slimmed, records=records,
-        transport_metrics=stack.metrics if stack is not None else None,
-        perf_metrics=perf_counters)
+        if window_span is not None:
+            tracer.end_span(window_span)
+            # Window boundaries are the durability points: pool children
+            # exit via os._exit (no atexit), so anything still buffered
+            # here would be lost with them.
+            tracer.writer.flush()
 
 
 @dataclass
@@ -813,6 +871,8 @@ class RecordSink:
         if self.dataset is not None:
             self.dataset.extend(records)
         self.committed += len(records)
+        obs_trace.event("records.commit", {"country": country_code,
+                                           "records": len(records)})
 
     def commit_serialized(self, country_code: str, lines: Sequence[str]) -> None:
         """Commit pre-serialized record lines (no in-memory accumulation).
@@ -831,6 +891,8 @@ class RecordSink:
         for line in lines:
             self.writer.write_serialized(line)
         self.committed += len(lines)
+        obs_trace.event("records.commit", {"country": country_code,
+                                           "records": len(lines)})
 
     def _observe(self, batch: int) -> None:
         if self.first_record_s is None:
@@ -940,34 +1002,71 @@ class LangCrUXPipeline:
                              "the records would otherwise be lost")
         if slim_outcomes is None:
             slim_outcomes = not keep_in_memory
-        web, crux = self.build_web()
-        backend = executor if executor is not None else self._executor()
-        dataset = LangCrUXDataset()
-        writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
-        sink = RecordSink(writer, dataset if keep_in_memory else None)
-        totals = _RunTotals()
-        if self.config.sub_shard_size is not None:
-            shard_stream = self._run_subsharded(backend, web, crux, sink, totals,
-                                                slim_records=slim_outcomes)
-        else:
-            shard_stream = self._run_country_shards(backend, web, crux, sink)
-        outcomes: dict[str, SelectionOutcome] = {}
-        vantages: dict[str, VantagePoint] = {}
-        metrics: dict[str, ShardMetrics] = {}
+        # Tracing + live status are set up before anything traced runs.
+        # The allocated trace id and the root span's id are stamped into
+        # the config so every worker — thread, pickled process-pool or
+        # (via build.json) distributed — parents its spans correctly.
+        tracer = _ensure_tracing(self.config)
+        root_span = None
+        reporter = None
+        if tracer is not None:
+            self.config.trace_id = tracer.trace_id
+            root_span = tracer.start_span(
+                "build", {"countries": ",".join(self.config.countries),
+                          "quota": self.config.sites_per_country,
+                          "seed": self.config.seed,
+                          "executor": self.config.executor,
+                          "workers": self.config.workers})
+            self.config.trace_parent = root_span.span_id
+            tracer.default_parent = root_span.span_id
         try:
-            for shard, metric in shard_stream:
-                vantages[shard.country_code] = shard.vantage
-                outcomes[shard.country_code] = shard.outcome
-                if slim_outcomes:
-                    slim_selection_outcome(shard.outcome)
-                totals.merge_transport(shard.transport_metrics)
-                totals.merge_perf(shard.perf_metrics)
-                metrics[shard.country_code] = metric
-        except BaseException:
+            web, crux = self.build_web()
+            backend = executor if executor is not None else self._executor()
+            dataset = LangCrUXDataset()
+            writer = StreamingDatasetWriter(stream_to) if stream_to is not None else None
+            sink = RecordSink(writer, dataset if keep_in_memory else None)
+            totals = _RunTotals()
+            if self.config.sub_shard_size is not None:
+                shard_stream = self._run_subsharded(backend, web, crux, sink, totals,
+                                                    slim_records=slim_outcomes)
+            else:
+                shard_stream = self._run_country_shards(backend, web, crux, sink)
+            outcomes: dict[str, SelectionOutcome] = {}
+            vantages: dict[str, VantagePoint] = {}
+            metrics: dict[str, ShardMetrics] = {}
+            if tracer is not None:
+                reporter = StatusReporter(
+                    self.config.trace_dir, "build",
+                    lambda: {"trace": self.config.trace_id,
+                             "records_streamed": sink.committed,
+                             "countries_done": len(outcomes),
+                             "countries_total": len(self.config.countries)})
+                reporter.start()
+            try:
+                for shard, metric in shard_stream:
+                    vantages[shard.country_code] = shard.vantage
+                    outcomes[shard.country_code] = shard.outcome
+                    if slim_outcomes:
+                        slim_selection_outcome(shard.outcome)
+                    totals.merge_transport(shard.transport_metrics)
+                    totals.merge_perf(shard.perf_metrics)
+                    metrics[shard.country_code] = metric
+            except BaseException:
+                if writer is not None:
+                    writer.abort()
+                raise
             if writer is not None:
-                writer.abort()
-            raise
-        streamed = writer.close() if writer is not None else 0
+                with obs_trace.span("dataset.commit",
+                                    {"path": str(stream_to)}):
+                    streamed = writer.close()
+            else:
+                streamed = 0
+        finally:
+            if reporter is not None:
+                reporter.stop()
+            if tracer is not None:
+                tracer.end_span(root_span)
+                obs_trace.disable()
         if totals.perf is not None:
             for name, value in perf.memory_gauges().items():
                 totals.perf.gauge(name, value)

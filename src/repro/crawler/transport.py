@@ -73,6 +73,7 @@ from repro.crawler.http import (
 )
 from repro.crawler.metrics import TransportMetrics
 from repro.crawler.robots import RobotsCache, RobotsPolicy, parse_robots_txt
+from repro.obs import trace as obs_trace
 
 
 class RobotsDisallowedError(FetchError):
@@ -276,7 +277,23 @@ class InstrumentedTransport:
 
     async def send(self, request: Request) -> Response:
         self.metrics.add("network_requests")
-        return await self.inner.send(request)
+        tracer = obs_trace.active()
+        if tracer is None:
+            return await self.inner.send(request)
+        # Detached: concurrent sends interleave on one event loop, so
+        # stack (LIFO) nesting would mis-parent siblings.
+        span = tracer.start_span("transport.request",
+                                 {"url": str(request.url)}, detached=True)
+        try:
+            response = await self.inner.send(request)
+        except BaseException:
+            span.attrs["error"] = True
+            raise
+        else:
+            span.attrs["status"] = response.status
+            return response
+        finally:
+            tracer.end_span(span)
 
 
 # -- politeness ---------------------------------------------------------------------
@@ -504,6 +521,9 @@ class RetryingTransport:
         if self.metrics is not None:
             self.metrics.add("retries")
             self.metrics.add("retry_wait_s", delay)
+        obs_trace.event("transport.retry",
+                        {"host": host, "attempt": attempt,
+                         "wait_s": round(delay, 4)})
         if delay <= 0:
             return
         if self._sleep is not None:
@@ -800,6 +820,8 @@ class CachingTransport:
             if response is not None:
                 if self.metrics is not None:
                     self.metrics.add("cache_hits")
+                obs_trace.event("transport.cache_hit",
+                                {"url": str(request.url)})
                 return response
         if self.metrics is not None:
             self.metrics.add("cache_misses")

@@ -44,6 +44,11 @@ from repro.core.pipeline import (
 from repro.core.site_selection import RankOrderCommitter, SelectionOutcome
 from repro.dist.results import DecodedWindowResult, decode_window_result
 from repro.dist.workqueue import QueuedWindow, WorkQueue
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
+from repro.obs.status import StatusReporter
+
+LOG = get_logger("dist.coordinator")
 
 
 class DistBuildError(RuntimeError):
@@ -183,11 +188,18 @@ class Coordinator:
                 except OSError:
                     pass
                 self._torn += 1
+                LOG.warn("torn result dropped", window=window.window_id)
+                obs_trace.event("dist.result_torn",
+                                {"window": window.window_id})
                 if counters is not None:
                     counters.count("dist.results_torn")
             reaped = self.queue.reap_stale_leases(self.lease_timeout_s)
             if reaped:
                 self._reissued += len(reaped)
+                LOG.warn("stale leases reaped; windows re-issued",
+                         windows=",".join(reaped))
+                obs_trace.event("dist.windows_reissued",
+                                {"windows": ",".join(reaped)})
                 if counters is not None:
                     counters.count("dist.windows_reissued", len(reaped))
             self._check_workers()
@@ -197,6 +209,23 @@ class Coordinator:
     def run(self) -> DistBuildResult:
         """Execute the build; returns once the output file is committed."""
         config = self.config
+        # Tracing identity must be settled *before* the queue publishes
+        # build.json — that file is how workers inherit the trace id and
+        # parent span, which is what lets `langcrux trace` reassemble one
+        # tree spanning the coordinator and every worker process.
+        tracer = None
+        root_span = None
+        if config.trace_dir is not None:
+            tracer = obs_trace.ensure(config.trace_dir,
+                                      trace_id=config.trace_id)
+            config.trace_id = tracer.trace_id
+            root_span = tracer.start_span(
+                "dist.build",
+                {"countries": ",".join(config.countries),
+                 "quota": config.sites_per_country,
+                 "seed": config.seed, "workers": self.workers})
+            config.trace_parent = root_span.span_id
+            tracer.default_parent = root_span.span_id
         web, crux = build_web_for_config(config)
         specs = plan_selection_windows(config, crux)
         windows = self.queue.initialize(config, specs)
@@ -212,6 +241,16 @@ class Coordinator:
         merged_ids: set[str] = set()
         writer = StreamingDatasetWriter(self.output, fsync=self.stream_fsync)
         sink = RecordSink(writer, None)
+        progress = {"windows_merged": 0, "records_streamed": 0,
+                    "countries_done": 0}
+        reporter = None
+        if tracer is not None:
+            reporter = StatusReporter(
+                str(self.queue.root), "coordinator",
+                lambda: {"trace": config.trace_id,
+                         "windows_planned": len(windows),
+                         "windows_reissued": self._reissued, **progress})
+            reporter.start()
         try:
             for _ in range(self.workers):
                 self._spawn_worker()
@@ -222,28 +261,31 @@ class Coordinator:
                 duration_s = 0.0
                 committed = 0
                 windows_merged = 0
-                for window in by_country[country]:
-                    if committer.filled:
-                        break
-                    decoded = self._await_result(window, counters)
-                    merged += 1
-                    merged_ids.add(window.window_id)
-                    windows_merged += 1
-                    duration_s += decoded.duration_s
-                    totals.merge_transport(decoded.transport_metrics)
-                    totals.merge_perf(decoded.perf_metrics)
-                    accepted_lines: list[str] = []
-                    for evaluation, line in zip(decoded.evaluations,
-                                                decoded.record_lines):
+                with obs_trace.span("merge", {"country": country}):
+                    for window in by_country[country]:
                         if committer.filled:
                             break
-                        if committer.commit(evaluation) is not None:
-                            # Workers serialize a record for exactly the
-                            # candidates the committer accepts.
-                            assert line is not None
-                            accepted_lines.append(line)
-                    sink.commit_serialized(country, accepted_lines)
-                    committed += len(accepted_lines)
+                        decoded = self._await_result(window, counters)
+                        merged += 1
+                        merged_ids.add(window.window_id)
+                        windows_merged += 1
+                        duration_s += decoded.duration_s
+                        totals.merge_transport(decoded.transport_metrics)
+                        totals.merge_perf(decoded.perf_metrics)
+                        accepted_lines: list[str] = []
+                        for evaluation, line in zip(decoded.evaluations,
+                                                    decoded.record_lines):
+                            if committer.filled:
+                                break
+                            if committer.commit(evaluation) is not None:
+                                # Workers serialize a record for exactly the
+                                # candidates the committer accepts.
+                                assert line is not None
+                                accepted_lines.append(line)
+                        sink.commit_serialized(country, accepted_lines)
+                        committed += len(accepted_lines)
+                        progress["windows_merged"] = merged
+                        progress["records_streamed"] += len(accepted_lines)
                 # Either the quota filled or the ranking is exhausted;
                 # both mean workers should stop claiming this country.
                 self.queue.mark_filled(country)
@@ -253,6 +295,7 @@ class Coordinator:
                                                 duration_s=duration_s,
                                                 records=committed,
                                                 sub_shards=windows_merged)
+                progress["countries_done"] = index + 1
             self.queue.mark_done()
             if counters is not None:
                 counters.count("dist.windows_merged", merged)
@@ -267,13 +310,19 @@ class Coordinator:
                     late = decode_window_result(payload)
                     totals.merge_transport(late.transport_metrics)
                     totals.merge_perf(late.perf_metrics)
-            streamed = writer.close()
+            with obs_trace.span("dataset.commit", {"path": str(self.output)}):
+                streamed = writer.close()
         except BaseException:
             writer.abort()
             raise
         finally:
             self.queue.mark_done()  # even on failure: workers must exit
             self._stop_workers()
+            if reporter is not None:
+                reporter.stop()
+            if tracer is not None:
+                tracer.end_span(root_span)
+                obs_trace.disable()
         if counters is not None:
             totals.merge_perf(counters)
         if totals.perf is not None:

@@ -63,6 +63,10 @@ def encode_window_result(result: SelectionSubShardResult, *, worker: str,
         "evaluations": evaluations,
         "transport_metrics": transport.as_dict() if transport is not None else None,
         "perf_metrics": counters.as_dict() if counters is not None else None,
+        # The window span's identity (trace/span/parent ids) when the
+        # worker traced the evaluation — the coordinator and `langcrux
+        # trace` use it to join worker spans into the build's tree.
+        "trace_span": result.trace_span,
     }
 
 
@@ -77,6 +81,7 @@ class DecodedWindowResult:
     record_lines: list[str | None]
     transport_metrics: TransportMetrics | None
     perf_metrics: perf.PerfCounters | None
+    trace_span: dict | None = None
 
 
 def decode_window_result(payload: dict) -> DecodedWindowResult:
@@ -114,4 +119,5 @@ def decode_window_result(payload: dict) -> DecodedWindowResult:
         transport_metrics=transport_metrics,
         perf_metrics=(perf.PerfCounters.from_dict(counters)
                       if counters is not None else None),
+        trace_span=payload.get("trace_span"),
     )

@@ -35,8 +35,14 @@ from repro.core.pipeline import (
     build_web_for_config,
     execute_selection_subshard,
 )
+from repro.crawler.metrics import TransportMetrics
 from repro.dist.results import encode_window_result
 from repro.dist.workqueue import Lease, QueuedWindow, WorkQueue
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
+from repro.obs.status import StatusReporter
+
+LOG = get_logger("dist.worker")
 
 
 @dataclass
@@ -102,15 +108,54 @@ class CrawlWorker:
         config = replace(config, cache_fsync="entry")
         windows = self.queue.load_windows()
         web_and_crux = build_web_for_config(config)
-        while not self.queue.is_done():
-            claimed = self._claim_next(windows, stats)
-            if claimed is None:
-                stats.idle_s += self.poll_interval_s
-                time.sleep(self.poll_interval_s)
-                continue
-            window, lease = claimed
-            self._execute(config, window, lease, web_and_crux)
-            stats.windows_executed += 1
+        # The coordinator stamped the build's trace identity into
+        # build.json; joining it here is what makes `langcrux trace`
+        # see one tree spanning every process.
+        tracer = None
+        session_span = None
+        if config.trace_dir is not None:
+            tracer = obs_trace.ensure(config.trace_dir,
+                                      trace_id=config.trace_id,
+                                      parent_span_id=config.trace_parent)
+            session_span = tracer.start_span("dist.worker",
+                                             {"worker": self.worker_id})
+            tracer.default_parent = session_span.span_id
+        totals = TransportMetrics()
+
+        def _snapshot() -> dict:
+            payload = {
+                "windows_executed": stats.windows_executed,
+                "claim_conflicts": stats.claim_conflicts,
+                "idle_s": round(stats.idle_s, 2),
+                "network_requests": totals.network_requests,
+            }
+            looked = totals.cache_hits + totals.cache_misses
+            if looked:
+                payload["cache_hit_rate"] = round(totals.cache_hits / looked, 3)
+            if config.trace_id is not None:
+                payload["trace"] = config.trace_id
+            return payload
+
+        reporter = StatusReporter(str(self.queue.root), "worker", _snapshot,
+                                  ident=self.worker_id)
+        reporter.start()
+        LOG.info("worker started", worker=self.worker_id,
+                 queue=str(self.queue.root))
+        try:
+            while not self.queue.is_done():
+                claimed = self._claim_next(windows, stats)
+                if claimed is None:
+                    stats.idle_s += self.poll_interval_s
+                    time.sleep(self.poll_interval_s)
+                    continue
+                window, lease = claimed
+                self._execute(config, window, lease, web_and_crux, totals)
+                stats.windows_executed += 1
+        finally:
+            reporter.stop(final=_snapshot())
+            if tracer is not None:
+                tracer.end_span(session_span)
+                obs_trace.disable()
         return stats
 
     def _claim_next(self, windows: list[QueuedWindow],
@@ -138,7 +183,8 @@ class CrawlWorker:
         return None
 
     def _execute(self, config: PipelineConfig, window: QueuedWindow,
-                 lease: Lease, web_and_crux) -> None:
+                 lease: Lease, web_and_crux,
+                 totals: TransportMetrics | None = None) -> None:
         heartbeat = _HeartbeatThread(lease, self.heartbeat_interval_s)
         heartbeat.start()
         try:
@@ -146,6 +192,11 @@ class CrawlWorker:
             result = execute_selection_subshard(config, window.spec,
                                                 web_and_crux=web_and_crux)
             duration_s = time.perf_counter() - started
+            if totals is not None and result.transport_metrics is not None:
+                totals.merge(result.transport_metrics)
+            LOG.debug("window executed", window=window.window_id,
+                      country=window.spec.country_code,
+                      duration_s=round(duration_s, 3))
             if result.perf_metrics is not None:
                 # Ship this worker's memory peaks home with the counters;
                 # the coordinator's gauge merge keeps the fleet-wide max.

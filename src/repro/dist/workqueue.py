@@ -48,6 +48,12 @@ QUEUE_FORMAT = 1
 
 _WINDOW_PREFIX = "window-"
 
+#: Config fields that identify a *trace*, not a build.  A restarted
+#: coordinator resuming a crashed build allocates a fresh trace id, and
+#: that must not read as "a different build" to :meth:`WorkQueue.initialize`
+#: — the dataset bytes are a pure function of the non-trace fields.
+TRACE_CONFIG_KEYS = ("trace_dir", "trace_id", "trace_parent")
+
 
 def write_json_atomic(path: Path, payload: dict, *, fsync: bool = True) -> None:
     """Write ``payload`` as JSON so that ``path`` is never observed torn.
@@ -191,10 +197,15 @@ class WorkQueue:
         results are warm work, not hazards.  A different config raises:
         stale results would silently corrupt the merge.
         """
+        def _comparable(payload: dict) -> dict:
+            return {key: value for key, value in payload.items()
+                    if key not in TRACE_CONFIG_KEYS}
+
         existing = read_json(self.build_path)
         if existing is not None:
             if (existing.get("format") != QUEUE_FORMAT
-                    or existing.get("config") != config_to_dict(config)):
+                    or _comparable(existing.get("config", {}))
+                    != _comparable(config_to_dict(config))):
                 raise ValueError(
                     f"queue dir {self.root} already holds a different build; "
                     "use a fresh --queue-dir (or delete this one)")

@@ -1,0 +1,33 @@
+"""Observability: tracing, structured logging, live status, metrics.
+
+The subsystem is strictly *out-of-band*: nothing in this package touches
+dataset bytes, selection state or transport behaviour.  Every facility is
+a pure observer that can be enabled or disabled without changing what a
+run produces — the byte-identity invariant extends to observability.
+
+* :mod:`repro.obs.trace` — spans and events written as schema-versioned
+  JSONL, one file per process, with cross-process trace propagation
+  (shard workers and ``repro.dist`` workers inherit the build's trace id
+  through the config / ``build.json``).
+* :mod:`repro.obs.tree` — reassembles the per-process trace files into
+  one span tree and renders it (``langcrux trace``).
+* :mod:`repro.obs.log` — a tiny structured JSON-lines-to-stderr logger
+  gated by the ``LANGCRUX_LOG`` env knob.
+* :mod:`repro.obs.status` — periodic heartbeat snapshots of a live run
+  (``langcrux status``).
+* :mod:`repro.obs.metrics` — a dependency-free Prometheus-text metrics
+  registry used by the :class:`~repro.api.server.AnalyticsServer`'s
+  ``/metrics`` endpoint.
+"""
+
+from repro.obs.log import get_logger, log_level
+from repro.obs.trace import TraceContext, TraceWriter, event, span
+
+__all__ = [
+    "TraceContext",
+    "TraceWriter",
+    "event",
+    "get_logger",
+    "log_level",
+    "span",
+]

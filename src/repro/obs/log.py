@@ -1,0 +1,114 @@
+"""Structured JSON-lines logging to stderr.
+
+One log record per line, machine-parseable, written to *stderr* so logs
+never interleave with report output on stdout (``langcrux analyze`` etc.
+stay pipeable).  The verbosity knob is the ``LANGCRUX_LOG`` environment
+variable — ``debug``, ``info``, ``warn`` (the default) or ``error`` —
+read once per process and overridable in-process via :func:`set_level`
+(tests) without touching the environment.
+
+The format is deliberately tiny::
+
+    {"ts": 1717430000.123, "level": "info", "logger": "dist.worker",
+     "msg": "window executed", "window": "window-00003", ...}
+
+``ts`` is ``time.time()``; every keyword argument of a log call lands as
+a top-level JSON field.  The human-facing ``msg`` always comes first
+after the envelope fields, so ``grep`` still works on raw lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+#: Ordered severities; a record is emitted when its level is >= the
+#: configured threshold.
+LEVELS = ("debug", "info", "warn", "error")
+
+_DEFAULT_LEVEL = "warn"
+
+_lock = threading.Lock()
+_level: int | None = None
+
+
+def _parse_level(name: str | None) -> int:
+    if name is None:
+        return LEVELS.index(_DEFAULT_LEVEL)
+    lowered = name.strip().lower()
+    # Accept common aliases so LANGCRUX_LOG=warning works too.
+    aliases = {"warning": "warn", "err": "error", "trace": "debug"}
+    lowered = aliases.get(lowered, lowered)
+    if lowered in LEVELS:
+        return LEVELS.index(lowered)
+    return LEVELS.index(_DEFAULT_LEVEL)
+
+
+def log_level() -> str:
+    """The effective log level name (env knob or :func:`set_level`)."""
+    global _level
+    with _lock:
+        if _level is None:
+            _level = _parse_level(os.environ.get("LANGCRUX_LOG"))
+        return LEVELS[_level]
+
+
+def set_level(name: str | None) -> None:
+    """Override the process's log level; ``None`` re-reads ``LANGCRUX_LOG``."""
+    global _level
+    with _lock:
+        _level = None if name is None else _parse_level(name)
+
+
+class Logger:
+    """A named emitter of structured log records.
+
+    Cheap to construct and stateless apart from its name; modules keep one
+    at import time (``LOG = get_logger("dist.worker")``).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, level: str, msg: str, fields: dict) -> None:
+        record = {"ts": round(time.time(), 3), "level": level,
+                  "logger": self.name, "msg": msg}
+        for key, value in fields.items():
+            if key not in record:
+                record[key] = value
+        try:
+            line = json.dumps(record, ensure_ascii=False, separators=(",", ":"),
+                              default=str)
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            line = json.dumps({"ts": record["ts"], "level": level,
+                               "logger": self.name, "msg": msg})
+        print(line, file=sys.stderr)
+
+    def is_enabled(self, level: str) -> bool:
+        return LEVELS.index(level) >= _parse_level(log_level())
+
+    def debug(self, msg: str, **fields) -> None:
+        if self.is_enabled("debug"):
+            self._emit("debug", msg, fields)
+
+    def info(self, msg: str, **fields) -> None:
+        if self.is_enabled("info"):
+            self._emit("info", msg, fields)
+
+    def warn(self, msg: str, **fields) -> None:
+        if self.is_enabled("warn"):
+            self._emit("warn", msg, fields)
+
+    def error(self, msg: str, **fields) -> None:
+        if self.is_enabled("error"):
+            self._emit("error", msg, fields)
+
+
+def get_logger(name: str) -> Logger:
+    """The structured logger named ``name``."""
+    return Logger(name)

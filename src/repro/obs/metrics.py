@@ -1,0 +1,212 @@
+"""A dependency-free Prometheus-text metrics registry.
+
+Implements exactly the subset of the exposition format (version 0.0.4)
+that the :class:`~repro.api.server.AnalyticsServer`'s ``/metrics``
+endpoint needs — counters with labels, cumulative histograms, and
+callback gauges — with the text renderer written against the published
+format rules (``# HELP``/``# TYPE`` headers, escaped label values,
+``le``-bucketed ``_bucket``/``_sum``/``_count`` series ending in
+``+Inf``).  No client library is (or may be) installed; the format is
+simple enough that hand-rolling it is smaller than vendoring one.
+
+Thread-safe: handler threads record concurrently, the scrape renders
+under the same lock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Sequence
+
+#: Content type of a Prometheus text exposition response.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default request-latency buckets (seconds) — sub-ms loopback renders up
+#: to slow cold aggregations.
+DEFAULT_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                           0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+LabelValues = tuple[str, ...]
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series(name: str, label_names: Sequence[str],
+            label_values: Sequence[str], value: float) -> str:
+    if label_names:
+        labels = ",".join(
+            f'{key}="{_escape_label_value(str(val))}"'
+            for key, val in zip(label_names, label_values))
+        return f"{name}{{{labels}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class Counter:
+    """A monotonically increasing counter, optionally labelled."""
+
+    def __init__(self, name: str, help_text: str,
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._values: dict[LabelValues, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} counter"]
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for label_values, value in items:
+            lines.append(_series(self.name, self.label_names,
+                                 label_values, value))
+        return lines
+
+
+class Histogram:
+    """A cumulative histogram with per-label-set bucket counts."""
+
+    def __init__(self, name: str, help_text: str,
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(sorted(buckets))
+        self._counts: dict[LabelValues, list[int]] = {}
+        self._sums: dict[LabelValues, float] = {}
+        self._totals: dict[LabelValues, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * len(self.buckets)
+                self._sums[key] = 0.0
+                self._totals[key] = 0
+            # Store per-bucket; render() cumulates (so one observe is one
+            # increment, not len(buckets)).
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            self._sums[key] += value
+            self._totals[key] += 1
+
+    def count(self, **labels: str) -> int:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            return self._totals.get(key, 0)
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} histogram"]
+        with self._lock:
+            keys = sorted(self._counts)
+            snapshot = [(key, list(self._counts[key]), self._sums[key],
+                         self._totals[key]) for key in keys]
+        bucket_names = tuple(self.label_names) + ("le",)
+        for key, counts, total_sum, total in snapshot:
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                lines.append(_series(f"{self.name}_bucket", bucket_names,
+                                     key + (_format_value(bound),),
+                                     cumulative))
+            lines.append(_series(f"{self.name}_bucket", bucket_names,
+                                 key + ("+Inf",), total))
+            lines.append(_series(f"{self.name}_sum", self.label_names,
+                                 key, total_sum))
+            lines.append(_series(f"{self.name}_count", self.label_names,
+                                 key, total))
+        return lines
+
+
+class Gauge:
+    """A point-in-time value, read from a callback at scrape time.
+
+    Callback gauges suit serving metrics whose truth lives elsewhere
+    (in-flight request count, dataset load count): the scrape reads the
+    source instead of the source pushing every change.
+    """
+
+    def __init__(self, name: str, help_text: str,
+                 callback: Callable[[], float]) -> None:
+        self.name = name
+        self.help = help_text
+        self._callback = callback
+
+    def render(self) -> list[str]:
+        try:
+            value = float(self._callback())
+        except Exception:  # noqa: BLE001 - a scrape must never 500 over one gauge
+            value = float("nan")
+        return [f"# HELP {self.name} {self.help}",
+                f"# TYPE {self.name} gauge",
+                _series(self.name, (), (), value)]
+
+
+class MetricsRegistry:
+    """Registration order is render order; names must be unique."""
+
+    def __init__(self) -> None:
+        self._metrics: list[Counter | Histogram | Gauge] = []
+        self._names: set[str] = set()
+        self._lock = threading.Lock()
+
+    def _register(self, metric):
+        with self._lock:
+            if metric.name in self._names:
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._names.add(metric.name)
+            self._metrics.append(metric)
+        return metric
+
+    def counter(self, name: str, help_text: str,
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, label_names))
+
+    def histogram(self, name: str, help_text: str,
+                  label_names: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Histogram:
+        return self._register(Histogram(name, help_text, label_names, buckets))
+
+    def gauge(self, name: str, help_text: str,
+              callback: Callable[[], float]) -> Gauge:
+        return self._register(Gauge(name, help_text, callback))
+
+    def render(self) -> str:
+        """The full exposition document (trailing newline included)."""
+        with self._lock:
+            metrics = list(self._metrics)
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

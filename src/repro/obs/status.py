@@ -1,0 +1,208 @@
+"""Live run status: periodic heartbeat snapshots next to the run's state.
+
+Every long-running participant — a streaming build, the distributed
+coordinator, each dist worker — runs a :class:`StatusReporter`: a daemon
+thread that atomically rewrites one small JSON snapshot per interval
+under ``<dir>/status/``.  ``langcrux status --queue-dir DIR`` reads the
+directory mid-run and renders a fleet table: who is alive (snapshot
+age), what they have done (windows, records, cache hit rate) and what
+they weigh (peak RSS) — without touching the run itself.
+
+Snapshots are whole-file atomic (temp + ``os.replace``), so a reader can
+never observe a torn one; liveness is inferred from snapshot age exactly
+like lease heartbeats in :mod:`repro.dist.workqueue`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro import perf
+from repro.obs.trace import process_label
+
+STATUS_SCHEMA = 1
+STATUS_DIR_NAME = "status"
+
+
+def _write_snapshot(path: Path, payload: dict) -> None:
+    descriptor, partial = tempfile.mkstemp(dir=path.parent,
+                                           prefix=f".{path.name}.",
+                                           suffix=".partial")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, ensure_ascii=False,
+                      separators=(",", ":"), default=str)
+        os.replace(partial, path)
+    except BaseException:
+        try:
+            os.unlink(partial)
+        except OSError:
+            pass
+        raise
+
+
+class StatusReporter:
+    """Periodically snapshots a ``snapshot()`` callable to disk.
+
+    Args:
+        directory: Where the run keeps its state (queue dir, trace dir,
+            output dir); snapshots land under ``directory/status/``.
+        role: ``"build"``, ``"coordinator"`` or ``"worker"`` — the table
+            groups by it.
+        snapshot: Returns the role-specific progress fields merged into
+            each heartbeat.  Called on the reporter thread; must be cheap
+            and must not raise (exceptions are swallowed so a broken
+            snapshot can never kill a run).
+        interval_s: Heartbeat period.
+        ident: Stable identity (defaults to ``host:pid``); also names the
+            snapshot file.
+    """
+
+    def __init__(self, directory: str | Path, role: str,
+                 snapshot: Callable[[], dict], *,
+                 interval_s: float = 1.0, ident: str | None = None) -> None:
+        self.directory = Path(directory) / STATUS_DIR_NAME
+        self.role = role
+        self.ident = ident or process_label()
+        self._snapshot = snapshot
+        self._interval_s = interval_s
+        safe = self.ident.replace(os.sep, "_").replace(":", "-")
+        self.path = self.directory / f"{role}-{safe}.json"
+        self._stopped = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _payload(self) -> dict:
+        payload = {"schema": STATUS_SCHEMA, "role": self.role,
+                   "id": self.ident, "pid": os.getpid(),
+                   "ts": round(time.time(), 3)}
+        peak_rss = perf.memory_gauges().get("mem.peak_rss_kb")
+        if peak_rss is not None:
+            payload["peak_rss_kb"] = round(peak_rss, 1)
+        try:
+            payload.update(self._snapshot())
+        except Exception:  # noqa: BLE001 - a status bug must not kill the run
+            pass
+        return payload
+
+    def write_now(self) -> None:
+        """Write one snapshot immediately (also used as the final state)."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            _write_snapshot(self.path, self._payload())
+        except OSError:  # pragma: no cover - status is best-effort
+            pass
+
+    def _run(self) -> None:
+        self.write_now()
+        while not self._stopped.wait(self._interval_s):
+            self.write_now()
+
+    def start(self) -> "StatusReporter":
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._run, daemon=True,
+                                            name=f"status-{self.role}")
+            self._thread.start()
+        return self
+
+    def stop(self, *, final: dict | None = None) -> None:
+        """Stop heartbeating; write a last snapshot (optionally amended)."""
+        self._stopped.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final is not None:
+            base = self._snapshot
+            self._snapshot = lambda: {**base(), **final}
+        self.write_now()
+
+    def __enter__(self) -> "StatusReporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def read_statuses(directory: str | Path) -> list[dict]:
+    """Every parseable status snapshot under ``directory`` (or its
+    ``status/`` child), sorted by role then identity."""
+    root = Path(directory)
+    status_dir = root if root.name == STATUS_DIR_NAME else root / STATUS_DIR_NAME
+    snapshots: list[dict] = []
+    try:
+        paths = sorted(status_dir.glob("*.json"))
+    except OSError:
+        return snapshots
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and payload.get("schema") == STATUS_SCHEMA:
+            snapshots.append(payload)
+    snapshots.sort(key=lambda item: (item.get("role", ""), item.get("id", "")))
+    return snapshots
+
+
+def queue_progress(queue_dir: str | Path) -> dict | None:
+    """Queue-level progress of a distributed run (``None`` if no queue).
+
+    Counts the queue directory's files directly, so it reflects the run
+    even when every participant's heartbeat is stale.
+    """
+    root = Path(queue_dir)
+    windows_dir = root / "windows"
+    if not windows_dir.is_dir():
+        return None
+
+    def _count(path: Path, pattern: str) -> int:
+        try:
+            return sum(1 for _ in path.glob(pattern))
+        except OSError:
+            return 0
+
+    markers = root / "markers"
+    return {
+        "windows_planned": _count(windows_dir, "window-*.json"),
+        "results_committed": _count(root / "results", "window-*.json"),
+        "leases_held": _count(root / "leases", "window-*.json"),
+        "countries_filled": _count(markers, "filled-*"),
+        "done": (markers / "done").exists(),
+    }
+
+
+def render_status_lines(snapshots: list[dict], *,
+                        progress: dict | None = None,
+                        now: float | None = None) -> list[str]:
+    """Human-readable fleet table for ``langcrux status``."""
+    now = time.time() if now is None else now
+    lines: list[str] = []
+    if progress is not None:
+        lines.append(
+            f"queue: {progress['results_committed']}"
+            f"/{progress['windows_planned']} windows committed,"
+            f" {progress['leases_held']} leased,"
+            f" {progress['countries_filled']} countries filled,"
+            f" done={'yes' if progress['done'] else 'no'}")
+    if not snapshots:
+        lines.append("no status snapshots (is the run using --trace,"
+                     " or too old to write status?)")
+        return lines
+    envelope = ("schema", "role", "id", "pid", "ts", "peak_rss_kb")
+    for snapshot in snapshots:
+        age = max(0.0, now - snapshot.get("ts", now))
+        rss = snapshot.get("peak_rss_kb")
+        rss_note = f" rss={rss / 1024.0:.0f}MiB" if rss is not None else ""
+        detail = " ".join(f"{key}={value}"
+                          for key, value in snapshot.items()
+                          if key not in envelope)
+        lines.append(f"{snapshot.get('role', '?'):<12}"
+                     f"{snapshot.get('id', '?'):<24}"
+                     f" age={age:.1f}s{rss_note}"
+                     + (f"  {detail}" if detail else ""))
+    return lines

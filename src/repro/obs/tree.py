@@ -1,0 +1,213 @@
+"""Reassembling per-process trace files into one span tree.
+
+The writer side (:mod:`repro.obs.trace`) guarantees only local ordering:
+each process appends its own spans as they close.  This module does the
+cross-process join for ``langcrux trace``: read every ``trace-*.jsonl``
+under a directory, group records by trace id, wire spans to parents by
+span id, and render an indented tree plus the *critical path* — the
+chain of spans, root to leaf, whose ends are latest at every level,
+i.e. where the wall-clock actually went.
+
+Robustness over strictness: unparseable lines (a SIGKILLed worker's torn
+tail), records from a foreign schema, spans whose parent never closed
+(its process died before writing it) are all tolerated — orphans become
+roots so a partial trace still renders.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.trace import TRACE_FILE_PREFIX, TRACE_SCHEMA
+
+
+@dataclass
+class SpanNode:
+    """One span with its children resolved."""
+
+    record: dict
+    children: list["SpanNode"] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record.get("name", "?")
+
+    @property
+    def span_id(self) -> str:
+        return self.record["span"]
+
+    @property
+    def ts(self) -> float:
+        return self.record.get("ts", 0.0)
+
+    @property
+    def duration_s(self) -> float:
+        return self.record.get("dur_s", 0.0)
+
+    @property
+    def end_ts(self) -> float:
+        return self.ts + self.duration_s
+
+    @property
+    def proc(self) -> str:
+        return self.record.get("proc", "?")
+
+
+@dataclass
+class TraceTree:
+    """Every span of one trace, wired into (possibly several) roots.
+
+    A fully propagated trace has exactly one root (the build span); roots
+    beyond that are orphans — spans whose parent was never written, e.g.
+    by a worker whose coordinator crashed.  They are kept and rendered so
+    a damaged trace still tells its story.
+    """
+
+    trace_id: str
+    roots: list[SpanNode]
+    span_count: int
+    event_count: int
+    processes: tuple[str, ...]
+    orphan_count: int
+
+    def walk(self) -> Iterable[tuple[int, SpanNode]]:
+        """Depth-first (depth, node) traversal over every root."""
+        pending = [(0, root) for root in reversed(self.roots)]
+        while pending:
+            depth, node = pending.pop()
+            yield depth, node
+            pending.extend((depth + 1, child)
+                           for child in reversed(node.children))
+
+    def critical_path(self) -> list[SpanNode]:
+        """Root-to-leaf chain choosing the latest-ending child at each step."""
+        if not self.roots:
+            return []
+        node = max(self.roots, key=lambda root: root.end_ts)
+        path = [node]
+        while node.children:
+            node = max(node.children, key=lambda child: child.end_ts)
+            path.append(node)
+        return path
+
+    def render_lines(self, *, min_duration_s: float = 0.0,
+                     max_depth: int | None = None) -> list[str]:
+        """The indented span tree plus the critical-path timeline."""
+        origin = min((root.ts for root in self.roots), default=0.0)
+        lines = [f"trace {self.trace_id}: {self.span_count} spans,"
+                 f" {self.event_count} events across"
+                 f" {len(self.processes)} process(es)"]
+        if self.orphan_count:
+            lines.append(f"  ({self.orphan_count} orphaned spans attached"
+                         " as roots: their parent was never written)")
+        for depth, node in self.walk():
+            if max_depth is not None and depth > max_depth:
+                continue
+            if depth > 0 and node.duration_s < min_duration_s:
+                continue
+            attrs = node.record.get("attrs") or {}
+            detail = " ".join(f"{key}={value}"
+                              for key, value in sorted(attrs.items()))
+            offset = node.ts - origin
+            lines.append(f"{'  ' * depth}- {node.name}"
+                         f"  {node.duration_s * 1000.0:.1f}ms"
+                         f"  @+{offset:.3f}s  [{node.proc}]"
+                         + (f"  {detail}" if detail else ""))
+        path = self.critical_path()
+        if path:
+            lines.append("critical path:")
+            for node in path:
+                lines.append(f"  {node.name} ({node.duration_s * 1000.0:.1f}ms"
+                             f" on {node.proc})")
+        return lines
+
+
+def trace_files(directory: str | Path) -> list[Path]:
+    """Every per-process trace file under ``directory``.
+
+    Accepts the trace directory itself, or a parent that *contains* one —
+    a queue dir with its ``trace/`` subdirectory, a build output dir — so
+    ``langcrux trace`` works on whatever directory the user has at hand.
+    """
+    root = Path(directory)
+    candidates = [root, root / "trace"]
+    for candidate in candidates:
+        if candidate.is_dir():
+            found = sorted(candidate.glob(f"{TRACE_FILE_PREFIX}*.jsonl"))
+            if found:
+                return found
+    return []
+
+
+def load_trace_records(directory: str | Path) -> list[dict]:
+    """Every parseable span/event record under ``directory``."""
+    records: list[dict] = []
+    for path in trace_files(directory):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn tail from a killed writer
+            if (isinstance(record, dict)
+                    and record.get("schema") == TRACE_SCHEMA
+                    and record.get("kind") in ("span", "event")
+                    and record.get("trace")):
+                records.append(record)
+    return records
+
+
+def assemble_trace(records: list[dict],
+                   trace_id: str | None = None) -> TraceTree | None:
+    """Wire ``records`` into the tree of one trace.
+
+    With multiple trace ids present (one trace dir reused across runs)
+    and none requested, the trace with the most spans wins.
+    """
+    by_trace: dict[str, list[dict]] = {}
+    for record in records:
+        by_trace.setdefault(record["trace"], []).append(record)
+    if not by_trace:
+        return None
+    if trace_id is None:
+        trace_id = max(by_trace, key=lambda key: len(by_trace[key]))
+    chosen = by_trace.get(trace_id)
+    if not chosen:
+        return None
+    nodes: dict[str, SpanNode] = {}
+    spans = [record for record in chosen if record["kind"] == "span"]
+    events = [record for record in chosen if record["kind"] == "event"]
+    for record in spans:
+        nodes[record["span"]] = SpanNode(record=record)
+    roots: list[SpanNode] = []
+    orphans = 0
+    for node in nodes.values():
+        parent_id = node.record.get("parent")
+        parent = nodes.get(parent_id) if parent_id else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            if parent_id:
+                orphans += 1
+            roots.append(node)
+    for record in events:
+        owner = nodes.get(record.get("span") or "")
+        if owner is not None:
+            owner.events.append(record)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: (child.ts, child.span_id))
+    roots.sort(key=lambda node: (node.ts, node.span_id))
+    processes = tuple(sorted({record.get("proc", "?") for record in chosen}))
+    return TraceTree(trace_id=trace_id, roots=roots, span_count=len(spans),
+                     event_count=len(events), processes=processes,
+                     orphan_count=orphans)

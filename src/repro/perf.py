@@ -31,8 +31,16 @@ collectors never observe each other's work and per-shard totals stay
 deterministic.
 
 Stages nest (e.g. ``record`` encloses ``extract`` which encloses ``index``),
-so stage times are inclusive and do not sum to wall-clock time; the table
-orders stages by total time which is what matters for finding hot spots.
+so stage times are inclusive and do not sum to wall-clock time; the summary
+line orders stages by total time (what matters for finding hot spots) while
+the ``--profile`` table is name-sorted so its output diffs deterministically
+across executors and runs.
+
+The stage timers double as tracing hooks: when :mod:`repro.obs.trace` is
+enabled it registers itself via :func:`set_tracer`, and every ``stage()``
+block then also emits a span — durations and nesting identical to the
+profile view, but per-occurrence and cross-process joinable.  With no
+tracer registered the hook costs one module-global ``None`` check.
 """
 
 from __future__ import annotations
@@ -178,10 +186,15 @@ class PerfCounters:
         return " ".join(parts)
 
     def table_lines(self) -> list[str]:
-        """Per-stage table plus a counters line (used by ``build --profile``)."""
+        """Per-stage table plus a counters line (used by ``build --profile``).
+
+        Deterministically ordered — stages sorted by name, then the
+        counters line, gauges last — so CI greps and diffs of profile
+        output are stable across executors and timing jitter (the
+        hotness ranking lives in :meth:`summary_line`).
+        """
         lines = [f"{'stage':<28}{'calls':>10}{'total s':>12}{'avg ms':>10}"]
-        ranked = sorted(self.stages.items(), key=lambda item: (-item[1].seconds, item[0]))
-        for name, stat in ranked:
+        for name, stat in sorted(self.stages.items()):
             lines.append(f"{name:<28}{stat.calls:>10}{stat.seconds:>12.4f}{stat.avg_ms:>10.3f}")
         if self.counters:
             pairs = " ".join(f"{name}={value}" for name, value in sorted(self.counters.items()))
@@ -195,6 +208,17 @@ class PerfCounters:
 # -- thread-local collection ---------------------------------------------------
 
 _local = threading.local()
+
+#: The process's tracer hook (set by ``repro.obs.trace`` when tracing is
+#: enabled).  Typed loosely to keep this module import-cycle-free: perf is
+#: imported by nearly everything, obs imports perf.
+_tracer = None
+
+
+def set_tracer(tracer) -> None:
+    """Register (or with ``None`` deregister) the stage-span tracer hook."""
+    global _tracer
+    _tracer = tracer
 
 
 def active() -> PerfCounters | None:
@@ -237,32 +261,45 @@ _NULL_TIMER = _NullTimer()
 
 
 class StageTimer:
-    """Times one ``with`` block and records it into a collector."""
+    """Times one ``with`` block into a collector and/or a tracer span."""
 
-    __slots__ = ("_name", "_collector", "_started")
+    __slots__ = ("_name", "_collector", "_tracer", "_span", "_started")
 
-    def __init__(self, name: str, collector: PerfCounters) -> None:
+    def __init__(self, name: str, collector: PerfCounters | None,
+                 tracer=None) -> None:
         self._name = name
         self._collector = collector
+        self._tracer = tracer
 
     def __enter__(self) -> "StageTimer":
+        if self._tracer is not None:
+            # Perf-hook spans are non-structural: the tracer only writes
+            # them past its minimum-duration threshold, bounding trace
+            # volume from hot micro-stages.
+            self._span = self._tracer.start_span(self._name, structural=False)
         self._started = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._collector.add_stage(self._name, time.perf_counter() - self._started)
+        if self._collector is not None:
+            self._collector.add_stage(self._name,
+                                      time.perf_counter() - self._started)
+        if self._tracer is not None:
+            self._tracer.end_span(self._span)
 
 
 def stage(name: str):
-    """Context manager timing ``name`` into the active collector.
+    """Context manager timing ``name`` into the active collector/tracer.
 
-    With no collector installed this returns a shared no-op timer, so the
-    disabled cost is one thread-local lookup per stage entry.
+    With no collector installed and no tracer registered this returns a
+    shared no-op timer, so the disabled cost is one thread-local lookup
+    and one global check per stage entry.
     """
     collector = getattr(_local, "collector", None)
-    if collector is None:
+    tracer = _tracer
+    if collector is None and tracer is None:
         return _NULL_TIMER
-    return StageTimer(name, collector)
+    return StageTimer(name, collector, tracer)
 
 
 def count(name: str, amount: int = 1) -> None:

@@ -9,6 +9,7 @@ errors, reload-on-change and the fault-injection paths of ISSUE item 4
 from __future__ import annotations
 
 import socket
+import time
 from pathlib import Path
 
 import pytest
@@ -243,3 +244,101 @@ class TestLifecycle:
             with apiserver.ApiClient(server.gateway) as client:
                 assert client.json("/health")["dataset"]["sites"] == \
                     service.aggregates.site_count
+
+
+class TestMetricsEndpoint:
+    def test_metrics_renders_prometheus_text(self, api_client) -> None:
+        api_client.get("/analyze")  # at least one observed request
+        reply = api_client.get("/metrics")
+        assert reply.status == 200
+        assert reply.headers["content-type"] == \
+            "text/plain; version=0.0.4; charset=utf-8"
+        text = reply.body.decode("utf-8")
+        assert "# TYPE langcrux_api_requests_total counter" in text
+        assert "# TYPE langcrux_api_request_seconds histogram" in text
+        assert 'endpoint="/analyze"' in text
+        assert 'le="+Inf"' in text
+        assert "# TYPE langcrux_api_inflight_requests gauge" in text
+        assert "# TYPE langcrux_api_worker_saturation gauge" in text
+        assert "langcrux_api_dataset_loads" in text
+        assert text.endswith("\n")
+
+    @staticmethod
+    def _eventually(condition, timeout: float = 5.0) -> bool:
+        """Requests are observed in the handler thread *after* the body is
+        sent, so counter reads from the test thread must tolerate a lag."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if condition():
+                return True
+            time.sleep(0.01)
+        return condition()
+
+    def test_metrics_counts_accumulate_across_requests(self, api_server,
+                                                       api_client) -> None:
+        counter = api_server.service._requests_total
+        before = counter.value(endpoint="/mismatch", status="200")
+        api_client.get("/mismatch")
+        api_client.get("/mismatch")
+        assert self._eventually(
+            lambda: counter.value(endpoint="/mismatch", status="200")
+            >= before + 2)
+
+    def test_cache_hits_and_misses_are_labelled(self, api_server,
+                                                api_client) -> None:
+        cache_total = api_server.service._cache_total
+        api_client.get("/kizuki")  # first hit may miss, second must hit
+        before_hits = cache_total.value(state="hit")
+        api_client.get("/kizuki")
+        assert self._eventually(
+            lambda: cache_total.value(state="hit") >= before_hits + 1)
+
+    def test_trace_header_is_echoed_or_generated(self, api_client) -> None:
+        reply = api_client.get("/analyze",
+                               headers={"x-langcrux-trace": "f" * 32})
+        assert reply.headers["x-langcrux-trace"] == "f" * 32
+        generated = api_client.get("/analyze").headers["x-langcrux-trace"]
+        assert generated and generated != "f" * 32
+
+    def test_endpoint_label_cardinality_is_bounded(self, api_server) -> None:
+        service = api_server.service
+        assert service.normalize_endpoint("/analyze") == "/analyze"
+        assert service.normalize_endpoint("/explorer/site/example.bd") == \
+            "/explorer/site/:domain"
+        assert service.normalize_endpoint("/no/such/endpoint") == "unknown"
+
+    def test_errors_are_observed_with_their_status(self, api_server,
+                                                   api_client) -> None:
+        counter = api_server.service._requests_total
+        before = counter.value(endpoint="unknown", status="404")
+        assert api_client.get("/no/such/endpoint").status == 404
+        assert self._eventually(
+            lambda: counter.value(endpoint="unknown", status="404")
+            >= before + 1)
+
+    def test_access_log_line_carries_latency_and_trace(self, api_client,
+                                                       capsys,
+                                                       monkeypatch) -> None:
+        import json as jsonlib
+
+        from repro.obs import log as obs_log
+        monkeypatch.setenv("LANGCRUX_LOG", "info")
+        obs_log.set_level(None)
+        try:
+            api_client.get("/analyze", headers={"x-langcrux-trace": "e" * 32})
+            # A second request on the same keep-alive connection runs on the
+            # same handler thread — its reply proves the first request's
+            # post-send access log line was written.
+            api_client.get("/metrics")
+        finally:
+            monkeypatch.delenv("LANGCRUX_LOG", raising=False)
+            obs_log.set_level(None)
+        lines = [jsonlib.loads(line)
+                 for line in capsys.readouterr().err.splitlines() if line]
+        access = [line for line in lines
+                  if line.get("logger") == "api.access"
+                  and line.get("trace") == "e" * 32]
+        assert access, "no access log line for the traced request"
+        assert access[0]["path"] == "/analyze"
+        assert access[0]["status"] == 200
+        assert access[0]["duration_ms"] >= 0

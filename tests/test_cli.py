@@ -366,3 +366,74 @@ class TestApi:
     def test_api_rejects_non_positive_workers(self, built_dataset_path: Path) -> None:
         with pytest.raises(SystemExit):
             main(["api", str(built_dataset_path), "--max-workers", "0"])
+
+
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def trace_dir(self, tmp_path_factory) -> Path:
+        """One tiny traced build shared by the rendering tests."""
+        root = tmp_path_factory.mktemp("traced")
+        assert main(["build", "--output", str(root / "out.jsonl"),
+                     "--sites-per-country", "2", "--countries", "bd",
+                     "--seed", "29", "--trace-dir", str(root / "trace")]) == 0
+        return root / "trace"
+
+    def test_build_prints_trace_inspection_hint(self, tmp_path: Path,
+                                                capsys) -> None:
+        assert main(["build", "--output", str(tmp_path / "out.jsonl"),
+                     "--sites-per-country", "2", "--countries", "bd",
+                     "--seed", "29", "--trace-dir", str(tmp_path / "t")]) == 0
+        assert "langcrux trace" in capsys.readouterr().out
+
+    def test_trace_renders_span_tree_with_critical_path(self, trace_dir: Path,
+                                                        capsys) -> None:
+        assert main(["trace", str(trace_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "spans" in output and "process(es)" in output
+        assert "- build" in output and "- select" in output
+        assert "critical path:" in output
+
+    def test_trace_depth_limits_the_tree(self, trace_dir: Path, capsys) -> None:
+        assert main(["trace", str(trace_dir), "--depth", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "- build" in output
+        assert "- select" not in output  # children live below depth 0
+
+    def test_trace_min_ms_filters_fast_spans(self, trace_dir: Path,
+                                             capsys) -> None:
+        assert main(["trace", str(trace_dir), "--min-ms", "600000"]) == 0
+        output = capsys.readouterr().out
+        assert "- build" in output  # roots always render
+        assert "- select" not in output
+
+    def test_trace_rejects_missing_directory(self, tmp_path: Path,
+                                             capsys) -> None:
+        assert main(["trace", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_trace_reports_empty_directory(self, tmp_path: Path,
+                                           capsys) -> None:
+        assert main(["trace", str(tmp_path)]) == 1
+        assert "no trace records" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_status_renders_build_snapshot(self, tmp_path: Path,
+                                           capsys) -> None:
+        trace_dir = tmp_path / "trace"
+        assert main(["build", "--output", str(tmp_path / "out.jsonl"),
+                     "--sites-per-country", "2", "--countries", "bd",
+                     "--seed", "29", "--trace-dir", str(trace_dir)]) == 0
+        capsys.readouterr()
+        assert main(["status", "--queue-dir", str(trace_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "build" in output and "rss=" in output
+
+    def test_status_rejects_missing_directory(self, tmp_path: Path,
+                                              capsys) -> None:
+        assert main(["status", "--queue-dir", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_status_reports_nothing_to_show(self, tmp_path: Path,
+                                            capsys) -> None:
+        assert main(["status", "--queue-dir", str(tmp_path)]) == 1

@@ -27,6 +27,7 @@ from repro.core.pipeline import (
 from repro.dist import Coordinator, DistBuildError, dist_build
 from repro.dist.results import encode_window_result
 from repro.dist.workqueue import WorkQueue, read_json
+from repro.obs.tree import assemble_trace, load_trace_records
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 
@@ -97,9 +98,13 @@ def test_sigkilled_worker_lease_is_reissued_and_output_identical(tmp_path):
     """The kill-and-resume path: SIGKILL a worker mid-window, the
     coordinator reaps its stale lease after the timeout, the window is
     re-executed (replaying the dead worker's fetches from the shared
-    cache), and the final JSONL is byte-identical to an unharmed run."""
-    config = dist_config(tmp_path)
-    expected = single_host_bytes(config, tmp_path)
+    cache), and the final JSONL is byte-identical to an unharmed run.
+
+    The run is traced throughout, so this also pins the observability
+    acceptance bar: one span tree reassembles across the coordinator and
+    the surviving workers, kill and re-issue notwithstanding."""
+    config = dist_config(tmp_path, trace_dir=str(tmp_path / "trace"))
+    expected = single_host_bytes(replace(config, trace_dir=None), tmp_path)
     queue_dir = tmp_path / "queue"
     out = tmp_path / "dist.jsonl"
     # A worker that stalls inside every window evaluation (lease held,
@@ -118,7 +123,7 @@ def test_sigkilled_worker_lease_is_reissued_and_output_identical(tmp_path):
         encoding="utf-8")
     doomed = subprocess.Popen([sys.executable, str(doomed_script),
                                str(queue_dir)], env=os.environ.copy())
-    coordinator = Coordinator(config, queue_dir, out, workers=1,
+    coordinator = Coordinator(config, queue_dir, out, workers=2,
                               lease_timeout_s=1.0, poll_interval_s=0.02)
     outcome: dict = {}
 
@@ -158,6 +163,23 @@ def test_sigkilled_worker_lease_is_reissued_and_output_identical(tmp_path):
     result = outcome["result"]
     assert result.windows_reissued >= 1
     assert out.read_bytes() == expected
+    # One trace, one tree: the coordinator's root plus its two surviving
+    # workers' sessions (the SIGKILLed worker never wrote a span — it
+    # died holding the lease, which is exactly the point).
+    tree = assemble_trace(load_trace_records(tmp_path / "trace"))
+    assert tree is not None
+    assert [root.name for root in tree.roots] == ["dist.build"]
+    assert tree.orphan_count == 0
+    sessions = [node for _depth, node in tree.walk()
+                if node.name == "dist.worker"]
+    assert len(sessions) >= 2
+    assert len(tree.processes) >= 3  # coordinator + >=2 worker processes
+    windows = [node for _depth, node in tree.walk() if node.name == "window"]
+    assert windows, "worker window spans missing from the trace"
+    reissue_events = [event for _depth, node in tree.walk()
+                      for event in node.events
+                      if event.get("name") == "dist.windows_reissued"]
+    assert reissue_events, "the reaped lease left no trace event"
 
 
 def test_torn_result_file_is_discarded_and_window_reexecuted(tmp_path):

@@ -1,0 +1,379 @@
+"""Unit tests for the observability subsystem (`repro.obs`).
+
+Covers the tracing core (writer, span stacks, detached spans, the
+min-duration gate for perf-hook spans), cross-process tree reassembly,
+the structured stderr logger, the heartbeat status reporter and the
+hand-rolled Prometheus text registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import perf
+from repro.obs import trace as obs_trace
+from repro.obs.log import LEVELS, get_logger, log_level, set_level
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+)
+from repro.obs.status import (
+    StatusReporter,
+    queue_progress,
+    read_statuses,
+    render_status_lines,
+)
+from repro.obs.trace import TraceContext, TraceWriter, Tracer, new_trace_id
+from repro.obs.tree import assemble_trace, load_trace_records, trace_files
+
+
+@pytest.fixture(autouse=True)
+def no_global_tracer():
+    """Every test starts and ends with process-global tracing disabled."""
+    obs_trace.disable()
+    yield
+    obs_trace.disable()
+
+
+def read_records(directory) -> list[dict]:
+    records = []
+    for path in sorted(directory.glob("trace-*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            records.append(json.loads(line))
+    return records
+
+
+class TestTraceCore:
+    def test_span_records_carry_schema_ids_and_duration(self, tmp_path):
+        writer = TraceWriter(tmp_path, label="host:1", flush_every=1)
+        tracer = Tracer(writer, "t" * 32)
+        outer = tracer.start_span("build", {"seed": 7})
+        inner = tracer.start_span("shard")
+        tracer.end_span(inner)
+        tracer.end_span(outer)
+        writer.close()
+        records = read_records(tmp_path)
+        assert [r["name"] for r in records] == ["shard", "build"]
+        for record in records:
+            assert record["schema"] == 1
+            assert record["kind"] == "span"
+            assert record["trace"] == "t" * 32
+            assert record["proc"] == "host:1"
+            assert record["dur_s"] >= 0.0
+        shard, build = records
+        assert shard["parent"] == build["span"]
+        assert build["parent"] is None
+        assert build["attrs"] == {"seed": 7}
+
+    def test_detached_spans_parent_under_stack_not_each_other(self, tmp_path):
+        writer = TraceWriter(tmp_path, flush_every=1)
+        tracer = Tracer(writer, new_trace_id())
+        window = tracer.start_span("window")
+        first = tracer.start_span("req", detached=True)
+        second = tracer.start_span("req", detached=True)
+        # Both in flight at once; closing in either order keeps parentage.
+        tracer.end_span(first)
+        tracer.end_span(second)
+        assert tracer.current_span_id() == window.span_id
+        tracer.end_span(window)
+        writer.close()
+        requests = [r for r in read_records(tmp_path) if r["name"] == "req"]
+        assert all(r["parent"] == window.span_id for r in requests)
+
+    def test_nonstructural_spans_respect_the_min_duration_gate(self, tmp_path):
+        writer = TraceWriter(tmp_path, flush_every=1)
+        tracer = Tracer(writer, new_trace_id(), min_duration_s=3600.0)
+        fast = tracer.start_span("parse", structural=False)
+        tracer.end_span(fast)  # far below an hour: dropped
+        kept = tracer.start_span("select", structural=True)
+        tracer.end_span(kept)  # structural: always written
+        writer.close()
+        assert [r["name"] for r in read_records(tmp_path)] == ["select"]
+
+    def test_events_attach_to_the_enclosing_span(self, tmp_path):
+        writer = TraceWriter(tmp_path, flush_every=1)
+        tracer = Tracer(writer, new_trace_id())
+        span = tracer.start_span("window")
+        tracer.event("cache_hit", {"url": "https://x/"})
+        tracer.end_span(span)
+        writer.close()
+        events = [r for r in read_records(tmp_path) if r["kind"] == "event"]
+        assert len(events) == 1
+        assert events[0]["span"] == span.span_id
+        assert events[0]["attrs"] == {"url": "https://x/"}
+
+    def test_default_parent_roots_fresh_threads_under_it(self, tmp_path):
+        writer = TraceWriter(tmp_path, flush_every=1)
+        tracer = Tracer(writer, new_trace_id())
+        root = tracer.start_span("build")
+        tracer.default_parent = root.span_id
+        seen: dict = {}
+
+        def worker() -> None:
+            span = tracer.start_span("shard")
+            seen["parent"] = span.parent_id
+            tracer.end_span(span)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tracer.end_span(root)
+        assert seen["parent"] == root.span_id
+
+    def test_writer_buffers_then_appends_atomically(self, tmp_path):
+        writer = TraceWriter(tmp_path, flush_every=1000)
+        writer.emit({"a": 1})
+        assert read_records(tmp_path) == []  # still buffered
+        writer.flush()
+        assert read_records(tmp_path) == [{"a": 1}]
+        writer.emit({"b": 2})
+        writer.close()  # close flushes the tail
+        assert read_records(tmp_path) == [{"a": 1}, {"b": 2}]
+        writer.emit({"c": 3})  # after close: dropped, not an error
+        assert len(read_records(tmp_path)) == 2
+
+    def test_ensure_is_idempotent_and_rebinds_on_new_trace(self, tmp_path):
+        first = obs_trace.ensure(tmp_path / "a", trace_id="x" * 32)
+        again = obs_trace.ensure(tmp_path / "a", trace_id="x" * 32)
+        assert again is first
+        # The perf stage hook is armed: stage() returns a real timer even
+        # without a collector, so stage timings become trace spans.
+        assert perf.stage("anything") is not perf._NULL_TIMER
+        rebound = obs_trace.ensure(tmp_path / "a", trace_id="y" * 32)
+        assert rebound is not first
+        assert rebound.trace_id == "y" * 32
+        obs_trace.disable()
+        assert obs_trace.active() is None
+
+    def test_module_span_and_event_are_noops_when_disabled(self, tmp_path):
+        with obs_trace.span("nothing") as opened:
+            assert opened is None
+        obs_trace.event("nothing")  # must not raise
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_context_round_trips(self):
+        context = TraceContext(trace_id="t" * 32, span_id="s" * 16)
+        assert TraceContext.from_dict(context.to_dict()) == context
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+        bare = TraceContext(trace_id="t" * 32)
+        assert TraceContext.from_dict(bare.to_dict()) == bare
+
+
+class TestTraceTree:
+    def span(self, trace, span_id, parent=None, name="s", ts=0.0, dur=1.0,
+             proc="h:1"):
+        return {"schema": 1, "kind": "span", "trace": trace, "span": span_id,
+                "parent": parent, "name": name, "proc": proc, "ts": ts,
+                "dur_s": dur}
+
+    def test_assembles_one_tree_and_critical_path(self):
+        records = [
+            self.span("T", "root", name="build", ts=0.0, dur=10.0),
+            self.span("T", "a", parent="root", name="shard", ts=1.0, dur=2.0),
+            self.span("T", "b", parent="root", name="shard", ts=2.0, dur=7.0,
+                      proc="h:2"),
+            self.span("T", "b1", parent="b", name="window", ts=3.0, dur=5.0,
+                      proc="h:2"),
+            {"schema": 1, "kind": "event", "trace": "T", "span": "b1",
+             "name": "cache_hit", "proc": "h:2", "ts": 4.0},
+        ]
+        tree = assemble_trace(records)
+        assert tree is not None
+        assert tree.trace_id == "T"
+        assert tree.span_count == 4
+        assert tree.event_count == 1
+        assert tree.processes == ("h:1", "h:2")
+        assert [node.name for node in tree.critical_path()] == \
+            ["build", "shard", "window"]
+        assert tree.roots[0].children[1].children[0].events[0]["name"] == \
+            "cache_hit"
+        rendered = "\n".join(tree.render_lines())
+        assert "trace T: 4 spans, 1 events across 2 process(es)" in rendered
+        assert "critical path:" in rendered
+
+    def test_orphans_become_roots(self):
+        records = [self.span("T", "w", parent="never-written", name="window")]
+        tree = assemble_trace(records)
+        assert tree.orphan_count == 1
+        assert [root.name for root in tree.roots] == ["window"]
+        assert "orphaned" in "\n".join(tree.render_lines())
+
+    def test_largest_trace_wins_when_a_dir_is_reused(self):
+        records = [self.span("OLD", "x"),
+                   self.span("NEW", "a"), self.span("NEW", "b", parent="a")]
+        assert assemble_trace(records).trace_id == "NEW"
+        assert assemble_trace(records, trace_id="OLD").trace_id == "OLD"
+        assert assemble_trace([]) is None
+
+    def test_loader_skips_torn_lines_and_foreign_schemas(self, tmp_path):
+        good = self.span("T", "a")
+        (tmp_path / "trace-h-1.jsonl").write_text(
+            json.dumps(good) + "\n"
+            + '{"schema": 99, "kind": "span", "trace": "T", "span": "z"}\n'
+            + '{"torn line without a clos',
+            encoding="utf-8")
+        assert load_trace_records(tmp_path) == [good]
+
+    def test_trace_files_accepts_the_parent_directory(self, tmp_path):
+        nested = tmp_path / "trace"
+        nested.mkdir()
+        (nested / "trace-h-1.jsonl").write_text("", encoding="utf-8")
+        assert trace_files(tmp_path) == [nested / "trace-h-1.jsonl"]
+        assert trace_files(nested) == [nested / "trace-h-1.jsonl"]
+        assert trace_files(tmp_path / "missing") == []
+
+
+class TestLog:
+    @pytest.fixture(autouse=True)
+    def restore_level(self):
+        yield
+        set_level(None)
+
+    def test_records_are_json_lines_on_stderr(self, capsys):
+        set_level("debug")
+        get_logger("test.module").info("window executed", window="w-3", n=2)
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["level"] == "info"
+        assert record["logger"] == "test.module"
+        assert record["msg"] == "window executed"
+        assert record["window"] == "w-3"
+        assert record["n"] == 2
+
+    def test_default_level_suppresses_info_but_not_error(self, capsys,
+                                                         monkeypatch):
+        monkeypatch.delenv("LANGCRUX_LOG", raising=False)
+        set_level(None)
+        log = get_logger("t")
+        log.info("quiet")
+        log.error("loud")
+        err = capsys.readouterr().err
+        assert "quiet" not in err
+        assert "loud" in err
+
+    def test_env_knob_and_aliases(self, monkeypatch):
+        monkeypatch.setenv("LANGCRUX_LOG", "DEBUG")
+        set_level(None)
+        assert log_level() == "debug"
+        monkeypatch.setenv("LANGCRUX_LOG", "warning")
+        set_level(None)
+        assert log_level() == "warn"
+        monkeypatch.setenv("LANGCRUX_LOG", "nonsense")
+        set_level(None)
+        assert log_level() == "warn"
+
+    def test_levels_are_ordered(self):
+        assert LEVELS == ("debug", "info", "warn", "error")
+        set_level("error")
+        log = get_logger("t")
+        assert log.is_enabled("error")
+        assert not log.is_enabled("warn")
+
+
+class TestStatus:
+    def test_reporter_writes_atomic_snapshots_with_rss(self, tmp_path):
+        reporter = StatusReporter(tmp_path, "build",
+                                  lambda: {"records": 5}, interval_s=60.0)
+        reporter.start()
+        reporter.stop(final={"records": 9, "done": True})
+        snapshots = read_statuses(tmp_path)
+        assert len(snapshots) == 1
+        snapshot = snapshots[0]
+        assert snapshot["role"] == "build"
+        assert snapshot["records"] == 9
+        assert snapshot["done"] is True
+        assert snapshot["peak_rss_kb"] > 0
+        assert snapshot["ts"] > 0
+
+    def test_broken_snapshot_callable_never_raises(self, tmp_path):
+        def broken() -> dict:
+            raise RuntimeError("status bug")
+
+        with StatusReporter(tmp_path, "worker", broken, interval_s=60.0):
+            pass
+        snapshot = read_statuses(tmp_path)[0]
+        assert snapshot["role"] == "worker"  # envelope survives the bug
+
+    def test_queue_progress_counts_the_files(self, tmp_path):
+        assert queue_progress(tmp_path) is None
+        (tmp_path / "windows").mkdir()
+        (tmp_path / "results").mkdir()
+        (tmp_path / "markers").mkdir()
+        for index in range(3):
+            (tmp_path / "windows" / f"window-0000{index}.json").touch()
+        (tmp_path / "results" / "window-00000.json").touch()
+        (tmp_path / "markers" / "filled-bd").touch()
+        progress = queue_progress(tmp_path)
+        assert progress == {"windows_planned": 3, "results_committed": 1,
+                            "leases_held": 0, "countries_filled": 1,
+                            "done": False}
+
+    def test_render_lines_show_liveness_and_progress(self):
+        snapshots = [{"schema": 1, "role": "worker", "id": "h-1", "pid": 9,
+                      "ts": 100.0, "peak_rss_kb": 2048.0, "windows": 4}]
+        progress = {"windows_planned": 8, "results_committed": 6,
+                    "leases_held": 1, "countries_filled": 1, "done": False}
+        lines = render_status_lines(snapshots, progress=progress, now=101.5)
+        assert "6/8 windows committed" in lines[0]
+        assert "age=1.5s" in lines[1]
+        assert "windows=4" in lines[1]
+        assert "rss=2MiB" in lines[1]
+        empty = render_status_lines([], now=0.0)
+        assert "no status snapshots" in empty[0]
+
+
+class TestMetrics:
+    def test_counter_renders_labelled_series(self):
+        counter = Counter("reqs_total", "Requests.", ("endpoint", "status"))
+        counter.inc(endpoint="/analyze", status="200")
+        counter.inc(2, endpoint="/analyze", status="200")
+        counter.inc(endpoint="/stats", status="404")
+        assert counter.value(endpoint="/analyze", status="200") == 3
+        text = "\n".join(counter.render())
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{endpoint="/analyze",status="200"} 3' in text
+        assert 'reqs_total{endpoint="/stats",status="404"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        counter = Counter("c", "h", ("path",))
+        counter.inc(path='a"b\\c\nd')
+        assert r'path="a\"b\\c\nd"' in counter.render()[-1]
+
+    def test_histogram_buckets_are_cumulative_and_end_in_inf(self):
+        histogram = Histogram("lat", "Latency.", ("endpoint",),
+                              buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value, endpoint="/x")
+        assert histogram.count(endpoint="/x") == 4
+        text = "\n".join(histogram.render())
+        assert 'lat_bucket{endpoint="/x",le="0.01"} 1' in text
+        assert 'lat_bucket{endpoint="/x",le="0.1"} 2' in text
+        assert 'lat_bucket{endpoint="/x",le="1"} 3' in text
+        assert 'lat_bucket{endpoint="/x",le="+Inf"} 4' in text
+        assert 'lat_count{endpoint="/x"} 4' in text
+        assert 'lat_sum{endpoint="/x"} 5.555' in text
+
+    def test_gauge_reads_its_callback_and_tolerates_failure(self):
+        gauge = Gauge("inflight", "h", lambda: 3)
+        assert "inflight 3" in gauge.render()[-1]
+        broken = Gauge("broken", "h", lambda: 1 / 0)
+        assert "nan" in broken.render()[-1].lower()
+
+    def test_registry_renders_all_and_rejects_duplicates(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.")
+        registry.gauge("b", "B.", lambda: 1.0)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("a_total", "again")
+        text = registry.render()
+        assert text.endswith("\n")
+        assert "# HELP a_total A." in text
+        assert "a_total 0" in text  # unlabelled counters render at zero
+        assert "b 1" in text
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
